@@ -1,0 +1,54 @@
+// Ablation: the skew-bound trade-off of partition+ (paper section 3.1,
+// footnote 1: "Accepting a small amount of skew to create keyblocks of
+// simpler shapes can result in more efficient communications and
+// reduced data dependencies between tasks").
+//
+// Sweeping the permissible skew bound for Query 1's geometry shows the
+// three-way trade: smaller granules -> tighter balance but finer
+// keyblock boundaries that straddle more splits (wider dependency
+// sets / more connections) and more boxes per keyblock (more complex
+// routing/output shapes).
+#include "scihadoop/split_gen.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  bench::header("Ablation - partition+ skew bound (Query 1, 66 reducers)",
+                "footnote 1, section 3.1: skew vs dependency width vs "
+                "keyblock shape complexity");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  auto extraction =
+      std::make_shared<const sh::ExtractionMap>(w.query, w.inputShape);
+  sh::SplitOptions opts;
+  opts.targetElements = 3 * 360 * 720 * 50;  // cell-straddling splits
+  auto splits = sh::generateSplits(w.inputShape, opts);
+  constexpr std::uint32_t kReducers = 66;
+
+  std::printf("%12s %12s %14s %12s %14s %16s\n", "skew_bound", "granule",
+              "realized_skew", "max_boxes", "sum|I_l|", "avg deps/reduce");
+  for (nd::Index bound : {nd::Index{100}, nd::Index{1000}, nd::Index{10000},
+                          nd::Index{54000}, nd::Index{545454}}) {
+    auto plan =
+        std::make_shared<const core::PartitionPlus>(extraction, kReducers,
+                                                    bound);
+    core::DependencyCalculator calc(plan);
+    core::DependencyInfo info = calc.computeAll(splits);
+    std::size_t maxBoxes = 0;
+    for (std::uint32_t kb = 0; kb < kReducers; ++kb) {
+      maxBoxes = std::max(maxBoxes, plan->keyblockRegions(kb).size());
+    }
+    std::printf("%12lld %12lld %14lld %12zu %14llu %16.1f\n",
+                static_cast<long long>(bound),
+                static_cast<long long>(plan->granuleSize()),
+                static_cast<long long>(plan->realizedSkew()), maxBoxes,
+                static_cast<unsigned long long>(info.totalConnections()),
+                static_cast<double>(info.totalConnections()) / kReducers);
+  }
+
+  std::printf("\nreading: a tiny bound minimizes skew but cuts keyblocks "
+              "mid-row (more boxes, wider dependencies); a huge bound "
+              "gives single-box keyblocks whose sizes differ by up to one "
+              "granule.\n");
+  return 0;
+}

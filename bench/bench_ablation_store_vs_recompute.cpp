@@ -1,0 +1,66 @@
+// Ablation: store vs re-compute for dependency information (paper
+// section 3.2.1: "a classic 'store vs re-compute' decision").
+//
+// SIDR stores all I_l in the job specification at submission (one
+// computeAll pass, small I/O cost); the alternative has every reduce
+// task recompute its own I_l at startup. This bench measures both over
+// Query 1's real geometry and reports the job-spec bytes the stored
+// variant adds.
+#include <chrono>
+
+#include "scihadoop/split_gen.hpp"
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  using Clock = std::chrono::steady_clock;
+  bench::header("Ablation - dependency store vs re-compute (Query 1)",
+                "section 3.2.1: submission-time computeAll vs per-task "
+                "recomputation");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  auto extraction =
+      std::make_shared<const sh::ExtractionMap>(w.query, w.inputShape);
+  sh::SplitOptions opts;
+  opts.targetElements =
+      sh::targetElementsForCount(w.inputShape, w.numSplits);
+  auto splits = sh::generateSplits(w.inputShape, *extraction, opts);
+
+  std::printf("%8s %18s %22s %18s\n", "reduces", "store: computeAll",
+              "recompute: all tasks", "stored bytes");
+  for (std::uint32_t r : {22u, 176u, 528u}) {
+    auto plan = std::make_shared<const core::PartitionPlus>(extraction, r, 0);
+    core::DependencyCalculator calc(plan);
+
+    auto t0 = Clock::now();
+    core::DependencyInfo info = calc.computeAll(splits);
+    double storeMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+    // Re-compute path: every reduce scans the split list itself.
+    t0 = Clock::now();
+    std::uint64_t total = 0;
+    for (std::uint32_t kb = 0; kb < r; ++kb) {
+      total += calc.recomputeSplitsFor(kb, splits).size();
+    }
+    double recomputeMs =
+        std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    if (total != info.totalConnections()) {
+      std::printf("MISMATCH: store and recompute disagree!\n");
+      return 1;
+    }
+
+    std::uint64_t storedBytes = 0;
+    for (const auto& d : info.keyblockToSplits) {
+      storedBytes += d.size() * sizeof(std::uint32_t);
+    }
+    std::printf("%8u %15.1f ms %19.1f ms %15llu B\n", r, storeMs,
+                recomputeMs,
+                static_cast<unsigned long long>(storedBytes));
+  }
+  std::printf("\nreading: storing costs one pass and a few kilobytes in "
+              "the job spec; recomputation repeats the split scan per "
+              "task and grows with r — SIDR's choice to store wins for "
+              "every configuration the paper ran.\n");
+  return 0;
+}

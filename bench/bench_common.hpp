@@ -1,0 +1,60 @@
+// Shared helpers for the experiment harnesses in bench/.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (section 4): it prints a header identifying the experiment,
+// the paper's reported values for reference, the values this
+// reproduction measures, and (for figures) "label,time,fraction" CSV
+// series that plot the same curves.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+
+namespace sidr::bench {
+
+inline void header(const std::string& title, const std::string& paperRef) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("paper reference: %s\n", paperRef.c_str());
+  std::printf("==============================================================\n");
+}
+
+struct RunSummary {
+  std::string label;
+  sim::SimResult result;
+};
+
+/// Runs one (workload, system, reducers) combination on the simulated
+/// paper testbed and prints its one-line summary.
+inline RunSummary runSim(const sim::WorkloadSpec& w, core::SystemMode system,
+                         std::uint32_t reducers, const std::string& label,
+                         const sim::ClusterConfig& cfg = {}) {
+  sim::BuiltWorkload built = sim::buildWorkload(w, system, reducers);
+  sim::ClusterSim cluster(cfg, built.job);
+  RunSummary rs{label, cluster.run()};
+  std::printf(
+      "%-24s maps=%-5zu lastMap=%7.0fs firstResult=%7.0fs total=%7.0fs "
+      "connections=%llu\n",
+      label.c_str(), built.numSplits, rs.result.lastMapEnd,
+      rs.result.firstResult, rs.result.totalTime,
+      static_cast<unsigned long long>(rs.result.shuffleConnections));
+  return rs;
+}
+
+/// Prints the map and reduce completion series of a run as CSV rows.
+inline void printRunSeries(const RunSummary& rs, bool includeMaps) {
+  if (includeMaps) {
+    sim::printSeriesCsv(
+        std::cout, "map:" + rs.label,
+        sim::completionSeries(rs.result.sortedMapEnds(), 40));
+  }
+  sim::printSeriesCsv(
+      std::cout, "reduce:" + rs.label,
+      sim::completionSeries(rs.result.sortedReduceEnds(), 40));
+}
+
+}  // namespace sidr::bench

@@ -1,0 +1,56 @@
+// Figure 10: Reduce-task completion for Query 1 as the number of SIDR
+// Reduce tasks grows (22, 66, 176, 528), against SciHadoop at 22.
+//
+// Paper headline numbers: time-to-first-result and total time both fall
+// as reducers increase; at 528 reducers SIDR finishes 29% faster than
+// SciHadoop and the reduce line nearly parallels the map line
+// ("close to optimal"). Extra reducers do NOT help SciHadoop/Hadoop
+// (global barrier).
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  bench::header("Figure 10 - reduce sweep: Query 1, SIDR r in {22,66,176,528}",
+                "SS-528 total ~29% below SH-22 (1250s); first result and "
+                "total decrease monotonically with r");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  auto sh = bench::runSim(w, core::SystemMode::kSciHadoop, 22, "SciHadoop-22");
+  // Extra reducers cannot help a global-barrier system; show it.
+  auto sh176 =
+      bench::runSim(w, core::SystemMode::kSciHadoop, 176, "SciHadoop-176");
+
+  std::vector<bench::RunSummary> runs;
+  for (std::uint32_t r : {22u, 66u, 176u, 528u}) {
+    runs.push_back(bench::runSim(w, core::SystemMode::kSidr, r,
+                                 "SIDR-" + std::to_string(r)));
+  }
+
+  std::printf("\nshape checks (paper -> measured):\n");
+  std::printf("  SIDR-528 total vs SciHadoop-22 total: paper 0.71 -> %.2f\n",
+              runs[3].result.totalTime / sh.result.totalTime);
+  bool monotonic = true;
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    if (runs[i].result.firstResult > runs[i - 1].result.firstResult ||
+        runs[i].result.totalTime > runs[i - 1].result.totalTime) {
+      monotonic = false;
+    }
+  }
+  std::printf("  first result & total decrease with r: %s\n",
+              monotonic ? "yes" : "NO");
+  std::printf(
+      "  extra reducers help SciHadoop? paper: no -> measured: %s "
+      "(SH-176 %.0fs vs SH-22 %.0fs)\n",
+      sh176.result.totalTime < 0.97 * sh.result.totalTime ? "YES (unexpected)"
+                                                          : "no",
+      sh176.result.totalTime, sh.result.totalTime);
+  // "close to optimal": the reduce line shifted from the map line by the
+  // per-reduce processing time.
+  std::printf("  SIDR-528 total - lastMap gap: %.0fs (near-optimal tail)\n",
+              runs[3].result.totalTime - runs[3].result.lastMapEnd);
+
+  std::printf("\nseries (label,time_s,fraction_complete):\n");
+  bench::printRunSeries(sh, true);
+  for (const auto& r : runs) bench::printRunSeries(r, false);
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 11: Reduce-task completion for Query 2 — a 3-sigma filter over
+// a {7200,360,720,50} dataset of normally distributed values (0.1%
+// selectivity, eshape {2,40,40,10}) — SciHadoop at 22 reducers vs SIDR
+// at 22, 66 and 176.
+//
+// Paper headline observations: reduce tasks are tiny, so completion
+// lines approach optimal with fewer reducers than Query 1, and the
+// total-time improvement over SciHadoop is much smaller than Query 1's.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  bench::header("Figure 11 - filter query (Query 2): SH-22 vs SS {22,66,176}",
+                "small reduce work -> near-optimal with few reducers; "
+                "little total-time headroom for SIDR");
+
+  sim::WorkloadSpec w = sim::query2Workload();
+  auto sh = bench::runSim(w, core::SystemMode::kSciHadoop, 22, "SciHadoop-22");
+  std::vector<bench::RunSummary> runs;
+  for (std::uint32_t r : {22u, 66u, 176u}) {
+    runs.push_back(bench::runSim(w, core::SystemMode::kSidr, r,
+                                 "SIDR-" + std::to_string(r)));
+  }
+
+  std::printf("\nshape checks (paper -> measured):\n");
+  double gain = 1.0 - runs[0].result.totalTime / sh.result.totalTime;
+  std::printf(
+      "  SIDR-22 total-time gain vs SciHadoop (paper: 'much smaller than "
+      "Query 1'): %.1f%%\n",
+      100.0 * gain);
+  std::printf(
+      "  SIDR-22 reduce tail (total - lastMap): %.0fs (Query 1 had ~%d00s)\n",
+      runs[0].result.totalTime - runs[0].result.lastMapEnd, 4);
+  std::printf("  SIDR first results long before the barrier: first=%.0fs vs "
+              "SH first=%.0fs\n",
+              runs[0].result.firstResult, sh.result.firstResult);
+
+  std::printf("\nseries (label,time_s,fraction_complete):\n");
+  bench::printRunSeries(sh, true);
+  for (const auto& r : runs) bench::printRunSeries(r, false);
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 12: Variance in SIDR task completion times across 10 runs of
+// Query 1, at 22 vs 88 Reduce tasks (error bars = stddev at each
+// completion fraction).
+//
+// Paper headline observations: with SIDR, a reduce's barrier is only
+// its dependency set, so reduces inherit at least the variance of the
+// maps they wait on; MORE reducers shrink each dependency set and with
+// it the odds of waiting on several abnormally slow maps — completion
+// variance drops and the curve tightens toward the map curve.
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  bench::header("Figure 12 - completion variance over 10 runs: SS 22 vs 88",
+                "error bars shrink as reducers increase; reduce curves "
+                "track the 2781-mapper curve");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  constexpr int kRuns = 10;
+
+  std::vector<std::vector<double>> mapRuns;
+  std::vector<std::vector<double>> reduce22;
+  std::vector<std::vector<double>> reduce88;
+  for (int run = 0; run < kRuns; ++run) {
+    sim::ClusterConfig cfg;
+    cfg.mapNoiseSigma = 0.25;  // straggler-y map durations
+    cfg.seed = 1000 + static_cast<std::uint64_t>(run);
+    {
+      auto built = sim::buildWorkload(w, core::SystemMode::kSidr, 22);
+      auto res = sim::ClusterSim(cfg, built.job).run();
+      mapRuns.push_back(res.sortedMapEnds());
+      reduce22.push_back(res.sortedReduceEnds());
+    }
+    {
+      auto built = sim::buildWorkload(w, core::SystemMode::kSidr, 88);
+      auto res = sim::ClusterSim(cfg, built.job).run();
+      reduce88.push_back(res.sortedReduceEnds());
+    }
+  }
+
+  auto report = [](const char* label, const sim::FractionStats& st) {
+    double maxDev = 0;
+    for (double d : st.stddevTimes) maxDev = std::max(maxDev, d);
+    std::printf("%-14s mean total=%7.0fs  max stddev=%5.1fs\n", label,
+                st.meanTimes.back(), maxDev);
+    return maxDev;
+  };
+
+  sim::FractionStats mapStats = sim::fractionStats(mapRuns);
+  sim::FractionStats st22 = sim::fractionStats(reduce22);
+  sim::FractionStats st88 = sim::fractionStats(reduce88);
+  report("Mappers", mapStats);
+  double d22 = report("22 Reducers", st22);
+  double d88 = report("88 Reducers", st88);
+
+  std::printf("\nshape checks (paper -> measured):\n");
+  std::printf("  variance shrinks with more reducers: paper yes -> %s "
+              "(%.1fs vs %.1fs)\n",
+              d88 < d22 ? "yes" : "NO", d88, d22);
+  std::printf("  88-reducer curve closer to map curve than 22: %s\n",
+              (st88.meanTimes.back() <= st22.meanTimes.back()) ? "yes" : "NO");
+
+  std::printf("\nseries (label,fraction,mean_s,stddev_s):\n");
+  auto dump = [](const char* label, const sim::FractionStats& st) {
+    for (std::size_t i = 0; i < st.fractions.size(); ++i) {
+      std::printf("%s,%.2f,%.1f,%.1f\n", label, st.fractions[i],
+                  st.meanTimes[i], st.stddevTimes[i]);
+    }
+  };
+  dump("mappers", mapStats);
+  dump("reduce22", st22);
+  dump("reduce88", st88);
+  return 0;
+}

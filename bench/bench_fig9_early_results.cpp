@@ -1,0 +1,39 @@
+// Figure 9: Map and Reduce task completion over time for Query 1
+// (median over {7200,360,720,50} windspeed, eshape {2,36,36,10}) run
+// with Hadoop, SciHadoop and SIDR at 22 Reduce tasks.
+//
+// Paper headline numbers:
+//   SIDR first result   ~625 s
+//   SciHadoop first result ~1,132 s ; total 1,250 s
+//   Hadoop first result   ~2,797 s  (2.5x slower than SIDR's query)
+//   SIDR total           1,264 s  (slightly > SciHadoop: the last
+//                         contiguous keyblock drains the final maps)
+#include "bench_common.hpp"
+
+int main() {
+  using namespace sidr;
+  bench::header("Figure 9 - early results: Query 1, 22 reducers",
+                "H first ~2797s | SH first ~1132s, total 1250s | "
+                "SS first ~625s, total 1264s");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  auto h = bench::runSim(w, core::SystemMode::kHadoop, 22, "Hadoop-22");
+  auto sh = bench::runSim(w, core::SystemMode::kSciHadoop, 22, "SciHadoop-22");
+  auto ss = bench::runSim(w, core::SystemMode::kSidr, 22, "SIDR-22");
+
+  std::printf("\nshape checks (paper -> measured):\n");
+  std::printf("  Hadoop/SciHadoop total time ratio: paper 2.24x -> %.2fx\n",
+              h.result.totalTime / sh.result.totalTime);
+  std::printf("  SIDR first result vs SciHadoop total: paper 0.50 -> %.2f\n",
+              ss.result.firstResult / sh.result.totalTime);
+  std::printf("  SIDR first result vs SciHadoop first: paper 0.55 -> %.2f\n",
+              ss.result.firstResult / sh.result.firstResult);
+  std::printf("  SIDR total vs SciHadoop total: paper 1.01 -> %.2f\n",
+              ss.result.totalTime / sh.result.totalTime);
+
+  std::printf("\nseries (label,time_s,fraction_complete):\n");
+  bench::printRunSeries(h, true);
+  bench::printRunSeries(sh, true);
+  bench::printRunSeries(ss, true);
+  return 0;
+}

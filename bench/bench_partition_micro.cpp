@@ -1,0 +1,118 @@
+// Section 4.5: partition+ overhead micro-benchmark.
+//
+// The paper loads 6.48M intermediate key/value pairs into memory and
+// measures only partitioning time: Hadoop's default partitioner took
+// 200 ms (sd 18.8) and partition+ 223 ms (sd 21) — i.e. partition+'s
+// routing adds ~12% to a step that is itself a rounding error against
+// map tasks that run for tens of seconds to tens of minutes.
+//
+// This bench reproduces that comparison with google-benchmark over the
+// same pair count, on Query 1's intermediate keyspace, for the default
+// modulo partitioner, the byte-hash variant and partition+.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "mapreduce/partitioners.hpp"
+#include "sidr/partition_plus.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace sidr;
+
+constexpr std::size_t kPairs = 6'480'000;  // the paper's 6.48M
+constexpr std::uint32_t kReducers = 22;
+
+/// 6.48M keys drawn from Query 1's intermediate grid {3600,10,20,5}.
+const std::vector<nd::Coord>& keys() {
+  static const std::vector<nd::Coord> k = [] {
+    std::vector<nd::Coord> v;
+    v.reserve(kPairs);
+    nd::Coord grid{3600, 10, 20, 5};
+    nd::Index n = grid.volume();
+    std::uint64_t x = 88172645463325252ULL;
+    for (std::size_t i = 0; i < kPairs; ++i) {
+      // xorshift over the dense instance space.
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      v.push_back(nd::delinearize(
+          static_cast<nd::Index>(x % static_cast<std::uint64_t>(n)), grid));
+    }
+    return v;
+  }();
+  return k;
+}
+
+std::shared_ptr<const sh::ExtractionMap> query1Extraction() {
+  static const auto ex = [] {
+    sim::WorkloadSpec w = sim::query1Workload();
+    return std::make_shared<const sh::ExtractionMap>(w.query, w.inputShape);
+  }();
+  return ex;
+}
+
+void BM_DefaultModuloPartitioner(benchmark::State& state) {
+  mr::ModuloPartitioner part(nd::Coord{3600, 10, 20, 5});
+  const auto& ks = keys();  // materialize outside the timed region
+  benchmark::DoNotOptimize(ks.size());
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const nd::Coord& k : keys()) acc += part.partition(k, kReducers);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_DefaultModuloPartitioner)->Unit(benchmark::kMillisecond);
+
+void BM_HashPartitioner(benchmark::State& state) {
+  mr::HashPartitioner part;
+  const auto& ks = keys();
+  benchmark::DoNotOptimize(ks.size());
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const nd::Coord& k : keys()) acc += part.partition(k, kReducers);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_HashPartitioner)->Unit(benchmark::kMillisecond);
+
+void BM_PartitionPlus(benchmark::State& state) {
+  core::PartitionPlus part(query1Extraction(), kReducers, 0);
+  const auto& ks = keys();
+  benchmark::DoNotOptimize(ks.size());
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const nd::Coord& k : keys()) acc += part.partition(k, kReducers);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_PartitionPlus)->Unit(benchmark::kMillisecond);
+
+/// The routing decision that partition+ adds over modulo, in isolation
+/// (instance lookup + granule division) — the paper's 23 ms delta.
+void BM_PartitionPlusDeltaOnly(benchmark::State& state) {
+  auto ex = query1Extraction();
+  core::PartitionPlus part(ex, kReducers, 0);
+  const auto& ks = keys();
+  benchmark::DoNotOptimize(ks.size());
+  for (auto _ : state) {
+    std::uint64_t acc = 0;
+    for (const nd::Coord& k : keys()) acc += part.keyblockOfInstance(k);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPairs));
+}
+BENCHMARK(BM_PartitionPlusDeltaOnly)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,94 @@
+// Table 3: network connection scaling. Hadoop requires every Reduce
+// task to contact every completed Map task (maps x reduces); SIDR's
+// reduces contact only the maps in their dependency set (sum |I_l|).
+//
+// Paper numbers (2781 maps):
+//   reduces   Hadoop       SIDR
+//   22        61,182       2,820
+//   66        183,546      2,905
+//   132       367,092      3,031
+//   264       734,184      3,267
+//   528       1,468,368    3,760
+//   1024      2,936,736    5,106
+//
+// Connection counts are pure dependency arithmetic, so this bench runs
+// the real DependencyCalculator over Query 1's geometry — no simulation.
+// Two split layouts are reported: 3-row splits that straddle extraction
+// cells (comparable to the paper's byte-aligned 2,781 splits) and
+// cell-aligned splits (SIDR's splits can be snapped to the extraction
+// shape, making dependency sets perfectly disjoint — flat at one fetch
+// per split).
+#include "scihadoop/split_gen.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+void reportLayout(const char* label,
+                  const std::vector<sidr::mr::InputSplit>& splits,
+                  std::shared_ptr<const sidr::sh::ExtractionMap> extraction) {
+  using namespace sidr;
+  std::printf("\n[%s] %zu splits\n", label, splits.size());
+  std::printf("%8s %16s %16s %22s\n", "reduces", "Hadoop(#conn)",
+              "SIDR(#conn)", "SIDR avg fetch/reduce");
+  for (std::uint32_t r : {22u, 66u, 132u, 264u, 528u, 1024u}) {
+    auto plan = std::make_shared<const core::PartitionPlus>(extraction, r, 0);
+    core::DependencyCalculator calc(plan);
+    core::DependencyInfo info = calc.computeAll(splits);
+    std::uint64_t sidrConn = info.totalConnections();
+    std::uint64_t hadoopConn =
+        static_cast<std::uint64_t>(splits.size()) * r;
+    std::printf("%8u %16llu %16llu %22.1f\n", r,
+                static_cast<unsigned long long>(hadoopConn),
+                static_cast<unsigned long long>(sidrConn),
+                static_cast<double>(sidrConn) / r);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace sidr;
+  bench::header("Table 3 - shuffle connection scaling (Query 1 geometry)",
+                "Hadoop 61,182 -> 2,936,736 (multiplicative); SIDR 2,820 "
+                "-> 5,106 (near-flat) for 2781 maps, r=22..1024");
+
+  sim::WorkloadSpec w = sim::query1Workload();
+  auto extraction =
+      std::make_shared<const sh::ExtractionMap>(w.query, w.inputShape);
+
+  // Layout A: splits of 3 leading rows — NOT aligned with the eshape's
+  // leading extent of 2, so half the splits straddle two keyblock rows
+  // (the paper's byte-range splits were similarly unaligned).
+  {
+    sh::SplitOptions opts;
+    opts.targetElements = 3 * 360 * 720 * 50;
+    auto splits = sh::generateSplits(w.inputShape, opts);
+    reportLayout("cell-straddling splits (paper-like)", splits,
+                 extraction);
+  }
+
+  // Layout B: EXACT paper layout — 2,781 byte-range splits, each ~2.59
+  // leading rows, cutting rows and cells arbitrarily.
+  {
+    auto splits = sh::generateByteRangeSplits(w.inputShape, 2781);
+    reportLayout("byte-range splits (paper's 2781)", splits,
+                 extraction);
+  }
+
+  // Layout C: cell-aligned splits — dependency sets become disjoint.
+  {
+    sh::SplitOptions opts;
+    opts.targetElements = 2 * 360 * 720 * 50;
+    opts.alignToExtraction = true;
+    auto splits = sh::generateSplits(w.inputShape, *extraction, opts);
+    reportLayout("cell-aligned splits (best case)", splits,
+                 extraction);
+  }
+
+  std::printf("\nshape checks:\n");
+  std::printf("  Hadoop connections scale multiplicatively with r: yes by "
+              "construction (maps x r)\n");
+  std::printf("  SIDR connections stay within ~2x of the split count while "
+              "r grows 46x: see tables above\n");
+  return 0;
+}

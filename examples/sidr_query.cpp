@@ -1,0 +1,216 @@
+// sidr_query: a command-line front end for structural queries — the
+// closest thing to "running SciHadoop/SIDR from a shell".
+//
+//   sidr_query '<query>' [options]
+//
+//   query   SciHadoop's array query language, e.g.
+//             'mean(temperature, eshape={7,5,1})'
+//             'filter(noise, eshape={2,20,20,5}, threshold=3)'
+//   options --shape {a,b,...}   logical input shape (default {56,25,20})
+//           --data temp|wind|normal   synthetic dataset (default temp)
+//           --file PATH.sndf    query a real SNDF dataset instead (the
+//                               query's variable name selects the var;
+//                               --shape/--data are then ignored)
+//           --make-file PATH    generate the synthetic dataset into an
+//                               SNDF file and exit (pairs with --file)
+//           --system hadoop|scihadoop|sidr   (default sidr)
+//           --reducers N        (default 4)
+//           --splits N          (default 16)
+//           --out DIR           write dense SNDF chunks per keyblock
+//
+// Example:
+//   sidr_query 'median(wind, eshape={2,5,5,2})' --shape {48,10,10,4}
+//              --data wind --reducers 6
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+
+#include "scihadoop/query_parser.hpp"
+#include "sidr/sidr.hpp"
+
+namespace {
+
+using namespace sidr;
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s '<query>' [--shape {a,b,..}] [--data "
+               "temp|wind|normal] [--system hadoop|scihadoop|sidr] "
+               "[--reducers N] [--splits N] [--out DIR]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  try {
+    sh::StructuralQuery query = sh::parseQuery(argv[1]);
+
+    nd::Coord shape{56, 25, 20};
+    std::string data = "temp";
+    std::string filePath;
+    std::string makePath;
+    core::PlanOptions opts;
+    opts.system = core::SystemMode::kSidr;
+    opts.numReducers = 4;
+    opts.desiredSplitCount = 16;
+    std::string outDir;
+
+    for (int i = 2; i < argc; ++i) {
+      auto want = [&](const char* flag) {
+        if (std::strcmp(argv[i], flag) != 0) return false;
+        if (i + 1 >= argc) throw std::invalid_argument("missing value");
+        return true;
+      };
+      if (want("--shape")) {
+        shape = nd::Coord::parse(argv[++i]);
+      } else if (want("--data")) {
+        data = argv[++i];
+      } else if (want("--file")) {
+        filePath = argv[++i];
+      } else if (want("--make-file")) {
+        makePath = argv[++i];
+      } else if (want("--system")) {
+        std::string s = argv[++i];
+        if (s == "hadoop") {
+          opts.system = core::SystemMode::kHadoop;
+        } else if (s == "scihadoop") {
+          opts.system = core::SystemMode::kSciHadoop;
+        } else if (s == "sidr") {
+          opts.system = core::SystemMode::kSidr;
+        } else {
+          return usage(argv[0]);
+        }
+      } else if (want("--reducers")) {
+        opts.numReducers = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+      } else if (want("--splits")) {
+        opts.desiredSplitCount = std::stoul(argv[++i]);
+      } else if (want("--out")) {
+        outDir = argv[++i];
+      } else {
+        return usage(argv[0]);
+      }
+    }
+
+    sh::ValueFn fn;
+    if (data == "temp") {
+      fn = sh::temperatureField();
+    } else if (data == "wind") {
+      fn = sh::windspeedField();
+    } else if (data == "normal") {
+      fn = sh::normalField(0.0, 1.0);
+    } else {
+      return usage(argv[0]);
+    }
+
+    if (!makePath.empty()) {
+      // Materialize the synthetic field as a real SNDF file and exit.
+      auto storage = std::make_shared<sci::FileStorage>(
+          makePath, sci::FileStorage::Mode::kCreate);
+      sci::Dataset ds = sci::Dataset::create(
+          storage, sh::arrayMetadata(query.variable,
+                                     sci::DataType::kFloat64, shape));
+      sh::fillDataset(ds, 0, fn);
+      storage->flush();
+      std::printf("wrote %s: variable '%s' of shape %s\n",
+                  makePath.c_str(), query.variable.c_str(),
+                  shape.toString().c_str());
+      return 0;
+    }
+
+    std::shared_ptr<sci::Dataset> dataset;
+    if (!filePath.empty()) {
+      dataset = std::make_shared<sci::Dataset>(
+          sci::Dataset::open(std::make_shared<sci::FileStorage>(
+              filePath, sci::FileStorage::Mode::kOpenReadOnly)));
+      std::size_t varIdx = dataset->metadata().variableIndex(query.variable);
+      shape = dataset->metadata().variableShape(varIdx);
+      std::printf("file:   %s\n%s", filePath.c_str(),
+                  dataset->metadata().toText().c_str());
+    }
+
+    std::printf("query:  %s\n", sh::toQueryString(query).c_str());
+    std::string source =
+        filePath.empty() ? "synthetic '" + data + "' data" : "from file";
+    std::printf("input:  %s %s, %s, %u reducers\n",
+                shape.toString().c_str(), source.c_str(),
+                core::systemModeName(opts.system).c_str(), opts.numReducers);
+
+    core::QueryPlanner planner(query, shape);
+    core::QueryPlan plan =
+        dataset ? planner.plan(dataset,
+                               dataset->metadata().variableIndex(
+                                   query.variable),
+                               opts)
+                : planner.plan(fn, opts);
+    std::printf("plan:   %zu splits, K' = %s (%lld keys)\n",
+                plan.spec.splits.size(),
+                plan.extraction->instanceGridShape().toString().c_str(),
+                static_cast<long long>(plan.extraction->instanceCount()));
+
+    auto partitionPlus = plan.partitionPlus;
+    auto extraction = plan.extraction;
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+    std::size_t total = 0;
+    for (const auto& out : result.outputs) total += out.records.size();
+    std::printf(
+        "run:    %.1f ms total, first keyblock at %.1f ms, %zu result "
+        "keys, %llu shuffle connections\n",
+        result.totalSeconds * 1e3, result.firstResultSeconds * 1e3, total,
+        static_cast<unsigned long long>(result.shuffleConnections));
+    if (result.annotationViolations != 0) {
+      std::printf("ANNOTATION VALIDATION FAILED\n");
+      return 1;
+    }
+
+    // Show the first few results.
+    std::size_t shown = 0;
+    for (const auto& out : result.outputs) {
+      for (const auto& kv : out.records) {
+        if (shown++ >= 5) break;
+        if (kv.value.kind() == mr::ValueKind::kScalar) {
+          std::printf("  %s = %.4f\n", kv.key.toString().c_str(),
+                      kv.value.asScalar());
+        } else {
+          std::printf("  %s = list of %zu values\n",
+                      kv.key.toString().c_str(), kv.value.asList().size());
+        }
+      }
+      if (shown >= 5) break;
+    }
+
+    if (!outDir.empty() && partitionPlus != nullptr) {
+      std::filesystem::create_directories(outDir);
+      for (const auto& out : result.outputs) {
+        if (out.records.empty() ||
+            out.records[0].value.kind() != mr::ValueKind::kScalar) {
+          continue;
+        }
+        auto regions = partitionPlus->keyblockRegions(out.keyblock);
+        std::size_t consumed = 0;
+        for (std::size_t i = 0; i < regions.size(); ++i) {
+          std::vector<double> values;
+          for (nd::Index k = 0; k < regions[i].volume(); ++k) {
+            values.push_back(
+                out.records[consumed + static_cast<std::size_t>(k)]
+                    .value.asScalar());
+          }
+          consumed += values.size();
+          std::string path = outDir + "/kb" + std::to_string(out.keyblock) +
+                             "_" + std::to_string(i) + ".sndf";
+          sci::writeDenseChunk(path, query.variable, sci::DataType::kFloat64,
+                               extraction->instanceGridShape(), regions[i],
+                               values);
+        }
+      }
+      std::printf("output: dense chunks written to %s\n", outDir.c_str());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,74 @@
+// Keyblock prioritization (paper section 3.4): computational steering
+// and burst-buffer scenarios want specific portions of the OUTPUT space
+// first. Because SIDR schedules Reduce tasks (maps become eligible as a
+// side effect), prioritizing a keyblock pulls exactly its dependency
+// cone forward.
+//
+// Scenario: a scientist watching a hurricane season cares about the
+// LAST weeks of the year first. We prioritize the keyblocks covering
+// the end of the time range and show they commit first, long before the
+// job finishes.
+#include <algorithm>
+#include <cstdio>
+
+#include "sidr/sidr.hpp"
+
+int main() {
+  using namespace sidr;
+
+  nd::Coord inputShape{364, 100, 40};
+  sh::StructuralQuery query;
+  query.variable = "temperature";
+  query.op = sh::OperatorKind::kMax;  // weekly maxima: storm indicator
+  query.extractionShape = nd::Coord{7, 5, 1};
+  std::printf("query: %s over %s\n", sh::describe(query).c_str(),
+              inputShape.toString().c_str());
+
+  core::QueryPlanner planner(query, inputShape);
+  constexpr std::uint32_t kReducers = 8;
+
+  auto run = [&](std::vector<std::uint32_t> priority, const char* label) {
+    core::PlanOptions opts;
+    opts.system = core::SystemMode::kSidr;
+    opts.numReducers = kReducers;
+    opts.desiredSplitCount = 26;
+    opts.reducePriority = std::move(priority);
+    opts.reduceSlots = 2;  // scarce slots: priority order is visible
+    opts.mapSlots = 2;
+    opts.numThreads = 2;
+    core::QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+    mr::JobResult res = mr::Engine(std::move(plan.spec)).run();
+    std::vector<std::uint32_t> commits;
+    for (const auto& ev : res.events) {
+      if (ev.kind == mr::TaskEvent::Kind::kReduceEnd) {
+        commits.push_back(ev.taskId);
+      }
+    }
+    std::printf("%-28s commit order:", label);
+    for (std::uint32_t kb : commits) std::printf(" %u", kb);
+    std::printf("\n");
+    return commits;
+  };
+
+  // Default: keyblock id order (time-ascending: week 0 first).
+  run({}, "default (id order)");
+
+  // Steered: the keyblocks owning the last weeks first. Keyblocks are
+  // contiguous in K', so the end of the year is the highest ids.
+  std::vector<std::uint32_t> steered(kReducers);
+  for (std::uint32_t i = 0; i < kReducers; ++i) {
+    steered[i] = kReducers - 1 - i;
+  }
+  std::vector<std::uint32_t> commits =
+      run(steered, "steered (last weeks first)");
+
+  // The two highest-priority keyblocks must be the first two commits.
+  if (commits.size() < 2 || commits[0] != kReducers - 1 ||
+      commits[1] != kReducers - 2) {
+    std::printf("steering did not take effect\n");
+    return 1;
+  }
+  std::printf("steering honored: the hurricane-season keyblocks were "
+              "computed and committed first\n");
+  return 0;
+}

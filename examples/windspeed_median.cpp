@@ -1,0 +1,88 @@
+// Paper Query 1, scaled to run in-process: a median (holistic operator)
+// over a 4-D windspeed dataset, comparing SciHadoop's global barrier
+// with SIDR's dependency barriers on the real execution engine.
+//
+// The full-size experiment ({7200,360,720,50}, 348 GB) is reproduced by
+// the cluster simulator (bench_fig9/10); this example runs the same
+// query shape at 1/1000 scale so every byte actually flows through
+// map, shuffle, merge and reduce, and verifies the output against a
+// serial oracle.
+#include <algorithm>
+#include <cstdio>
+
+#include "sidr/sidr.hpp"
+
+int main() {
+  using namespace sidr;
+
+  // Same aspect ratios as the paper's Query 1.
+  nd::Coord inputShape{144, 36, 36, 10};
+  sh::StructuralQuery query;
+  query.variable = "windspeed";
+  query.op = sh::OperatorKind::kMedian;
+  query.extractionShape = nd::Coord{2, 18, 18, 5};
+  std::printf("query: %s over %s\n", sh::describe(query).c_str(),
+              inputShape.toString().c_str());
+
+  sh::ValueFn wind = sh::windspeedField();
+  core::QueryPlanner planner(query, inputShape);
+
+  auto runOne = [&](core::SystemMode system) {
+    core::PlanOptions opts;
+    opts.system = system;
+    opts.numReducers = 6;
+    opts.desiredSplitCount = 24;
+    opts.reduceSlots = 6;
+    opts.numThreads = 4;
+    core::QueryPlan plan = planner.plan(wind, opts);
+    mr::JobResult res = mr::Engine(std::move(plan.spec)).run();
+
+    double lastMapEnd = 0;
+    double firstReduceStart = 1e18;
+    for (const auto& ev : res.events) {
+      if (ev.kind == mr::TaskEvent::Kind::kMapEnd) {
+        lastMapEnd = std::max(lastMapEnd, ev.seconds);
+      } else if (ev.kind == mr::TaskEvent::Kind::kReduceStart) {
+        firstReduceStart = std::min(firstReduceStart, ev.seconds);
+      }
+    }
+    std::printf(
+        "%-10s total=%6.1f ms  firstResult=%6.1f ms  first reduce started "
+        "%s the last map  connections=%llu\n",
+        core::systemModeName(system).c_str(), res.totalSeconds * 1e3,
+        res.firstResultSeconds * 1e3,
+        firstReduceStart < lastMapEnd ? "BEFORE" : "after",
+        static_cast<unsigned long long>(res.shuffleConnections));
+    return res;
+  };
+
+  mr::JobResult scihadoop = runOne(core::SystemMode::kSciHadoop);
+  mr::JobResult sidr = runOne(core::SystemMode::kSidr);
+
+  // Both systems must agree with the serial oracle exactly.
+  sh::ExtractionMap ex(query, inputShape);
+  std::vector<mr::KeyValue> oracle = sh::runSerialOracle(query, ex, wind);
+  for (const auto* res : {&scihadoop, &sidr}) {
+    std::vector<mr::KeyValue> got = res->collectAll();
+    if (got.size() != oracle.size()) {
+      std::printf("SIZE MISMATCH vs oracle\n");
+      return 1;
+    }
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      if (got[i].key != oracle[i].key ||
+          got[i].value.asScalar() != oracle[i].value.asScalar()) {
+        std::printf("VALUE MISMATCH at %zu\n", i);
+        return 1;
+      }
+    }
+  }
+  std::printf("both systems match the serial oracle (%zu medians)\n",
+              oracle.size());
+
+  // A few medians for flavor.
+  for (std::size_t i = 0; i < std::min<std::size_t>(3, oracle.size()); ++i) {
+    std::printf("  median%s = %.2f m/s\n", oracle[i].key.toString().c_str(),
+                oracle[i].value.asScalar());
+  }
+  return 0;
+}

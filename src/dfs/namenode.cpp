@@ -1,0 +1,90 @@
+#include "dfs/namenode.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sidr::dfs {
+
+Namenode::Namenode(std::uint32_t numDataNodes, std::uint32_t replication,
+                   std::uint64_t seed)
+    : numNodes_(numDataNodes),
+      replication_(std::min(replication, numDataNodes)),
+      rng_(seed) {
+  if (numDataNodes == 0) {
+    throw std::invalid_argument("Namenode: need at least one datanode");
+  }
+}
+
+std::vector<NodeId> Namenode::placeReplicas(NodeId writer) {
+  std::vector<NodeId> replicas;
+  replicas.reserve(replication_);
+  replicas.push_back(writer % numNodes_);
+  while (replicas.size() < replication_) {
+    auto candidate = static_cast<NodeId>(rng_() % numNodes_);
+    if (std::find(replicas.begin(), replicas.end(), candidate) ==
+        replicas.end()) {
+      replicas.push_back(candidate);
+    }
+  }
+  return replicas;
+}
+
+FileId Namenode::addFile(const std::string& name, std::uint64_t size,
+                         std::uint64_t blockSize, NodeId writerNode) {
+  if (blockSize == 0) {
+    throw std::invalid_argument("Namenode::addFile: blockSize must be > 0");
+  }
+  if (byName_.contains(name)) {
+    throw std::invalid_argument("Namenode::addFile: duplicate file " + name);
+  }
+  FileInfo info;
+  info.id = static_cast<FileId>(files_.size());
+  info.name = name;
+  info.size = size;
+  info.blockSize = blockSize;
+  for (std::uint64_t off = 0; off < size; off += blockSize) {
+    BlockLocation blk;
+    blk.offset = off;
+    blk.length = std::min(blockSize, size - off);
+    NodeId writer =
+        (writerNode == kNoWriter) ? nextWriter_++ : writerNode;
+    blk.replicas = placeReplicas(writer);
+    info.blocks.push_back(std::move(blk));
+  }
+  byName_.emplace(name, info.id);
+  files_.push_back(std::move(info));
+  return files_.back().id;
+}
+
+const FileInfo& Namenode::file(FileId id) const { return files_.at(id); }
+
+const FileInfo& Namenode::fileByName(const std::string& name) const {
+  auto it = byName_.find(name);
+  if (it == byName_.end()) {
+    throw std::invalid_argument("Namenode: unknown file " + name);
+  }
+  return files_.at(it->second);
+}
+
+const BlockLocation& Namenode::blockAt(FileId id, std::uint64_t offset) const {
+  const FileInfo& info = file(id);
+  if (offset >= info.size) {
+    throw std::out_of_range("Namenode::blockAt: offset past end of file");
+  }
+  return info.blocks.at(offset / info.blockSize);
+}
+
+const std::vector<NodeId>& Namenode::hostsForRange(FileId id,
+                                                   std::uint64_t offset,
+                                                   std::uint64_t length) const {
+  std::uint64_t mid = offset + (length > 0 ? (length - 1) / 2 : 0);
+  return blockAt(id, mid).replicas;
+}
+
+bool Namenode::isLocal(FileId id, std::uint64_t offset, std::uint64_t length,
+                       NodeId node) const {
+  const auto& hosts = hostsForRange(id, offset, length);
+  return std::find(hosts.begin(), hosts.end(), node) != hosts.end();
+}
+
+}  // namespace sidr::dfs

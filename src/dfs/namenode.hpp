@@ -1,0 +1,85 @@
+// A minimal HDFS model: files split into fixed-size blocks, each block
+// replicated on several datanodes.
+//
+// SciHadoop/SIDR consume HDFS through exactly two questions, both
+// answered here:
+//   1. how big is a block? (drives input-split sizing: the paper's
+//      348 GB / 128 MB -> 2781 splits), and
+//   2. which hosts store the block backing this byte range? (drives the
+//      locality-aware scheduling tree, paper section 3.3).
+// Placement follows Hadoop 1.0 defaults: replica 1 on the writing node,
+// replicas 2..k on distinct other nodes, chosen pseudo-randomly from a
+// seeded generator so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace sidr::dfs {
+
+using NodeId = std::uint32_t;
+using FileId = std::uint32_t;
+
+struct BlockLocation {
+  std::uint64_t offset = 0;  ///< byte offset of the block within the file
+  std::uint64_t length = 0;  ///< block length (last block may be short)
+  std::vector<NodeId> replicas;
+};
+
+struct FileInfo {
+  FileId id = 0;
+  std::string name;
+  std::uint64_t size = 0;
+  std::uint64_t blockSize = 0;
+  std::vector<BlockLocation> blocks;
+};
+
+class Namenode {
+ public:
+  /// A namenode managing `numDataNodes` datanodes. `seed` makes replica
+  /// placement deterministic per experiment.
+  Namenode(std::uint32_t numDataNodes, std::uint32_t replication = 3,
+           std::uint64_t seed = 42);
+
+  std::uint32_t numDataNodes() const noexcept { return numNodes_; }
+  std::uint32_t replication() const noexcept { return replication_; }
+
+  /// Registers a file and places its blocks. `writerNode` models the
+  /// node that wrote the file (gets the first replica of every block);
+  /// pass kNoWriter to rotate writers per block (bulk ingest).
+  static constexpr NodeId kNoWriter = static_cast<NodeId>(-1);
+  FileId addFile(const std::string& name, std::uint64_t size,
+                 std::uint64_t blockSize, NodeId writerNode = kNoWriter);
+
+  const FileInfo& file(FileId id) const;
+  const FileInfo& fileByName(const std::string& name) const;
+
+  /// The block containing byte `offset` of the file.
+  const BlockLocation& blockAt(FileId id, std::uint64_t offset) const;
+
+  /// Hosts holding the block that covers the midpoint of
+  /// [offset, offset+length): Hadoop attributes a split's locality to
+  /// the block holding the bulk of it.
+  const std::vector<NodeId>& hostsForRange(FileId id, std::uint64_t offset,
+                                           std::uint64_t length) const;
+
+  /// True if `node` stores a replica of the block covering the range's
+  /// midpoint (i.e. the range is node-local there).
+  bool isLocal(FileId id, std::uint64_t offset, std::uint64_t length,
+               NodeId node) const;
+
+ private:
+  std::vector<NodeId> placeReplicas(NodeId writer);
+
+  std::uint32_t numNodes_;
+  std::uint32_t replication_;
+  std::mt19937_64 rng_;
+  NodeId nextWriter_ = 0;
+  std::vector<FileInfo> files_;
+  std::unordered_map<std::string, FileId> byName_;
+};
+
+}  // namespace sidr::dfs

@@ -1,0 +1,42 @@
+// Concrete map-side combiners.
+//
+// Hadoop combiners shrink intermediate data by pre-reducing equal-key
+// records inside each map task. For structural queries, distributive
+// operators combine into constant-size partials; list-valued operators
+// can only concatenate (the paper's reason median floods the shuffle).
+#pragma once
+
+#include "mapreduce/interfaces.hpp"
+
+namespace sidr::mr {
+
+/// Merges Partial aggregates (scalars are promoted). Usable by every
+/// distributive operator (mean/sum/min/max/count/range).
+class PartialMergeCombiner final : public Combiner {
+ public:
+  Value combine(const Value& a, const Value& b) const override {
+    Partial merged = toPartial(a);
+    merged.merge(toPartial(b));
+    return Value::partial(merged);
+  }
+
+ private:
+  static Partial toPartial(const Value& v) {
+    return v.kind() == ValueKind::kScalar ? Partial::ofValue(v.asScalar())
+                                          : v.asPartial();
+  }
+};
+
+/// Concatenates value lists — the only legal combine for holistic and
+/// list-valued operators (median, sort, filter).
+class ListConcatCombiner final : public Combiner {
+ public:
+  Value combine(const Value& a, const Value& b) const override {
+    std::vector<double> xs = a.asList();
+    const auto& ys = b.asList();
+    xs.insert(xs.end(), ys.begin(), ys.end());
+    return Value::list(std::move(xs));
+  }
+};
+
+}  // namespace sidr::mr

@@ -1,0 +1,565 @@
+#include "mapreduce/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+
+#include "scifile/storage.hpp"
+
+namespace sidr::mr {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+std::vector<KeyValue> JobResult::collectAll() const {
+  std::vector<KeyValue> all;
+  for (const ReduceOutput& out : outputs) {
+    all.insert(all.end(), out.records.begin(), out.records.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  return all;
+}
+
+/// Buffers a map task's emitted records per destination keyblock.
+class BufferingMapContext final : public MapContext {
+ public:
+  BufferingMapContext(const Partitioner& partitioner, std::uint32_t numReducers)
+      : partitioner_(partitioner), buffers_(numReducers) {}
+
+  void emit(const nd::Coord& key, Value value,
+            std::uint64_t represents) override {
+    std::uint32_t kb = partitioner_.partition(key, static_cast<std::uint32_t>(
+                                                       buffers_.size()));
+    if (kb >= buffers_.size()) {
+      throw std::logic_error("Partitioner returned out-of-range keyblock");
+    }
+    buffers_[kb].push_back(KeyValue{key, std::move(value), represents});
+  }
+
+  std::vector<std::vector<KeyValue>>& buffers() noexcept { return buffers_; }
+
+ private:
+  const Partitioner& partitioner_;
+  std::vector<std::vector<KeyValue>> buffers_;
+};
+
+/// Collects a reduce task's output records (arrive in key order because
+/// the merger iterates ascending).
+class VectorReduceContext final : public ReduceContext {
+ public:
+  void emit(const nd::Coord& key, Value value) override {
+    records_.push_back(KeyValue{key, std::move(value), 1});
+  }
+
+  std::vector<KeyValue> take() { return std::move(records_); }
+
+ private:
+  std::vector<KeyValue> records_;
+};
+
+struct Engine::Impl {
+  explicit Impl(const JobSpec& s) : spec(s) {}
+
+  const JobSpec& spec;
+  std::uint32_t numMaps = 0;
+  std::uint32_t numReduces = 0;
+
+  std::mutex mtx;
+  std::condition_variable cv;
+
+  // --- map state ---
+  std::deque<std::uint32_t> eligibleMaps;  // schedulable, not yet running
+  std::vector<bool> mapQueued;             // present in eligibleMaps
+  std::vector<bool> mapEverEligible;
+  std::vector<bool> mapDone;
+  std::uint32_t runningMaps = 0;
+
+  // --- segment store: serialized map output per (map, keyblock) ---
+  std::vector<std::vector<std::vector<std::byte>>> segmentBytes;
+  std::vector<std::vector<bool>> segAvail;
+
+  // --- reduce state ---
+  std::vector<std::vector<std::uint32_t>> deps;  // resolved I_l per keyblock
+  std::vector<std::vector<std::uint32_t>> mapToReduces;
+  std::vector<std::uint32_t> remainingDeps;
+  std::vector<bool> reduceScheduled;
+  std::vector<bool> reduceRunnableFlag;
+  std::deque<std::uint32_t> runnableReduces;
+  std::vector<bool> reduceDone;
+  std::vector<bool> reduceFailedOnce;
+  std::uint32_t scheduledActive = 0;  // scheduled && !done (slot holders)
+  std::uint32_t nextPriorityPos = 0;
+  std::uint32_t runningReduces = 0;
+  std::uint32_t completedReduces = 0;
+
+  std::vector<std::uint32_t> priorityOrder;
+
+  Clock::time_point start;
+  JobResult result;
+  std::exception_ptr firstError;
+
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - start).count();
+  }
+
+  void recordEvent(TaskEvent::Kind kind, std::uint32_t id, double t) {
+    result.events.push_back(TaskEvent{kind, id, t});
+  }
+
+  bool isSidr() const { return spec.mode == ExecutionMode::kSidr; }
+
+  // ---- map-output segment store (in-memory or spilled to files) ----
+
+  bool spillEnabled() const { return !spec.spillDirectory.empty(); }
+
+  std::string segmentPath(std::uint32_t m, std::uint32_t kb) const {
+    return spec.spillDirectory + "/map" + std::to_string(m) + "_kb" +
+           std::to_string(kb) + ".seg";
+  }
+
+  /// Persists one serialized segment as a map-output file.
+  void spillSegment(std::uint32_t m, std::uint32_t kb,
+                    std::span<const std::byte> bytes) const {
+    sci::FileStorage file(segmentPath(m, kb),
+                          sci::FileStorage::Mode::kCreate);
+    file.writeAt(0, bytes);
+    file.flush();
+  }
+
+  /// Reads ONLY the 32-byte header of a spilled segment — the cheap
+  /// annotation-tally access of paper section 3.2.1.
+  SegmentHeader peekSpilledHeader(std::uint32_t m, std::uint32_t kb) const {
+    sci::FileStorage file(segmentPath(m, kb),
+                          sci::FileStorage::Mode::kOpenReadOnly);
+    std::array<std::byte, 32> head{};
+    file.readAt(0, head);
+    return Segment::peekHeader(head);
+  }
+
+  Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb) const {
+    sci::FileStorage file(segmentPath(m, kb),
+                          sci::FileStorage::Mode::kOpenReadOnly);
+    std::vector<std::byte> bytes(file.size());
+    file.readAt(0, bytes);
+    return Segment::deserialize(bytes);
+  }
+
+  // Marks a map schedulable (SIDR: because a scheduled reduce depends on
+  // it; stock: at job start). Caller holds mtx.
+  void markMapEligible(std::uint32_t m) {
+    if (mapDone[m] || mapQueued[m] || runningMapSet[m]) return;
+    eligibleMaps.push_back(m);
+    mapQueued[m] = true;
+    mapEverEligible[m] = true;
+  }
+
+  std::vector<bool> runningMapSet;
+  std::vector<std::uint32_t> mapRunCount;
+
+  // Schedules reduce tasks into free slots, in priority order; SIDR only.
+  // Caller holds mtx.
+  void scheduleReducesLocked() {
+    while (scheduledActive < spec.reduceSlots &&
+           nextPriorityPos < numReduces) {
+      std::uint32_t kb = priorityOrder[nextPriorityPos++];
+      reduceScheduled[kb] = true;
+      ++scheduledActive;
+      // Scheduling a reduce walks the task tree and marks its dependent
+      // maps schedulable (paper section 3.3).
+      for (std::uint32_t m : deps[kb]) markMapEligible(m);
+      if (remainingDeps[kb] == 0 && !reduceRunnableFlag[kb]) {
+        reduceRunnableFlag[kb] = true;
+        runnableReduces.push_back(kb);
+      }
+    }
+  }
+
+  void runMap(std::uint32_t m);
+  void runReduce(std::uint32_t kb);
+  void workerLoop();
+  JobResult run();
+};
+
+Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
+  if (!spec_.readerFactory || !spec_.mapperFactory || !spec_.reducerFactory) {
+    throw std::invalid_argument("Engine: missing task factory");
+  }
+  if (spec_.partitioner == nullptr) {
+    throw std::invalid_argument("Engine: missing partitioner");
+  }
+  if (spec_.numReducers == 0) {
+    throw std::invalid_argument("Engine: numReducers must be > 0");
+  }
+  if (spec_.mode == ExecutionMode::kSidr &&
+      spec_.reduceDeps.size() != spec_.numReducers) {
+    throw std::invalid_argument(
+        "Engine: SIDR mode requires one dependency set per keyblock");
+  }
+  for (const auto& ds : spec_.reduceDeps) {
+    for (std::uint32_t s : ds) {
+      if (s >= spec_.splits.size()) {
+        throw std::invalid_argument("Engine: dependency references bad split");
+      }
+    }
+  }
+  if (!spec_.reducePriority.empty() &&
+      spec_.reducePriority.size() != spec_.numReducers) {
+    throw std::invalid_argument("Engine: priority list must cover all reduces");
+  }
+}
+
+void Engine::Impl::runMap(std::uint32_t m) {
+  double tStart = now();
+  auto mapper = spec.mapperFactory();
+  BufferingMapContext ctx(*spec.partitioner, numReduces);
+  nd::Coord key;
+  double value = 0;
+  // A split may carry several regions (byte-range splits decompose into
+  // up to 2*rank+1 boxes); the mapper sees them as one record stream.
+  for (const nd::Region& region : spec.splits[m].regions) {
+    auto reader = spec.readerFactory(region);
+    while (reader->next(key, value)) mapper->map(key, value, ctx);
+  }
+  mapper->finish(ctx);
+
+  // Build, sort and serialize one segment per keyblock; verify routing
+  // against the declared dependency sets (a record landing in a keyblock
+  // that does not list this split is a partitioner/dependency bug).
+  std::vector<std::vector<std::byte>> localBytes(numReduces);
+  std::unique_ptr<Combiner> combiner =
+      spec.combinerFactory ? spec.combinerFactory() : nullptr;
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    Segment seg(m, kb, std::move(ctx.buffers()[kb]));
+    seg.sortByKey();
+    if (combiner != nullptr) seg.combineWith(*combiner);
+    if (isSidr() && !seg.empty()) {
+      const auto& dl = deps[kb];
+      if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
+        throw std::logic_error(
+            "SIDR routing violation: map " + std::to_string(m) +
+            " produced data for undeclared keyblock " + std::to_string(kb));
+      }
+    }
+    localBytes[kb] = seg.serialize();
+  }
+  // Persist map output before declaring completion (Hadoop commits map
+  // output files atomically with the task).
+  if (spillEnabled()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      spillSegment(m, kb, localBytes[kb]);
+      localBytes[kb].clear();
+    }
+  }
+  double tEnd = now();
+
+  std::scoped_lock lock(mtx);
+  recordEvent(TaskEvent::Kind::kMapStart, m, tStart);
+  recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd);
+  if (!spillEnabled()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      segmentBytes[m][kb] = std::move(localBytes[kb]);
+    }
+  }
+  mapDone[m] = true;
+  ++mapRunCount[m];
+  if (mapRunCount[m] > 1) ++result.mapsReExecuted;
+  // Dependency accounting: only a false->true availability transition
+  // satisfies a dependency, so a recovery re-run of this map cannot
+  // double-decrement a keyblock that already counted its first run.
+  for (std::uint32_t kb : mapToReduces[m]) {
+    if (segAvail[m][kb]) continue;
+    segAvail[m][kb] = true;
+    if (remainingDeps[kb] > 0) {
+      --remainingDeps[kb];
+      if (remainingDeps[kb] == 0 && reduceScheduled[kb] &&
+          !reduceRunnableFlag[kb] && !reduceDone[kb]) {
+        reduceRunnableFlag[kb] = true;
+        runnableReduces.push_back(kb);
+      }
+    }
+  }
+  // Segments for keyblocks outside this map's dependency sets exist too
+  // (they are empty in SIDR mode); mark them present for stock fetches.
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) segAvail[m][kb] = true;
+  runningMapSet[m] = false;
+  --runningMaps;
+  cv.notify_all();
+}
+
+void Engine::Impl::runReduce(std::uint32_t kb) {
+  double tStart = now();
+
+  // Injected failure: simulate a reduce task dying after starting.
+  bool injectFail = false;
+  {
+    std::scoped_lock lock(mtx);
+    if (!reduceFailedOnce[kb] &&
+        std::find(spec.failOnceReduces.begin(), spec.failOnceReduces.end(),
+                  kb) != spec.failOnceReduces.end()) {
+      reduceFailedOnce[kb] = true;
+      injectFail = true;
+    }
+  }
+  if (injectFail) {
+    std::scoped_lock lock(mtx);
+    ++result.reduceFailures;
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart);
+    reduceRunnableFlag[kb] = false;
+    if (spec.recovery == RecoveryModel::kRecomputeDeps) {
+      // Intermediate data was volatile: drop this keyblock's segments
+      // and re-execute exactly the I_l map subset (paper section 6).
+      for (std::uint32_t m : deps[kb]) {
+        if (segAvail[m][kb]) {
+          segAvail[m][kb] = false;
+          ++remainingDeps[kb];
+        }
+        mapDone[m] = false;
+        markMapEligible(m);
+      }
+      if (remainingDeps[kb] == 0) {  // nothing was available yet
+        reduceRunnableFlag[kb] = true;
+        runnableReduces.push_back(kb);
+      }
+    } else {
+      // Persisted intermediate data: retry immediately, re-fetch all.
+      reduceRunnableFlag[kb] = true;
+      runnableReduces.push_back(kb);
+    }
+    --runningReduces;
+    cv.notify_all();
+    return;
+  }
+
+  // Fetch phase. Stock Hadoop contacts every map task; SIDR contacts
+  // only the maps in I_l (Table 3's connection asymmetry).
+  std::vector<std::uint32_t> fetchSet;
+  if (isSidr()) {
+    fetchSet = deps[kb];
+  } else {
+    fetchSet.resize(numMaps);
+    for (std::uint32_t m = 0; m < numMaps; ++m) fetchSet[m] = m;
+  }
+
+  std::vector<Segment> fetched;
+  std::uint64_t tally = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t nonEmpty = 0;
+  {
+    std::scoped_lock lock(mtx);
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart);
+  }
+  if (spillEnabled()) {
+    // Spilled segments are immutable once their map committed; read them
+    // without the engine lock. The header-only read suffices for the
+    // annotation tally; only non-empty segments are fully parsed.
+    for (std::uint32_t m : fetchSet) {
+      ++connections;
+      SegmentHeader h = peekSpilledHeader(m, kb);
+      tally += h.represents;
+      if (h.numRecords > 0) {
+        ++nonEmpty;
+        fetched.push_back(loadSpilledSegment(m, kb));
+      }
+    }
+  } else {
+    std::scoped_lock lock(mtx);
+    for (std::uint32_t m : fetchSet) {
+      ++connections;
+      const auto& bytes = segmentBytes[m][kb];
+      SegmentHeader h = Segment::peekHeader(bytes);
+      tally += h.represents;
+      if (h.numRecords > 0) {
+        ++nonEmpty;
+        fetched.push_back(Segment::deserialize(bytes));
+      }
+    }
+  }
+
+  // Merge/group/reduce (outside the lock: pure local computation).
+  std::vector<const Segment*> ptrs;
+  ptrs.reserve(fetched.size());
+  std::uint64_t recordCount = 0;
+  for (const Segment& s : fetched) {
+    ptrs.push_back(&s);
+    recordCount += s.records().size();
+  }
+  SegmentMerger merger(ptrs);
+  auto reducer = spec.reducerFactory();
+  VectorReduceContext out;
+  merger.forEachGroup([&](const nd::Coord& key,
+                          std::span<const Value* const> values,
+                          std::uint64_t /*groupRepresents*/) {
+    reducer->reduce(key, values, out);
+  });
+
+  double tEnd = now();
+  std::scoped_lock lock(mtx);
+  result.shuffleConnections += connections;
+  result.nonEmptyConnections += nonEmpty;
+  ReduceOutput& ro = result.outputs[kb];
+  ro.keyblock = kb;
+  ro.records = out.take();
+  ro.availableAt = tEnd;
+  ro.annotationTally = tally;
+  if (!spec.expectedRepresents.empty() &&
+      tally != spec.expectedRepresents[kb]) {
+    ++result.annotationViolations;
+  }
+  result.recordsPerReducer[kb] = recordCount;
+  recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd);
+  reduceDone[kb] = true;
+  ++completedReduces;
+  --runningReduces;
+  if (isSidr()) {
+    --scheduledActive;
+    scheduleReducesLocked();
+  }
+  cv.notify_all();
+}
+
+void Engine::Impl::workerLoop() {
+  std::unique_lock lock(mtx);
+  while (true) {
+    if (firstError) return;
+    if (completedReduces == numReduces) return;
+    // Reduce-first: a runnable reduce has its data dependencies met and
+    // holds a slot already.
+    if (!runnableReduces.empty() && runningReduces < spec.reduceSlots) {
+      std::uint32_t kb = runnableReduces.front();
+      runnableReduces.pop_front();
+      ++runningReduces;
+      lock.unlock();
+      try {
+        runReduce(kb);
+      } catch (...) {
+        std::scoped_lock elock(mtx);
+        if (!firstError) firstError = std::current_exception();
+        --runningReduces;
+        cv.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
+    if (!eligibleMaps.empty() && runningMaps < spec.mapSlots) {
+      std::uint32_t m = eligibleMaps.front();
+      eligibleMaps.pop_front();
+      mapQueued[m] = false;
+      runningMapSet[m] = true;
+      ++runningMaps;
+      lock.unlock();
+      try {
+        runMap(m);
+      } catch (...) {
+        std::scoped_lock elock(mtx);
+        if (!firstError) firstError = std::current_exception();
+        runningMapSet[m] = false;
+        --runningMaps;
+        cv.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
+    cv.wait(lock);
+  }
+}
+
+JobResult Engine::Impl::run() {
+  numMaps = static_cast<std::uint32_t>(spec.splits.size());
+  numReduces = spec.numReducers;
+  if (spillEnabled()) {
+    std::filesystem::create_directories(spec.spillDirectory);
+  }
+  mapQueued.assign(numMaps, false);
+  mapEverEligible.assign(numMaps, false);
+  mapDone.assign(numMaps, false);
+  runningMapSet.assign(numMaps, false);
+  mapRunCount.assign(numMaps, 0);
+  segmentBytes.assign(numMaps, std::vector<std::vector<std::byte>>(numReduces));
+  segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
+  reduceScheduled.assign(numReduces, false);
+  reduceRunnableFlag.assign(numReduces, false);
+  reduceDone.assign(numReduces, false);
+  reduceFailedOnce.assign(numReduces, false);
+  result.outputs.resize(numReduces);
+  result.recordsPerReducer.assign(numReduces, 0);
+
+  // Resolve dependency sets: stock mode depends on every split (the
+  // global barrier); SIDR uses the provided I_l sets.
+  deps.resize(numReduces);
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    if (isSidr()) {
+      deps[kb] = spec.reduceDeps[kb];
+    } else {
+      deps[kb].resize(numMaps);
+      for (std::uint32_t m = 0; m < numMaps; ++m) deps[kb][m] = m;
+    }
+  }
+  mapToReduces.assign(numMaps, {});
+  remainingDeps.assign(numReduces, 0);
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    remainingDeps[kb] = static_cast<std::uint32_t>(deps[kb].size());
+    for (std::uint32_t m : deps[kb]) mapToReduces[m].push_back(kb);
+  }
+
+  priorityOrder.resize(numReduces);
+  if (spec.reducePriority.empty()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) priorityOrder[kb] = kb;
+  } else {
+    priorityOrder = spec.reducePriority;
+  }
+
+  start = Clock::now();
+  {
+    std::scoped_lock lock(mtx);
+    if (isSidr()) {
+      // SIDR inverts scheduling: reduces first, maps become eligible as
+      // a side effect.
+      scheduleReducesLocked();
+    } else {
+      // Stock: all maps schedulable at once; reduces are all "scheduled"
+      // (they hold slots and wait at the barrier).
+      for (std::uint32_t m = 0; m < numMaps; ++m) markMapEligible(m);
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        reduceScheduled[kb] = true;
+        if (remainingDeps[kb] == 0) {  // degenerate zero-split job
+          reduceRunnableFlag[kb] = true;
+          runnableReduces.push_back(kb);
+        }
+      }
+    }
+  }
+
+  std::uint32_t nThreads = std::max(1u, spec.numThreads);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(nThreads);
+    for (std::uint32_t i = 0; i < nThreads; ++i) {
+      workers.emplace_back([this] { workerLoop(); });
+    }
+    // joined by jthread destructors
+  }
+  if (firstError) std::rethrow_exception(firstError);
+
+  result.totalSeconds = now();
+  result.firstResultSeconds = result.totalSeconds;
+  for (const ReduceOutput& out : result.outputs) {
+    result.firstResultSeconds =
+        std::min(result.firstResultSeconds, out.availableAt);
+  }
+  return std::move(result);
+}
+
+JobResult Engine::run() {
+  Impl impl(spec_);
+  return impl.run();
+}
+
+}  // namespace sidr::mr

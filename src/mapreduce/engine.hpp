@@ -1,0 +1,34 @@
+// The MapReduce execution engine: a multi-threaded, in-process runtime
+// implementing both the stock global-barrier dataflow and SIDR's
+// dependency-gated dataflow over the same task code.
+//
+// The engine is the "Hadoop" of this reproduction: it owns split
+// assignment, map execution, the map-output segment store (one
+// serialized segment per (map, keyblock), with count-annotation
+// headers), shuffle fetches, merge/group, reduce execution and atomic
+// output commit. Scheduling policy and reduce gating vary with
+// JobSpec::mode; everything else is shared, so mode comparisons isolate
+// exactly the mechanisms the paper changes.
+#pragma once
+
+#include "mapreduce/job.hpp"
+
+namespace sidr::mr {
+
+class Engine {
+ public:
+  /// Validates the spec (throws std::invalid_argument on structural
+  /// problems: missing factories, bad dependency ids, ...).
+  explicit Engine(JobSpec spec);
+
+  /// Runs the job to completion and returns outputs, events and metrics.
+  /// Thread-safe against concurrent runs of other engines; a single
+  /// Engine instance is single-use.
+  JobResult run();
+
+ private:
+  struct Impl;
+  JobSpec spec_;
+};
+
+}  // namespace sidr::mr

@@ -1,0 +1,92 @@
+// User-facing interfaces of the MapReduce runtime: RecordReader, Mapper,
+// Combiner, Reducer, Partitioner and their contexts. These mirror the
+// Hadoop 1.0 APIs the paper extends, restricted to coordinate keys.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "mapreduce/kv.hpp"
+#include "ndarray/region.hpp"
+
+namespace sidr::mr {
+
+/// Produces (key, value) pairs from one input split. Implementations are
+/// file-format specific (the paper's NetCDF reader; our SNDF reader).
+class RecordReader {
+ public:
+  virtual ~RecordReader() = default;
+
+  /// Advances to the next record; returns false at end of split.
+  virtual bool next(nd::Coord& key, double& value) = 0;
+};
+
+/// Collects a mapper's intermediate output.
+class MapContext {
+ public:
+  virtual ~MapContext() = default;
+
+  /// Emits an intermediate record. `represents` is the number of map
+  /// input pairs this record stands for (count annotation; >1 only when
+  /// the mapper pre-aggregates).
+  virtual void emit(const nd::Coord& key, Value value,
+                    std::uint64_t represents = 1) = 0;
+};
+
+class Mapper {
+ public:
+  virtual ~Mapper() = default;
+
+  virtual void map(const nd::Coord& key, double value, MapContext& ctx) = 0;
+
+  /// Called once after the split is exhausted; mappers that buffer
+  /// (combining mappers) flush here.
+  virtual void finish(MapContext& /*ctx*/) {}
+};
+
+/// Collects a reducer's final output.
+class ReduceContext {
+ public:
+  virtual ~ReduceContext() = default;
+
+  virtual void emit(const nd::Coord& key, Value value) = 0;
+};
+
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  /// Called once per distinct intermediate key with every value for that
+  /// key (MapReduce guarantee 2).
+  virtual void reduce(const nd::Coord& key,
+                      std::span<const Value* const> values,
+                      ReduceContext& ctx) = 0;
+};
+
+/// Optional map-side combiner: merges two values for the same key.
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+
+  virtual Value combine(const Value& a, const Value& b) const = 0;
+};
+
+/// Assigns intermediate keys to keyblocks (one keyblock per Reduce
+/// task). Implementations: HashPartitioner / ModuloPartitioner (Hadoop
+/// defaults) and sidr::PartitionPlus.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  virtual std::uint32_t partition(const nd::Coord& key,
+                                  std::uint32_t numReducers) const = 0;
+};
+
+/// Factory signatures used by JobSpec.
+using CombinerFactory = std::function<std::unique_ptr<Combiner>()>;
+using MapperFactory = std::function<std::unique_ptr<Mapper>()>;
+using ReducerFactory = std::function<std::unique_ptr<Reducer>()>;
+using RecordReaderFactory =
+    std::function<std::unique_ptr<RecordReader>(const nd::Region&)>;
+
+}  // namespace sidr::mr

@@ -1,0 +1,147 @@
+// Job specification and result types for the MapReduce runtime.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mapreduce/interfaces.hpp"
+#include "mapreduce/segment.hpp"
+
+namespace sidr::mr {
+
+/// How Reduce tasks are gated and scheduled.
+enum class ExecutionMode {
+  /// Stock Hadoop/SciHadoop: every Reduce task waits for ALL Map tasks
+  /// (the global MapReduce barrier, paper section 2.3.1), reduces are
+  /// taken in id order, maps are all schedulable from the start.
+  kGlobalBarrier,
+  /// SIDR: Reduce tasks are scheduled first (optionally in a priority
+  /// order); scheduling a Reduce marks the Map tasks in its dependency
+  /// set I_l schedulable; a Reduce starts processing as soon as its I_l
+  /// is complete (paper sections 3.2, 3.3).
+  kSidr,
+};
+
+/// How intermediate data is protected against Reduce-task failure.
+enum class RecoveryModel {
+  /// Hadoop: all map output is persisted; a failed reduce re-fetches.
+  kPersistAll,
+  /// Paper section 6 (future work): intermediate data is volatile; a
+  /// failed reduce triggers re-execution of just its I_l map subset.
+  kRecomputeDeps,
+};
+
+/// One unit of map input (SciHadoop defines splits in logical
+/// coordinates, section 2.4.1). A coordinate split is one region;
+/// Hadoop's byte-range splits over row-major files correspond to a
+/// linear element range, i.e. up to 2*rank+1 regions
+/// (sh::generateByteRangeSplits).
+struct InputSplit {
+  std::uint32_t id = 0;
+  std::vector<nd::Region> regions;
+
+  static InputSplit single(std::uint32_t id, nd::Region region) {
+    InputSplit s;
+    s.id = id;
+    s.regions.push_back(region);
+    return s;
+  }
+
+  /// Total input elements across all regions.
+  nd::Index volume() const {
+    nd::Index v = 0;
+    for (const nd::Region& r : regions) v += r.volume();
+    return v;
+  }
+};
+
+struct JobSpec {
+  std::vector<InputSplit> splits;
+  RecordReaderFactory readerFactory;
+  MapperFactory mapperFactory;
+  ReducerFactory reducerFactory;
+  /// Optional map-side combiner applied per (map, keyblock) segment
+  /// after the sort; merges equal-key records, preserving the count
+  /// annotation totals.
+  CombinerFactory combinerFactory;
+  std::shared_ptr<const Partitioner> partitioner;
+  std::uint32_t numReducers = 1;
+  ExecutionMode mode = ExecutionMode::kGlobalBarrier;
+
+  /// Per-keyblock dependency sets I_l (split ids). Required in kSidr
+  /// mode; computed by sidr::DependencyCalculator.
+  std::vector<std::vector<std::uint32_t>> reduceDeps;
+
+  /// Optional per-keyblock expected count-annotation totals |K_l|; when
+  /// present the engine validates each reduce's tally against it
+  /// (paper section 3.2.1, method 2 as correctness validation).
+  std::vector<std::uint64_t> expectedRepresents;
+
+  /// Optional scheduling priority: keyblock ids, highest priority first
+  /// (computational-steering / burst-buffer use cases, section 3.4).
+  std::vector<std::uint32_t> reducePriority;
+
+  /// Task slots, as in the paper's per-TaskTracker configuration.
+  std::uint32_t mapSlots = 4;
+  std::uint32_t reduceSlots = 3;
+  /// Worker threads executing tasks (a slot is only a capacity token).
+  std::uint32_t numThreads = 4;
+
+  RecoveryModel recovery = RecoveryModel::kPersistAll;
+  /// Keyblocks whose Reduce task fails once before succeeding
+  /// (failure-injection for the recovery experiments).
+  std::vector<std::uint32_t> failOnceReduces;
+
+  /// When non-empty, map-output segments are spilled to files under
+  /// this directory (as Hadoop's map-output files) instead of held in
+  /// memory; reduces tally count annotations by reading ONLY the 32-byte
+  /// segment header from disk — the paper's "without having to read and
+  /// parse those files" property (section 3.2.1).
+  std::string spillDirectory;
+};
+
+struct TaskEvent {
+  enum class Kind : std::uint8_t {
+    kMapStart,
+    kMapEnd,
+    kReduceStart,  ///< reduce begins fetching/merging (deps satisfied)
+    kReduceEnd,    ///< reduce output committed (result available)
+  };
+  Kind kind;
+  std::uint32_t taskId;
+  double seconds;  ///< relative to job start
+};
+
+struct ReduceOutput {
+  std::uint32_t keyblock = 0;
+  std::vector<KeyValue> records;    ///< sorted by key
+  double availableAt = 0.0;         ///< commit time (seconds from start)
+  std::uint64_t annotationTally = 0;  ///< sum of fetched segment headers
+};
+
+struct JobResult {
+  std::vector<ReduceOutput> outputs;  ///< indexed by keyblock
+  std::vector<TaskEvent> events;
+  double totalSeconds = 0.0;
+  double firstResultSeconds = 0.0;
+
+  /// Total (map, reduce) fetches performed — Table 3's connection count.
+  std::uint64_t shuffleConnections = 0;
+  /// Fetches that carried at least one record.
+  std::uint64_t nonEmptyConnections = 0;
+  /// Intermediate records per keyblock (skew measurement, section 4.3).
+  std::vector<std::uint64_t> recordsPerReducer;
+  /// Annotation tallies that disagreed with expectedRepresents (must be
+  /// zero for a correct run).
+  std::uint32_t annotationViolations = 0;
+  /// Map task executions beyond the first run of each (recovery cost).
+  std::uint32_t mapsReExecuted = 0;
+  /// Reduce attempts that were injected failures.
+  std::uint32_t reduceFailures = 0;
+
+  /// Flattens all reduce outputs into one key-sorted list (for oracles).
+  std::vector<KeyValue> collectAll() const;
+};
+
+}  // namespace sidr::mr

@@ -1,0 +1,44 @@
+// Hadoop-style default partitioners over coordinate keys.
+//
+// Hadoop assigns an intermediate record to a keyblock by taking the
+// modulo of the key's binary representation by the reducer count
+// (paper section 3.1). For coordinate keys the natural "binary
+// representation" is the row-major linearized index, which is exactly
+// how patterned keys (e.g. every key even after a strided query) map
+// onto a strict subset of reducers — the skew pathology of figure 13.
+#pragma once
+
+#include "mapreduce/interfaces.hpp"
+
+namespace sidr::mr {
+
+/// key -> linearize(key, keySpace) mod r. Faithful to Hadoop's
+/// IntWritable.hashCode() % numReduceTasks for integer-encoded keys.
+class ModuloPartitioner final : public Partitioner {
+ public:
+  explicit ModuloPartitioner(nd::Coord keySpaceShape)
+      : keySpace_(keySpaceShape) {}
+
+  std::uint32_t partition(const nd::Coord& key,
+                          std::uint32_t numReducers) const override {
+    auto linear = static_cast<std::uint64_t>(nd::linearize(key, keySpace_));
+    return static_cast<std::uint32_t>(linear % numReducers);
+  }
+
+ private:
+  nd::Coord keySpace_;
+};
+
+/// key -> hash(key bytes) mod r. A "good" hash variant: breaks key
+/// patterns (no systematic skew) but still scatters each reducer's keys
+/// across the whole space — balanced yet non-contiguous, so output stays
+/// sparse. Used as an ablation between ModuloPartitioner and partition+.
+class HashPartitioner final : public Partitioner {
+ public:
+  std::uint32_t partition(const nd::Coord& key,
+                          std::uint32_t numReducers) const override {
+    return static_cast<std::uint32_t>(key.hash() % numReducers);
+  }
+};
+
+}  // namespace sidr::mr

@@ -1,0 +1,229 @@
+#include "mapreduce/segment.hpp"
+
+#include "mapreduce/interfaces.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace sidr::mr {
+
+Segment::Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+                 std::vector<KeyValue> records)
+    : records_(std::move(records)) {
+  header_.mapTask = mapTask;
+  header_.keyblock = keyblock;
+  header_.numRecords = records_.size();
+  header_.represents = 0;
+  for (const KeyValue& kv : records_) header_.represents += kv.represents;
+}
+
+void Segment::sortByKey() {
+  std::sort(records_.begin(), records_.end(),
+            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+}
+
+void Segment::combineWith(const Combiner& combiner) {
+  if (records_.empty()) return;
+  std::vector<KeyValue> combined;
+  combined.push_back(std::move(records_.front()));
+  for (std::size_t i = 1; i < records_.size(); ++i) {
+    KeyValue& last = combined.back();
+    if (records_[i].key == last.key) {
+      last.value = combiner.combine(last.value, records_[i].value);
+      last.represents += records_[i].represents;
+    } else {
+      combined.push_back(std::move(records_[i]));
+    }
+  }
+  records_ = std::move(combined);
+  header_.numRecords = records_.size();
+  // header_.represents is preserved: combining merges values but still
+  // stands for the same original input pairs.
+}
+
+bool Segment::isSorted() const {
+  return std::is_sorted(
+      records_.begin(), records_.end(),
+      [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+}
+
+namespace {
+
+void putU64(std::vector<std::byte>& out, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::byte>((x >> (b * 8)) & 0xff));
+  }
+}
+
+void putF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint64_t getU64() {
+    if (pos_ + 8 > bytes_.size()) {
+      throw std::out_of_range("Segment::deserialize: truncated");
+    }
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      x |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(b)])
+           << (b * 8);
+    }
+    pos_ += 8;
+    return x;
+  }
+
+  double getF64() {
+    std::uint64_t bits = getU64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::byte> Segment::serialize() const {
+  std::vector<std::byte> out;
+  putU64(out, header_.mapTask);
+  putU64(out, header_.keyblock);
+  putU64(out, header_.numRecords);
+  putU64(out, header_.represents);
+  for (const KeyValue& kv : records_) {
+    putU64(out, kv.key.rank());
+    for (nd::Index c : kv.key) putU64(out, static_cast<std::uint64_t>(c));
+    putU64(out, kv.represents);
+    putU64(out, static_cast<std::uint64_t>(kv.value.kind()));
+    switch (kv.value.kind()) {
+      case ValueKind::kScalar:
+        putF64(out, kv.value.asScalar());
+        break;
+      case ValueKind::kPartial: {
+        const Partial& p = kv.value.asPartial();
+        putF64(out, p.sum);
+        putF64(out, p.min);
+        putF64(out, p.max);
+        putU64(out, static_cast<std::uint64_t>(p.count));
+        break;
+      }
+      case ValueKind::kList: {
+        const auto& xs = kv.value.asList();
+        putU64(out, xs.size());
+        for (double x : xs) putF64(out, x);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Segment Segment::deserialize(std::span<const std::byte> bytes) {
+  Cursor cur(bytes);
+  SegmentHeader h;
+  h.mapTask = static_cast<std::uint32_t>(cur.getU64());
+  h.keyblock = static_cast<std::uint32_t>(cur.getU64());
+  h.numRecords = cur.getU64();
+  h.represents = cur.getU64();
+  std::vector<KeyValue> records;
+  records.reserve(h.numRecords);
+  for (std::uint64_t i = 0; i < h.numRecords; ++i) {
+    KeyValue kv;
+    std::uint64_t rank = cur.getU64();
+    nd::Coord key = nd::Coord::zeros(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      key[d] = static_cast<nd::Index>(cur.getU64());
+    }
+    kv.key = key;
+    kv.represents = cur.getU64();
+    auto kind = static_cast<ValueKind>(cur.getU64());
+    switch (kind) {
+      case ValueKind::kScalar:
+        kv.value = Value::scalar(cur.getF64());
+        break;
+      case ValueKind::kPartial: {
+        Partial p;
+        p.sum = cur.getF64();
+        p.min = cur.getF64();
+        p.max = cur.getF64();
+        p.count = static_cast<std::int64_t>(cur.getU64());
+        kv.value = Value::partial(p);
+        break;
+      }
+      case ValueKind::kList: {
+        std::uint64_t n = cur.getU64();
+        std::vector<double> xs(n);
+        for (auto& x : xs) x = cur.getF64();
+        kv.value = Value::list(std::move(xs));
+        break;
+      }
+      default:
+        throw std::runtime_error("Segment::deserialize: bad value kind");
+    }
+    records.push_back(std::move(kv));
+  }
+  Segment s(h.mapTask, h.keyblock, std::move(records));
+  if (s.header_.represents != h.represents) {
+    throw std::runtime_error("Segment::deserialize: annotation mismatch");
+  }
+  return s;
+}
+
+SegmentHeader Segment::peekHeader(std::span<const std::byte> bytes) {
+  Cursor cur(bytes);
+  SegmentHeader h;
+  h.mapTask = static_cast<std::uint32_t>(cur.getU64());
+  h.keyblock = static_cast<std::uint32_t>(cur.getU64());
+  h.numRecords = cur.getU64();
+  h.represents = cur.getU64();
+  return h;
+}
+
+SegmentMerger::SegmentMerger(std::span<const Segment* const> segments) {
+  for (const Segment* s : segments) {
+    if (s != nullptr && !s->empty()) heap_.push_back(Cursor{s, 0});
+  }
+  // Build a binary min-heap on the cursors' current keys.
+  for (std::size_t i = heap_.size(); i-- > 0;) siftDown(i);
+}
+
+bool SegmentMerger::cursorLess(const Cursor& a, const Cursor& b) const {
+  return a.segment->records()[a.pos].key < b.segment->records()[b.pos].key;
+}
+
+void SegmentMerger::siftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  while (true) {
+    std::size_t smallest = i;
+    std::size_t l = 2 * i + 1;
+    std::size_t r = 2 * i + 2;
+    if (l < n && cursorLess(heap_[l], heap_[smallest])) smallest = l;
+    if (r < n && cursorLess(heap_[r], heap_[smallest])) smallest = r;
+    if (smallest == i) return;
+    std::swap(heap_[i], heap_[smallest]);
+    i = smallest;
+  }
+}
+
+void SegmentMerger::pop() {
+  Cursor& c = heap_.front();
+  if (c.pos + 1 < c.segment->records().size()) {
+    ++c.pos;
+  } else {
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (heap_.empty()) return;
+  }
+  siftDown(0);
+}
+
+}  // namespace sidr::mr

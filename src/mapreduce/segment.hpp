@@ -1,0 +1,111 @@
+// Map-output segments: one per (map task, keyblock) pair.
+//
+// A segment models one Hadoop map-output partition file. Its header
+// carries the paper's count annotation (section 3.2.1, method 2): the
+// number of original <k,v> input pairs represented by all <k',v'>
+// records in the segment. A Reduce task can tally these headers without
+// parsing record bodies and safely begin once the tally covers its whole
+// key range — the mechanism SIDR uses to validate early-start
+// correctness.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "mapreduce/kv.hpp"
+
+namespace sidr::mr {
+
+struct SegmentHeader {
+  std::uint32_t mapTask = 0;      ///< producing map task id
+  std::uint32_t keyblock = 0;     ///< destination keyblock / reduce task
+  std::uint64_t numRecords = 0;   ///< <k',v'> records in the segment
+  std::uint64_t represents = 0;   ///< count annotation: original <k,v> pairs
+
+  friend bool operator==(const SegmentHeader&, const SegmentHeader&) = default;
+};
+
+class Segment {
+ public:
+  Segment() = default;
+  Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+          std::vector<KeyValue> records);
+
+  const SegmentHeader& header() const noexcept { return header_; }
+  const std::vector<KeyValue>& records() const noexcept { return records_; }
+  std::vector<KeyValue>& mutableRecords() noexcept { return records_; }
+
+  bool empty() const noexcept { return records_.empty(); }
+
+  /// Sorts records by key (row-major lexicographic order). Map tasks sort
+  /// their output before serving it to reducers, as Hadoop does.
+  void sortByKey();
+
+  /// Applies a combiner: merges runs of equal-key records into one,
+  /// summing their count annotations (so the paper's section 3.2.1
+  /// tally stays exact across combining). Precondition: isSorted().
+  void combineWith(const class Combiner& combiner);
+
+  /// True when records are sorted by key.
+  bool isSorted() const;
+
+  /// Flat binary encoding (header + records), as written to the local
+  /// map-output file a reducer fetches.
+  std::vector<std::byte> serialize() const;
+  static Segment deserialize(std::span<const std::byte> bytes);
+
+  /// Reads ONLY the header fields from an encoded segment — the cheap
+  /// "partially understand the data without reading and parsing it"
+  /// access the paper describes for the annotation tally.
+  static SegmentHeader peekHeader(std::span<const std::byte> bytes);
+
+ private:
+  SegmentHeader header_;
+  std::vector<KeyValue> records_;
+};
+
+/// k-way merge of sorted segments into one key-grouped stream:
+/// for each distinct key (ascending), calls
+///   fn(key, span<const Value*> values, totalRepresents).
+/// This is the sort/merge/group step that precedes the Reduce function.
+class SegmentMerger {
+ public:
+  explicit SegmentMerger(std::span<const Segment* const> segments);
+
+  /// Grouped iteration; see class comment.
+  template <typename Fn>
+  void forEachGroup(Fn&& fn) {
+    while (!heap_.empty()) {
+      const nd::Coord key = top().key;
+      groupValues_.clear();
+      std::uint64_t represents = 0;
+      while (!heap_.empty() && top().key == key) {
+        groupValues_.push_back(&top().value);
+        represents += top().represents;
+        pop();
+      }
+      fn(key, std::span<const Value* const>(groupValues_), represents);
+    }
+  }
+
+ private:
+  struct Cursor {
+    const Segment* segment;
+    std::size_t pos;
+  };
+
+  const KeyValue& top() const {
+    const Cursor& c = heap_.front();
+    return c.segment->records()[c.pos];
+  }
+
+  void pop();
+  void siftDown(std::size_t i);
+  bool cursorLess(const Cursor& a, const Cursor& b) const;
+
+  std::vector<Cursor> heap_;
+  std::vector<const Value*> groupValues_;
+};
+
+}  // namespace sidr::mr

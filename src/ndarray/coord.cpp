@@ -1,0 +1,191 @@
+#include "ndarray/coord.hpp"
+
+#include <cctype>
+#include <sstream>
+
+namespace sidr::nd {
+
+namespace {
+
+void requireSameRank(const Coord& a, const Coord& b, const char* op) {
+  if (a.rank() != b.rank()) {
+    throw std::invalid_argument(std::string("Coord rank mismatch in ") + op);
+  }
+}
+
+}  // namespace
+
+Coord Coord::filled(std::size_t rank, Index fill) {
+  if (rank > kMaxRank) throw std::length_error("Coord: rank exceeds kMaxRank");
+  Coord c;
+  c.rank_ = rank;
+  for (std::size_t d = 0; d < rank; ++d) c.v_[d] = fill;
+  return c;
+}
+
+Index Coord::volume() const noexcept {
+  Index prod = 1;
+  for (std::size_t d = 0; d < rank_; ++d) prod *= v_[d];
+  return prod;
+}
+
+bool Coord::isValidShape() const noexcept {
+  for (std::size_t d = 0; d < rank_; ++d) {
+    if (v_[d] <= 0) return false;
+  }
+  return true;
+}
+
+Coord Coord::plus(const Coord& o) const {
+  requireSameRank(*this, o, "plus");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) r.v_[d] += o.v_[d];
+  return r;
+}
+
+Coord Coord::minus(const Coord& o) const {
+  requireSameRank(*this, o, "minus");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) r.v_[d] -= o.v_[d];
+  return r;
+}
+
+Coord Coord::dividedBy(const Coord& divisor) const {
+  requireSameRank(*this, divisor, "dividedBy");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    if (divisor.v_[d] <= 0) {
+      throw std::invalid_argument("Coord::dividedBy: non-positive divisor");
+    }
+    // Floor division; coordinates handled here are non-negative, but keep
+    // the floor semantics explicit for robustness with signed offsets.
+    Index q = r.v_[d] / divisor.v_[d];
+    if ((r.v_[d] % divisor.v_[d] != 0) && (r.v_[d] < 0)) --q;
+    r.v_[d] = q;
+  }
+  return r;
+}
+
+Coord Coord::times(const Coord& o) const {
+  requireSameRank(*this, o, "times");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) r.v_[d] *= o.v_[d];
+  return r;
+}
+
+Coord Coord::min(const Coord& o) const {
+  requireSameRank(*this, o, "min");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    if (o.v_[d] < r.v_[d]) r.v_[d] = o.v_[d];
+  }
+  return r;
+}
+
+Coord Coord::max(const Coord& o) const {
+  requireSameRank(*this, o, "max");
+  Coord r = *this;
+  for (std::size_t d = 0; d < rank_; ++d) {
+    if (o.v_[d] > r.v_[d]) r.v_[d] = o.v_[d];
+  }
+  return r;
+}
+
+std::string Coord::toString() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t d = 0; d < rank_; ++d) {
+    if (d != 0) os << ", ";
+    os << v_[d];
+  }
+  os << '}';
+  return os.str();
+}
+
+Coord Coord::parse(const std::string& text) {
+  std::size_t i = 0;
+  auto skipSpace = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+  };
+  skipSpace();
+  if (i >= text.size() || text[i] != '{') {
+    throw std::invalid_argument("Coord::parse: expected '{'");
+  }
+  ++i;
+  Coord c;
+  skipSpace();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+    return c;
+  }
+  while (true) {
+    skipSpace();
+    std::size_t start = i;
+    if (i < text.size() && (text[i] == '-' || text[i] == '+')) ++i;
+    while (i < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i]))) {
+      ++i;
+    }
+    if (i == start) throw std::invalid_argument("Coord::parse: expected int");
+    if (c.rank_ >= kMaxRank) {
+      throw std::length_error("Coord::parse: rank exceeds kMaxRank");
+    }
+    c.v_[c.rank_++] = std::stoll(text.substr(start, i - start));
+    skipSpace();
+    if (i >= text.size()) {
+      throw std::invalid_argument("Coord::parse: unterminated");
+    }
+    if (text[i] == ',') {
+      ++i;
+      continue;
+    }
+    if (text[i] == '}') {
+      ++i;
+      return c;
+    }
+    throw std::invalid_argument("Coord::parse: expected ',' or '}'");
+  }
+}
+
+std::uint64_t Coord::hash() const noexcept {
+  // FNV-1a over the components plus the rank; stable across platforms.
+  std::uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (x >> (b * 8)) & 0xffULL;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(static_cast<std::uint64_t>(rank_));
+  for (std::size_t d = 0; d < rank_; ++d) {
+    mix(static_cast<std::uint64_t>(v_[d]));
+  }
+  // splitmix64 finalizer: FNV alone leaves structure in the low bits for
+  // patterned coordinates, which a modulo-based consumer would inherit.
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  return h ^ (h >> 31);
+}
+
+Index linearize(const Coord& c, const Coord& shape) {
+  requireSameRank(c, shape, "linearize");
+  Index linear = 0;
+  for (std::size_t d = 0; d < c.rank(); ++d) {
+    linear = linear * shape[d] + c[d];
+  }
+  return linear;
+}
+
+Coord delinearize(Index linear, const Coord& shape) {
+  Coord c = Coord::zeros(shape.rank());
+  for (std::size_t d = shape.rank(); d-- > 0;) {
+    c[d] = linear % shape[d];
+    linear /= shape[d];
+  }
+  return c;
+}
+
+}  // namespace sidr::nd

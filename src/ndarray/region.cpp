@@ -1,0 +1,112 @@
+#include "ndarray/region.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sidr::nd {
+
+Region::Region(Coord corner, Coord shape)
+    : corner_(corner), shape_(shape) {
+  if (corner.rank() != shape.rank()) {
+    throw std::invalid_argument("Region: corner/shape rank mismatch");
+  }
+  if (!shape.isValidShape()) {
+    throw std::invalid_argument("Region: shape extents must be positive");
+  }
+}
+
+Coord Region::last() const {
+  Coord l = corner_;
+  for (std::size_t d = 0; d < l.rank(); ++d) l[d] += shape_[d] - 1;
+  return l;
+}
+
+bool Region::contains(const Coord& c) const noexcept {
+  if (c.rank() != rank()) return false;
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (c[d] < corner_[d] || c[d] >= corner_[d] + shape_[d]) return false;
+  }
+  return true;
+}
+
+bool Region::containsRegion(const Region& other) const noexcept {
+  if (other.rank() != rank()) return false;
+  for (std::size_t d = 0; d < rank(); ++d) {
+    if (other.corner_[d] < corner_[d]) return false;
+    if (other.corner_[d] + other.shape_[d] > corner_[d] + shape_[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::optional<Region> Region::intersect(const Region& other) const {
+  if (other.rank() != rank()) return std::nullopt;
+  Coord lo = corner_.max(other.corner_);
+  Coord hi = end().min(other.end());
+  Coord shape = Coord::zeros(rank());
+  for (std::size_t d = 0; d < rank(); ++d) {
+    shape[d] = hi[d] - lo[d];
+    if (shape[d] <= 0) return std::nullopt;
+  }
+  return Region(lo, shape);
+}
+
+Index Region::linearOffsetOf(const Coord& c) const {
+  return linearize(c.minus(corner_), shape_);
+}
+
+Coord Region::coordAtOffset(Index offset) const {
+  return delinearize(offset, shape_).plus(corner_);
+}
+
+std::vector<Region> linearRangeToRegions(Index first, Index last,
+                                         const Coord& shape) {
+  std::vector<Region> out;
+  if (first >= last) return out;
+  const std::size_t rank = shape.rank();
+  // trailing[d] = product of extents of dimensions after d.
+  std::vector<Index> trailing(rank, 1);
+  for (std::size_t d = rank - 1; d-- > 0;) {
+    trailing[d] = trailing[d + 1] * shape[d + 1];
+  }
+  Index a = first;
+  while (a < last) {
+    Coord c = delinearize(a, shape);
+    // The shallowest dimension whose whole trailing block we can take:
+    // all deeper coordinates must be zero and the block must fit.
+    std::size_t d = rank - 1;
+    while (d > 0) {
+      bool deeperZero = true;
+      for (std::size_t e = d; e < rank; ++e) {
+        if (c[e] != 0) {
+          deeperZero = false;
+          break;
+        }
+      }
+      if (deeperZero && trailing[d - 1] <= last - a) {
+        --d;
+      } else {
+        break;
+      }
+    }
+    Index run = std::min((last - a) / trailing[d], shape[d] - c[d]);
+    if (run <= 0) {
+      throw std::logic_error("linearRangeToRegions: internal error");
+    }
+    Coord boxShape = Coord::ones(rank);
+    boxShape[d] = run;
+    for (std::size_t e = d + 1; e < rank; ++e) boxShape[e] = shape[e];
+    out.emplace_back(c, boxShape);
+    a += run * trailing[d];
+  }
+  return out;
+}
+
+std::string Region::toString() const {
+  std::ostringstream os;
+  os << "corner: " << corner_.toString() << " shape: " << shape_.toString();
+  return os.str();
+}
+
+}  // namespace sidr::nd

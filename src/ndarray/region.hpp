@@ -1,0 +1,104 @@
+// Axis-aligned hyper-rectangular regions of a logical keyspace.
+//
+// SciHadoop specifies its units of work as (corner, shape) pairs in the
+// input's coordinate space; SIDR additionally reasons about regions of
+// the intermediate keyspace K'. Region is that (corner, shape) pair plus
+// the geometric algebra the router needs: containment, intersection,
+// iteration and row-major linearization.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ndarray/coord.hpp"
+
+namespace sidr::nd {
+
+/// A half-open axis-aligned box: coordinates c with
+/// corner[d] <= c[d] < corner[d] + shape[d] for every dimension d.
+class Region {
+ public:
+  Region() = default;
+
+  /// Throws std::invalid_argument if ranks differ or shape has a
+  /// non-positive extent.
+  Region(Coord corner, Coord shape);
+
+  /// The region covering an entire space of the given shape (origin 0).
+  static Region wholeSpace(const Coord& shape) {
+    return Region(Coord::zeros(shape.rank()), shape);
+  }
+
+  const Coord& corner() const noexcept { return corner_; }
+  const Coord& shape() const noexcept { return shape_; }
+  std::size_t rank() const noexcept { return corner_.rank(); }
+
+  /// Number of coordinates in the region.
+  Index volume() const noexcept { return shape_.volume(); }
+
+  /// Exclusive upper corner: corner + shape.
+  Coord end() const { return corner_.plus(shape_); }
+
+  /// Inclusive last coordinate: corner + shape - 1 per dimension.
+  Coord last() const;
+
+  bool contains(const Coord& c) const noexcept;
+
+  /// True when `other` lies entirely within this region.
+  bool containsRegion(const Region& other) const noexcept;
+
+  /// Geometric intersection; nullopt when the regions do not overlap.
+  std::optional<Region> intersect(const Region& other) const;
+
+  bool overlaps(const Region& other) const { return intersect(other).has_value(); }
+
+  /// Row-major rank of `c` among the region's coordinates, in [0, volume).
+  /// Precondition: contains(c).
+  Index linearOffsetOf(const Coord& c) const;
+
+  /// Inverse of linearOffsetOf().
+  Coord coordAtOffset(Index offset) const;
+
+  friend bool operator==(const Region& a, const Region& b) = default;
+
+  std::string toString() const;
+
+ private:
+  Coord corner_;
+  Coord shape_;
+};
+
+/// Decomposes the row-major linear index range [first, last) of a space
+/// of shape `shape` into a minimal greedy set of axis-aligned boxes
+/// (at most 2*rank+1). Used to give linearly-contiguous keyblocks and
+/// byte-range input splits rectangular geometry.
+std::vector<Region> linearRangeToRegions(Index first, Index last,
+                                         const Coord& shape);
+
+/// Forward iteration over every coordinate of a region in row-major
+/// order (last dimension varies fastest). Usage:
+///   for (RegionCursor cur(r); cur.valid(); cur.next()) use(cur.coord());
+class RegionCursor {
+ public:
+  explicit RegionCursor(const Region& region)
+      : region_(region), coord_(region.corner()), valid_(region.volume() > 0) {}
+
+  bool valid() const noexcept { return valid_; }
+  const Coord& coord() const noexcept { return coord_; }
+
+  void next() noexcept {
+    for (std::size_t d = region_.rank(); d-- > 0;) {
+      if (++coord_[d] < region_.corner()[d] + region_.shape()[d]) return;
+      coord_[d] = region_.corner()[d];
+    }
+    valid_ = false;
+  }
+
+ private:
+  Region region_;
+  Coord coord_;
+  bool valid_;
+};
+
+}  // namespace sidr::nd

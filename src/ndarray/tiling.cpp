@@ -1,0 +1,39 @@
+#include "ndarray/tiling.hpp"
+
+namespace sidr::nd {
+
+Tiling::Tiling(Coord spaceShape, Coord tileShape)
+    : space_(spaceShape), tile_(tileShape) {
+  if (space_.rank() != tile_.rank()) {
+    throw std::invalid_argument("Tiling: rank mismatch");
+  }
+  if (!space_.isValidShape() || !tile_.isValidShape()) {
+    throw std::invalid_argument("Tiling: shapes must be positive");
+  }
+  grid_ = Coord::zeros(space_.rank());
+  for (std::size_t d = 0; d < space_.rank(); ++d) {
+    grid_[d] = (space_[d] + tile_[d] - 1) / tile_[d];
+  }
+}
+
+Region Tiling::tileRegion(const Coord& g) const {
+  Coord corner = g.times(tile_);
+  Coord shape = tile_;
+  for (std::size_t d = 0; d < space_.rank(); ++d) {
+    if (g[d] < 0 || g[d] >= grid_[d]) {
+      throw std::out_of_range("Tiling::tileRegion: grid coord out of range");
+    }
+    if (corner[d] + shape[d] > space_[d]) shape[d] = space_[d] - corner[d];
+  }
+  return Region(corner, shape);
+}
+
+Region Tiling::tileRangeOf(const Region& r) const {
+  Coord lo = tileOf(r.corner());
+  Coord hi = tileOf(r.last());
+  Coord shape = hi.minus(lo);
+  for (std::size_t d = 0; d < shape.rank(); ++d) shape[d] += 1;
+  return Region(lo, shape);
+}
+
+}  // namespace sidr::nd

@@ -1,0 +1,61 @@
+// Tiling of an n-dimensional space by a fixed tile shape.
+//
+// Two SIDR mechanisms are tilings in disguise:
+//  * the extraction shape logically tiles the input keyspace K, each
+//    instance becoming one intermediate key in K' (paper section 2.4.2);
+//  * partition+ tiles the intermediate keyspace K' with a skew-bounded
+//    shape and deals contiguous runs of instances to keyblocks
+//    (paper section 3.1, figure 7).
+// This class owns the shared geometry: the grid of tile instances, the
+// clipped region each instance covers, and coordinate <-> instance maps.
+#pragma once
+
+#include "ndarray/region.hpp"
+
+namespace sidr::nd {
+
+class Tiling {
+ public:
+  Tiling() = default;
+
+  /// Tiles the space `[0, spaceShape)` with `tileShape`. Edge tiles are
+  /// clipped when extents do not divide evenly.
+  /// Throws std::invalid_argument on rank mismatch or invalid shapes.
+  Tiling(Coord spaceShape, Coord tileShape);
+
+  const Coord& spaceShape() const noexcept { return space_; }
+  const Coord& tileShape() const noexcept { return tile_; }
+
+  /// Shape of the grid of tiles: ceil(space[d] / tile[d]) per dimension.
+  const Coord& gridShape() const noexcept { return grid_; }
+
+  /// Total number of tile instances.
+  Index tileCount() const noexcept { return grid_.volume(); }
+
+  /// Grid coordinate of the tile containing `c`.
+  Coord tileOf(const Coord& c) const { return c.dividedBy(tile_); }
+
+  /// Row-major linear index of the tile containing `c`.
+  Index tileIndexOf(const Coord& c) const {
+    return linearize(tileOf(c), grid_);
+  }
+
+  /// The (possibly clipped) region of space covered by grid tile `g`.
+  Region tileRegion(const Coord& g) const;
+
+  /// tileRegion() addressed by linear tile index.
+  Region tileRegionAt(Index tileIndex) const {
+    return tileRegion(delinearize(tileIndex, grid_));
+  }
+
+  /// Grid-space region of all tiles that `r` (a region of the underlying
+  /// space) touches. Precondition: r lies within the space.
+  Region tileRangeOf(const Region& r) const;
+
+ private:
+  Coord space_;
+  Coord tile_;
+  Coord grid_;
+};
+
+}  // namespace sidr::nd

@@ -1,0 +1,29 @@
+// CDL (Common Data Language) text parsing for SNDF metadata.
+//
+// NetCDF tooling describes dataset structure in CDL — the exact
+// notation of the paper's figure 1:
+//
+//   dimensions:
+//     time = 365;
+//     lat = 250;
+//     lon = 200;
+//   variables:
+//     int temperature(time, lat, lon);
+//
+// Metadata::toText() renders this form; parseCdl() reads it back, so
+// dataset schemas can be written by hand or exchanged as text.
+#pragma once
+
+#include <string>
+
+#include "scifile/metadata.hpp"
+
+namespace sidr::sci {
+
+/// Parses the CDL subset rendered by Metadata::toText(). Throws
+/// std::invalid_argument with a line-annotated message on malformed
+/// input. Round trip: parseCdl(m.toText()) == m (attributes excluded —
+/// CDL attributes are not part of the subset).
+Metadata parseCdl(const std::string& text);
+
+}  // namespace sidr::sci

@@ -1,0 +1,114 @@
+// Metadata model for the SNDF ("Simple N-Dimensional Format") container.
+//
+// SNDF stands in for NetCDF/HDF5 in this reproduction. The paper relies
+// on two properties of scientific file formats (section 2.1):
+//   1. structural metadata (dimensions, variables, types) is stored
+//      alongside the data and is cheap to read, and
+//   2. data is accessed by logical coordinates, not byte offsets.
+// Metadata models (1); Dataset (dataset.hpp) models (2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ndarray/coord.hpp"
+
+namespace sidr::sci {
+
+/// Element types supported on disk. API-level values are doubles; they
+/// are converted to the variable's on-disk type transparently.
+enum class DataType : std::uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat32 = 2,
+  kFloat64 = 3,
+};
+
+/// Size in bytes of one element of the given type.
+std::size_t dataTypeSize(DataType t);
+
+/// Human-readable type name ("int", "long", "float", "double").
+std::string dataTypeName(DataType t);
+
+/// A named dimension, e.g. "time = 365".
+struct Dimension {
+  std::string name;
+  nd::Index length = 0;
+
+  friend bool operator==(const Dimension&, const Dimension&) = default;
+};
+
+/// A variable defined over an ordered list of dimensions,
+/// e.g. "int temperature(time, lat, lon)".
+struct Variable {
+  std::string name;
+  DataType type = DataType::kFloat64;
+  std::vector<std::size_t> dimIndices;  ///< indices into Metadata::dimensions
+
+  friend bool operator==(const Variable&, const Variable&) = default;
+};
+
+/// Dataset-level structural metadata: the dimension and variable tables.
+class Metadata {
+ public:
+  Metadata() = default;
+
+  /// Adds a dimension and returns its index.
+  std::size_t addDimension(std::string name, nd::Index length);
+
+  /// Adds a variable over previously added dimensions (by name) and
+  /// returns its index. Throws if a dimension name is unknown.
+  std::size_t addVariable(std::string name, DataType type,
+                          const std::vector<std::string>& dimNames);
+
+  /// Sets (or replaces) a global string attribute, e.g. the logical
+  /// origin of a chunk within a larger dataset (NetCDF-style attribute).
+  void setAttribute(const std::string& key, std::string value);
+
+  /// Returns the attribute value, or an empty string when absent.
+  std::string attribute(const std::string& key) const;
+
+  const std::vector<Dimension>& dimensions() const noexcept { return dims_; }
+  const std::vector<Variable>& variables() const noexcept { return vars_; }
+  const std::vector<std::pair<std::string, std::string>>& attributes()
+      const noexcept {
+    return attrs_;
+  }
+
+  /// Index of the variable with the given name; throws if absent.
+  std::size_t variableIndex(const std::string& name) const;
+
+  const Variable& variable(std::size_t idx) const { return vars_.at(idx); }
+
+  /// Logical shape of a variable (its dimensions' lengths, in order).
+  nd::Coord variableShape(std::size_t varIdx) const;
+
+  /// Total elements in a variable.
+  nd::Index variableElementCount(std::size_t varIdx) const {
+    return variableShape(varIdx).volume();
+  }
+
+  /// Bytes occupied by a variable's dense data.
+  std::uint64_t variableByteSize(std::size_t varIdx) const;
+
+  /// CDL-style rendering in the spirit of the paper's figure 1:
+  ///   dimensions:         variables:
+  ///     time = 365;         int temperature(time, lat, lon);
+  std::string toText() const;
+
+  /// Binary (de)serialization used by the SNDF header.
+  std::vector<std::byte> serialize() const;
+  static Metadata deserialize(std::span<const std::byte> bytes);
+
+  friend bool operator==(const Metadata&, const Metadata&) = default;
+
+ private:
+  std::vector<Dimension> dims_;
+  std::vector<Variable> vars_;
+  std::vector<std::pair<std::string, std::string>> attrs_;
+};
+
+}  // namespace sidr::sci

@@ -1,0 +1,159 @@
+#include "scifile/output_writers.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+namespace sidr::sci {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+Metadata chunkMetadata(const std::string& varName, DataType type,
+                       const nd::Coord& shape) {
+  Metadata meta;
+  std::vector<std::string> dimNames;
+  for (std::size_t d = 0; d < shape.rank(); ++d) {
+    std::string name = "dim" + std::to_string(d);
+    meta.addDimension(name, shape[d]);
+    dimNames.push_back(std::move(name));
+  }
+  meta.addVariable(varName, type, dimNames);
+  return meta;
+}
+
+}  // namespace
+
+WriteReport writeDenseChunk(const std::string& path,
+                            const std::string& varName, DataType type,
+                            const nd::Coord& totalShape,
+                            const nd::Region& chunk,
+                            std::span<const double> values) {
+  auto start = Clock::now();
+  Metadata meta = chunkMetadata(varName, type, chunk.shape());
+  meta.setAttribute("origin", chunk.corner().toString());
+  meta.setAttribute("total_shape", totalShape.toString());
+  auto storage = std::make_shared<FileStorage>(path, FileStorage::Mode::kCreate);
+  Dataset ds = Dataset::create(storage, meta);
+  // The chunk is dense and contiguous: one sequential region write.
+  ds.writeRegion(0, nd::Region::wholeSpace(chunk.shape()), values);
+  storage->flush();
+  WriteReport rep;
+  rep.bytesWritten = values.size() * dataTypeSize(type);
+  rep.fileSize = storage->size();
+  rep.seconds = secondsSince(start);
+  return rep;
+}
+
+std::pair<nd::Coord, std::vector<double>> readDenseChunk(
+    const std::string& path, const std::string& varName) {
+  auto storage =
+      std::make_shared<FileStorage>(path, FileStorage::Mode::kOpenReadOnly);
+  Dataset ds = Dataset::open(storage);
+  std::size_t varIdx = ds.metadata().variableIndex(varName);
+  nd::Coord origin = nd::Coord::parse(ds.metadata().attribute("origin"));
+  nd::Coord shape = ds.metadata().variableShape(varIdx);
+  return {origin, ds.readRegion(varIdx, nd::Region::wholeSpace(shape))};
+}
+
+WriteReport writeSentinelFile(const std::string& path,
+                              const std::string& varName, DataType type,
+                              const nd::Coord& totalShape, double sentinel,
+                              std::span<const nd::Coord> coords,
+                              std::span<const double> values) {
+  if (coords.size() != values.size()) {
+    throw std::invalid_argument("writeSentinelFile: size mismatch");
+  }
+  auto start = Clock::now();
+  Metadata meta = chunkMetadata(varName, type, totalShape);
+  meta.setAttribute("sentinel", std::to_string(sentinel));
+  auto storage = std::make_shared<FileStorage>(path, FileStorage::Mode::kCreate);
+  Dataset ds = Dataset::create(storage, meta);
+  // The whole space is materialized and filled: the file is always the
+  // size of the TOTAL output no matter how few keys this task holds.
+  ds.fill(0, sentinel);
+  const nd::Coord one = nd::Coord::ones(totalShape.rank());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    ds.writeRegion(0, nd::Region(coords[i], one),
+                   std::span<const double>(&values[i], 1));
+  }
+  storage->flush();
+  WriteReport rep;
+  rep.bytesWritten = ds.metadata().variableByteSize(0) +
+                     coords.size() * dataTypeSize(type);
+  rep.fileSize = storage->size();
+  rep.seconds = secondsSince(start);
+  return rep;
+}
+
+WriteReport writeCoordPairs(const std::string& path,
+                            std::span<const nd::Coord> coords,
+                            std::span<const double> values) {
+  if (coords.size() != values.size()) {
+    throw std::invalid_argument("writeCoordPairs: size mismatch");
+  }
+  auto start = Clock::now();
+  FileStorage storage(path, FileStorage::Mode::kCreate);
+  std::vector<std::byte> buf;
+  auto putU64 = [&buf](std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      buf.push_back(static_cast<std::byte>((x >> (b * 8)) & 0xff));
+    }
+  };
+  putU64(coords.size());
+  putU64(coords.empty() ? 0 : coords[0].rank());
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    for (nd::Index c : coords[i]) putU64(static_cast<std::uint64_t>(c));
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(double));
+    std::memcpy(&bits, &values[i], sizeof(bits));
+    putU64(bits);
+  }
+  storage.writeAt(0, buf);
+  storage.flush();
+  WriteReport rep;
+  rep.bytesWritten = buf.size();
+  rep.fileSize = storage.size();
+  rep.seconds = secondsSince(start);
+  return rep;
+}
+
+std::pair<std::vector<nd::Coord>, std::vector<double>> readCoordPairs(
+    const std::string& path) {
+  FileStorage storage(path, FileStorage::Mode::kOpenReadOnly);
+  std::vector<std::byte> buf(storage.size());
+  storage.readAt(0, buf);
+  std::size_t pos = 0;
+  auto getU64 = [&buf, &pos]() {
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      x |= static_cast<std::uint64_t>(buf.at(pos++)) << (b * 8);
+    }
+    return x;
+  };
+  std::uint64_t count = getU64();
+  std::uint64_t rank = getU64();
+  std::vector<nd::Coord> coords;
+  std::vector<double> values;
+  coords.reserve(count);
+  values.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    nd::Coord c = nd::Coord::zeros(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      c[d] = static_cast<nd::Index>(getU64());
+    }
+    coords.push_back(c);
+    std::uint64_t bits = getU64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    values.push_back(v);
+  }
+  return {std::move(coords), std::move(values)};
+}
+
+}  // namespace sidr::sci

@@ -1,0 +1,63 @@
+// Reduce-output writing strategies compared in the paper (section 4.4,
+// Table 2).
+//
+// A Reduce task holds a set of output keys and values in the query's
+// output space O. How those land on storage depends on the partitioner:
+//  * partition+ gives each Reduce task a dense, contiguous keyblock -> a
+//    small standalone chunk file whose global origin is metadata
+//    (DenseChunkWriter; the paper's "SIDR" row in Table 2);
+//  * Hadoop's modulo partitioner scatters a task's keys across the whole
+//    output space -> either a full-size file with sentinel values
+//    (SentinelWriter; grows with TOTAL output size) or explicit
+//    coordinate/value pairs (CoordPairWriter; constant per useful byte
+//    but doubles storage and loses native-format access).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ndarray/region.hpp"
+#include "scifile/dataset.hpp"
+
+namespace sidr::sci {
+
+/// Result of one output-writing run, for benchmarking and tests.
+struct WriteReport {
+  std::uint64_t bytesWritten = 0;  ///< total bytes the strategy wrote
+  std::uint64_t fileSize = 0;      ///< resulting file size on disk
+  double seconds = 0.0;            ///< wall time of the write
+};
+
+/// SIDR strategy: write exactly the contiguous keyblock `chunk` of the
+/// logical space `totalShape`, as a standalone SNDF file. The chunk's
+/// global position is recorded in the "origin" attribute.
+WriteReport writeDenseChunk(const std::string& path,
+                            const std::string& varName, DataType type,
+                            const nd::Coord& totalShape,
+                            const nd::Region& chunk,
+                            std::span<const double> values);
+
+/// Reads back a dense chunk file: returns (origin, values).
+std::pair<nd::Coord, std::vector<double>> readDenseChunk(
+    const std::string& path, const std::string& varName);
+
+/// Hadoop sentinel strategy: create a file covering the ENTIRE output
+/// space, fill it with `sentinel`, then write this task's scattered
+/// points. `coords` and `values` are parallel arrays.
+WriteReport writeSentinelFile(const std::string& path,
+                              const std::string& varName, DataType type,
+                              const nd::Coord& totalShape, double sentinel,
+                              std::span<const nd::Coord> coords,
+                              std::span<const double> values);
+
+/// Hadoop coordinate/value-pair strategy: append (coord, value) records;
+/// storage overhead is rank * 8 bytes per element.
+WriteReport writeCoordPairs(const std::string& path,
+                            std::span<const nd::Coord> coords,
+                            std::span<const double> values);
+
+/// Reads back a coord-pair file (for round-trip tests).
+std::pair<std::vector<nd::Coord>, std::vector<double>> readCoordPairs(
+    const std::string& path);
+
+}  // namespace sidr::sci

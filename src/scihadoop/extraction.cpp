@@ -1,0 +1,177 @@
+#include "scihadoop/extraction.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace sidr::sh {
+
+bool isDistributive(OperatorKind op) {
+  switch (op) {
+    case OperatorKind::kMean:
+    case OperatorKind::kSum:
+    case OperatorKind::kMin:
+    case OperatorKind::kMax:
+    case OperatorKind::kCount:
+    case OperatorKind::kRange:
+      return true;
+    case OperatorKind::kMedian:
+    case OperatorKind::kFilter:
+    case OperatorKind::kSort:
+      return false;
+  }
+  throw std::invalid_argument("isDistributive: bad OperatorKind");
+}
+
+std::string describe(const StructuralQuery& q) {
+  std::ostringstream os;
+  switch (q.op) {
+    case OperatorKind::kMean: os << "mean"; break;
+    case OperatorKind::kSum: os << "sum"; break;
+    case OperatorKind::kMin: os << "min"; break;
+    case OperatorKind::kMax: os << "max"; break;
+    case OperatorKind::kCount: os << "count"; break;
+    case OperatorKind::kRange: os << "range"; break;
+    case OperatorKind::kSort: os << "sort"; break;
+    case OperatorKind::kMedian: os << "median"; break;
+    case OperatorKind::kFilter:
+      os << "filter(>" << q.filterThreshold << ")";
+      break;
+  }
+  os << " over " << q.variable;
+  if (q.subset) os << '[' << q.subset->toString() << ']';
+  os << " eshape " << q.extractionShape.toString();
+  if (q.stride) os << " stride " << q.stride->toString();
+  return os.str();
+}
+
+ExtractionMap::ExtractionMap(const StructuralQuery& query,
+                             nd::Coord inputShape)
+    : inputShape_(inputShape),
+      domain_(query.subset.value_or(nd::Region::wholeSpace(inputShape))),
+      eshape_(query.extractionShape),
+      keyMode_(query.keyMode),
+      edgeMode_(query.edgeMode) {
+  if (eshape_.rank() != inputShape_.rank()) {
+    throw std::invalid_argument(
+        "ExtractionMap: extraction shape rank != input rank");
+  }
+  if (!eshape_.isValidShape() || !inputShape_.isValidShape()) {
+    throw std::invalid_argument("ExtractionMap: shapes must be positive");
+  }
+  if (!nd::Region::wholeSpace(inputShape_).containsRegion(domain_)) {
+    throw std::invalid_argument(
+        "ExtractionMap: query subset outside the input space");
+  }
+  stride_ = query.stride.value_or(eshape_);
+  if (stride_.rank() != eshape_.rank()) {
+    throw std::invalid_argument("ExtractionMap: stride rank mismatch");
+  }
+  for (std::size_t d = 0; d < eshape_.rank(); ++d) {
+    if (stride_[d] < eshape_[d]) {
+      throw std::invalid_argument(
+          "ExtractionMap: stride must be >= extraction shape");
+    }
+    if (eshape_[d] > inputShape_[d]) {
+      throw std::invalid_argument(
+          "ExtractionMap: extraction shape exceeds input");
+    }
+  }
+
+  const nd::Coord& extent = domain_.shape();
+  for (std::size_t d = 0; d < eshape_.rank(); ++d) {
+    if (eshape_[d] > extent[d]) {
+      throw std::invalid_argument(
+          "ExtractionMap: extraction shape exceeds the query domain");
+    }
+  }
+  grid_ = nd::Coord::zeros(inputShape_.rank());
+  for (std::size_t d = 0; d < inputShape_.rank(); ++d) {
+    if (edgeMode_ == EdgeMode::kTruncate) {
+      // Count instances whose full cell fits: corner i*stride with
+      // i*stride + eshape <= the domain extent.
+      grid_[d] = (extent[d] - eshape_[d]) / stride_[d] + 1;
+    } else {
+      // Count instances whose cell intersects the domain at all.
+      grid_[d] = (extent[d] + stride_[d] - 1) / stride_[d];
+    }
+  }
+
+  intermediateSpace_ =
+      (keyMode_ == KeyMode::kRenumber) ? grid_ : inputShape_;
+}
+
+std::optional<nd::Coord> ExtractionMap::instanceOf(const nd::Coord& k) const {
+  if (k.rank() != inputShape_.rank()) {
+    throw std::invalid_argument("ExtractionMap::instanceOf: rank mismatch");
+  }
+  nd::Coord g = nd::Coord::zeros(k.rank());
+  for (std::size_t d = 0; d < k.rank(); ++d) {
+    nd::Index rel = k[d] - domain_.corner()[d];
+    if (rel < 0) return std::nullopt;  // before the query subset
+    g[d] = rel / stride_[d];
+    nd::Index within = rel % stride_[d];
+    if (within >= eshape_[d]) return std::nullopt;  // stride gap
+    if (g[d] >= grid_[d]) return std::nullopt;  // past / truncated edge
+  }
+  return g;
+}
+
+std::optional<nd::Coord> ExtractionMap::keyFor(const nd::Coord& k) const {
+  auto g = instanceOf(k);
+  if (!g) return std::nullopt;
+  return keyForInstance(*g);
+}
+
+nd::Coord ExtractionMap::keyForInstance(const nd::Coord& g) const {
+  if (keyMode_ == KeyMode::kRenumber) return g;
+  // Preserve-coordinates keys live in the ORIGINAL input space.
+  return g.times(stride_).plus(domain_.corner());
+}
+
+nd::Coord ExtractionMap::instanceForKey(const nd::Coord& kp) const {
+  if (keyMode_ == KeyMode::kRenumber) return kp;
+  return kp.minus(domain_.corner()).dividedBy(stride_);
+}
+
+nd::Region ExtractionMap::cellOf(const nd::Coord& g) const {
+  nd::Coord corner = g.times(stride_).plus(domain_.corner());
+  nd::Coord shape = eshape_;
+  for (std::size_t d = 0; d < shape.rank(); ++d) {
+    if (g[d] < 0 || g[d] >= grid_[d]) {
+      throw std::out_of_range("ExtractionMap::cellOf: instance out of grid");
+    }
+    nd::Index domainEnd = domain_.corner()[d] + domain_.shape()[d];
+    if (corner[d] + shape[d] > domainEnd) {
+      shape[d] = domainEnd - corner[d];  // pad-mode clipped edge cell
+    }
+  }
+  return nd::Region(corner, shape);
+}
+
+std::optional<nd::Region> ExtractionMap::instanceRangeOf(
+    const nd::Region& r) const {
+  if (r.rank() != inputShape_.rank()) {
+    throw std::invalid_argument("ExtractionMap::instanceRangeOf: rank");
+  }
+  auto clipped = r.intersect(domain_);
+  if (!clipped) return std::nullopt;  // entirely outside the subset
+  nd::Coord lo = nd::Coord::zeros(r.rank());
+  nd::Coord shape = nd::Coord::zeros(r.rank());
+  for (std::size_t d = 0; d < r.rank(); ++d) {
+    nd::Index a = clipped->corner()[d] - domain_.corner()[d];
+    nd::Index b = a + clipped->shape()[d] - 1;  // inclusive, domain-rel
+    // First instance whose cell [i*stride, i*stride+eshape) reaches a:
+    // i*stride + eshape - 1 >= a  =>  i >= (a - eshape + 1) / stride.
+    nd::Index num = a - eshape_[d] + 1;
+    nd::Index iLo = (num <= 0) ? 0 : (num + stride_[d] - 1) / stride_[d];
+    // Last instance whose cell starts at or before b.
+    nd::Index iHi = b / stride_[d];
+    if (iHi >= grid_[d]) iHi = grid_[d] - 1;
+    if (iLo > iHi) return std::nullopt;
+    lo[d] = iLo;
+    shape[d] = iHi - iLo + 1;
+  }
+  return nd::Region(lo, shape);
+}
+
+}  // namespace sidr::sh

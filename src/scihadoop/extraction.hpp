@@ -1,0 +1,93 @@
+// ExtractionMap: the K -> K' key translation at the heart of SIDR.
+//
+// MapReduce's dataflow is opaque in three places (paper section 2.3.2);
+// for structural queries the extraction shape resolves all three:
+//   Area 1: splits are coordinate regions, so I_i == K_T^i trivially;
+//   Area 2: an input key k maps to intermediate key(s) k' by floor
+//           division through the extraction shape (and stride);
+//   Area 3: the full intermediate keyspace K'^T is therefore computable
+//           up front, enabling partition+ and dependency derivation.
+// ExtractionMap implements Areas 2 and 3 for a query over a given input
+// shape.
+#pragma once
+
+#include <optional>
+
+#include "ndarray/region.hpp"
+#include "scihadoop/query.hpp"
+
+namespace sidr::sh {
+
+class ExtractionMap {
+ public:
+  /// Builds the map for `query` over an input space of `inputShape`.
+  /// Throws std::invalid_argument when the extraction shape / stride are
+  /// inconsistent with the input shape.
+  ExtractionMap(const StructuralQuery& query, nd::Coord inputShape);
+
+  const nd::Coord& inputShape() const noexcept { return inputShape_; }
+  const nd::Coord& extractionShape() const noexcept { return eshape_; }
+  const nd::Coord& stride() const noexcept { return stride_; }
+
+  /// The region of the input the query addresses (the query's subset,
+  /// or the whole space). Instances tile this region from its corner.
+  const nd::Region& domain() const noexcept { return domain_; }
+
+  /// Shape of the instance grid: how many extraction instances exist per
+  /// dimension after edge handling.
+  const nd::Coord& instanceGridShape() const noexcept { return grid_; }
+
+  /// Total number of instances (== |K'^T| in renumber mode).
+  nd::Index instanceCount() const noexcept { return grid_.volume(); }
+
+  /// Shape of the intermediate keyspace K' that keys are expressed in:
+  /// the instance grid (renumber mode) or the input shape (preserve-
+  /// coordinates mode, where keys stay sparse in the original space).
+  const nd::Coord& intermediateSpaceShape() const noexcept {
+    return intermediateSpace_;
+  }
+
+  /// Instance grid coordinate for input key `k`, or nullopt when k falls
+  /// in a stride gap or a truncated ragged edge (such keys produce no
+  /// intermediate data).
+  std::optional<nd::Coord> instanceOf(const nd::Coord& k) const;
+
+  /// Intermediate key for input key `k` (instance coordinate translated
+  /// per the query's KeyMode), or nullopt as above.
+  std::optional<nd::Coord> keyFor(const nd::Coord& k) const;
+
+  /// Intermediate key corresponding to instance grid coordinate `g`.
+  nd::Coord keyForInstance(const nd::Coord& g) const;
+
+  /// Inverse of keyForInstance (used when mapping keyblocks back to
+  /// instance ranges). Precondition: `kp` is a valid intermediate key.
+  nd::Coord instanceForKey(const nd::Coord& kp) const;
+
+  /// The input-space region covered by instance `g` (its cell), clipped
+  /// to the input shape in pad mode.
+  nd::Region cellOf(const nd::Coord& g) const;
+
+  /// Number of input keys inside instance `g`'s cell (cells at ragged
+  /// edges are smaller in pad mode).
+  nd::Index cellVolume(const nd::Coord& g) const {
+    return cellOf(g).volume();
+  }
+
+  /// Grid region of all instances whose cells intersect input region
+  /// `r`, or nullopt when r touches no instance (entirely in gaps or the
+  /// truncated tail). This powers split -> keyblock dependency
+  /// derivation.
+  std::optional<nd::Region> instanceRangeOf(const nd::Region& r) const;
+
+ private:
+  nd::Coord inputShape_;
+  nd::Region domain_;
+  nd::Coord eshape_;
+  nd::Coord stride_;
+  nd::Coord grid_;
+  nd::Coord intermediateSpace_;
+  KeyMode keyMode_;
+  EdgeMode edgeMode_;
+};
+
+}  // namespace sidr::sh

@@ -1,0 +1,146 @@
+#include "scihadoop/operators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sidr::sh {
+
+StructuralMapper::StructuralMapper(
+    const StructuralQuery& query,
+    std::shared_ptr<const ExtractionMap> extraction)
+    : query_(query), extraction_(std::move(extraction)) {}
+
+void StructuralMapper::map(const nd::Coord& key, double value,
+                           mr::MapContext& /*ctx*/) {
+  auto kp = extraction_->keyFor(key);
+  if (!kp) return;  // stride gap or truncated edge: produces nothing
+  CellState& cell = cells_[*kp];
+  ++cell.consumed;
+  switch (query_.op) {
+    case OperatorKind::kMean:
+    case OperatorKind::kSum:
+    case OperatorKind::kMin:
+    case OperatorKind::kMax:
+    case OperatorKind::kCount:
+    case OperatorKind::kRange:
+      cell.partial.merge(mr::Partial::ofValue(value));
+      break;
+    case OperatorKind::kMedian:
+    case OperatorKind::kSort:
+      cell.list.push_back(value);
+      break;
+    case OperatorKind::kFilter:
+      if (value > query_.filterThreshold) cell.list.push_back(value);
+      break;
+  }
+}
+
+void StructuralMapper::finish(mr::MapContext& ctx) {
+  for (auto& [kp, cell] : cells_) {
+    mr::Value v = isDistributive(query_.op)
+                      ? mr::Value::partial(cell.partial)
+                      : mr::Value::list(std::move(cell.list));
+    ctx.emit(kp, std::move(v), cell.consumed);
+  }
+  cells_.clear();
+}
+
+mr::Value finalizeCell(const StructuralQuery& query, const mr::Partial& p,
+                       std::vector<double>&& list) {
+  switch (query.op) {
+    case OperatorKind::kMean:
+      return mr::Value::scalar(p.mean());
+    case OperatorKind::kSum:
+      return mr::Value::scalar(p.sum);
+    case OperatorKind::kMin:
+      return mr::Value::scalar(p.min);
+    case OperatorKind::kMax:
+      return mr::Value::scalar(p.max);
+    case OperatorKind::kCount:
+      return mr::Value::scalar(static_cast<double>(p.count));
+    case OperatorKind::kRange:
+      return mr::Value::scalar(p.count > 0 ? p.max - p.min : 0.0);
+    case OperatorKind::kMedian: {
+      if (list.empty()) {
+        throw std::logic_error("median over empty cell");
+      }
+      // Lower median: element at index (n-1)/2 in sorted order.
+      std::size_t mid = (list.size() - 1) / 2;
+      std::nth_element(list.begin(),
+                       list.begin() + static_cast<std::ptrdiff_t>(mid),
+                       list.end());
+      return mr::Value::scalar(list[mid]);
+    }
+    case OperatorKind::kFilter:
+    case OperatorKind::kSort: {
+      std::sort(list.begin(), list.end());
+      return mr::Value::list(std::move(list));
+    }
+  }
+  throw std::invalid_argument("finalizeCell: bad OperatorKind");
+}
+
+void StructuralReducer::reduce(const nd::Coord& key,
+                               std::span<const mr::Value* const> values,
+                               mr::ReduceContext& ctx) {
+  mr::Partial merged;
+  std::vector<double> list;
+  for (const mr::Value* v : values) {
+    if (v->kind() == mr::ValueKind::kPartial) {
+      merged.merge(v->asPartial());
+    } else if (v->kind() == mr::ValueKind::kList) {
+      const auto& xs = v->asList();
+      list.insert(list.end(), xs.begin(), xs.end());
+    } else {
+      merged.merge(mr::Partial::ofValue(v->asScalar()));
+    }
+  }
+  ctx.emit(key, finalizeCell(query_, merged, std::move(list)));
+}
+
+mr::MapperFactory makeStructuralMapperFactory(
+    const StructuralQuery& query,
+    std::shared_ptr<const ExtractionMap> extraction) {
+  return [query, extraction] {
+    return std::make_unique<StructuralMapper>(query, extraction);
+  };
+}
+
+mr::ReducerFactory makeStructuralReducerFactory(const StructuralQuery& query) {
+  return [query] { return std::make_unique<StructuralReducer>(query); };
+}
+
+std::vector<mr::KeyValue> runSerialOracle(const StructuralQuery& query,
+                                          const ExtractionMap& extraction,
+                                          const ValueFn& fn) {
+  std::vector<mr::KeyValue> out;
+  nd::Region grid = nd::Region::wholeSpace(extraction.instanceGridShape());
+  for (nd::RegionCursor g(grid); g.valid(); g.next()) {
+    mr::Partial partial;
+    std::vector<double> list;
+    nd::Region cell = extraction.cellOf(g.coord());
+    for (nd::RegionCursor c(cell); c.valid(); c.next()) {
+      double v = fn(c.coord());
+      if (isDistributive(query.op)) {
+        partial.merge(mr::Partial::ofValue(v));
+      } else if (query.op == OperatorKind::kMedian ||
+                 query.op == OperatorKind::kSort) {
+        list.push_back(v);
+      } else if (v > query.filterThreshold) {
+        list.push_back(v);
+      }
+    }
+    mr::KeyValue kv;
+    kv.key = extraction.keyForInstance(g.coord());
+    kv.value = finalizeCell(query, partial, std::move(list));
+    kv.represents = static_cast<std::uint64_t>(cell.volume());
+    out.push_back(std::move(kv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const mr::KeyValue& a, const mr::KeyValue& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+}  // namespace sidr::sh

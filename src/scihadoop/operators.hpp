@@ -1,0 +1,73 @@
+// Structural operators: the Mapper/Reducer pair that evaluates a
+// StructuralQuery, plus a serial oracle for correctness testing.
+//
+// The mapper translates input keys to intermediate keys through the
+// ExtractionMap and pre-aggregates per intermediate key (Hadoop's
+// combiner, run map-side):
+//   * distributive operators ship a constant-size Partial per key;
+//   * median ships the full value list (holistic: no reduction legal);
+//   * filter ships the surviving values (possibly an empty list — the
+//     record still exists so count annotations stay exact).
+// Every emitted record carries `represents` = the number of map-input
+// pairs consumed into it, implementing the paper's count annotation
+// (section 3.2.1, method 2).
+#pragma once
+
+#include <map>
+
+#include "mapreduce/interfaces.hpp"
+#include "scihadoop/extraction.hpp"
+#include "scihadoop/record_reader.hpp"
+
+namespace sidr::sh {
+
+class StructuralMapper final : public mr::Mapper {
+ public:
+  StructuralMapper(const StructuralQuery& query,
+                   std::shared_ptr<const ExtractionMap> extraction);
+
+  void map(const nd::Coord& key, double value, mr::MapContext& ctx) override;
+  void finish(mr::MapContext& ctx) override;
+
+ private:
+  struct CellState {
+    mr::Partial partial;
+    std::vector<double> list;
+    std::uint64_t consumed = 0;
+  };
+
+  StructuralQuery query_;
+  std::shared_ptr<const ExtractionMap> extraction_;
+  std::map<nd::Coord, CellState> cells_;
+};
+
+class StructuralReducer final : public mr::Reducer {
+ public:
+  explicit StructuralReducer(const StructuralQuery& query) : query_(query) {}
+
+  void reduce(const nd::Coord& key, std::span<const mr::Value* const> values,
+              mr::ReduceContext& ctx) override;
+
+ private:
+  StructuralQuery query_;
+};
+
+/// Finalizes a merged partial / value list into the operator's output
+/// value (shared by the reducer and the serial oracle).
+mr::Value finalizeCell(const StructuralQuery& query, const mr::Partial& p,
+                       std::vector<double>&& list);
+
+/// Factories plugging into mr::JobSpec.
+mr::MapperFactory makeStructuralMapperFactory(
+    const StructuralQuery& query,
+    std::shared_ptr<const ExtractionMap> extraction);
+mr::ReducerFactory makeStructuralReducerFactory(const StructuralQuery& query);
+
+/// Evaluates the query serially over the whole input (values supplied by
+/// `fn`) — the ground-truth oracle for engine tests. Returns key-sorted
+/// results.
+std::vector<mr::KeyValue> runSerialOracle(const StructuralQuery& query,
+                                          const ExtractionMap& extraction,
+                                          const ValueFn& fn);
+
+}  // namespace sidr::sh

@@ -1,0 +1,212 @@
+#include "scihadoop/query_parser.hpp"
+
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace sidr::sh {
+
+namespace {
+
+/// Minimal recursive-descent scanner over the query text.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StructuralQuery parse() {
+    StructuralQuery q;
+    q.op = parseOperator();
+    expect('(');
+    q.variable = parseIdent();
+    if (peek() == '[') {
+      ++pos_;
+      std::vector<nd::Index> lo;
+      std::vector<nd::Index> hi;
+      while (true) {
+        lo.push_back(static_cast<nd::Index>(parseNumber()));
+        expect(':');
+        hi.push_back(static_cast<nd::Index>(parseNumber()));
+        if (peek() == ',') {
+          ++pos_;
+          continue;
+        }
+        expect(']');
+        break;
+      }
+      nd::Coord corner{std::span<const nd::Index>(lo)};
+      nd::Coord shape = nd::Coord::zeros(lo.size());
+      for (std::size_t d = 0; d < lo.size(); ++d) {
+        if (hi[d] <= lo[d]) fail("empty subset range");
+        shape[d] = hi[d] - lo[d];
+      }
+      q.subset = nd::Region(corner, shape);
+    }
+    bool haveEshape = false;
+    while (peek() == ',') {
+      ++pos_;
+      std::string key = parseIdent();
+      expect('=');
+      if (key == "eshape") {
+        q.extractionShape = parseCoord();
+        haveEshape = true;
+      } else if (key == "stride") {
+        q.stride = parseCoord();
+      } else if (key == "edge") {
+        std::string v = parseIdent();
+        if (v == "truncate") {
+          q.edgeMode = EdgeMode::kTruncate;
+        } else if (v == "pad") {
+          q.edgeMode = EdgeMode::kPad;
+        } else {
+          fail("expected 'truncate' or 'pad'");
+        }
+      } else if (key == "keys") {
+        std::string v = parseIdent();
+        if (v == "renumber") {
+          q.keyMode = KeyMode::kRenumber;
+        } else if (v == "preserve") {
+          q.keyMode = KeyMode::kPreserveCoords;
+        } else {
+          fail("expected 'renumber' or 'preserve'");
+        }
+      } else if (key == "threshold") {
+        q.filterThreshold = parseNumber();
+      } else if (key == "skew") {
+        q.skewBound = static_cast<nd::Index>(parseNumber());
+      } else {
+        fail("unknown parameter '" + key + "'");
+      }
+    }
+    expect(')');
+    skipSpace();
+    if (pos_ != text_.size()) fail("trailing input");
+    if (!haveEshape) {
+      throw std::invalid_argument(
+          "parseQuery: the 'eshape' parameter is required");
+    }
+    return q;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    std::ostringstream os;
+    os << "parseQuery: " << what << " at position " << pos_ << " in \""
+       << text_ << "\"";
+    throw std::invalid_argument(os.str());
+  }
+
+  void skipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skipSpace();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  std::string parseIdent() {
+    skipSpace();
+    std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected identifier");
+    return text_.substr(start, pos_ - start);
+  }
+
+  double parseNumber() {
+    skipSpace();
+    std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            ((text_[pos_] == '-' || text_[pos_] == '+') && pos_ > start &&
+             (text_[pos_ - 1] == 'e' || text_[pos_ - 1] == 'E')))) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(text_.substr(start, pos_ - start));
+  }
+
+  nd::Coord parseCoord() {
+    skipSpace();
+    if (peek() != '{') fail("expected '{'");
+    std::size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] != '}') ++pos_;
+    if (pos_ == text_.size()) fail("unterminated coordinate");
+    ++pos_;  // consume '}'
+    return nd::Coord::parse(text_.substr(start, pos_ - start));
+  }
+
+  OperatorKind parseOperator() {
+    std::string name = parseIdent();
+    if (name == "mean") return OperatorKind::kMean;
+    if (name == "sum") return OperatorKind::kSum;
+    if (name == "min") return OperatorKind::kMin;
+    if (name == "max") return OperatorKind::kMax;
+    if (name == "count") return OperatorKind::kCount;
+    if (name == "range") return OperatorKind::kRange;
+    if (name == "median") return OperatorKind::kMedian;
+    if (name == "filter") return OperatorKind::kFilter;
+    if (name == "sort") return OperatorKind::kSort;
+    fail("unknown operator '" + name + "'");
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+StructuralQuery parseQuery(const std::string& text) {
+  Parser p(text);
+  return p.parse();
+}
+
+std::string toQueryString(const StructuralQuery& q) {
+  std::ostringstream os;
+  switch (q.op) {
+    case OperatorKind::kMean: os << "mean"; break;
+    case OperatorKind::kSum: os << "sum"; break;
+    case OperatorKind::kMin: os << "min"; break;
+    case OperatorKind::kMax: os << "max"; break;
+    case OperatorKind::kCount: os << "count"; break;
+    case OperatorKind::kRange: os << "range"; break;
+    case OperatorKind::kMedian: os << "median"; break;
+    case OperatorKind::kFilter: os << "filter"; break;
+    case OperatorKind::kSort: os << "sort"; break;
+  }
+  os << '(' << q.variable;
+  if (q.subset) {
+    os << '[';
+    for (std::size_t d = 0; d < q.subset->rank(); ++d) {
+      if (d != 0) os << ", ";
+      os << q.subset->corner()[d] << ':'
+         << q.subset->corner()[d] + q.subset->shape()[d];
+    }
+    os << ']';
+  }
+  os << ", eshape=" << q.extractionShape.toString();
+  if (q.stride) os << ", stride=" << q.stride->toString();
+  if (q.edgeMode == EdgeMode::kPad) os << ", edge=pad";
+  if (q.keyMode == KeyMode::kPreserveCoords) os << ", keys=preserve";
+  if (q.op == OperatorKind::kFilter) os << ", threshold=" << q.filterThreshold;
+  if (q.skewBound > 0) os << ", skew=" << q.skewBound;
+  os << ')';
+  return os.str();
+}
+
+}  // namespace sidr::sh

@@ -1,0 +1,37 @@
+// Textual form of SciHadoop's "simple, array-based query language"
+// (paper section 2.4). A query names the operator, the input variable
+// and the extraction shape describing the units of data the operator is
+// applied to, plus optional modifiers:
+//
+//   median(windspeed, eshape={2,36,36,10})
+//   mean(temperature, eshape={7,5,1}, edge=pad)
+//   mean(temperature[14:42, 10:25], eshape={7,5})   // subset query
+//   filter(measurements, eshape={2,40,40,10}, threshold=3.0)
+//   mean(samples, eshape={2,2}, stride={4,4}, keys=preserve, skew=1000)
+//
+// Grammar:
+//   query    := op '(' ident subset? (',' param)* ')'
+//   op       := mean|sum|min|max|count|range|median|filter|sort
+//   subset   := '[' range (',' range)* ']'     (one range per dimension)
+//   range    := int ':' int                    (half-open, lo:hi)
+//   param    := 'eshape' '=' coord | 'stride' '=' coord
+//             | 'edge' '=' ('truncate'|'pad')
+//             | 'keys' '=' ('renumber'|'preserve')
+//             | 'threshold' '=' number | 'skew' '=' integer
+//   coord    := '{' int (',' int)* '}'
+#pragma once
+
+#include <string>
+
+#include "scihadoop/query.hpp"
+
+namespace sidr::sh {
+
+/// Parses the query language; throws std::invalid_argument with a
+/// position-annotated message on malformed input. `eshape` is required.
+StructuralQuery parseQuery(const std::string& text);
+
+/// Canonical textual form; parseQuery(toQueryString(q)) == q.
+std::string toQueryString(const StructuralQuery& q);
+
+}  // namespace sidr::sh

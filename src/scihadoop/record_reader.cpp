@@ -1,0 +1,34 @@
+#include "scihadoop/record_reader.hpp"
+
+namespace sidr::sh {
+
+DatasetRecordReader::DatasetRecordReader(std::shared_ptr<sci::Dataset> dataset,
+                                         std::size_t varIdx,
+                                         const nd::Region& region)
+    : dataset_(std::move(dataset)),
+      region_(region),
+      values_(dataset_->readRegion(varIdx, region)),
+      cursor_(region) {}
+
+bool DatasetRecordReader::next(nd::Coord& key, double& value) {
+  if (!cursor_.valid()) return false;
+  key = cursor_.coord();
+  value = values_[pos_++];
+  cursor_.next();
+  return true;
+}
+
+mr::RecordReaderFactory makeDatasetReaderFactory(
+    std::shared_ptr<sci::Dataset> dataset, std::size_t varIdx) {
+  return [dataset, varIdx](const nd::Region& region) {
+    return std::make_unique<DatasetRecordReader>(dataset, varIdx, region);
+  };
+}
+
+mr::RecordReaderFactory makeSyntheticReaderFactory(ValueFn fn) {
+  return [fn](const nd::Region& region) {
+    return std::make_unique<SyntheticRecordReader>(fn, region);
+  };
+}
+
+}  // namespace sidr::sh

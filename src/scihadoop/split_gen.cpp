@@ -1,0 +1,117 @@
+#include "scihadoop/split_gen.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sidr::sh {
+
+namespace {
+
+std::vector<mr::InputSplit> generateSlabs(const nd::Coord& inputShape,
+                                          nd::Index targetElements,
+                                          nd::Index snapMultiple) {
+  if (!inputShape.isValidShape()) {
+    throw std::invalid_argument("generateSplits: invalid input shape");
+  }
+  if (targetElements <= 0) {
+    throw std::invalid_argument("generateSplits: target must be positive");
+  }
+  const std::size_t rank = inputShape.rank();
+
+  // Find the shallowest dimension j whose trailing product fits the
+  // target, then slice dimension j into runs of thickness c.
+  std::size_t j = 0;
+  nd::Index trailing = inputShape.volume();
+  for (; j < rank; ++j) {
+    trailing /= inputShape[j];
+    if (trailing <= targetElements) break;
+  }
+  if (j == rank) j = rank - 1;  // single elements still too big: use last dim
+
+  nd::Index c = targetElements / (trailing > 0 ? trailing : 1);
+  if (c < 1) c = 1;
+  if (c > inputShape[j]) c = inputShape[j];
+  if (snapMultiple > 1 && c >= snapMultiple) {
+    c -= c % snapMultiple;  // align slab boundary to extraction stride
+  }
+
+  // Enumerate prefix coordinates (dims < j) x runs of dim j.
+  std::vector<mr::InputSplit> splits;
+  nd::Coord prefixShape = nd::Coord::ones(rank);
+  for (std::size_t d = 0; d < j; ++d) prefixShape[d] = inputShape[d];
+  nd::Region prefixRegion = nd::Region::wholeSpace(prefixShape);
+  for (nd::RegionCursor cur(prefixRegion); cur.valid(); cur.next()) {
+    for (nd::Index start = 0; start < inputShape[j]; start += c) {
+      nd::Coord corner = cur.coord();
+      nd::Coord shape = inputShape;
+      for (std::size_t d = 0; d < j; ++d) shape[d] = 1;
+      corner[j] = start;
+      shape[j] = std::min(c, inputShape[j] - start);
+      splits.push_back(mr::InputSplit::single(
+          static_cast<std::uint32_t>(splits.size()),
+          nd::Region(corner, shape)));
+    }
+  }
+  return splits;
+}
+
+}  // namespace
+
+std::vector<mr::InputSplit> generateSplits(const nd::Coord& inputShape,
+                                           const SplitOptions& options) {
+  return generateSlabs(inputShape, options.targetElements, 1);
+}
+
+std::vector<mr::InputSplit> generateSplits(const nd::Coord& inputShape,
+                                           const ExtractionMap& extraction,
+                                           const SplitOptions& options) {
+  nd::Index snap = 1;
+  if (options.alignToExtraction) {
+    // Snap in the dimension the generator will slice; conservatively use
+    // the leading stride (slicing happens in the shallowest dimension
+    // that fits, which is dimension 0 for all paper workloads).
+    snap = extraction.stride()[0];
+  }
+  return generateSlabs(inputShape, options.targetElements, snap);
+}
+
+std::vector<mr::InputSplit> generateByteRangeSplits(
+    const nd::Coord& inputShape, std::size_t splitCount) {
+  if (!inputShape.isValidShape()) {
+    throw std::invalid_argument("generateByteRangeSplits: invalid shape");
+  }
+  if (splitCount == 0) {
+    throw std::invalid_argument("generateByteRangeSplits: count must be > 0");
+  }
+  const nd::Index total = inputShape.volume();
+  const auto n = static_cast<nd::Index>(
+      std::min<std::size_t>(splitCount, static_cast<std::size_t>(total)));
+  // Balanced linear element ranges, exactly like HDFS block boundaries
+  // cutting a row-major file without regard for the array structure.
+  std::vector<mr::InputSplit> splits;
+  splits.reserve(static_cast<std::size_t>(n));
+  const nd::Index q = total / n;
+  const nd::Index rem = total % n;
+  nd::Index start = 0;
+  for (nd::Index i = 0; i < n; ++i) {
+    nd::Index len = q + (i < rem ? 1 : 0);
+    mr::InputSplit split;
+    split.id = static_cast<std::uint32_t>(i);
+    split.regions = nd::linearRangeToRegions(start, start + len, inputShape);
+    splits.push_back(std::move(split));
+    start += len;
+  }
+  return splits;
+}
+
+nd::Index targetElementsForCount(const nd::Coord& inputShape,
+                                 std::size_t desiredSplitCount) {
+  if (desiredSplitCount == 0) {
+    throw std::invalid_argument("targetElementsForCount: count must be > 0");
+  }
+  nd::Index total = inputShape.volume();
+  nd::Index target = total / static_cast<nd::Index>(desiredSplitCount);
+  return target > 0 ? target : 1;
+}
+
+}  // namespace sidr::sh

@@ -1,0 +1,53 @@
+// Coordinate input-split generation (SciHadoop's contribution that SIDR
+// builds on).
+//
+// Splits are slabs of the input space: full extent in trailing
+// dimensions, a run of the leading dimension(s) sized to a target
+// element count (the analogue of sizing byte-range splits to the HDFS
+// block size; the paper's 348 GB / 128 MB -> 2781 splits). Optionally
+// slab boundaries snap to extraction-cell boundaries, which shrinks the
+// overlap between neighbouring keyblocks' dependency sets.
+#pragma once
+
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "scihadoop/extraction.hpp"
+
+namespace sidr::sh {
+
+struct SplitOptions {
+  /// Desired elements per split. The generator rounds so splits differ
+  /// by at most one slab row.
+  nd::Index targetElements = 1 << 20;
+
+  /// Snap slab boundaries to multiples of the extraction stride in the
+  /// split dimension when the target allows it.
+  bool alignToExtraction = false;
+};
+
+/// Generates coordinate splits covering `inputShape` exactly
+/// (disjoint, and their union is the whole space).
+std::vector<mr::InputSplit> generateSplits(const nd::Coord& inputShape,
+                                           const SplitOptions& options);
+
+/// Variant that can snap boundaries to `extraction`'s stride.
+std::vector<mr::InputSplit> generateSplits(const nd::Coord& inputShape,
+                                           const ExtractionMap& extraction,
+                                           const SplitOptions& options);
+
+/// Hadoop-style byte-range splits: the input, viewed as a row-major
+/// byte stream, is cut into `splitCount` balanced linear ranges with no
+/// regard for array structure — exactly how stock Hadoop's 128 MB HDFS
+/// blocks produced the paper's 2,781 splits. Each split decomposes into
+/// up to 2*rank+1 coordinate regions and generally straddles extraction
+/// cells, which is why stock dependency sets are wide (figure 8a).
+std::vector<mr::InputSplit> generateByteRangeSplits(
+    const nd::Coord& inputShape, std::size_t splitCount);
+
+/// Computes the split element target that yields approximately
+/// `desiredSplitCount` splits over `inputShape`.
+nd::Index targetElementsForCount(const nd::Coord& inputShape,
+                                 std::size_t desiredSplitCount);
+
+}  // namespace sidr::sh

@@ -1,0 +1,123 @@
+#include "sidr/dependency.hpp"
+
+#include <algorithm>
+
+namespace sidr::core {
+
+DependencyCalculator::DependencyCalculator(
+    std::shared_ptr<const PartitionPlus> plan)
+    : plan_(std::move(plan)) {}
+
+std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
+    const mr::InputSplit& split) const {
+  if (split.regions.size() == 1) {
+    return keyblocksForSplit(split.regions.front());
+  }
+  std::vector<bool> seen(plan_->numReducers(), false);
+  for (const nd::Region& region : split.regions) {
+    for (std::uint32_t kb : keyblocksForSplit(region)) seen[kb] = true;
+  }
+  std::vector<std::uint32_t> out;
+  for (std::uint32_t kb = 0; kb < seen.size(); ++kb) {
+    if (seen[kb]) out.push_back(kb);
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
+    const nd::Region& region) const {
+  const sh::ExtractionMap& ex = plan_->extraction();
+  std::vector<std::uint32_t> out;
+  auto range = ex.instanceRangeOf(region);
+  if (!range) return out;  // split maps to nothing (gap / truncated tail)
+
+  const nd::Coord& grid = ex.instanceGridShape();
+  std::vector<bool> seen(plan_->numReducers(), false);
+
+  // Walk the instance-grid range row by row; each row is a contiguous
+  // linear run, which maps to a contiguous keyblock interval because
+  // keyblocks are contiguous in linear instance order.
+  const std::size_t rank = grid.rank();
+  const nd::Index rowLen = range->shape()[rank - 1];
+  nd::Coord prefixShape = range->shape();
+  prefixShape[rank - 1] = 1;
+  nd::Region prefixRegion(range->corner(), prefixShape);
+  for (nd::RegionCursor cur(prefixRegion); cur.valid(); cur.next()) {
+    nd::Index rowStart = nd::linearize(cur.coord(), grid);
+    std::uint32_t kbFirst =
+        plan_->keyblockOfGranule(rowStart / plan_->granuleSize());
+    std::uint32_t kbLast = plan_->keyblockOfGranule(
+        (rowStart + rowLen - 1) / plan_->granuleSize());
+    for (std::uint32_t kb = kbFirst; kb <= kbLast; ++kb) seen[kb] = true;
+  }
+  for (std::uint32_t kb = 0; kb < seen.size(); ++kb) {
+    if (seen[kb]) out.push_back(kb);
+  }
+  return out;
+}
+
+DependencyInfo DependencyCalculator::computeAll(
+    std::span<const mr::InputSplit> splits) const {
+  DependencyInfo info;
+  const std::uint32_t r = plan_->numReducers();
+  info.keyblockToSplits.resize(r);
+  info.splitToKeyblocks.resize(splits.size());
+  for (const mr::InputSplit& split : splits) {
+    std::vector<std::uint32_t> kbs = keyblocksForSplit(split);
+    for (std::uint32_t kb : kbs) {
+      info.keyblockToSplits[kb].push_back(split.id);
+    }
+    info.splitToKeyblocks[split.id] = std::move(kbs);
+  }
+  for (auto& deps : info.keyblockToSplits) {
+    std::sort(deps.begin(), deps.end());
+  }
+
+  // |K_l|: sum of cell volumes over each keyblock's instances. In
+  // truncate mode every cell is a full extraction shape; in pad mode
+  // edge cells are clipped, so walk the instances.
+  const sh::ExtractionMap& ex = plan_->extraction();
+  info.expectedRepresents.assign(r, 0);
+  for (std::uint32_t kb = 0; kb < r; ++kb) {
+    auto [first, last] = plan_->instanceRange(kb);
+    std::uint64_t total = 0;
+    for (const nd::Region& box : linearRangeToRegions(
+             first, last, ex.instanceGridShape())) {
+      // Interior boxes are full cells; only boxes touching the grid's
+      // upper edge can contain clipped cells.
+      bool touchesEdge = false;
+      for (std::size_t d = 0; d < box.rank(); ++d) {
+        if (box.corner()[d] + box.shape()[d] == ex.instanceGridShape()[d] &&
+            ex.inputShape()[d] % ex.stride()[d] != 0) {
+          touchesEdge = true;
+          break;
+        }
+      }
+      if (!touchesEdge) {
+        total += static_cast<std::uint64_t>(box.volume()) *
+                 static_cast<std::uint64_t>(ex.extractionShape().volume());
+      } else {
+        for (nd::RegionCursor g(box); g.valid(); g.next()) {
+          total += static_cast<std::uint64_t>(ex.cellVolume(g.coord()));
+        }
+      }
+    }
+    info.expectedRepresents[kb] = total;
+  }
+  return info;
+}
+
+std::vector<std::uint32_t> DependencyCalculator::recomputeSplitsFor(
+    std::uint32_t keyblock, std::span<const mr::InputSplit> splits) const {
+  std::vector<std::uint32_t> out;
+  for (const mr::InputSplit& split : splits) {
+    std::vector<std::uint32_t> kbs = keyblocksForSplit(split);
+    if (std::binary_search(kbs.begin(), kbs.end(), keyblock)) {
+      out.push_back(split.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace sidr::core

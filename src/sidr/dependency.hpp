@@ -1,0 +1,64 @@
+// Dependency derivation: which input splits feed which keyblocks
+// (paper section 3.2).
+//
+// I_l is the set of splits that, when mapped, produce at least one
+// intermediate record assigned to keyblock l. SIDR computes every I_l
+// when a query begins (the paper's "store" choice) by mapping each
+// split's region through the extraction shape into an instance-grid
+// range and intersecting with partition+'s keyblock ranges, then
+// inverting. A per-task "re-compute" variant is also provided
+// (section 3.2.1 presents this as a classic store-vs-recompute choice);
+// tests assert the two agree.
+#pragma once
+
+#include "mapreduce/job.hpp"
+#include "sidr/partition_plus.hpp"
+
+namespace sidr::core {
+
+struct DependencyInfo {
+  /// I_l for every keyblock: ids of the splits it depends on, ascending.
+  std::vector<std::vector<std::uint32_t>> keyblockToSplits;
+
+  /// Inverse: keyblocks each split contributes to, ascending.
+  std::vector<std::vector<std::uint32_t>> splitToKeyblocks;
+
+  /// |K_l|: input pairs mapping into each keyblock — the expected count-
+  /// annotation tally a reduce must accumulate before it may start
+  /// (section 3.2.1, method 2).
+  std::vector<std::uint64_t> expectedRepresents;
+
+  /// Total Map->Reduce fetches SIDR will perform: sum of |I_l|
+  /// (Table 3's "SIDR # Connections" column).
+  std::uint64_t totalConnections() const {
+    std::uint64_t n = 0;
+    for (const auto& d : keyblockToSplits) n += d.size();
+    return n;
+  }
+};
+
+class DependencyCalculator {
+ public:
+  explicit DependencyCalculator(std::shared_ptr<const PartitionPlus> plan);
+
+  /// Keyblocks that split `region` contributes to (ascending).
+  std::vector<std::uint32_t> keyblocksForSplit(const nd::Region& region) const;
+
+  /// Union over a (possibly multi-region, e.g. byte-range) split.
+  std::vector<std::uint32_t> keyblocksForSplit(
+      const mr::InputSplit& split) const;
+
+  /// Full dependency map for a split set (the job-submission-time
+  /// computation; its result rides along in the job specification).
+  DependencyInfo computeAll(std::span<const mr::InputSplit> splits) const;
+
+  /// Per-task recomputation of one I_l from scratch (store-vs-recompute
+  /// ablation): scans all splits and keeps those touching `keyblock`.
+  std::vector<std::uint32_t> recomputeSplitsFor(
+      std::uint32_t keyblock, std::span<const mr::InputSplit> splits) const;
+
+ private:
+  std::shared_ptr<const PartitionPlus> plan_;
+};
+
+}  // namespace sidr::core

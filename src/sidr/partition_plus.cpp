@@ -1,0 +1,132 @@
+#include "sidr/partition_plus.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sidr::core {
+
+namespace {
+
+/// Chooses the granule: a "prefix slab" {1,...,1,c,full,...,full} of the
+/// instance grid with volume <= bound. Slabs keep contiguous granule
+/// runs contiguous in row-major K' order — the property that makes
+/// keyblocks dense (paper footnote 1 trades a little skew for simpler
+/// shapes and cheaper routing).
+nd::Coord chooseGranuleShape(const nd::Coord& grid, nd::Index bound) {
+  nd::Coord unit = nd::Coord::ones(grid.rank());
+  nd::Index trailing = 1;
+  for (std::size_t d = grid.rank(); d-- > 0;) {
+    if (trailing * grid[d] <= bound) {
+      unit[d] = grid[d];
+      trailing *= grid[d];
+    } else {
+      nd::Index c = bound / trailing;
+      unit[d] = std::max<nd::Index>(1, std::min(c, grid[d]));
+      break;
+    }
+  }
+  return unit;
+}
+
+}  // namespace
+
+PartitionPlus::PartitionPlus(
+    std::shared_ptr<const sh::ExtractionMap> extraction,
+    std::uint32_t numReducers, nd::Index skewBound)
+    : extraction_(std::move(extraction)),
+      numReducers_(numReducers),
+      skewBound_(skewBound) {
+  if (numReducers_ == 0) {
+    throw std::invalid_argument("PartitionPlus: numReducers must be > 0");
+  }
+  const nd::Coord& grid = extraction_->instanceGridShape();
+  const nd::Index n = grid.volume();
+
+  if (skewBound_ <= 0) {
+    // System-chosen bound: aim for ~16 granules per keyblock so skew is
+    // a small fraction of a keyblock while routing stays cheap.
+    skewBound_ = std::max<nd::Index>(1, n / (static_cast<nd::Index>(
+                                               numReducers_) *
+                                             16));
+  }
+  granuleShape_ = chooseGranuleShape(grid, skewBound_);
+  granuleSize_ = granuleShape_.volume();
+  granuleCount_ = (n + granuleSize_ - 1) / granuleSize_;
+  granulesPerBlockFloor_ = granuleCount_ / numReducers_;
+  blocksWithExtra_ = granuleCount_ % numReducers_;
+}
+
+std::uint32_t PartitionPlus::keyblockOfGranule(nd::Index granule) const {
+  if (granule < 0 || granule >= granuleCount_) {
+    throw std::out_of_range("PartitionPlus: granule index out of range");
+  }
+  // Blocks holding q+1 granules come LAST: the final granule (possibly
+  // ragged, shorter than granuleSize_) then always lands in a q+1 block,
+  // keeping the max-min keyblock size within one granule.
+  const nd::Index q = granulesPerBlockFloor_;
+  const nd::Index plainBlocks =
+      static_cast<nd::Index>(numReducers_) - blocksWithExtra_;
+  const nd::Index boundary = plainBlocks * q;
+  if (granule < boundary) {
+    return static_cast<std::uint32_t>(granule / q);
+  }
+  return static_cast<std::uint32_t>(plainBlocks +
+                                    (granule - boundary) / (q + 1));
+}
+
+std::uint32_t PartitionPlus::keyblockOfInstance(const nd::Coord& g) const {
+  nd::Index linear = nd::linearize(g, extraction_->instanceGridShape());
+  return keyblockOfGranule(linear / granuleSize_);
+}
+
+std::uint32_t PartitionPlus::partition(const nd::Coord& key,
+                                       std::uint32_t numReducers) const {
+  if (numReducers != numReducers_) {
+    throw std::logic_error(
+        "PartitionPlus: job reducer count differs from the plan");
+  }
+  return keyblockOfInstance(extraction_->instanceForKey(key));
+}
+
+std::pair<nd::Index, nd::Index> PartitionPlus::instanceRange(
+    std::uint32_t keyblock) const {
+  if (keyblock >= numReducers_) {
+    throw std::out_of_range("PartitionPlus: keyblock out of range");
+  }
+  const nd::Index q = granulesPerBlockFloor_;
+  const auto kb = static_cast<nd::Index>(keyblock);
+  const nd::Index plainBlocks =
+      static_cast<nd::Index>(numReducers_) - blocksWithExtra_;
+  nd::Index gFirst;
+  nd::Index gLast;
+  if (kb < plainBlocks) {
+    gFirst = kb * q;
+    gLast = gFirst + q;
+  } else {
+    gFirst = plainBlocks * q + (kb - plainBlocks) * (q + 1);
+    gLast = gFirst + (q + 1);
+  }
+  const nd::Index n = extraction_->instanceCount();
+  nd::Index first = std::min(gFirst * granuleSize_, n);
+  nd::Index last = std::min(gLast * granuleSize_, n);
+  return {first, last};
+}
+
+nd::Index PartitionPlus::realizedSkew() const {
+  nd::Index mn = extraction_->instanceCount();
+  nd::Index mx = 0;
+  for (std::uint32_t kb = 0; kb < numReducers_; ++kb) {
+    nd::Index s = keyblockSize(kb);
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+  }
+  return mx - mn;
+}
+
+std::vector<nd::Region> PartitionPlus::keyblockRegions(
+    std::uint32_t keyblock) const {
+  auto [first, last] = instanceRange(keyblock);
+  return linearRangeToRegions(first, last, extraction_->instanceGridShape());
+}
+
+}  // namespace sidr::core

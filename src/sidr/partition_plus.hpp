@@ -1,0 +1,94 @@
+// partition+ : SIDR's structure-aware intermediate-data partitioner
+// (paper section 3.1, figure 7).
+//
+// Because the full intermediate keyspace K'^T of a structural query is
+// computable up front (ExtractionMap), partition+ can partition the
+// ACTUAL keys instead of the whole representable key range:
+//   (A) choose an n-dimensional granule shape whose volume is below the
+//       permissible skew bound;
+//   (B) deal contiguous runs of granules to keyblocks so every keyblock
+//       holds within one granule of the same key count.
+// Keyblocks are contiguous in the row-major order of K', so reduce
+// output lands as dense, contiguous chunks (section 4.4), and any
+// natural alignment between query and data order is preserved
+// (section 3.4, figure 8).
+#pragma once
+
+#include <memory>
+
+#include "mapreduce/interfaces.hpp"
+#include "scihadoop/extraction.hpp"
+
+namespace sidr::core {
+
+class PartitionPlus final : public mr::Partitioner {
+ public:
+  /// Builds the partition plan for `numReducers` keyblocks.
+  /// `skewBound` is the maximum permissible inter-keyblock skew in keys;
+  /// pass 0 to let the system choose (paper: "either user-defined as
+  /// part of the query or chosen by the system").
+  PartitionPlus(std::shared_ptr<const sh::ExtractionMap> extraction,
+                std::uint32_t numReducers, nd::Index skewBound = 0);
+
+  // --- mr::Partitioner ---
+  /// O(rank) routing of an intermediate key to its keyblock.
+  std::uint32_t partition(const nd::Coord& key,
+                          std::uint32_t numReducers) const override;
+
+  // --- plan inspection ---
+  std::uint32_t numReducers() const noexcept { return numReducers_; }
+
+  /// The granule: the "shape less than the permissible amount of skew"
+  /// of figure 7, expressed over the instance grid.
+  const nd::Coord& granuleShape() const noexcept { return granuleShape_; }
+
+  /// Instances per granule (the skew guarantee: keyblock sizes differ by
+  /// at most this many intermediate keys).
+  nd::Index granuleSize() const noexcept { return granuleSize_; }
+
+  /// Total granules tiling the instance grid.
+  nd::Index granuleCount() const noexcept { return granuleCount_; }
+
+  /// Keyblock of a granule (by linear granule index).
+  std::uint32_t keyblockOfGranule(nd::Index granule) const;
+
+  /// Keyblock of an instance (by instance-grid coordinate).
+  std::uint32_t keyblockOfInstance(const nd::Coord& g) const;
+
+  /// Half-open linear instance range [first, last) of a keyblock.
+  std::pair<nd::Index, nd::Index> instanceRange(std::uint32_t keyblock) const;
+
+  /// Number of intermediate keys in a keyblock.
+  nd::Index keyblockSize(std::uint32_t keyblock) const {
+    auto [a, b] = instanceRange(keyblock);
+    return b - a;
+  }
+
+  /// Max keyblock size minus min keyblock size (the realized skew;
+  /// guaranteed <= granuleSize()).
+  nd::Index realizedSkew() const;
+
+  /// Decomposes a keyblock's (linearly contiguous) instance range into
+  /// axis-aligned boxes of the instance grid, outermost-first. At most
+  /// 2*rank boxes; a single box whenever the range is slab-aligned.
+  /// These are the dense regions a reduce task writes as output chunks.
+  std::vector<nd::Region> keyblockRegions(std::uint32_t keyblock) const;
+
+  const sh::ExtractionMap& extraction() const noexcept { return *extraction_; }
+
+ private:
+  std::shared_ptr<const sh::ExtractionMap> extraction_;
+  std::uint32_t numReducers_;
+  nd::Index skewBound_;
+  nd::Coord granuleShape_;
+  nd::Index granuleSize_ = 1;
+  nd::Index granuleCount_ = 0;
+  nd::Index granulesPerBlockFloor_ = 0;  ///< q = floor(M / r)
+  nd::Index blocksWithExtra_ = 0;        ///< first (M mod r) blocks get q+1
+};
+
+/// Geometry helper re-exported from ndarray for backwards-compatible
+/// callers; see nd::linearRangeToRegions.
+using nd::linearRangeToRegions;
+
+}  // namespace sidr::core

@@ -1,0 +1,101 @@
+#include "sidr/planner.hpp"
+
+namespace sidr::core {
+
+std::string systemModeName(SystemMode mode) {
+  switch (mode) {
+    case SystemMode::kHadoop:
+      return "Hadoop";
+    case SystemMode::kSciHadoop:
+      return "SciHadoop";
+    case SystemMode::kSidr:
+      return "SIDR";
+    case SystemMode::kSailfish:
+      return "Sailfish";
+  }
+  throw std::invalid_argument("systemModeName: bad mode");
+}
+
+QueryPlanner::QueryPlanner(sh::StructuralQuery query, nd::Coord inputShape)
+    : query_(std::move(query)), inputShape_(inputShape) {}
+
+QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
+                                 const PlanOptions& options) const {
+  if (options.system == SystemMode::kSailfish) {
+    throw std::invalid_argument(
+        "QueryPlanner: Sailfish is a simulator-only baseline (see "
+        "sim::buildWorkload)");
+  }
+  QueryPlan plan;
+  auto extraction =
+      std::make_shared<const sh::ExtractionMap>(query_, inputShape_);
+  plan.extraction = extraction;
+
+  sh::SplitOptions splitOpts;
+  splitOpts.targetElements =
+      options.splitTargetElements > 0
+          ? options.splitTargetElements
+          : sh::targetElementsForCount(
+                query_.subset ? query_.subset->shape() : inputShape_,
+                options.desiredSplitCount);
+  splitOpts.alignToExtraction = options.alignSplitsToExtraction;
+
+  mr::JobSpec spec;
+  // Splits cover only the query's domain (SciHadoop reads just the
+  // requested coordinate range); subset queries offset the slabs.
+  const nd::Region& domain = extraction->domain();
+  spec.splits = sh::generateSplits(domain.shape(), *extraction, splitOpts);
+  if (domain.corner() != nd::Coord::zeros(domain.rank())) {
+    for (mr::InputSplit& split : spec.splits) {
+      for (nd::Region& region : split.regions) {
+        region = nd::Region(region.corner().plus(domain.corner()),
+                            region.shape());
+      }
+    }
+  }
+  spec.readerFactory = std::move(readerFactory);
+  spec.mapperFactory = sh::makeStructuralMapperFactory(query_, extraction);
+  spec.reducerFactory = sh::makeStructuralReducerFactory(query_);
+  spec.numReducers = options.numReducers;
+  spec.mapSlots = options.mapSlots;
+  spec.reduceSlots = options.reduceSlots;
+  spec.numThreads = options.numThreads;
+  spec.recovery = options.recovery;
+  spec.failOnceReduces = options.failOnceReduces;
+
+  if (options.system == SystemMode::kSidr) {
+    auto pp = std::make_shared<const PartitionPlus>(
+        extraction, options.numReducers, query_.skewBound);
+    plan.partitionPlus = pp;
+    spec.partitioner = pp;
+    spec.mode = mr::ExecutionMode::kSidr;
+    DependencyCalculator calc(pp);
+    plan.dependencies = calc.computeAll(spec.splits);
+    spec.reduceDeps = plan.dependencies.keyblockToSplits;
+    if (options.validateAnnotations) {
+      spec.expectedRepresents = plan.dependencies.expectedRepresents;
+    }
+    spec.reducePriority = options.reducePriority;
+  } else {
+    spec.partitioner = std::make_shared<const mr::ModuloPartitioner>(
+        extraction->intermediateSpaceShape());
+    spec.mode = mr::ExecutionMode::kGlobalBarrier;
+  }
+
+  plan.spec = std::move(spec);
+  return plan;
+}
+
+QueryPlan QueryPlanner::plan(const sh::ValueFn& fn,
+                             const PlanOptions& options) const {
+  return assemble(sh::makeSyntheticReaderFactory(fn), options);
+}
+
+QueryPlan QueryPlanner::plan(std::shared_ptr<sci::Dataset> dataset,
+                             std::size_t varIdx,
+                             const PlanOptions& options) const {
+  return assemble(sh::makeDatasetReaderFactory(std::move(dataset), varIdx),
+                  options);
+}
+
+}  // namespace sidr::core

@@ -1,0 +1,93 @@
+// QueryPlanner: turns a StructuralQuery into a runnable mr::JobSpec for
+// any of the three systems the paper compares.
+//
+//   kHadoop    — global barrier + modulo partitioner (structure-
+//                oblivious; in the in-process engine it shares
+//                SciHadoop's coordinate splits, the performance
+//                difference between the two is an I/O-path property
+//                modeled by the cluster simulator);
+//   kSciHadoop — global barrier + modulo partitioner over coordinate
+//                splits (SC '11 system);
+//   kSidr      — partition+ keyblocks, derived dependencies I_l,
+//                reduce-first scheduling, early-start reduces, count-
+//                annotation validation.
+#pragma once
+
+#include "mapreduce/engine.hpp"
+#include "mapreduce/partitioners.hpp"
+#include "scihadoop/datagen.hpp"
+#include "scihadoop/operators.hpp"
+#include "scihadoop/split_gen.hpp"
+#include "sidr/dependency.hpp"
+
+namespace sidr::core {
+
+enum class SystemMode : std::uint8_t {
+  kHadoop,
+  kSciHadoop,
+  kSidr,
+  /// Sailfish (Rao et al., SoCC '12; paper section 5): defers keyblock
+  /// assignment until ALL intermediate keys exist, eliminating skew by
+  /// partitioning the observed key set — at the price of a STRENGTHENED
+  /// barrier (reduces can no longer overlap their copy phase with map
+  /// execution). Simulator-only baseline; the planner rejects it.
+  kSailfish,
+};
+
+std::string systemModeName(SystemMode mode);
+
+struct PlanOptions {
+  SystemMode system = SystemMode::kSidr;
+  std::uint32_t numReducers = 4;
+
+  /// Split sizing: explicit element target, or derive from a count.
+  nd::Index splitTargetElements = 0;   ///< 0: use desiredSplitCount
+  std::size_t desiredSplitCount = 16;
+  bool alignSplitsToExtraction = false;
+
+  /// Keyblock priority order (SIDR only; empty = keyblock id order).
+  std::vector<std::uint32_t> reducePriority;
+
+  /// Validate reduce-start correctness with count annotations.
+  bool validateAnnotations = true;
+
+  std::uint32_t mapSlots = 4;
+  std::uint32_t reduceSlots = 3;
+  std::uint32_t numThreads = 4;
+
+  mr::RecoveryModel recovery = mr::RecoveryModel::kPersistAll;
+  std::vector<std::uint32_t> failOnceReduces;
+};
+
+/// A fully-assembled plan: the JobSpec plus the structural artifacts the
+/// caller may want to inspect (keyspace, keyblocks, dependencies).
+struct QueryPlan {
+  mr::JobSpec spec;
+  std::shared_ptr<const sh::ExtractionMap> extraction;
+  std::shared_ptr<const PartitionPlus> partitionPlus;  ///< kSidr only
+  DependencyInfo dependencies;                         ///< kSidr only
+};
+
+class QueryPlanner {
+ public:
+  QueryPlanner(sh::StructuralQuery query, nd::Coord inputShape);
+
+  /// Builds a plan whose record readers synthesize values from `fn`.
+  QueryPlan plan(const sh::ValueFn& fn, const PlanOptions& options) const;
+
+  /// Builds a plan reading from a real SNDF dataset variable.
+  QueryPlan plan(std::shared_ptr<sci::Dataset> dataset, std::size_t varIdx,
+                 const PlanOptions& options) const;
+
+  const sh::StructuralQuery& query() const noexcept { return query_; }
+  const nd::Coord& inputShape() const noexcept { return inputShape_; }
+
+ private:
+  QueryPlan assemble(mr::RecordReaderFactory readerFactory,
+                     const PlanOptions& options) const;
+
+  sh::StructuralQuery query_;
+  nd::Coord inputShape_;
+};
+
+}  // namespace sidr::core

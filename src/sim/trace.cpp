@@ -1,0 +1,73 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace sidr::sim {
+
+CompletionSeries completionSeries(const std::vector<double>& sortedEnds,
+                                  std::size_t maxPoints) {
+  CompletionSeries s;
+  const std::size_t n = sortedEnds.size();
+  if (n == 0) return s;
+  std::size_t step = std::max<std::size_t>(1, n / maxPoints);
+  for (std::size_t i = 0; i < n; i += step) {
+    s.times.push_back(sortedEnds[i]);
+    s.fractions.push_back(static_cast<double>(i + 1) /
+                          static_cast<double>(n));
+  }
+  if (s.times.back() != sortedEnds.back()) {
+    s.times.push_back(sortedEnds.back());
+    s.fractions.push_back(1.0);
+  }
+  return s;
+}
+
+double timeAtFraction(const std::vector<double>& sortedEnds,
+                      double fraction) {
+  if (sortedEnds.empty()) {
+    throw std::invalid_argument("timeAtFraction: empty series");
+  }
+  if (fraction <= 0.0 || fraction > 1.0) {
+    throw std::invalid_argument("timeAtFraction: fraction out of (0, 1]");
+  }
+  auto idx = static_cast<std::size_t>(
+      std::ceil(fraction * static_cast<double>(sortedEnds.size())) - 1);
+  return sortedEnds[std::min(idx, sortedEnds.size() - 1)];
+}
+
+void printSeriesCsv(std::ostream& os, const std::string& label,
+                    const CompletionSeries& series) {
+  for (std::size_t i = 0; i < series.times.size(); ++i) {
+    os << label << "," << series.times[i] << "," << series.fractions[i]
+       << "\n";
+  }
+}
+
+FractionStats fractionStats(
+    const std::vector<std::vector<double>>& sortedEndsPerRun,
+    std::size_t numPoints) {
+  FractionStats stats;
+  if (sortedEndsPerRun.empty()) return stats;
+  for (std::size_t p = 1; p <= numPoints; ++p) {
+    double frac = static_cast<double>(p) / static_cast<double>(numPoints);
+    double sum = 0;
+    double sumSq = 0;
+    for (const auto& run : sortedEndsPerRun) {
+      double t = timeAtFraction(run, frac);
+      sum += t;
+      sumSq += t * t;
+    }
+    auto n = static_cast<double>(sortedEndsPerRun.size());
+    double mean = sum / n;
+    double var = std::max(0.0, sumSq / n - mean * mean);
+    stats.fractions.push_back(frac);
+    stats.meanTimes.push_back(mean);
+    stats.stddevTimes.push_back(std::sqrt(var));
+  }
+  return stats;
+}
+
+}  // namespace sidr::sim

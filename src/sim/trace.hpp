@@ -1,0 +1,44 @@
+// Trace post-processing: turn simulated task completion times into the
+// completion-over-time series the paper plots, and aggregate multi-run
+// statistics (figure 12's mean +/- stddev over 10 runs).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/sim_engine.hpp"
+
+namespace sidr::sim {
+
+/// (time, fraction complete) series from sorted completion times.
+struct CompletionSeries {
+  std::vector<double> times;
+  std::vector<double> fractions;
+};
+
+/// Builds the series, down-sampled to at most `maxPoints` steps.
+CompletionSeries completionSeries(const std::vector<double>& sortedEnds,
+                                  std::size_t maxPoints = 60);
+
+/// Time at which `fraction` of the tasks had completed (interpolating
+/// on task counts; fraction in (0, 1]).
+double timeAtFraction(const std::vector<double>& sortedEnds, double fraction);
+
+/// Prints "label,time,fraction" CSV rows for a series.
+void printSeriesCsv(std::ostream& os, const std::string& label,
+                    const CompletionSeries& series);
+
+/// Mean / stddev across runs of the time at each completion fraction
+/// (error bars of figure 12).
+struct FractionStats {
+  std::vector<double> fractions;
+  std::vector<double> meanTimes;
+  std::vector<double> stddevTimes;
+};
+
+FractionStats fractionStats(
+    const std::vector<std::vector<double>>& sortedEndsPerRun,
+    std::size_t numPoints = 20);
+
+}  // namespace sidr::sim

@@ -1,0 +1,88 @@
+// Workload builder: turns a StructuralQuery over a (possibly huge,
+// purely logical) dataset geometry into a SimJob for the cluster
+// simulator.
+//
+// Nothing here is hand-waved about ROUTING: intermediate volumes are
+// accumulated by walking every extraction instance each split touches
+// and routing its key through the REAL partitioner (ModuloPartitioner
+// for Hadoop/SciHadoop, PartitionPlus for SIDR), and SIDR dependency
+// sets come from the real DependencyCalculator. Only the COST model
+// (bytes per element, CPU seconds per byte, locality fractions) is
+// calibrated to the paper's 2013 testbed.
+#pragma once
+
+#include "sidr/planner.hpp"
+#include "sim/sim_engine.hpp"
+
+namespace sidr::sim {
+
+/// How map input splits are generated.
+enum class SplitLayout : std::uint8_t {
+  /// SciHadoop/SIDR coordinate slabs (whole leading rows).
+  kCoordinateSlabs,
+  /// Stock Hadoop byte ranges: balanced linear element ranges that cut
+  /// rows and extraction cells arbitrarily (the paper's 2,781 splits).
+  kByteRange,
+};
+
+struct WorkloadSpec {
+  sh::StructuralQuery query;
+  nd::Coord inputShape;
+  std::uint64_t bytesPerElement = 4;  ///< int32 measurements, as the paper
+  std::size_t numSplits = 2781;       ///< paper: 348 GB / 128 MB blocks
+  SplitLayout splitLayout = SplitLayout::kCoordinateSlabs;
+
+  /// Intermediate bytes produced per input byte consumed (after the
+  /// map-side combine): ~1 for holistic median (full value lists),
+  /// ~selectivity for filters, << 1 for distributive aggregates.
+  double intermediateFactor = 1.0;
+  /// Fixed key/header overhead per intermediate record.
+  double recordOverheadBytes = 16.0;
+
+  /// Map compute cost per input byte for coordinate-aware readers
+  /// (SciHadoop, SIDR).
+  double mapCpuSecondsPerByte = 1.5e-7;
+  /// Multiplier for structure-oblivious Hadoop (byte-oriented splits
+  /// force record reassembly across block boundaries).
+  double hadoopCpuPenalty = 3.6;
+  double hadoopLocalityFraction = 0.30;
+  double scihadoopLocalityFraction = 0.97;
+
+  /// Reduce compute cost per merged intermediate byte.
+  double reduceCpuSecondsPerByte = 4.0e-9;
+
+  /// Output bytes emitted per extraction instance (one value each for
+  /// aggregates; larger for filters that keep lists).
+  double outputBytesPerInstance = 4.0;
+};
+
+/// A built simulator job plus the structural artifacts it was derived
+/// from (for reporting: Table 3 wants both connection counts).
+struct BuiltWorkload {
+  SimJob job;
+  std::shared_ptr<const sh::ExtractionMap> extraction;
+  std::shared_ptr<const core::PartitionPlus> partitionPlus;  ///< SIDR only
+  core::DependencyInfo dependencies;                         ///< SIDR only
+  std::uint64_t stockConnections = 0;  ///< maps x reduces
+  std::size_t numSplits = 0;
+};
+
+/// Builds the SimJob for one system/reducer-count combination.
+BuiltWorkload buildWorkload(const WorkloadSpec& spec, core::SystemMode system,
+                            std::uint32_t numReduces,
+                            std::vector<std::uint32_t> reducePriority = {});
+
+/// Paper Query 1: median over {7200,360,720,50} windspeed data with
+/// extraction shape {2,36,36,10} (section 4.1).
+WorkloadSpec query1Workload();
+
+/// Paper Query 2: 3-sigma filter over the same-size normal dataset with
+/// extraction shape {2,40,40,10} (~0.1% selectivity).
+WorkloadSpec query2Workload();
+
+/// Section 4.3 / figure 13 workload: a strided selection that preserves
+/// original (all-even) coordinates, starving odd reducers under modulo
+/// partitioning.
+WorkloadSpec skewWorkload();
+
+}  // namespace sidr::sim

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "scihadoop/split_gen.hpp"
+#include "sidr/dependency.hpp"
+
+namespace sidr::core {
+namespace {
+
+struct DepSetup {
+  std::shared_ptr<const sh::ExtractionMap> extraction;
+  std::shared_ptr<const PartitionPlus> plan;
+  std::vector<mr::InputSplit> splits;
+};
+
+DepSetup makeSetup(const nd::Coord& input, const nd::Coord& eshape,
+                std::uint32_t reducers, nd::Index bound,
+                std::size_t splitCount,
+                sh::EdgeMode edge = sh::EdgeMode::kTruncate) {
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = eshape;
+  q.edgeMode = edge;
+  DepSetup s;
+  s.extraction = std::make_shared<const sh::ExtractionMap>(q, input);
+  s.plan = std::make_shared<const PartitionPlus>(s.extraction, reducers, bound);
+  sh::SplitOptions opts;
+  opts.targetElements = sh::targetElementsForCount(input, splitCount);
+  s.splits = sh::generateSplits(input, opts);
+  return s;
+}
+
+/// Brute-force ground truth: run every key of every split through the
+/// extraction map and partitioner.
+std::vector<std::set<std::uint32_t>> bruteForceSplitToKeyblocks(
+    const DepSetup& s) {
+  std::vector<std::set<std::uint32_t>> result(s.splits.size());
+  for (const auto& split : s.splits) {
+    for (const nd::Region& region : split.regions) {
+      for (nd::RegionCursor cur(region); cur.valid(); cur.next()) {
+        auto g = s.extraction->instanceOf(cur.coord());
+        if (g) result[split.id].insert(s.plan->keyblockOfInstance(*g));
+      }
+    }
+  }
+  return result;
+}
+
+TEST(DependencyCalculator, MatchesBruteForce) {
+  DepSetup s = makeSetup(nd::Coord{56, 20}, nd::Coord{7, 5}, 4, 2, 9);
+  DependencyCalculator calc(s.plan);
+  auto truth = bruteForceSplitToKeyblocks(s);
+  for (const auto& split : s.splits) {
+    auto kbs = calc.keyblocksForSplit(split);
+    std::set<std::uint32_t> got(kbs.begin(), kbs.end());
+    EXPECT_EQ(got, truth[split.id]) << "split " << split.id;
+  }
+}
+
+TEST(DependencyCalculator, InversionIsConsistent) {
+  DepSetup s = makeSetup(nd::Coord{60, 24}, nd::Coord{5, 4}, 5, 3, 7);
+  DependencyCalculator calc(s.plan);
+  DependencyInfo info = calc.computeAll(s.splits);
+  ASSERT_EQ(info.keyblockToSplits.size(), 5u);
+  ASSERT_EQ(info.splitToKeyblocks.size(), s.splits.size());
+  for (std::uint32_t kb = 0; kb < 5; ++kb) {
+    for (std::uint32_t sp : info.keyblockToSplits[kb]) {
+      const auto& kbs = info.splitToKeyblocks[sp];
+      EXPECT_TRUE(std::find(kbs.begin(), kbs.end(), kb) != kbs.end());
+    }
+  }
+  for (const auto& split : s.splits) {
+    for (std::uint32_t kb : info.splitToKeyblocks[split.id]) {
+      const auto& sps = info.keyblockToSplits[kb];
+      EXPECT_TRUE(std::binary_search(sps.begin(), sps.end(), split.id));
+    }
+  }
+}
+
+TEST(DependencyCalculator, StoreVsRecomputeAgree) {
+  // Section 3.2.1: dependencies can be stored at submission or
+  // recomputed per task; both must agree.
+  DepSetup s = makeSetup(nd::Coord{63, 25}, nd::Coord{7, 5}, 6, 4, 11);
+  DependencyCalculator calc(s.plan);
+  DependencyInfo info = calc.computeAll(s.splits);
+  for (std::uint32_t kb = 0; kb < 6; ++kb) {
+    EXPECT_EQ(calc.recomputeSplitsFor(kb, s.splits),
+              info.keyblockToSplits[kb]);
+  }
+}
+
+TEST(DependencyCalculator, ExpectedRepresentsMatchesBruteForce) {
+  for (sh::EdgeMode edge : {sh::EdgeMode::kTruncate, sh::EdgeMode::kPad}) {
+    DepSetup s = makeSetup(nd::Coord{23, 11}, nd::Coord{7, 5}, 3, 1, 4, edge);
+    DependencyCalculator calc(s.plan);
+    DependencyInfo info = calc.computeAll(s.splits);
+    std::vector<std::uint64_t> truth(3, 0);
+    for (nd::RegionCursor cur(nd::Region::wholeSpace(nd::Coord{23, 11}));
+         cur.valid(); cur.next()) {
+      auto g = s.extraction->instanceOf(cur.coord());
+      if (g) ++truth[s.plan->keyblockOfInstance(*g)];
+    }
+    EXPECT_EQ(info.expectedRepresents, truth);
+  }
+}
+
+TEST(DependencyCalculator, AlignedSplitsHaveDisjointDependencies) {
+  // When split boundaries align with extraction cells and keyblock
+  // boundaries, each keyblock depends only on its own splits (the
+  // figure 8(b) picture: keyblock 0 only needs the first half).
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  auto ex = std::make_shared<const sh::ExtractionMap>(q, nd::Coord{56, 20});
+  auto plan = std::make_shared<const PartitionPlus>(ex, 2, 16);
+  sh::SplitOptions opts;
+  opts.targetElements = 14 * 20;  // 2 weeks per split, aligned
+  auto splits = sh::generateSplits(nd::Coord{56, 20}, *ex, opts);
+  ASSERT_EQ(splits.size(), 4u);
+  DependencyCalculator calc(plan);
+  DependencyInfo info = calc.computeAll(splits);
+  EXPECT_EQ(info.keyblockToSplits[0],
+            (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_EQ(info.keyblockToSplits[1],
+            (std::vector<std::uint32_t>{2, 3}));
+  EXPECT_EQ(info.totalConnections(), 4u);
+}
+
+TEST(DependencyCalculator, MisalignedSplitsOverlapByOne) {
+  // Splits that straddle a keyblock boundary appear in both I_l sets.
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{2, 1};
+  auto ex = std::make_shared<const sh::ExtractionMap>(q, nd::Coord{20, 4});
+  auto plan = std::make_shared<const PartitionPlus>(ex, 2, 1);
+  sh::SplitOptions opts;
+  opts.targetElements = 3 * 4;  // 3-row splits: misaligned with eshape 2
+  auto splits = sh::generateSplits(nd::Coord{20, 4}, opts);
+  DependencyCalculator calc(plan);
+  DependencyInfo info = calc.computeAll(splits);
+  std::uint64_t total = info.totalConnections();
+  // More than the disjoint minimum (7 splits), less than global (14).
+  EXPECT_GT(total, splits.size());
+  EXPECT_LT(total, 2 * splits.size());
+}
+
+TEST(DependencyCalculator, SplitInTruncatedTailHasNoKeyblocks) {
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  auto ex = std::make_shared<const sh::ExtractionMap>(q, nd::Coord{60, 20});
+  auto plan = std::make_shared<const PartitionPlus>(ex, 2, 4);
+  DependencyCalculator calc(plan);
+  // Rows 56..59 are beyond the last full week (weeks end at row 55).
+  EXPECT_TRUE(calc.keyblocksForSplit(
+                      nd::Region(nd::Coord{56, 0}, nd::Coord{4, 20}))
+                  .empty());
+}
+
+TEST(DependencyCalculator, Table3ConnectionScaling) {
+  // Shape check for Table 3: stock connections are maps x reduces;
+  // SIDR connections grow by at most (overlap) and stay near the split
+  // count as r grows.
+  DepSetup s = makeSetup(nd::Coord{360, 36, 20}, nd::Coord{2, 36, 10}, 2, 0, 90);
+  std::uint64_t prev = 0;
+  for (std::uint32_t r : {2u, 4u, 8u, 16u}) {
+    auto plan = std::make_shared<const PartitionPlus>(s.extraction, r, 0);
+    DependencyCalculator calc(plan);
+    DependencyInfo info = calc.computeAll(s.splits);
+    std::uint64_t sidrConn = info.totalConnections();
+    std::uint64_t stockConn = s.splits.size() * r;
+    EXPECT_LT(sidrConn, stockConn);
+    EXPECT_GE(sidrConn, s.splits.size());  // every split fetched >= once
+    EXPECT_GE(sidrConn, prev);             // grows (slowly) with r
+    prev = sidrConn;
+    // Near-flat growth: well under 2 fetches per split even at r=16.
+    EXPECT_LT(sidrConn, 2 * s.splits.size());
+  }
+}
+
+}  // namespace
+}  // namespace sidr::core

@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dfs/namenode.hpp"
+
+namespace sidr::dfs {
+namespace {
+
+TEST(Namenode, BlocksCoverFileExactly) {
+  Namenode nn(24);
+  FileId id = nn.addFile("data", 1000, 128);
+  const FileInfo& info = nn.file(id);
+  EXPECT_EQ(info.blocks.size(), 8u);  // ceil(1000/128)
+  std::uint64_t covered = 0;
+  for (const auto& b : info.blocks) {
+    EXPECT_EQ(b.offset, covered);
+    covered += b.length;
+  }
+  EXPECT_EQ(covered, 1000u);
+  EXPECT_EQ(info.blocks.back().length, 1000u % 128u);
+}
+
+TEST(Namenode, ReplicationFactorHonored) {
+  Namenode nn(24, 3);
+  FileId id = nn.addFile("data", 10 * 128, 128);
+  for (const auto& b : nn.file(id).blocks) {
+    EXPECT_EQ(b.replicas.size(), 3u);
+    std::set<NodeId> distinct(b.replicas.begin(), b.replicas.end());
+    EXPECT_EQ(distinct.size(), 3u) << "replicas must be on distinct nodes";
+    for (NodeId n : b.replicas) EXPECT_LT(n, 24u);
+  }
+}
+
+TEST(Namenode, ReplicationClampedToClusterSize) {
+  Namenode nn(2, 3);
+  FileId id = nn.addFile("data", 128, 128);
+  EXPECT_EQ(nn.file(id).blocks[0].replicas.size(), 2u);
+}
+
+TEST(Namenode, DeterministicPlacementPerSeed) {
+  Namenode a(24, 3, 7);
+  Namenode b(24, 3, 7);
+  Namenode c(24, 3, 8);
+  FileId fa = a.addFile("x", 20 * 128, 128);
+  FileId fb = b.addFile("x", 20 * 128, 128);
+  FileId fc = c.addFile("x", 20 * 128, 128);
+  bool anyDiffer = false;
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.file(fa).blocks[i].replicas, b.file(fb).blocks[i].replicas);
+    if (a.file(fa).blocks[i].replicas != c.file(fc).blocks[i].replicas) {
+      anyDiffer = true;
+    }
+  }
+  EXPECT_TRUE(anyDiffer) << "different seeds should differ somewhere";
+}
+
+TEST(Namenode, BlockAtAndRangeLookup) {
+  Namenode nn(8);
+  FileId id = nn.addFile("data", 1024, 256);
+  EXPECT_EQ(nn.blockAt(id, 0).offset, 0u);
+  EXPECT_EQ(nn.blockAt(id, 255).offset, 0u);
+  EXPECT_EQ(nn.blockAt(id, 256).offset, 256u);
+  EXPECT_THROW(nn.blockAt(id, 1024), std::out_of_range);
+  // A range's locality comes from the block holding its midpoint.
+  EXPECT_EQ(&nn.hostsForRange(id, 0, 256), &nn.blockAt(id, 127).replicas);
+  EXPECT_EQ(&nn.hostsForRange(id, 200, 200), &nn.blockAt(id, 299).replicas);
+}
+
+TEST(Namenode, IsLocalMatchesReplicas) {
+  Namenode nn(8);
+  FileId id = nn.addFile("data", 512, 256);
+  const auto& hosts = nn.hostsForRange(id, 0, 256);
+  for (NodeId n = 0; n < 8; ++n) {
+    bool expected =
+        std::find(hosts.begin(), hosts.end(), n) != hosts.end();
+    EXPECT_EQ(nn.isLocal(id, 0, 256, n), expected);
+  }
+}
+
+TEST(Namenode, WriterNodeGetsFirstReplica) {
+  Namenode nn(16);
+  FileId id = nn.addFile("data", 4 * 128, 128, /*writerNode=*/5);
+  for (const auto& b : nn.file(id).blocks) {
+    EXPECT_EQ(b.replicas.front(), 5u);
+  }
+}
+
+TEST(Namenode, RotatingWriterSpreadsFirstReplicas) {
+  Namenode nn(4);
+  FileId id = nn.addFile("data", 8 * 128, 128);
+  std::set<NodeId> firsts;
+  for (const auto& b : nn.file(id).blocks) firsts.insert(b.replicas.front());
+  EXPECT_EQ(firsts.size(), 4u) << "bulk ingest should rotate writers";
+}
+
+TEST(Namenode, Validation) {
+  Namenode nn(4);
+  EXPECT_THROW(Namenode(0), std::invalid_argument);
+  EXPECT_THROW(nn.addFile("x", 100, 0), std::invalid_argument);
+  nn.addFile("dup", 100, 10);
+  EXPECT_THROW(nn.addFile("dup", 100, 10), std::invalid_argument);
+  EXPECT_THROW(nn.fileByName("missing"), std::invalid_argument);
+  EXPECT_EQ(nn.fileByName("dup").name, "dup");
+}
+
+}  // namespace
+}  // namespace sidr::dfs

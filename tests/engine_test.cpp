@@ -1,0 +1,512 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "mapreduce/combiners.hpp"
+#include "mapreduce/engine.hpp"
+#include "scihadoop/datagen.hpp"
+#include "sidr/planner.hpp"
+
+namespace sidr::core {
+namespace {
+
+using sh::OperatorKind;
+
+sh::StructuralQuery makeQuery(OperatorKind op, nd::Coord eshape,
+                              double threshold = 0.0) {
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = op;
+  q.extractionShape = eshape;
+  q.filterThreshold = threshold;
+  return q;
+}
+
+void expectMatchesOracle(const mr::JobResult& result,
+                         const std::vector<mr::KeyValue>& oracle) {
+  auto got = result.collectAll();
+  ASSERT_EQ(got.size(), oracle.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].key, oracle[i].key) << "at " << i;
+    ASSERT_EQ(got[i].value.kind(), oracle[i].value.kind());
+    if (got[i].value.kind() == mr::ValueKind::kScalar) {
+      EXPECT_NEAR(got[i].value.asScalar(), oracle[i].value.asScalar(), 1e-9);
+    } else if (got[i].value.kind() == mr::ValueKind::kList) {
+      const auto& a = got[i].value.asList();
+      const auto& b = oracle[i].value.asList();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        EXPECT_NEAR(a[j], b[j], 1e-9);
+      }
+    }
+  }
+}
+
+struct EngineCase {
+  OperatorKind op;
+  SystemMode system;
+};
+
+class EngineOracle : public ::testing::TestWithParam<EngineCase> {};
+
+TEST_P(EngineOracle, MatchesSerialExecution) {
+  const auto& tc = GetParam();
+  nd::Coord input{28, 15, 8};
+  sh::StructuralQuery q = makeQuery(tc.op, nd::Coord{7, 5, 2},
+                                    /*threshold=*/18.0);
+  sh::ValueFn fn = sh::temperatureField(11);
+
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = tc.system;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 9;
+  opts.numThreads = 3;
+  QueryPlan plan = planner.plan(fn, opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  EXPECT_EQ(result.annotationViolations, 0u);
+  EXPECT_EQ(result.reduceFailures, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOperatorsBothSystems, EngineOracle,
+    ::testing::Values(
+        EngineCase{OperatorKind::kMean, SystemMode::kSciHadoop},
+        EngineCase{OperatorKind::kMean, SystemMode::kSidr},
+        EngineCase{OperatorKind::kSum, SystemMode::kSidr},
+        EngineCase{OperatorKind::kMin, SystemMode::kSciHadoop},
+        EngineCase{OperatorKind::kMin, SystemMode::kSidr},
+        EngineCase{OperatorKind::kMax, SystemMode::kSidr},
+        EngineCase{OperatorKind::kCount, SystemMode::kSidr},
+        EngineCase{OperatorKind::kMedian, SystemMode::kSciHadoop},
+        EngineCase{OperatorKind::kMedian, SystemMode::kSidr},
+        EngineCase{OperatorKind::kFilter, SystemMode::kSciHadoop},
+        EngineCase{OperatorKind::kFilter, SystemMode::kSidr}));
+
+TEST(Engine, SidrShuffleConnectionsAreSumOfDeps) {
+  nd::Coord input{40, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{2, 5});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 5;
+  opts.desiredSplitCount = 8;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  std::uint64_t expected = plan.dependencies.totalConnections();
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  EXPECT_EQ(result.shuffleConnections, expected);
+  // Stock contacts every map from every reduce.
+  PlanOptions stockOpts = opts;
+  stockOpts.system = SystemMode::kSciHadoop;
+  QueryPlan stock = planner.plan(sh::temperatureField(), stockOpts);
+  std::size_t numSplits = stock.spec.splits.size();
+  mr::JobResult stockResult = mr::Engine(std::move(stock.spec)).run();
+  EXPECT_EQ(stockResult.shuffleConnections, numSplits * 5);
+  EXPECT_LT(result.shuffleConnections, stockResult.shuffleConnections);
+}
+
+TEST(Engine, SidrReducesStartBeforeAllMapsFinish) {
+  nd::Coord input{64, 12};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 8;
+  opts.desiredSplitCount = 16;
+  opts.reduceSlots = 8;
+  opts.numThreads = 2;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  double lastMapEnd = 0;
+  double firstReduceStart = 1e18;
+  for (const auto& ev : result.events) {
+    if (ev.kind == mr::TaskEvent::Kind::kMapEnd) {
+      lastMapEnd = std::max(lastMapEnd, ev.seconds);
+    }
+    if (ev.kind == mr::TaskEvent::Kind::kReduceStart) {
+      firstReduceStart = std::min(firstReduceStart, ev.seconds);
+    }
+  }
+  // The defining SIDR behaviour: some reduce starts before the global
+  // barrier would have allowed (i.e. before the last map ends).
+  EXPECT_LT(firstReduceStart, lastMapEnd);
+}
+
+TEST(Engine, StockReducesWaitForGlobalBarrier) {
+  nd::Coord input{64, 12};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSciHadoop;
+  opts.numReducers = 8;
+  opts.desiredSplitCount = 16;
+  opts.numThreads = 2;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  double lastMapEnd = 0;
+  double firstReduceStart = 1e18;
+  for (const auto& ev : result.events) {
+    if (ev.kind == mr::TaskEvent::Kind::kMapEnd) {
+      lastMapEnd = std::max(lastMapEnd, ev.seconds);
+    }
+    if (ev.kind == mr::TaskEvent::Kind::kReduceStart) {
+      firstReduceStart = std::min(firstReduceStart, ev.seconds);
+    }
+  }
+  EXPECT_GE(firstReduceStart, lastMapEnd);
+}
+
+TEST(Engine, KeyblockPrioritySchedulesFirst) {
+  nd::Coord input{64, 12};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 8;
+  opts.desiredSplitCount = 16;
+  opts.reduceSlots = 1;  // strictly serial reduces: order is observable
+  opts.mapSlots = 1;
+  opts.numThreads = 1;
+  opts.reducePriority = {5, 6, 7, 0, 1, 2, 3, 4};
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  std::vector<std::uint32_t> commitOrder;
+  for (const auto& ev : result.events) {
+    if (ev.kind == mr::TaskEvent::Kind::kReduceEnd) {
+      commitOrder.push_back(ev.taskId);
+    }
+  }
+  ASSERT_EQ(commitOrder.size(), 8u);
+  // The prioritized keyblocks commit first (computational steering).
+  EXPECT_EQ(commitOrder[0], 5u);
+  EXPECT_EQ(commitOrder[1], 6u);
+  EXPECT_EQ(commitOrder[2], 7u);
+}
+
+TEST(Engine, RecoveryRecomputeOnlyDeps) {
+  nd::Coord input{48, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 5});
+  sh::ValueFn fn = sh::temperatureField(7);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 12;
+  opts.recovery = mr::RecoveryModel::kRecomputeDeps;
+  opts.failOnceReduces = {1};
+  QueryPlan plan = planner.plan(fn, opts);
+  std::size_t depsOfFailed = plan.dependencies.keyblockToSplits[1].size();
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  EXPECT_EQ(result.reduceFailures, 1u);
+  EXPECT_EQ(result.mapsReExecuted, depsOfFailed);
+  EXPECT_EQ(result.annotationViolations, 0u);
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+}
+
+TEST(Engine, RecoveryPersistAllReRunsNothing) {
+  nd::Coord input{48, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 5});
+  sh::ValueFn fn = sh::temperatureField(7);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 12;
+  opts.recovery = mr::RecoveryModel::kPersistAll;
+  opts.failOnceReduces = {1, 3};
+  QueryPlan plan = planner.plan(fn, opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  EXPECT_EQ(result.reduceFailures, 2u);
+  EXPECT_EQ(result.mapsReExecuted, 0u);
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+}
+
+TEST(Engine, SkewMeasuredUnderModuloVsPartitionPlus) {
+  // Strided selection with preserved (all-even) coordinates: modulo
+  // starves half the reducers, partition+ balances them (section 4.3).
+  nd::Coord input{32, 32};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{1, 1});
+  q.stride = nd::Coord{2, 2};
+  q.keyMode = sh::KeyMode::kPreserveCoords;
+  QueryPlanner planner(q, input);
+
+  PlanOptions stock;
+  stock.system = SystemMode::kSciHadoop;
+  stock.numReducers = 4;
+  stock.desiredSplitCount = 8;
+  mr::JobResult stockRes =
+      mr::Engine(planner.plan(sh::temperatureField(), stock).spec).run();
+  std::uint64_t stockMax = 0;
+  std::uint64_t stockMin = UINT64_MAX;
+  for (std::uint64_t c : stockRes.recordsPerReducer) {
+    stockMax = std::max(stockMax, c);
+    stockMin = std::min(stockMin, c);
+  }
+  EXPECT_EQ(stockMin, 0u) << "odd reducers must starve under modulo";
+
+  PlanOptions sidrOpts = stock;
+  sidrOpts.system = SystemMode::kSidr;
+  mr::JobResult sidrRes =
+      mr::Engine(planner.plan(sh::temperatureField(), sidrOpts).spec).run();
+  std::uint64_t sidrMax = 0;
+  std::uint64_t sidrMin = UINT64_MAX;
+  std::uint64_t total = 0;
+  for (std::uint64_t c : sidrRes.recordsPerReducer) {
+    sidrMax = std::max(sidrMax, c);
+    sidrMin = std::min(sidrMin, c);
+    total += c;
+  }
+  EXPECT_GT(sidrMin, 0u);
+  EXPECT_LT(sidrMax - sidrMin, total / 4) << "partition+ must balance";
+}
+
+TEST(Engine, InvalidSpecsRejected) {
+  mr::JobSpec spec;
+  EXPECT_THROW(mr::Engine{std::move(spec)}, std::invalid_argument);
+
+  nd::Coord input{8, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{2, 2});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 2;
+  opts.desiredSplitCount = 2;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  plan.spec.reduceDeps.pop_back();  // break the dependency sets
+  EXPECT_THROW(mr::Engine{std::move(plan.spec)}, std::invalid_argument);
+}
+
+TEST(Engine, SingleThreadSingleReducer) {
+  nd::Coord input{14, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{7, 5});
+  sh::ValueFn fn = sh::temperatureField(3);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 1;
+  opts.desiredSplitCount = 3;
+  opts.numThreads = 1;
+  opts.mapSlots = 1;
+  opts.reduceSlots = 1;
+  QueryPlan plan = planner.plan(fn, opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+}
+
+TEST(Engine, ByteRangeSplitsMatchOracle) {
+  // Stock Hadoop's byte-range splits cut rows and extraction cells
+  // arbitrarily (multi-region splits); results must still be exact.
+  nd::Coord input{20, 15, 4};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 5, 2});
+  sh::ValueFn fn = sh::temperatureField(13);
+  sh::ExtractionMap exm(q, input);
+  auto extraction = std::make_shared<const sh::ExtractionMap>(q, input);
+
+  mr::JobSpec spec;
+  spec.splits = sh::generateByteRangeSplits(input, 11);
+  spec.readerFactory = sh::makeSyntheticReaderFactory(fn);
+  spec.mapperFactory = sh::makeStructuralMapperFactory(q, extraction);
+  spec.reducerFactory = sh::makeStructuralReducerFactory(q);
+  spec.numReducers = 3;
+  auto pp = std::make_shared<const PartitionPlus>(extraction, 3, 0);
+  spec.partitioner = pp;
+  spec.mode = mr::ExecutionMode::kSidr;
+  DependencyCalculator calc(pp);
+  DependencyInfo deps = calc.computeAll(spec.splits);
+  spec.reduceDeps = deps.keyblockToSplits;
+  spec.expectedRepresents = deps.expectedRepresents;
+
+  mr::JobResult result = mr::Engine(std::move(spec)).run();
+  EXPECT_EQ(result.annotationViolations, 0u);
+  expectMatchesOracle(result, sh::runSerialOracle(q, exm, fn));
+}
+
+TEST(Engine, RangeAndSortOperators) {
+  // The other two section 2.2 example queries: 24h-variation (range)
+  // and per-day sort.
+  nd::Coord input{24, 10};
+  for (OperatorKind op : {OperatorKind::kRange, OperatorKind::kSort}) {
+    sh::StructuralQuery q = makeQuery(op, nd::Coord{6, 5});
+    sh::ValueFn fn = sh::temperatureField(17);
+    QueryPlanner planner(q, input);
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 3;
+    opts.desiredSplitCount = 6;
+    QueryPlan plan = planner.plan(fn, opts);
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    sh::ExtractionMap ex(q, input);
+    expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  }
+}
+
+TEST(Engine, SpilledSegmentsMatchInMemory) {
+  // With spillDirectory set, map output lives in real files and reduces
+  // tally annotations from 32-byte header reads; results must be
+  // identical to the in-memory run.
+  nd::Coord input{30, 12, 6};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{5, 4, 3});
+  sh::ValueFn fn = sh::windspeedField(9);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 10;
+
+  QueryPlan mem = planner.plan(fn, opts);
+  mr::JobResult memResult = mr::Engine(std::move(mem.spec)).run();
+
+  QueryPlan spill = planner.plan(fn, opts);
+  spill.spec.spillDirectory =
+      (std::filesystem::temp_directory_path() / "sidr_engine_spill").string();
+  mr::JobResult spillResult = mr::Engine(std::move(spill.spec)).run();
+  std::filesystem::remove_all(spill.spec.spillDirectory);
+
+  EXPECT_EQ(spillResult.annotationViolations, 0u);
+  EXPECT_EQ(spillResult.shuffleConnections, memResult.shuffleConnections);
+  auto a = memResult.collectAll();
+  auto b = spillResult.collectAll();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(spillResult, sh::runSerialOracle(q, ex, fn));
+}
+
+TEST(Engine, RepeatedRunsAreStableUnderThreads) {
+  // Concurrency stress: many threads, repeated runs; results must be
+  // identical every time (the dataflow is deterministic even though the
+  // schedule is not).
+  nd::Coord input{36, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{3, 5});
+  sh::ValueFn fn = sh::temperatureField(21);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 6;
+  opts.desiredSplitCount = 12;
+  opts.numThreads = 8;
+  opts.reduceSlots = 2;
+  opts.mapSlots = 3;
+
+  std::vector<mr::KeyValue> reference;
+  for (int run = 0; run < 5; ++run) {
+    QueryPlan plan = planner.plan(fn, opts);
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    EXPECT_EQ(result.annotationViolations, 0u);
+    auto got = result.collectAll();
+    if (run == 0) {
+      reference = std::move(got);
+    } else {
+      ASSERT_EQ(got.size(), reference.size());
+      for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].key, reference[i].key);
+        EXPECT_EQ(got[i].value, reference[i].value);
+      }
+    }
+  }
+}
+
+namespace {
+
+/// A mapper that emits one raw record per input pair (no map-side
+/// aggregation) — exercises the engine-level Combiner path.
+class RawEmitMapper final : public mr::Mapper {
+ public:
+  explicit RawEmitMapper(std::shared_ptr<const sh::ExtractionMap> ex)
+      : ex_(std::move(ex)) {}
+  void map(const nd::Coord& key, double value,
+           mr::MapContext& ctx) override {
+    auto kp = ex_->keyFor(key);
+    if (kp) ctx.emit(*kp, mr::Value::partial(mr::Partial::ofValue(value)));
+  }
+
+ private:
+  std::shared_ptr<const sh::ExtractionMap> ex_;
+};
+
+}  // namespace
+
+TEST(Engine, CombinerShrinksSegmentsWithoutChangingResults) {
+  nd::Coord input{24, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 5});
+  sh::ValueFn fn = sh::temperatureField(29);
+  auto extraction = std::make_shared<const sh::ExtractionMap>(q, input);
+
+  auto makeSpec = [&](bool withCombiner) {
+    QueryPlanner planner(q, input);
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 3;
+    opts.desiredSplitCount = 6;
+    QueryPlan plan = planner.plan(fn, opts);
+    // Swap in the raw mapper (one record per input pair).
+    plan.spec.mapperFactory = [extraction] {
+      return std::make_unique<RawEmitMapper>(extraction);
+    };
+    if (withCombiner) {
+      plan.spec.combinerFactory = [] {
+        return std::make_unique<mr::PartialMergeCombiner>();
+      };
+    }
+    return std::move(plan.spec);
+  };
+
+  mr::JobResult raw = mr::Engine(makeSpec(false)).run();
+  mr::JobResult combined = mr::Engine(makeSpec(true)).run();
+
+  // Identical results...
+  auto a = raw.collectAll();
+  auto b = combined.collectAll();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_NEAR(a[i].value.asScalar(), b[i].value.asScalar(), 1e-9);
+  }
+  // ...but far fewer intermediate records shuffled.
+  std::uint64_t rawRecords = 0;
+  std::uint64_t combinedRecords = 0;
+  for (std::uint64_t c : raw.recordsPerReducer) rawRecords += c;
+  for (std::uint64_t c : combined.recordsPerReducer) combinedRecords += c;
+  // Without a combiner every consumed input pair ships as one record.
+  EXPECT_EQ(rawRecords, static_cast<std::uint64_t>(input.volume()));
+  EXPECT_LT(combinedRecords, rawRecords / 10);
+  // The annotation tallies remain exact in both runs.
+  EXPECT_EQ(raw.annotationViolations, 0u);
+  EXPECT_EQ(combined.annotationViolations, 0u);
+  sh::ExtractionMap exm(q, input);
+  expectMatchesOracle(combined, sh::runSerialOracle(q, exm, fn));
+}
+
+TEST(Engine, DatasetBackedRun) {
+  nd::Coord input{21, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{7, 5});
+  sh::ValueFn fn = sh::temperatureField(5);
+  auto dataset =
+      sh::makeMemoryDataset("v", sci::DataType::kFloat64, input, fn);
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 2;
+  opts.desiredSplitCount = 4;
+  QueryPlan plan = planner.plan(dataset, 0, opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  sh::ExtractionMap ex(q, input);
+  expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+}
+
+}  // namespace
+}  // namespace sidr::core

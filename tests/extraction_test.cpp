@@ -1,0 +1,305 @@
+#include <gtest/gtest.h>
+
+#include "scihadoop/extraction.hpp"
+
+namespace sidr::sh {
+namespace {
+
+StructuralQuery weeklyQuery() {
+  // Paper section 3, Area 2/3 running example: weekly averages that
+  // also down-sample latitude from 1/10 deg to 1/2 deg over the
+  // {365, 250, 200} temperature dataset -> eshape {7, 5, 1}.
+  StructuralQuery q;
+  q.variable = "temperature";
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5, 1};
+  return q;
+}
+
+TEST(ExtractionMap, PaperKeyTranslation) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  // "an arbitrary key in K, say {157,34,82}, maps to {22,6,82} in K'".
+  auto kp = ex.keyFor(nd::Coord{157, 34, 82});
+  ASSERT_TRUE(kp.has_value());
+  EXPECT_EQ(*kp, (nd::Coord{22, 6, 82}));
+}
+
+TEST(ExtractionMap, PaperIntermediateSpace) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  // "{52, 50, 200} K'^T ... assuming we throw away the 365-th day".
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{52, 50, 200}));
+  EXPECT_EQ(ex.instanceCount(), 52LL * 50 * 200);
+  EXPECT_EQ(ex.intermediateSpaceShape(), (nd::Coord{52, 50, 200}));
+}
+
+TEST(ExtractionMap, TruncateDropsRaggedTail) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  // Day 364 (the 365th) belongs to no instance in truncate mode.
+  EXPECT_FALSE(ex.keyFor(nd::Coord{364, 0, 0}).has_value());
+  EXPECT_TRUE(ex.keyFor(nd::Coord{363, 0, 0}).has_value());
+}
+
+TEST(ExtractionMap, PadKeepsRaggedTail) {
+  StructuralQuery q = weeklyQuery();
+  q.edgeMode = EdgeMode::kPad;
+  ExtractionMap ex(q, nd::Coord{365, 250, 200});
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{53, 50, 200}));
+  auto kp = ex.keyFor(nd::Coord{364, 0, 0});
+  ASSERT_TRUE(kp.has_value());
+  EXPECT_EQ(*kp, (nd::Coord{52, 0, 0}));
+  // The edge cell is clipped to one day.
+  EXPECT_EQ(ex.cellVolume(nd::Coord{52, 0, 0}), 1 * 5 * 1);
+  EXPECT_EQ(ex.cellVolume(nd::Coord{0, 0, 0}), 7 * 5 * 1);
+}
+
+TEST(ExtractionMap, Query1Geometry) {
+  // Paper Query 1: {7200,360,720,50} with eshape {2,36,36,10}.
+  StructuralQuery q;
+  q.op = OperatorKind::kMedian;
+  q.extractionShape = nd::Coord{2, 36, 36, 10};
+  ExtractionMap ex(q, nd::Coord{7200, 360, 720, 50});
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{3600, 10, 20, 5}));
+}
+
+TEST(ExtractionMap, UpSamplingOneToMany) {
+  // Figure 6(a): one K value maps into multiple K' values is modelled
+  // as an eshape of 1s over a smaller grid (each input key is its own
+  // cell); SIDR's mapping itself is many-to-one or one-to-one, so an
+  // eshape of {1,1} gives the identity grid.
+  StructuralQuery q;
+  q.op = OperatorKind::kSum;
+  q.extractionShape = nd::Coord{1, 1};
+  ExtractionMap ex(q, nd::Coord{4, 4});
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{4, 4}));
+  EXPECT_EQ(*ex.keyFor(nd::Coord{3, 2}), (nd::Coord{3, 2}));
+}
+
+TEST(ExtractionMap, StrideGapsProduceNoKeys) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{2};
+  q.stride = nd::Coord{5};
+  ExtractionMap ex(q, nd::Coord{23});
+  // Instances at 0-1, 5-6, 10-11, 15-16, 20-21.
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{5}));
+  EXPECT_TRUE(ex.keyFor(nd::Coord{6}).has_value());
+  EXPECT_FALSE(ex.keyFor(nd::Coord{7}).has_value());   // gap
+  EXPECT_FALSE(ex.keyFor(nd::Coord{22}).has_value());  // truncated tail
+  EXPECT_EQ(*ex.instanceOf(nd::Coord{21}), (nd::Coord{4}));
+}
+
+TEST(ExtractionMap, PreserveCoordsKeyMode) {
+  // Strided selection keeping original coordinates: every intermediate
+  // key becomes even -> the figure 13 skew pathology.
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{1, 1};
+  q.stride = nd::Coord{2, 2};
+  q.keyMode = KeyMode::kPreserveCoords;
+  ExtractionMap ex(q, nd::Coord{8, 8});
+  auto kp = ex.keyFor(nd::Coord{4, 6});
+  ASSERT_TRUE(kp.has_value());
+  EXPECT_EQ(*kp, (nd::Coord{4, 6}));
+  EXPECT_EQ(ex.intermediateSpaceShape(), (nd::Coord{8, 8}));
+  EXPECT_EQ(ex.instanceForKey(nd::Coord{4, 6}), (nd::Coord{2, 3}));
+  for (nd::Index i = 0; i < 4; ++i) {
+    nd::Coord key = ex.keyForInstance(nd::Coord{i, i});
+    EXPECT_EQ(key[0] % 2, 0) << "preserved keys must be even";
+  }
+}
+
+TEST(ExtractionMap, CellOfMatchesInstanceMembership) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{3, 2};
+  ExtractionMap ex(q, nd::Coord{10, 7});
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex.instanceGridShape()));
+       g.valid(); g.next()) {
+    nd::Region cell = ex.cellOf(g.coord());
+    for (nd::RegionCursor c(cell); c.valid(); c.next()) {
+      auto inst = ex.instanceOf(c.coord());
+      ASSERT_TRUE(inst.has_value());
+      EXPECT_EQ(*inst, g.coord());
+    }
+  }
+}
+
+TEST(ExtractionMap, InstanceRangeOfWholeSpace) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  auto range =
+      ex.instanceRangeOf(nd::Region::wholeSpace(nd::Coord{365, 250, 200}));
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->corner(), nd::Coord::zeros(3));
+  EXPECT_EQ(range->shape(), ex.instanceGridShape());
+}
+
+TEST(ExtractionMap, InstanceRangeOfSlab) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  // Days 7..13 are exactly week 1.
+  auto range = ex.instanceRangeOf(
+      nd::Region(nd::Coord{7, 0, 0}, nd::Coord{7, 250, 200}));
+  ASSERT_TRUE(range.has_value());
+  EXPECT_EQ(range->corner()[0], 1);
+  EXPECT_EQ(range->shape()[0], 1);
+  // Days 6..7 straddle weeks 0 and 1.
+  auto straddle = ex.instanceRangeOf(
+      nd::Region(nd::Coord{6, 0, 0}, nd::Coord{2, 250, 200}));
+  ASSERT_TRUE(straddle.has_value());
+  EXPECT_EQ(straddle->corner()[0], 0);
+  EXPECT_EQ(straddle->shape()[0], 2);
+}
+
+TEST(ExtractionMap, InstanceRangeOfTruncatedTailIsEmpty) {
+  ExtractionMap ex(weeklyQuery(), nd::Coord{365, 250, 200});
+  auto range = ex.instanceRangeOf(
+      nd::Region(nd::Coord{364, 0, 0}, nd::Coord{1, 250, 200}));
+  EXPECT_FALSE(range.has_value());
+}
+
+TEST(ExtractionMap, InstanceRangeOfGapIsEmpty) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{2};
+  q.stride = nd::Coord{5};
+  ExtractionMap ex(q, nd::Coord{23});
+  EXPECT_FALSE(
+      ex.instanceRangeOf(nd::Region(nd::Coord{7}, nd::Coord{3})).has_value());
+  auto r = ex.instanceRangeOf(nd::Region(nd::Coord{7}, nd::Coord{4}));
+  ASSERT_TRUE(r.has_value());  // reaches key 10 = instance 2
+  EXPECT_EQ(r->corner(), (nd::Coord{2}));
+  EXPECT_EQ(r->shape(), (nd::Coord{1}));
+}
+
+TEST(ExtractionMap, ValidationErrors) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  EXPECT_THROW(ExtractionMap(q, nd::Coord{365, 250, 200}),
+               std::invalid_argument);
+  q.extractionShape = nd::Coord{400, 5, 1};
+  EXPECT_THROW(ExtractionMap(q, nd::Coord{365, 250, 200}),
+               std::invalid_argument);
+  q.extractionShape = nd::Coord{7, 5, 1};
+  q.stride = nd::Coord{6, 5, 1};  // stride < eshape
+  EXPECT_THROW(ExtractionMap(q, nd::Coord{365, 250, 200}),
+               std::invalid_argument);
+}
+
+TEST(ExtractionMap, IsDistributiveClassification) {
+  EXPECT_TRUE(isDistributive(OperatorKind::kMean));
+  EXPECT_TRUE(isDistributive(OperatorKind::kSum));
+  EXPECT_TRUE(isDistributive(OperatorKind::kMin));
+  EXPECT_TRUE(isDistributive(OperatorKind::kMax));
+  EXPECT_TRUE(isDistributive(OperatorKind::kCount));
+  EXPECT_FALSE(isDistributive(OperatorKind::kMedian));
+  EXPECT_FALSE(isDistributive(OperatorKind::kFilter));
+}
+
+// Property sweep: every input key either maps to the instance whose cell
+// contains it, or to nothing; and instanceRangeOf agrees with the
+// per-key mapping.
+struct SweepCase {
+  nd::Coord input;
+  nd::Coord eshape;
+  std::optional<nd::Coord> stride;
+  EdgeMode edge;
+};
+
+class ExtractionSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ExtractionSweep, KeyMappingConsistent) {
+  const SweepCase& tc = GetParam();
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = tc.eshape;
+  q.stride = tc.stride;
+  q.edgeMode = tc.edge;
+  ExtractionMap ex(q, tc.input);
+
+  std::int64_t mapped = 0;
+  for (nd::RegionCursor cur(nd::Region::wholeSpace(tc.input)); cur.valid();
+       cur.next()) {
+    auto g = ex.instanceOf(cur.coord());
+    if (g) {
+      ++mapped;
+      EXPECT_TRUE(ex.cellOf(*g).contains(cur.coord()));
+    }
+  }
+  // Total mapped keys == sum of cell volumes.
+  std::int64_t cellSum = 0;
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex.instanceGridShape()));
+       g.valid(); g.next()) {
+    cellSum += ex.cellVolume(g.coord());
+  }
+  EXPECT_EQ(mapped, cellSum);
+}
+
+TEST_P(ExtractionSweep, RegionRangeMatchesBruteForce) {
+  const SweepCase& tc = GetParam();
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = tc.eshape;
+  q.stride = tc.stride;
+  q.edgeMode = tc.edge;
+  ExtractionMap ex(q, tc.input);
+
+  // A few probe regions, including edges.
+  std::vector<nd::Region> probes;
+  probes.push_back(nd::Region::wholeSpace(tc.input));
+  nd::Coord half = tc.input;
+  for (std::size_t d = 0; d < half.rank(); ++d) {
+    half[d] = std::max<nd::Index>(1, half[d] / 2);
+  }
+  probes.emplace_back(nd::Coord::zeros(tc.input.rank()), half);
+  probes.emplace_back(tc.input.minus(half), half);
+
+  for (const nd::Region& probe : probes) {
+    auto range = ex.instanceRangeOf(probe);
+    // Brute force: instances whose cells intersect the probe.
+    std::vector<nd::Coord> touched;
+    for (nd::RegionCursor g(nd::Region::wholeSpace(ex.instanceGridShape()));
+         g.valid(); g.next()) {
+      if (ex.cellOf(g.coord()).overlaps(probe)) touched.push_back(g.coord());
+    }
+    if (touched.empty()) {
+      EXPECT_FALSE(range.has_value());
+    } else {
+      ASSERT_TRUE(range.has_value());
+      for (const nd::Coord& g : touched) {
+        EXPECT_TRUE(range->contains(g));
+      }
+      // The analytic range must not be larger than the bounding box of
+      // the brute-force set (tight per dimension).
+      nd::Coord lo = touched.front();
+      nd::Coord hi = touched.front();
+      for (const nd::Coord& g : touched) {
+        lo = lo.min(g);
+        hi = hi.max(g);
+      }
+      EXPECT_EQ(range->corner(), lo);
+      EXPECT_EQ(range->last(), hi);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ExtractionSweep,
+    ::testing::Values(
+        SweepCase{nd::Coord{21, 10}, nd::Coord{7, 5}, std::nullopt,
+                  EdgeMode::kTruncate},
+        SweepCase{nd::Coord{23, 11}, nd::Coord{7, 5}, std::nullopt,
+                  EdgeMode::kTruncate},
+        SweepCase{nd::Coord{23, 11}, nd::Coord{7, 5}, std::nullopt,
+                  EdgeMode::kPad},
+        SweepCase{nd::Coord{20}, nd::Coord{2}, nd::Coord{5},
+                  EdgeMode::kTruncate},
+        SweepCase{nd::Coord{22}, nd::Coord{2}, nd::Coord{5}, EdgeMode::kPad},
+        SweepCase{nd::Coord{12, 9, 8}, nd::Coord{3, 2, 4}, std::nullopt,
+                  EdgeMode::kTruncate},
+        SweepCase{nd::Coord{13, 9, 9}, nd::Coord{3, 2, 4}, std::nullopt,
+                  EdgeMode::kPad},
+        SweepCase{nd::Coord{16, 16}, nd::Coord{1, 1}, nd::Coord{2, 2},
+                  EdgeMode::kTruncate}));
+
+}  // namespace
+}  // namespace sidr::sh

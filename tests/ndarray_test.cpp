@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ndarray/coord.hpp"
+#include "ndarray/region.hpp"
+#include "ndarray/tiling.hpp"
+
+namespace sidr::nd {
+namespace {
+
+TEST(Coord, ConstructionAndAccess) {
+  Coord c{7200, 360, 720, 50};
+  EXPECT_EQ(c.rank(), 4u);
+  EXPECT_EQ(c[0], 7200);
+  EXPECT_EQ(c[3], 50);
+  EXPECT_EQ(c.at(3), 50);
+  EXPECT_THROW(c.at(4), std::out_of_range);
+}
+
+TEST(Coord, RankLimit) {
+  EXPECT_THROW((Coord{1, 2, 3, 4, 5, 6, 7, 8, 9}), std::length_error);
+  EXPECT_NO_THROW((Coord{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Coord, FilledZerosOnes) {
+  EXPECT_EQ(Coord::zeros(3), (Coord{0, 0, 0}));
+  EXPECT_EQ(Coord::ones(2), (Coord{1, 1}));
+  EXPECT_EQ(Coord::filled(2, 9), (Coord{9, 9}));
+}
+
+TEST(Coord, Volume) {
+  EXPECT_EQ((Coord{365, 250, 200}).volume(), 365 * 250 * 200);
+  EXPECT_EQ(Coord().volume(), 1);  // empty product
+  EXPECT_EQ((Coord{7200, 360, 720, 50}).volume(), 93312000000LL);
+}
+
+TEST(Coord, Arithmetic) {
+  Coord a{10, 20};
+  Coord b{3, 4};
+  EXPECT_EQ(a.plus(b), (Coord{13, 24}));
+  EXPECT_EQ(a.minus(b), (Coord{7, 16}));
+  EXPECT_EQ(a.times(b), (Coord{30, 80}));
+  EXPECT_EQ(a.min(b), (Coord{3, 4}));
+  EXPECT_EQ(a.max(b), (Coord{10, 20}));
+  EXPECT_THROW(a.plus(Coord{1}), std::invalid_argument);
+}
+
+TEST(Coord, FloorDivision) {
+  // The paper's key translation example: {157, 34, 82} with extraction
+  // shape {7, 5, 1} maps to {22, 6, 82}.
+  Coord k{157, 34, 82};
+  Coord e{7, 5, 1};
+  EXPECT_EQ(k.dividedBy(e), (Coord{22, 6, 82}));
+  EXPECT_THROW(k.dividedBy(Coord{0, 1, 1}), std::invalid_argument);
+}
+
+TEST(Coord, LexicographicOrder) {
+  EXPECT_LT((Coord{1, 9}), (Coord{2, 0}));
+  EXPECT_LT((Coord{1, 1}), (Coord{1, 2}));
+  EXPECT_EQ((Coord{1, 2}), (Coord{1, 2}));
+}
+
+TEST(Coord, ToStringAndParseRoundTrip) {
+  Coord c{365, 250, 200};
+  EXPECT_EQ(c.toString(), "{365, 250, 200}");
+  EXPECT_EQ(Coord::parse(c.toString()), c);
+  EXPECT_EQ(Coord::parse("{ 1 ,2, 3 }"), (Coord{1, 2, 3}));
+  EXPECT_EQ(Coord::parse("{}"), Coord());
+  EXPECT_EQ(Coord::parse("{-5}"), (Coord{-5}));
+  EXPECT_THROW(Coord::parse("1,2"), std::invalid_argument);
+  EXPECT_THROW(Coord::parse("{1,2"), std::invalid_argument);
+  EXPECT_THROW(Coord::parse("{1,,2}"), std::invalid_argument);
+}
+
+TEST(Coord, HashDistinguishesRankAndValues) {
+  EXPECT_NE((Coord{1, 0}).hash(), (Coord{1}).hash());
+  EXPECT_NE((Coord{1, 2}).hash(), (Coord{2, 1}).hash());
+  EXPECT_EQ((Coord{3, 4}).hash(), (Coord{3, 4}).hash());
+}
+
+TEST(Linearize, RowMajorOrderMatchesCursor) {
+  Coord shape{3, 4, 5};
+  Index expected = 0;
+  for (RegionCursor cur(Region::wholeSpace(shape)); cur.valid(); cur.next()) {
+    EXPECT_EQ(linearize(cur.coord(), shape), expected);
+    EXPECT_EQ(delinearize(expected, shape), cur.coord());
+    ++expected;
+  }
+  EXPECT_EQ(expected, shape.volume());
+}
+
+TEST(Region, BasicProperties) {
+  Region r(Coord{10, 20}, Coord{5, 6});
+  EXPECT_EQ(r.volume(), 30);
+  EXPECT_EQ(r.end(), (Coord{15, 26}));
+  EXPECT_EQ(r.last(), (Coord{14, 25}));
+  EXPECT_TRUE(r.contains(Coord{10, 20}));
+  EXPECT_TRUE(r.contains(Coord{14, 25}));
+  EXPECT_FALSE(r.contains(Coord{15, 20}));
+  EXPECT_FALSE(r.contains(Coord{9, 20}));
+  EXPECT_THROW(Region(Coord{0}, Coord{0}), std::invalid_argument);
+  EXPECT_THROW(Region(Coord{0, 0}, Coord{1}), std::invalid_argument);
+}
+
+TEST(Region, ContainsRegion) {
+  Region outer(Coord{0, 0}, Coord{10, 10});
+  EXPECT_TRUE(outer.containsRegion(Region(Coord{2, 3}, Coord{4, 5})));
+  EXPECT_TRUE(outer.containsRegion(outer));
+  EXPECT_FALSE(outer.containsRegion(Region(Coord{8, 8}, Coord{3, 3})));
+}
+
+TEST(Region, Intersection) {
+  Region a(Coord{0, 0}, Coord{10, 10});
+  Region b(Coord{5, 5}, Coord{10, 10});
+  auto i = a.intersect(b);
+  ASSERT_TRUE(i.has_value());
+  EXPECT_EQ(i->corner(), (Coord{5, 5}));
+  EXPECT_EQ(i->shape(), (Coord{5, 5}));
+  EXPECT_FALSE(a.intersect(Region(Coord{10, 0}, Coord{1, 1})).has_value());
+  EXPECT_FALSE(a.overlaps(Region(Coord{20, 20}, Coord{2, 2})));
+}
+
+TEST(Region, LinearOffsetRoundTrip) {
+  Region r(Coord{3, 7}, Coord{4, 9});
+  Index off = 0;
+  for (RegionCursor cur(r); cur.valid(); cur.next()) {
+    EXPECT_EQ(r.linearOffsetOf(cur.coord()), off);
+    EXPECT_EQ(r.coordAtOffset(off), cur.coord());
+    ++off;
+  }
+}
+
+TEST(RegionCursor, VisitsEveryCoordinateOnce) {
+  Region r(Coord{1, 2, 3}, Coord{2, 3, 2});
+  std::unordered_set<Coord> seen;
+  for (RegionCursor cur(r); cur.valid(); cur.next()) {
+    EXPECT_TRUE(r.contains(cur.coord()));
+    EXPECT_TRUE(seen.insert(cur.coord()).second) << "duplicate coordinate";
+  }
+  EXPECT_EQ(static_cast<Index>(seen.size()), r.volume());
+}
+
+TEST(Tiling, GridShapeCeil) {
+  Tiling t(Coord{10, 9}, Coord{4, 3});
+  EXPECT_EQ(t.gridShape(), (Coord{3, 3}));
+  EXPECT_EQ(t.tileCount(), 9);
+}
+
+TEST(Tiling, EdgeTilesClipped) {
+  Tiling t(Coord{10, 9}, Coord{4, 3});
+  Region edge = t.tileRegion(Coord{2, 2});
+  EXPECT_EQ(edge.corner(), (Coord{8, 6}));
+  EXPECT_EQ(edge.shape(), (Coord{2, 3}));
+  EXPECT_THROW(t.tileRegion(Coord{3, 0}), std::out_of_range);
+}
+
+TEST(Tiling, TileOfAndRegionsPartitionSpace) {
+  Tiling t(Coord{7, 5}, Coord{3, 2});
+  // Every coordinate belongs to exactly the tile whose region contains it.
+  for (RegionCursor cur(Region::wholeSpace(Coord{7, 5})); cur.valid();
+       cur.next()) {
+    Coord g = t.tileOf(cur.coord());
+    EXPECT_TRUE(t.tileRegion(g).contains(cur.coord()));
+  }
+  // Tile regions are disjoint and cover the space.
+  Index total = 0;
+  for (Index i = 0; i < t.tileCount(); ++i) {
+    total += t.tileRegionAt(i).volume();
+  }
+  EXPECT_EQ(total, (Coord{7, 5}).volume());
+}
+
+TEST(Tiling, TileRangeOfRegion) {
+  Tiling t(Coord{12, 12}, Coord{4, 4});
+  Region r(Coord{3, 5}, Coord{6, 2});
+  Region range = t.tileRangeOf(r);
+  EXPECT_EQ(range.corner(), (Coord{0, 1}));
+  EXPECT_EQ(range.shape(), (Coord{3, 1}));
+}
+
+// Property sweep: linearize/delinearize round trip across shapes.
+class LinearizeSweep : public ::testing::TestWithParam<Coord> {};
+
+TEST_P(LinearizeSweep, RoundTrip) {
+  const Coord shape = GetParam();
+  const Index n = shape.volume();
+  for (Index i = 0; i < n; ++i) {
+    Coord c = delinearize(i, shape);
+    EXPECT_EQ(linearize(c, shape), i);
+    for (std::size_t d = 0; d < shape.rank(); ++d) {
+      EXPECT_GE(c[d], 0);
+      EXPECT_LT(c[d], shape[d]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, LinearizeSweep,
+                         ::testing::Values(Coord{7}, Coord{2, 3},
+                                           Coord{5, 1, 4}, Coord{2, 2, 2, 2},
+                                           Coord{1, 1, 1}, Coord{3, 4, 5}));
+
+}  // namespace
+}  // namespace sidr::nd

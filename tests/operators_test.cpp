@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "scihadoop/operators.hpp"
+
+namespace sidr::sh {
+namespace {
+
+/// Collects emissions from a StructuralMapper for inspection.
+class CapturingContext final : public mr::MapContext {
+ public:
+  void emit(const nd::Coord& key, mr::Value value,
+            std::uint64_t represents) override {
+    records.push_back(mr::KeyValue{key, std::move(value), represents});
+  }
+  std::vector<mr::KeyValue> records;
+};
+
+StructuralQuery makeQuery(OperatorKind op, nd::Coord eshape,
+                          double threshold = 0.0) {
+  StructuralQuery q;
+  q.op = op;
+  q.extractionShape = eshape;
+  q.filterThreshold = threshold;
+  return q;
+}
+
+TEST(StructuralMapper, CombinesDistributivePerCell) {
+  StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{2, 2});
+  auto ex = std::make_shared<const ExtractionMap>(q, nd::Coord{4, 4});
+  StructuralMapper mapper(q, ex);
+  CapturingContext ctx;
+  // Feed one full cell (4 values) and part of another (2 values).
+  mapper.map(nd::Coord{0, 0}, 1.0, ctx);
+  mapper.map(nd::Coord{0, 1}, 2.0, ctx);
+  mapper.map(nd::Coord{1, 0}, 3.0, ctx);
+  mapper.map(nd::Coord{1, 1}, 4.0, ctx);
+  mapper.map(nd::Coord{0, 2}, 10.0, ctx);
+  mapper.map(nd::Coord{1, 2}, 20.0, ctx);
+  EXPECT_TRUE(ctx.records.empty()) << "combining mapper buffers until finish";
+  mapper.finish(ctx);
+  ASSERT_EQ(ctx.records.size(), 2u);
+  EXPECT_EQ(ctx.records[0].key, (nd::Coord{0, 0}));
+  EXPECT_EQ(ctx.records[0].represents, 4u);
+  EXPECT_DOUBLE_EQ(ctx.records[0].value.asPartial().mean(), 2.5);
+  EXPECT_EQ(ctx.records[1].key, (nd::Coord{0, 1}));
+  EXPECT_EQ(ctx.records[1].represents, 2u);
+  EXPECT_DOUBLE_EQ(ctx.records[1].value.asPartial().sum, 30.0);
+}
+
+TEST(StructuralMapper, MedianShipsFullLists) {
+  StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{3});
+  auto ex = std::make_shared<const ExtractionMap>(q, nd::Coord{6});
+  StructuralMapper mapper(q, ex);
+  CapturingContext ctx;
+  for (nd::Index i = 0; i < 6; ++i) {
+    mapper.map(nd::Coord{i}, static_cast<double>(i * i), ctx);
+  }
+  mapper.finish(ctx);
+  ASSERT_EQ(ctx.records.size(), 2u);
+  EXPECT_EQ(ctx.records[0].value.asList(), (std::vector<double>{0, 1, 4}));
+  EXPECT_EQ(ctx.records[1].value.asList(), (std::vector<double>{9, 16, 25}));
+}
+
+TEST(StructuralMapper, FilterEmitsEmptyListsWithCounts) {
+  // Cells with no survivors still emit an (empty) record so that the
+  // count annotation covers every consumed input pair.
+  StructuralQuery q = makeQuery(OperatorKind::kFilter, nd::Coord{2}, 100.0);
+  auto ex = std::make_shared<const ExtractionMap>(q, nd::Coord{4});
+  StructuralMapper mapper(q, ex);
+  CapturingContext ctx;
+  mapper.map(nd::Coord{0}, 1.0, ctx);
+  mapper.map(nd::Coord{1}, 2.0, ctx);
+  mapper.map(nd::Coord{2}, 500.0, ctx);
+  mapper.map(nd::Coord{3}, 3.0, ctx);
+  mapper.finish(ctx);
+  ASSERT_EQ(ctx.records.size(), 2u);
+  EXPECT_TRUE(ctx.records[0].value.asList().empty());
+  EXPECT_EQ(ctx.records[0].represents, 2u);
+  EXPECT_EQ(ctx.records[1].value.asList(), (std::vector<double>{500.0}));
+  EXPECT_EQ(ctx.records[1].represents, 2u);
+}
+
+TEST(StructuralMapper, DropsKeysOutsideInstances) {
+  StructuralQuery q = makeQuery(OperatorKind::kSum, nd::Coord{2});
+  q.stride = nd::Coord{3};
+  auto ex = std::make_shared<const ExtractionMap>(q, nd::Coord{7});
+  StructuralMapper mapper(q, ex);
+  CapturingContext ctx;
+  for (nd::Index i = 0; i < 7; ++i) {
+    mapper.map(nd::Coord{i}, 1.0, ctx);
+  }
+  mapper.finish(ctx);
+  // Instances at 0-1 and 3-4; keys 2, 5, 6 dropped.
+  ASSERT_EQ(ctx.records.size(), 2u);
+  EXPECT_EQ(ctx.records[0].represents + ctx.records[1].represents, 4u);
+}
+
+TEST(FinalizeCell, AllDistributiveOperators) {
+  mr::Partial p;
+  p.merge(mr::Partial::ofValue(3.0));
+  p.merge(mr::Partial::ofValue(-1.0));
+  p.merge(mr::Partial::ofValue(7.0));
+  EXPECT_DOUBLE_EQ(
+      finalizeCell(makeQuery(OperatorKind::kMean, {}), p, {}).asScalar(),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      finalizeCell(makeQuery(OperatorKind::kSum, {}), p, {}).asScalar(), 9.0);
+  EXPECT_DOUBLE_EQ(
+      finalizeCell(makeQuery(OperatorKind::kMin, {}), p, {}).asScalar(),
+      -1.0);
+  EXPECT_DOUBLE_EQ(
+      finalizeCell(makeQuery(OperatorKind::kMax, {}), p, {}).asScalar(), 7.0);
+  EXPECT_DOUBLE_EQ(
+      finalizeCell(makeQuery(OperatorKind::kCount, {}), p, {}).asScalar(),
+      3.0);
+}
+
+TEST(FinalizeCell, MedianLowerMiddle) {
+  auto q = makeQuery(OperatorKind::kMedian, {});
+  EXPECT_DOUBLE_EQ(finalizeCell(q, {}, {5.0}).asScalar(), 5.0);
+  EXPECT_DOUBLE_EQ(finalizeCell(q, {}, {3.0, 1.0, 2.0}).asScalar(), 2.0);
+  // Even count: lower median.
+  EXPECT_DOUBLE_EQ(finalizeCell(q, {}, {4.0, 1.0, 3.0, 2.0}).asScalar(), 2.0);
+  EXPECT_THROW(finalizeCell(q, {}, {}), std::logic_error);
+}
+
+TEST(FinalizeCell, FilterSortsSurvivors) {
+  auto q = makeQuery(OperatorKind::kFilter, {}, 0.0);
+  mr::Value v = finalizeCell(q, {}, {3.0, 1.0, 2.0});
+  EXPECT_EQ(v.asList(), (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_TRUE(finalizeCell(q, {}, {}).asList().empty());
+}
+
+TEST(StructuralReducer, MergesPartialsAcrossMaps) {
+  StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{2});
+  StructuralReducer reducer(q);
+  mr::Value a = mr::Value::partial(mr::Partial::ofValue(10.0));
+  mr::Value b = mr::Value::partial(mr::Partial::ofValue(20.0));
+  std::vector<const mr::Value*> values{&a, &b};
+  class Ctx final : public mr::ReduceContext {
+   public:
+    void emit(const nd::Coord& k, mr::Value v) override {
+      key = k;
+      value = std::move(v);
+    }
+    nd::Coord key;
+    mr::Value value;
+  } ctx;
+  reducer.reduce(nd::Coord{3}, values, ctx);
+  EXPECT_EQ(ctx.key, (nd::Coord{3}));
+  EXPECT_DOUBLE_EQ(ctx.value.asScalar(), 15.0);
+}
+
+TEST(StructuralReducer, ConcatenatesListsAcrossMaps) {
+  StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{2});
+  StructuralReducer reducer(q);
+  mr::Value a = mr::Value::list({5.0, 1.0});
+  mr::Value b = mr::Value::list({3.0});
+  std::vector<const mr::Value*> values{&a, &b};
+  class Ctx final : public mr::ReduceContext {
+   public:
+    void emit(const nd::Coord&, mr::Value v) override { value = std::move(v); }
+    mr::Value value;
+  } ctx;
+  reducer.reduce(nd::Coord{0}, values, ctx);
+  EXPECT_DOUBLE_EQ(ctx.value.asScalar(), 3.0);  // median of {1,3,5}
+}
+
+TEST(SerialOracle, MatchesHandComputedMeans) {
+  StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{2, 2});
+  ExtractionMap ex(q, nd::Coord{4, 4});
+  auto fn = [](const nd::Coord& c) {
+    return static_cast<double>(c[0] * 4 + c[1]);
+  };
+  auto out = runSerialOracle(q, ex, fn);
+  ASSERT_EQ(out.size(), 4u);
+  // Cell {0,0}: values 0,1,4,5 -> mean 2.5.
+  EXPECT_EQ(out[0].key, (nd::Coord{0, 0}));
+  EXPECT_DOUBLE_EQ(out[0].value.asScalar(), 2.5);
+  // Cell {1,1}: values 10,11,14,15 -> mean 12.5.
+  EXPECT_EQ(out[3].key, (nd::Coord{1, 1}));
+  EXPECT_DOUBLE_EQ(out[3].value.asScalar(), 12.5);
+  for (const auto& kv : out) EXPECT_EQ(kv.represents, 4u);
+}
+
+}  // namespace
+}  // namespace sidr::sh

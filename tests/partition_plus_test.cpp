@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "sidr/partition_plus.hpp"
+
+namespace sidr::core {
+namespace {
+
+std::shared_ptr<const sh::ExtractionMap> makeExtraction(
+    const nd::Coord& input, const nd::Coord& eshape,
+    sh::KeyMode keyMode = sh::KeyMode::kRenumber) {
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = eshape;
+  q.keyMode = keyMode;
+  return std::make_shared<const sh::ExtractionMap>(q, input);
+}
+
+TEST(LinearRangeToRegions, WholeSpaceIsOneBox) {
+  nd::Coord shape{4, 5, 6};
+  auto boxes = linearRangeToRegions(0, shape.volume(), shape);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0], nd::Region::wholeSpace(shape));
+}
+
+TEST(LinearRangeToRegions, EmptyRange) {
+  EXPECT_TRUE(linearRangeToRegions(5, 5, nd::Coord{10}).empty());
+  EXPECT_TRUE(linearRangeToRegions(7, 3, nd::Coord{10}).empty());
+}
+
+TEST(LinearRangeToRegions, AlignedSlab) {
+  // Rows 2..5 of a {10, 6} space: one box.
+  nd::Coord shape{10, 6};
+  auto boxes = linearRangeToRegions(12, 30, shape);
+  ASSERT_EQ(boxes.size(), 1u);
+  EXPECT_EQ(boxes[0].corner(), (nd::Coord{2, 0}));
+  EXPECT_EQ(boxes[0].shape(), (nd::Coord{3, 6}));
+}
+
+TEST(LinearRangeToRegions, UnalignedRangeDecomposes) {
+  // [3, 15) of a {4, 6} space: partial row, full row, partial row.
+  nd::Coord shape{4, 6};
+  auto boxes = linearRangeToRegions(3, 15, shape);
+  std::int64_t total = 0;
+  for (const auto& b : boxes) total += b.volume();
+  EXPECT_EQ(total, 12);
+  EXPECT_LE(boxes.size(), 4u);  // <= 2 * rank
+}
+
+class LinearRangeSweep
+    : public ::testing::TestWithParam<std::tuple<nd::Coord, int>> {};
+
+TEST_P(LinearRangeSweep, ExactCoverNoOverlap) {
+  auto [shape, seed] = GetParam();
+  nd::Index n = shape.volume();
+  // Probe a spread of ranges derived from the seed.
+  for (int k = 0; k < 20; ++k) {
+    nd::Index a = (seed * 7 + k * 13) % (n + 1);
+    nd::Index b = (seed * 11 + k * 29) % (n + 1);
+    if (a > b) std::swap(a, b);
+    auto boxes = linearRangeToRegions(a, b, shape);
+    std::vector<bool> covered(static_cast<std::size_t>(n), false);
+    for (const auto& box : boxes) {
+      EXPECT_LE(boxes.size(), 2 * shape.rank() + 1);
+      for (nd::RegionCursor cur(box); cur.valid(); cur.next()) {
+        nd::Index li = nd::linearize(cur.coord(), shape);
+        EXPECT_GE(li, a);
+        EXPECT_LT(li, b);
+        EXPECT_FALSE(covered[static_cast<std::size_t>(li)]) << "overlap";
+        covered[static_cast<std::size_t>(li)] = true;
+      }
+    }
+    for (nd::Index i = a; i < b; ++i) {
+      EXPECT_TRUE(covered[static_cast<std::size_t>(i)]) << "gap at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LinearRangeSweep,
+    ::testing::Combine(::testing::Values(nd::Coord{24}, nd::Coord{6, 5},
+                                         nd::Coord{3, 4, 5},
+                                         nd::Coord{2, 3, 2, 3}),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(PartitionPlus, GranuleRespectsSkewBound) {
+  auto ex = makeExtraction(nd::Coord{365, 250, 200}, nd::Coord{7, 5, 1});
+  PartitionPlus pp(ex, 22, /*skewBound=*/10000);
+  EXPECT_LE(pp.granuleSize(), 10000);
+  EXPECT_GE(pp.granuleSize(), 1);
+  // Granule shape is a prefix slab: 10000 / 200 = 50 full lat rows.
+  EXPECT_EQ(pp.granuleShape(), (nd::Coord{1, 50, 200}));
+}
+
+TEST(PartitionPlus, KeyblocksPartitionTheKeyspace) {
+  auto ex = makeExtraction(nd::Coord{56, 20}, nd::Coord{7, 5});
+  PartitionPlus pp(ex, 5, 3);
+  // Every intermediate key routes to exactly one keyblock, and
+  // instanceRange() agrees with partition().
+  std::vector<std::int64_t> counts(5, 0);
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex->instanceGridShape()));
+       g.valid(); g.next()) {
+    nd::Coord key = ex->keyForInstance(g.coord());
+    std::uint32_t kb = pp.partition(key, 5);
+    ASSERT_LT(kb, 5u);
+    ++counts[kb];
+    auto [a, b] = pp.instanceRange(kb);
+    nd::Index li = nd::linearize(g.coord(), ex->instanceGridShape());
+    EXPECT_GE(li, a);
+    EXPECT_LT(li, b);
+  }
+  std::int64_t total = 0;
+  for (std::uint32_t kb = 0; kb < 5; ++kb) {
+    EXPECT_EQ(counts[kb], pp.keyblockSize(kb));
+    total += counts[kb];
+  }
+  EXPECT_EQ(total, ex->instanceCount());
+}
+
+TEST(PartitionPlus, SkewWithinOneGranule) {
+  auto ex = makeExtraction(nd::Coord{365, 250, 200}, nd::Coord{7, 5, 1});
+  for (std::uint32_t r : {3u, 22u, 66u, 176u}) {
+    PartitionPlus pp(ex, r, 997);  // prime bound: maximally unaligned
+    EXPECT_LE(pp.realizedSkew(), pp.granuleSize())
+        << "r=" << r << " skew must be bounded by one granule";
+  }
+}
+
+TEST(PartitionPlus, KeyblocksAreContiguous) {
+  auto ex = makeExtraction(nd::Coord{56, 20}, nd::Coord{7, 5});
+  PartitionPlus pp(ex, 3, 4);
+  nd::Index expectedStart = 0;
+  for (std::uint32_t kb = 0; kb < 3; ++kb) {
+    auto [a, b] = pp.instanceRange(kb);
+    EXPECT_EQ(a, expectedStart) << "keyblocks must tile linearly in order";
+    expectedStart = b;
+  }
+  EXPECT_EQ(expectedStart, ex->instanceCount());
+}
+
+TEST(PartitionPlus, KeyblockRegionsCoverExactly) {
+  auto ex = makeExtraction(nd::Coord{30, 14}, nd::Coord{3, 2});
+  PartitionPlus pp(ex, 4, 5);
+  std::vector<bool> covered(
+      static_cast<std::size_t>(ex->instanceCount()), false);
+  for (std::uint32_t kb = 0; kb < 4; ++kb) {
+    for (const nd::Region& box : pp.keyblockRegions(kb)) {
+      for (nd::RegionCursor cur(box); cur.valid(); cur.next()) {
+        EXPECT_EQ(pp.keyblockOfInstance(cur.coord()), kb);
+        nd::Index li = nd::linearize(cur.coord(), ex->instanceGridShape());
+        EXPECT_FALSE(covered[static_cast<std::size_t>(li)]);
+        covered[static_cast<std::size_t>(li)] = true;
+      }
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(PartitionPlus, SystemChosenBound) {
+  auto ex = makeExtraction(nd::Coord{365, 250, 200}, nd::Coord{7, 5, 1});
+  PartitionPlus pp(ex, 22);  // skewBound = 0: system chooses
+  EXPECT_GE(pp.granuleSize(), 1);
+  // Skew must be well under a keyblock's share.
+  nd::Index share = ex->instanceCount() / 22;
+  EXPECT_LE(pp.realizedSkew(), share / 8);
+}
+
+TEST(PartitionPlus, MoreReducersThanKeysYieldsEmptyTailBlocks) {
+  auto ex = makeExtraction(nd::Coord{6, 4}, nd::Coord{3, 2});
+  // 4 instances, 7 reducers.
+  PartitionPlus pp(ex, 7, 1);
+  std::int64_t nonEmpty = 0;
+  std::int64_t total = 0;
+  for (std::uint32_t kb = 0; kb < 7; ++kb) {
+    nd::Index s = pp.keyblockSize(kb);
+    total += s;
+    if (s > 0) ++nonEmpty;
+  }
+  EXPECT_EQ(total, 4);
+  EXPECT_EQ(nonEmpty, 4);
+}
+
+TEST(PartitionPlus, WrongReducerCountAtRouteTimeThrows) {
+  auto ex = makeExtraction(nd::Coord{14, 10}, nd::Coord{7, 5});
+  PartitionPlus pp(ex, 2, 1);
+  EXPECT_THROW(pp.partition(nd::Coord{0, 0}, 3), std::logic_error);
+  EXPECT_THROW(pp.instanceRange(2), std::out_of_range);
+  EXPECT_THROW(PartitionPlus(ex, 0, 1), std::invalid_argument);
+}
+
+TEST(PartitionPlus, PreserveCoordsRouting) {
+  auto ex = makeExtraction(nd::Coord{16, 16}, nd::Coord{1, 1},
+                           sh::KeyMode::kRenumber);
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{1, 1};
+  q.stride = nd::Coord{2, 2};
+  q.keyMode = sh::KeyMode::kPreserveCoords;
+  auto exp = std::make_shared<const sh::ExtractionMap>(q, nd::Coord{16, 16});
+  PartitionPlus pp(exp, 4, 8);
+  // Even-coordinate (preserved) keys still spread over ALL keyblocks.
+  std::vector<std::int64_t> counts(4, 0);
+  for (nd::RegionCursor g(nd::Region::wholeSpace(exp->instanceGridShape()));
+       g.valid(); g.next()) {
+    ++counts[pp.partition(exp->keyForInstance(g.coord()), 4)];
+  }
+  for (std::int64_t c : counts) EXPECT_EQ(c, 16);  // 64 instances / 4
+}
+
+// Parameterized invariants across (shape, reducers, bound).
+struct PPCase {
+  nd::Coord input;
+  nd::Coord eshape;
+  std::uint32_t reducers;
+  nd::Index bound;
+};
+
+class PartitionPlusSweep : public ::testing::TestWithParam<PPCase> {};
+
+TEST_P(PartitionPlusSweep, CoverageContiguitySkew) {
+  const PPCase& tc = GetParam();
+  auto ex = makeExtraction(tc.input, tc.eshape);
+  PartitionPlus pp(ex, tc.reducers, tc.bound);
+
+  // 1. Contiguous, ordered, exact tiling of the linear instance space.
+  nd::Index expectedStart = 0;
+  for (std::uint32_t kb = 0; kb < tc.reducers; ++kb) {
+    auto [a, b] = pp.instanceRange(kb);
+    EXPECT_EQ(a, expectedStart);
+    EXPECT_LE(a, b);
+    expectedStart = b;
+  }
+  EXPECT_EQ(expectedStart, ex->instanceCount());
+
+  // 2. Routing agrees with ranges.
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex->instanceGridShape()));
+       g.valid(); g.next()) {
+    std::uint32_t kb = pp.keyblockOfInstance(g.coord());
+    auto [a, b] = pp.instanceRange(kb);
+    nd::Index li = nd::linearize(g.coord(), ex->instanceGridShape());
+    EXPECT_GE(li, a);
+    EXPECT_LT(li, b);
+  }
+
+  // 3. Skew bounded by one granule, granule within the requested bound.
+  EXPECT_LE(pp.granuleSize(), std::max<nd::Index>(tc.bound, 1));
+  EXPECT_LE(pp.realizedSkew(), pp.granuleSize());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Plans, PartitionPlusSweep,
+    ::testing::Values(PPCase{nd::Coord{56, 20}, nd::Coord{7, 5}, 1, 4},
+                      PPCase{nd::Coord{56, 20}, nd::Coord{7, 5}, 3, 4},
+                      PPCase{nd::Coord{56, 20}, nd::Coord{7, 5}, 8, 1},
+                      PPCase{nd::Coord{63, 25}, nd::Coord{7, 5}, 7, 13},
+                      PPCase{nd::Coord{64, 16, 8}, nd::Coord{4, 4, 2}, 6, 9},
+                      PPCase{nd::Coord{30}, nd::Coord{2}, 5, 2},
+                      PPCase{nd::Coord{30}, nd::Coord{2}, 16, 1}));
+
+}  // namespace
+}  // namespace sidr::core

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "scihadoop/query_parser.hpp"
+
+namespace sidr::sh {
+namespace {
+
+TEST(QueryParser, PaperQuery1) {
+  StructuralQuery q = parseQuery("median(windspeed, eshape={2,36,36,10})");
+  EXPECT_EQ(q.op, OperatorKind::kMedian);
+  EXPECT_EQ(q.variable, "windspeed");
+  EXPECT_EQ(q.extractionShape, (nd::Coord{2, 36, 36, 10}));
+  EXPECT_FALSE(q.stride.has_value());
+  EXPECT_EQ(q.edgeMode, EdgeMode::kTruncate);
+  EXPECT_EQ(q.keyMode, KeyMode::kRenumber);
+}
+
+TEST(QueryParser, PaperQuery2WithThreshold) {
+  StructuralQuery q = parseQuery(
+      "filter(measurements, eshape={2,40,40,10}, threshold=3.0)");
+  EXPECT_EQ(q.op, OperatorKind::kFilter);
+  EXPECT_DOUBLE_EQ(q.filterThreshold, 3.0);
+}
+
+TEST(QueryParser, AllOperators) {
+  for (auto [name, kind] :
+       {std::pair{"mean", OperatorKind::kMean},
+        std::pair{"sum", OperatorKind::kSum},
+        std::pair{"min", OperatorKind::kMin},
+        std::pair{"max", OperatorKind::kMax},
+        std::pair{"count", OperatorKind::kCount},
+        std::pair{"range", OperatorKind::kRange},
+        std::pair{"median", OperatorKind::kMedian},
+        std::pair{"filter", OperatorKind::kFilter},
+        std::pair{"sort", OperatorKind::kSort}}) {
+    StructuralQuery q =
+        parseQuery(std::string(name) + "(v, eshape={2,2})");
+    EXPECT_EQ(q.op, kind) << name;
+  }
+}
+
+TEST(QueryParser, AllModifiers) {
+  StructuralQuery q = parseQuery(
+      "mean(samples, eshape={2,2}, stride={4,4}, edge=pad, keys=preserve, "
+      "skew=1000)");
+  ASSERT_TRUE(q.stride.has_value());
+  EXPECT_EQ(*q.stride, (nd::Coord{4, 4}));
+  EXPECT_EQ(q.edgeMode, EdgeMode::kPad);
+  EXPECT_EQ(q.keyMode, KeyMode::kPreserveCoords);
+  EXPECT_EQ(q.skewBound, 1000);
+}
+
+TEST(QueryParser, WhitespaceTolerant) {
+  StructuralQuery q = parseQuery(
+      "  mean ( temperature ,  eshape = { 7 , 5 , 1 } )  ");
+  EXPECT_EQ(q.variable, "temperature");
+  EXPECT_EQ(q.extractionShape, (nd::Coord{7, 5, 1}));
+}
+
+TEST(QueryParser, NegativeAndScientificNumbers) {
+  EXPECT_DOUBLE_EQ(
+      parseQuery("filter(v, eshape={2}, threshold=-1.5)").filterThreshold,
+      -1.5);
+  EXPECT_DOUBLE_EQ(
+      parseQuery("filter(v, eshape={2}, threshold=2.5e-3)").filterThreshold,
+      0.0025);
+}
+
+TEST(QueryParser, Errors) {
+  EXPECT_THROW(parseQuery(""), std::invalid_argument);
+  EXPECT_THROW(parseQuery("frobnicate(v, eshape={2})"),
+               std::invalid_argument);
+  EXPECT_THROW(parseQuery("mean(v)"), std::invalid_argument);  // no eshape
+  EXPECT_THROW(parseQuery("mean(v, eshape={2}"), std::invalid_argument);
+  EXPECT_THROW(parseQuery("mean(v, eshape={2}) trailing"),
+               std::invalid_argument);
+  EXPECT_THROW(parseQuery("mean(v, bogus=1, eshape={2})"),
+               std::invalid_argument);
+  EXPECT_THROW(parseQuery("mean(v, edge=sideways, eshape={2})"),
+               std::invalid_argument);
+  EXPECT_THROW(parseQuery("mean(v, eshape={2,)"), std::invalid_argument);
+}
+
+TEST(QueryParser, RoundTrip) {
+  for (const char* text :
+       {"median(windspeed, eshape={2, 36, 36, 10})",
+        "filter(m, eshape={2, 40, 40, 10}, threshold=3)",
+        "mean(s, eshape={2, 2}, stride={4, 4}, edge=pad, keys=preserve, "
+        "skew=1000)",
+        "sort(day, eshape={24, 1})"}) {
+    StructuralQuery q = parseQuery(text);
+    StructuralQuery back = parseQuery(toQueryString(q));
+    EXPECT_EQ(back.op, q.op);
+    EXPECT_EQ(back.variable, q.variable);
+    EXPECT_EQ(back.extractionShape, q.extractionShape);
+    EXPECT_EQ(back.stride, q.stride);
+    EXPECT_EQ(back.edgeMode, q.edgeMode);
+    EXPECT_EQ(back.keyMode, q.keyMode);
+    EXPECT_DOUBLE_EQ(back.filterThreshold, q.filterThreshold);
+    EXPECT_EQ(back.skewBound, q.skewBound);
+  }
+}
+
+}  // namespace
+}  // namespace sidr::sh

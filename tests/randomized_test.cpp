@@ -1,0 +1,161 @@
+// Randomized end-to-end property testing: for seeded random
+// (shape, extraction, stride, operator, system, reducer-count, split)
+// configurations, the engine's output must equal the serial oracle and
+// every SIDR invariant must hold. This is the library's broadest net —
+// any geometry corner case the targeted tests miss tends to surface
+// here first.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "mapreduce/engine.hpp"
+#include "scihadoop/datagen.hpp"
+#include "sidr/planner.hpp"
+
+namespace sidr::core {
+namespace {
+
+struct RandomConfig {
+  nd::Coord input;
+  sh::StructuralQuery query;
+  std::uint32_t reducers;
+  std::size_t splitCount;
+  SystemMode system;
+  bool byteRangeSplits;
+};
+
+RandomConfig makeConfig(std::mt19937_64& rng) {
+  auto pick = [&rng](nd::Index lo, nd::Index hi) {
+    return lo + static_cast<nd::Index>(
+                    rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  RandomConfig cfg;
+  std::size_t rank = 1 + rng() % 3;
+  cfg.input = nd::Coord::zeros(rank);
+  cfg.query.extractionShape = nd::Coord::zeros(rank);
+  nd::Coord stride = nd::Coord::zeros(rank);
+  bool useStride = rng() % 3 == 0;
+  for (std::size_t d = 0; d < rank; ++d) {
+    cfg.query.extractionShape[d] = pick(1, 4);
+    stride[d] = useStride ? pick(cfg.query.extractionShape[d],
+                                 cfg.query.extractionShape[d] + 2)
+                          : cfg.query.extractionShape[d];
+    // Input extent: at least one full cell, with a possible ragged tail.
+    cfg.input[d] = cfg.query.extractionShape[d] + pick(0, 17);
+  }
+  if (useStride) cfg.query.stride = stride;
+  // Occasionally address only a subset of the input.
+  if (rng() % 3 == 0) {
+    nd::Coord corner = nd::Coord::zeros(rank);
+    nd::Coord shape = nd::Coord::zeros(rank);
+    bool ok = true;
+    for (std::size_t d = 0; d < rank; ++d) {
+      nd::Index maxCorner = cfg.input[d] - cfg.query.extractionShape[d];
+      corner[d] = maxCorner > 0 ? pick(0, maxCorner) : 0;
+      nd::Index room = cfg.input[d] - corner[d];
+      if (room < cfg.query.extractionShape[d]) {
+        ok = false;
+        break;
+      }
+      shape[d] = pick(cfg.query.extractionShape[d], room);
+    }
+    if (ok) cfg.query.subset = nd::Region(corner, shape);
+  }
+  cfg.query.edgeMode =
+      (rng() % 2 == 0) ? sh::EdgeMode::kTruncate : sh::EdgeMode::kPad;
+  cfg.query.variable = "v";
+  switch (rng() % 5) {
+    case 0: cfg.query.op = sh::OperatorKind::kMean; break;
+    case 1: cfg.query.op = sh::OperatorKind::kMedian; break;
+    case 2: cfg.query.op = sh::OperatorKind::kSum; break;
+    case 3: cfg.query.op = sh::OperatorKind::kRange; break;
+    default:
+      cfg.query.op = sh::OperatorKind::kFilter;
+      cfg.query.filterThreshold = 15.0 + static_cast<double>(rng() % 10);
+      break;
+  }
+  cfg.reducers = static_cast<std::uint32_t>(1 + rng() % 6);
+  cfg.splitCount = 1 + rng() % 9;
+  cfg.system = (rng() % 4 == 0) ? SystemMode::kSciHadoop : SystemMode::kSidr;
+  cfg.byteRangeSplits = rng() % 3 == 0;
+  return cfg;
+}
+
+class RandomizedOracle : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedOracle, EngineMatchesOracle) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 1);
+  RandomConfig cfg = makeConfig(rng);
+  SCOPED_TRACE("input " + cfg.input.toString() + " query " +
+               sh::describe(cfg.query) + " r=" + std::to_string(cfg.reducers) +
+               " splits~" + std::to_string(cfg.splitCount) +
+               (cfg.byteRangeSplits ? " (byte-range)" : ""));
+
+  sh::ValueFn fn = sh::temperatureField(static_cast<std::uint64_t>(
+      GetParam() + 100));
+  sh::ExtractionMap exm(cfg.query, cfg.input);
+
+  mr::JobResult result = [&] {
+    if (!cfg.byteRangeSplits) {
+      QueryPlanner planner(cfg.query, cfg.input);
+      PlanOptions opts;
+      opts.system = cfg.system;
+      opts.numReducers = cfg.reducers;
+      opts.desiredSplitCount = cfg.splitCount;
+      opts.numThreads = 3;
+      return mr::Engine(planner.plan(fn, opts).spec).run();
+    }
+    // Hand-assembled byte-range variant.
+    auto extraction =
+        std::make_shared<const sh::ExtractionMap>(cfg.query, cfg.input);
+    mr::JobSpec spec;
+    spec.splits = sh::generateByteRangeSplits(cfg.input, cfg.splitCount);
+    spec.readerFactory = sh::makeSyntheticReaderFactory(fn);
+    spec.mapperFactory =
+        sh::makeStructuralMapperFactory(cfg.query, extraction);
+    spec.reducerFactory = sh::makeStructuralReducerFactory(cfg.query);
+    spec.numReducers = cfg.reducers;
+    if (cfg.system == SystemMode::kSidr) {
+      auto pp = std::make_shared<const PartitionPlus>(extraction,
+                                                      cfg.reducers, 0);
+      spec.partitioner = pp;
+      spec.mode = mr::ExecutionMode::kSidr;
+      DependencyCalculator calc(pp);
+      DependencyInfo deps = calc.computeAll(spec.splits);
+      spec.reduceDeps = deps.keyblockToSplits;
+      spec.expectedRepresents = deps.expectedRepresents;
+    } else {
+      spec.partitioner = std::make_shared<const mr::ModuloPartitioner>(
+          extraction->intermediateSpaceShape());
+      spec.mode = mr::ExecutionMode::kGlobalBarrier;
+    }
+    return mr::Engine(std::move(spec)).run();
+  }();
+
+  EXPECT_EQ(result.annotationViolations, 0u);
+
+  std::vector<mr::KeyValue> oracle =
+      sh::runSerialOracle(cfg.query, exm, fn);
+  std::vector<mr::KeyValue> got = result.collectAll();
+  ASSERT_EQ(got.size(), oracle.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].key, oracle[i].key);
+    ASSERT_EQ(got[i].value.kind(), oracle[i].value.kind());
+    if (got[i].value.kind() == mr::ValueKind::kScalar) {
+      EXPECT_NEAR(got[i].value.asScalar(), oracle[i].value.asScalar(),
+                  1e-9);
+    } else {
+      const auto& a = got[i].value.asList();
+      const auto& b = oracle[i].value.asList();
+      ASSERT_EQ(a.size(), b.size());
+      for (std::size_t j = 0; j < a.size(); ++j) {
+        EXPECT_NEAR(a[j], b[j], 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedOracle, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace sidr::core

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include "mapreduce/combiners.hpp"
+#include "mapreduce/partitioners.hpp"
+#include "mapreduce/segment.hpp"
+
+namespace sidr::mr {
+namespace {
+
+TEST(Partial, MergeTracksAllAggregates) {
+  Partial p = Partial::ofValue(3.0);
+  p.merge(Partial::ofValue(-1.0));
+  p.merge(Partial::ofValue(10.0));
+  EXPECT_EQ(p.sum, 12.0);
+  EXPECT_EQ(p.min, -1.0);
+  EXPECT_EQ(p.max, 10.0);
+  EXPECT_EQ(p.count, 3);
+  EXPECT_DOUBLE_EQ(p.mean(), 4.0);
+}
+
+TEST(Partial, MergeWithEmpty) {
+  Partial empty;
+  Partial p = Partial::ofValue(5.0);
+  empty.merge(p);
+  EXPECT_EQ(empty, p);
+  Partial q = Partial::ofValue(7.0);
+  q.merge(Partial{});
+  EXPECT_EQ(q.count, 1);
+  EXPECT_EQ(q.sum, 7.0);
+}
+
+TEST(Value, KindAccessors) {
+  Value s = Value::scalar(2.5);
+  EXPECT_EQ(s.kind(), ValueKind::kScalar);
+  EXPECT_EQ(s.asScalar(), 2.5);
+  EXPECT_THROW(s.asList(), std::logic_error);
+
+  Value l = Value::list({1.0, 2.0});
+  EXPECT_EQ(l.kind(), ValueKind::kList);
+  EXPECT_EQ(l.asList().size(), 2u);
+  EXPECT_THROW(l.asPartial(), std::logic_error);
+
+  Value p = Value::partial(Partial::ofValue(1.0));
+  EXPECT_EQ(p.kind(), ValueKind::kPartial);
+  EXPECT_EQ(p.asPartial().count, 1);
+  EXPECT_THROW(p.asScalar(), std::logic_error);
+}
+
+std::vector<KeyValue> sampleRecords() {
+  return {
+      {nd::Coord{2, 1}, Value::scalar(5.0), 1},
+      {nd::Coord{0, 3}, Value::partial(Partial::ofValue(2.0)), 4},
+      {nd::Coord{1, 0}, Value::list({3.0, 1.0, 2.0}), 3},
+      {nd::Coord{0, 1}, Value::list({}), 2},
+  };
+}
+
+TEST(Segment, HeaderAnnotationsSumRepresents) {
+  Segment seg(7, 3, sampleRecords());
+  EXPECT_EQ(seg.header().mapTask, 7u);
+  EXPECT_EQ(seg.header().keyblock, 3u);
+  EXPECT_EQ(seg.header().numRecords, 4u);
+  EXPECT_EQ(seg.header().represents, 1u + 4u + 3u + 2u);
+}
+
+TEST(Segment, SortByKey) {
+  Segment seg(0, 0, sampleRecords());
+  EXPECT_FALSE(seg.isSorted());
+  seg.sortByKey();
+  EXPECT_TRUE(seg.isSorted());
+  EXPECT_EQ(seg.records().front().key, (nd::Coord{0, 1}));
+  EXPECT_EQ(seg.records().back().key, (nd::Coord{2, 1}));
+}
+
+TEST(Segment, SerializeRoundTrip) {
+  Segment seg(9, 2, sampleRecords());
+  seg.sortByKey();
+  auto bytes = seg.serialize();
+  Segment back = Segment::deserialize(bytes);
+  EXPECT_EQ(back.header(), seg.header());
+  ASSERT_EQ(back.records().size(), seg.records().size());
+  for (std::size_t i = 0; i < seg.records().size(); ++i) {
+    EXPECT_EQ(back.records()[i].key, seg.records()[i].key);
+    EXPECT_EQ(back.records()[i].value, seg.records()[i].value);
+    EXPECT_EQ(back.records()[i].represents, seg.records()[i].represents);
+  }
+}
+
+TEST(Segment, PeekHeaderWithoutParsingRecords) {
+  // Section 3.2.1: reduces tally annotations "without having to read
+  // and parse those files" — the header must be readable standalone.
+  Segment seg(4, 1, sampleRecords());
+  auto bytes = seg.serialize();
+  SegmentHeader h = Segment::peekHeader(bytes);
+  EXPECT_EQ(h, seg.header());
+  // Header parse also works on a truncated buffer holding only 32 bytes.
+  std::vector<std::byte> headOnly(bytes.begin(), bytes.begin() + 32);
+  EXPECT_EQ(Segment::peekHeader(headOnly), seg.header());
+}
+
+TEST(Segment, DeserializeRejectsTruncation) {
+  Segment seg(0, 0, sampleRecords());
+  auto bytes = seg.serialize();
+  bytes.resize(bytes.size() - 1);
+  EXPECT_THROW(Segment::deserialize(bytes), std::out_of_range);
+}
+
+TEST(Segment, EmptySegment) {
+  Segment seg(1, 2, {});
+  EXPECT_TRUE(seg.empty());
+  EXPECT_EQ(seg.header().represents, 0u);
+  Segment back = Segment::deserialize(seg.serialize());
+  EXPECT_TRUE(back.empty());
+}
+
+TEST(Segment, CombineWithMergesEqualKeys) {
+  Segment seg(0, 0,
+              {{nd::Coord{1}, Value::partial(Partial::ofValue(2.0)), 1},
+               {nd::Coord{1}, Value::partial(Partial::ofValue(4.0)), 2},
+               {nd::Coord{2}, Value::partial(Partial::ofValue(9.0)), 1},
+               {nd::Coord{1}, Value::partial(Partial::ofValue(6.0)), 1}});
+  seg.sortByKey();
+  std::uint64_t representsBefore = seg.header().represents;
+  PartialMergeCombiner combiner;
+  seg.combineWith(combiner);
+  ASSERT_EQ(seg.records().size(), 2u);
+  EXPECT_EQ(seg.records()[0].key, (nd::Coord{1}));
+  EXPECT_EQ(seg.records()[0].value.asPartial().sum, 12.0);
+  EXPECT_EQ(seg.records()[0].value.asPartial().count, 3);
+  EXPECT_EQ(seg.records()[0].represents, 4u);
+  EXPECT_EQ(seg.records()[1].value.asPartial().sum, 9.0);
+  // The count annotation total is invariant under combining
+  // (section 3.2.1: combined pairs still represent their inputs).
+  EXPECT_EQ(seg.header().represents, representsBefore);
+  EXPECT_EQ(seg.header().numRecords, 2u);
+  // Serialization stays self-consistent after combining.
+  Segment back = Segment::deserialize(seg.serialize());
+  EXPECT_EQ(back.header(), seg.header());
+}
+
+TEST(Segment, ListConcatCombiner) {
+  Segment seg(0, 0,
+              {{nd::Coord{5}, Value::list({1.0, 2.0}), 2},
+               {nd::Coord{5}, Value::list({3.0}), 1}});
+  seg.sortByKey();
+  ListConcatCombiner combiner;
+  seg.combineWith(combiner);
+  ASSERT_EQ(seg.records().size(), 1u);
+  EXPECT_EQ(seg.records()[0].value.asList(),
+            (std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(seg.records()[0].represents, 3u);
+}
+
+TEST(SegmentMerger, GroupsAcrossSegments) {
+  Segment a(0, 0,
+            {{nd::Coord{1}, Value::scalar(1.0), 1},
+             {nd::Coord{3}, Value::scalar(3.0), 1}});
+  Segment b(1, 0,
+            {{nd::Coord{1}, Value::scalar(10.0), 2},
+             {nd::Coord{2}, Value::scalar(2.0), 1}});
+  a.sortByKey();
+  b.sortByKey();
+  std::vector<const Segment*> segs{&a, &b};
+  SegmentMerger merger(segs);
+  std::vector<std::pair<nd::Coord, std::size_t>> groups;
+  std::vector<std::uint64_t> reps;
+  merger.forEachGroup([&](const nd::Coord& key,
+                          std::span<const Value* const> values,
+                          std::uint64_t represents) {
+    groups.emplace_back(key, values.size());
+    reps.push_back(represents);
+  });
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0], std::make_pair(nd::Coord{1}, std::size_t{2}));
+  EXPECT_EQ(groups[1], std::make_pair(nd::Coord{2}, std::size_t{1}));
+  EXPECT_EQ(groups[2], std::make_pair(nd::Coord{3}, std::size_t{1}));
+  EXPECT_EQ(reps, (std::vector<std::uint64_t>{3, 1, 1}));
+}
+
+TEST(SegmentMerger, ManySegmentsStaySorted) {
+  std::vector<Segment> segs;
+  for (std::uint32_t m = 0; m < 10; ++m) {
+    std::vector<KeyValue> recs;
+    for (nd::Index k = 0; k < 20; ++k) {
+      recs.push_back({nd::Coord{(k * 7 + m) % 40}, Value::scalar(1.0), 1});
+    }
+    Segment s(m, 0, std::move(recs));
+    s.sortByKey();
+    segs.push_back(std::move(s));
+  }
+  std::vector<const Segment*> ptrs;
+  for (const auto& s : segs) ptrs.push_back(&s);
+  SegmentMerger merger(ptrs);
+  nd::Coord prev;
+  bool first = true;
+  std::size_t total = 0;
+  merger.forEachGroup([&](const nd::Coord& key,
+                          std::span<const Value* const> values,
+                          std::uint64_t) {
+    if (!first) {
+      EXPECT_LT(prev, key);
+    }
+    prev = key;
+    first = false;
+    total += values.size();
+  });
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(SegmentMerger, EmptyInput) {
+  SegmentMerger merger(std::span<const Segment* const>{});
+  int calls = 0;
+  merger.forEachGroup([&](auto&&...) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ModuloPartitioner, LinearIndexModulo) {
+  ModuloPartitioner part(nd::Coord{10, 10});
+  EXPECT_EQ(part.partition(nd::Coord{0, 0}, 4), 0u);
+  EXPECT_EQ(part.partition(nd::Coord{0, 5}, 4), 1u);
+  EXPECT_EQ(part.partition(nd::Coord{2, 3}, 4), 23u % 4);
+}
+
+TEST(ModuloPartitioner, EvenKeysSkewToEvenReducers) {
+  // The paper's section 4.3 pathology: patterned (all-even) keys starve
+  // odd-numbered reduce tasks under modulo partitioning.
+  ModuloPartitioner part(nd::Coord{16, 16});
+  std::vector<int> counts(4, 0);
+  for (nd::Index i = 0; i < 16; i += 2) {
+    for (nd::Index j = 0; j < 16; j += 2) {
+      ++counts[part.partition(nd::Coord{i, j}, 4)];
+    }
+  }
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[2], 0);
+  EXPECT_EQ(counts[1], 0);  // odd reducers receive nothing
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(HashPartitioner, BreaksKeyPatterns) {
+  HashPartitioner part;
+  std::vector<int> counts(4, 0);
+  for (nd::Index i = 0; i < 16; i += 2) {
+    for (nd::Index j = 0; j < 16; j += 2) {
+      ++counts[part.partition(nd::Coord{i, j}, 4)];
+    }
+  }
+  for (int c : counts) EXPECT_GT(c, 0) << "hash must spread patterned keys";
+}
+
+}  // namespace
+}  // namespace sidr::mr

@@ -1,0 +1,394 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "sim/trace.hpp"
+#include "sim/workload.hpp"
+
+namespace sidr::sim {
+namespace {
+
+/// A scaled-down Query-1-like workload that keeps the simulator tests
+/// fast (hundreds of maps, not thousands).
+WorkloadSpec smallWorkload() {
+  WorkloadSpec w = query1Workload();
+  w.inputShape = nd::Coord{2880, 36, 144, 20};
+  w.query.extractionShape = nd::Coord{2, 36, 36, 10};
+  w.numSplits = 96;
+  return w;
+}
+
+TEST(Workload, VolumesAreConserved) {
+  WorkloadSpec w = smallWorkload();
+  for (auto system : {core::SystemMode::kSciHadoop, core::SystemMode::kSidr}) {
+    BuiltWorkload built = buildWorkload(w, system, 8);
+    // Input bytes: every split carries its region's bytes.
+    std::uint64_t inputBytes = std::accumulate(
+        built.job.splitBytes.begin(), built.job.splitBytes.end(),
+        std::uint64_t{0});
+    EXPECT_EQ(inputBytes,
+              static_cast<std::uint64_t>(w.inputShape.volume()) * 4);
+    // Shuffle bytes: map outputs equal reduce inputs.
+    std::uint64_t mapOut = 0;
+    for (const auto& mo : built.job.mapOutput) {
+      for (const auto& [kb, b] : mo) mapOut += b;
+    }
+    std::uint64_t reduceIn = std::accumulate(
+        built.job.reduceInputBytes.begin(), built.job.reduceInputBytes.end(),
+        std::uint64_t{0});
+    EXPECT_EQ(mapOut, reduceIn);
+    // Intermediate ~ input x factor (plus per-record overheads).
+    EXPECT_GT(reduceIn, inputBytes);  // factor 1.0 + overhead
+    EXPECT_LT(reduceIn, inputBytes + inputBytes / 10);
+  }
+}
+
+TEST(Workload, SidrRoutesOnlyToDependencies) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSidr, 8);
+  ASSERT_EQ(built.job.reduceDeps.size(), 8u);
+  for (std::uint32_t m = 0; m < built.job.numMaps; ++m) {
+    for (const auto& [kb, bytes] : built.job.mapOutput[m]) {
+      if (bytes == 0) continue;
+      const auto& deps = built.job.reduceDeps[kb];
+      EXPECT_TRUE(std::binary_search(deps.begin(), deps.end(), m))
+          << "map " << m << " routed bytes to keyblock " << kb
+          << " without a declared dependency";
+    }
+  }
+}
+
+TEST(Workload, SidrBalancesStockModuloDoesNotSkewHere) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload sidr = buildWorkload(w, core::SystemMode::kSidr, 8);
+  std::uint64_t mn = UINT64_MAX;
+  std::uint64_t mx = 0;
+  for (std::uint64_t b : sidr.job.reduceInputBytes) {
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  EXPECT_LT(mx - mn, mx / 4) << "partition+ loads must be balanced";
+}
+
+TEST(Workload, SkewWorkloadStarvesOddReducers) {
+  WorkloadSpec w = skewWorkload();
+  w.inputShape = nd::Coord{2880, 36, 144, 20};
+  w.query.extractionShape = nd::Coord{2, 36, 36, 10};
+  w.numSplits = 96;
+  BuiltWorkload stock = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  std::uint64_t total = 0;
+  std::uint32_t nonEmpty = 0;
+  for (std::size_t kb = 0; kb < 8; ++kb) {
+    total += stock.job.reduceInputBytes[kb];
+    if (stock.job.reduceInputBytes[kb] > 0) ++nonEmpty;
+    if (kb % 2 == 1) {
+      EXPECT_EQ(stock.job.reduceInputBytes[kb], 0u)
+          << "odd keyblock " << kb << " must starve under modulo";
+    }
+  }
+  EXPECT_GT(total, 0u);
+  EXPECT_LE(nonEmpty, 4u) << "at most the even keyblocks receive data";
+  BuiltWorkload sidr = buildWorkload(w, core::SystemMode::kSidr, 8);
+  for (std::size_t kb = 0; kb < 8; ++kb) {
+    EXPECT_GT(sidr.job.reduceInputBytes[kb], 0u);
+  }
+}
+
+TEST(ClusterSim, DeterministicForFixedSeed) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSidr, 8);
+  ClusterConfig cfg;
+  cfg.mapNoiseSigma = 0.2;
+  SimResult a = ClusterSim(cfg, built.job).run();
+  SimResult b = ClusterSim(cfg, built.job).run();
+  EXPECT_EQ(a.totalTime, b.totalTime);
+  EXPECT_EQ(a.firstResult, b.firstResult);
+  EXPECT_EQ(a.shuffleConnections, b.shuffleConnections);
+  cfg.seed = 99;
+  SimResult c = ClusterSim(cfg, built.job).run();
+  EXPECT_NE(a.totalTime, c.totalTime);
+}
+
+TEST(ClusterSim, EveryTaskCompletes) {
+  WorkloadSpec w = smallWorkload();
+  for (auto system : {core::SystemMode::kSciHadoop, core::SystemMode::kSidr}) {
+    BuiltWorkload built = buildWorkload(w, system, 8);
+    SimResult res = ClusterSim(ClusterConfig{}, built.job).run();
+    for (const auto& m : res.maps) {
+      EXPECT_GT(m.end, 0.0);
+      EXPECT_GE(m.end, m.start);
+    }
+    for (const auto& r : res.reduces) {
+      EXPECT_GT(r.end, 0.0);
+      EXPECT_GE(r.end, r.start);
+    }
+    EXPECT_GE(res.totalTime, res.lastMapEnd);
+  }
+}
+
+TEST(ClusterSim, GlobalBarrierHoldsInStockMode) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  SimResult res = ClusterSim(ClusterConfig{}, built.job).run();
+  // No reduce may COMMIT before the last map ends (it also cannot start
+  // merging, but commit is what we observe).
+  EXPECT_GE(res.firstResult, res.lastMapEnd);
+}
+
+TEST(ClusterSim, SidrProducesEarlyResults) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSidr, 8);
+  // A smaller cluster so the 96 maps run in several waves — otherwise
+  // the map phase is one wave and nothing can commit "early".
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+  SimResult res = ClusterSim(cfg, built.job).run();
+  EXPECT_LT(res.firstResult, res.lastMapEnd)
+      << "a SIDR reduce must commit before the map phase ends";
+}
+
+TEST(ClusterSim, ConnectionCountsMatchModel) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload stock = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  SimResult stockRes = ClusterSim(ClusterConfig{}, stock.job).run();
+  EXPECT_EQ(stockRes.shuffleConnections,
+            static_cast<std::uint64_t>(stock.job.numMaps) * 8);
+
+  BuiltWorkload sidr = buildWorkload(w, core::SystemMode::kSidr, 8);
+  SimResult sidrRes = ClusterSim(ClusterConfig{}, sidr.job).run();
+  EXPECT_EQ(sidrRes.shuffleConnections,
+            sidr.dependencies.totalConnections());
+  EXPECT_LT(sidrRes.shuffleConnections, stockRes.shuffleConnections);
+}
+
+TEST(ClusterSim, MoreReducersHelpSidrNotStock) {
+  WorkloadSpec w = smallWorkload();
+  auto total = [&](core::SystemMode system, std::uint32_t r) {
+    BuiltWorkload built = buildWorkload(w, system, r);
+    return ClusterSim(ClusterConfig{}, built.job).run();
+  };
+  SimResult sidr8 = total(core::SystemMode::kSidr, 8);
+  SimResult sidr32 = total(core::SystemMode::kSidr, 32);
+  EXPECT_LT(sidr32.firstResult, sidr8.firstResult);
+  EXPECT_LE(sidr32.totalTime, sidr8.totalTime * 1.05);
+
+  SimResult stock8 = total(core::SystemMode::kSciHadoop, 8);
+  SimResult stock32 = total(core::SystemMode::kSciHadoop, 32);
+  // The barrier pins stock's first result to the map phase regardless.
+  EXPECT_GE(stock32.firstResult, stock32.lastMapEnd);
+  EXPECT_GE(stock8.firstResult, stock8.lastMapEnd);
+}
+
+TEST(ClusterSim, PriorityOrderIsHonored) {
+  WorkloadSpec w = smallWorkload();
+  std::vector<std::uint32_t> priority{7, 6, 5, 4, 3, 2, 1, 0};
+  BuiltWorkload built =
+      buildWorkload(w, core::SystemMode::kSidr, 8, priority);
+  ClusterConfig cfg;
+  cfg.reduceSlotsPerNode = 1;
+  cfg.numNodes = 2;  // scarce slots: scheduling order observable
+  cfg.mapSlotsPerNode = 8;
+  SimResult res = ClusterSim(cfg, built.job).run();
+  // High-priority keyblocks are SCHEDULED first and commit before the
+  // low-priority tail (computational steering).
+  EXPECT_LT(res.reduces[7].start, res.reduces[0].start);
+  EXPECT_LT(res.reduces[7].end, res.reduces[0].end);
+  EXPECT_LT(res.reduces[6].end, res.reduces[1].end);
+}
+
+TEST(ClusterSim, HadoopModeSlowerThanSciHadoop) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload h = buildWorkload(w, core::SystemMode::kHadoop, 8);
+  BuiltWorkload sh = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  SimResult hr = ClusterSim(ClusterConfig{}, h.job).run();
+  SimResult shr = ClusterSim(ClusterConfig{}, sh.job).run();
+  EXPECT_GT(hr.totalTime, 1.5 * shr.totalTime);
+}
+
+TEST(ClusterSim, SailfishBalancesButStrengthensBarrier) {
+  // Paper section 5: Sailfish eliminates skew by deferring keyblock
+  // assignment, at the cost of a strengthened barrier — no fetch can
+  // overlap the map phase, and first results arrive after everything.
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload sailfish = buildWorkload(w, core::SystemMode::kSailfish, 8);
+  // Balanced like partition+.
+  std::uint64_t mn = UINT64_MAX;
+  std::uint64_t mx = 0;
+  for (std::uint64_t b : sailfish.job.reduceInputBytes) {
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  EXPECT_LT(mx - mn, mx / 4);
+  EXPECT_TRUE(sailfish.job.deferFetchUntilAllMaps);
+
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+  SimResult sail = ClusterSim(cfg, sailfish.job).run();
+  EXPECT_GE(sail.firstResult, sail.lastMapEnd);
+
+  // The same cluster running SIDR overlaps copy with maps and commits
+  // earlier overall.
+  BuiltWorkload sidr = buildWorkload(w, core::SystemMode::kSidr, 8);
+  SimResult sidrRes = ClusterSim(cfg, sidr.job).run();
+  EXPECT_LT(sidrRes.firstResult, sail.firstResult);
+  EXPECT_LT(sidrRes.totalTime, sail.totalTime);
+
+  // And stock (non-deferred) finishes no later than Sailfish: deferring
+  // can only delay the copy phase.
+  BuiltWorkload stock = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  SimResult stockRes = ClusterSim(cfg, stock.job).run();
+  EXPECT_LE(stockRes.totalTime, sail.totalTime + 1e-9);
+}
+
+TEST(ClusterSim, VolatileIntermediateSkipsSpillCost) {
+  // Section 6's non-failure-case saving: with volatile intermediate
+  // data maps skip the output spill, so (failure-free) runs finish
+  // strictly no later and the map phase shortens.
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload persisted = buildWorkload(w, core::SystemMode::kSidr, 8);
+  BuiltWorkload volatileJob = buildWorkload(w, core::SystemMode::kSidr, 8);
+  volatileJob.job.volatileIntermediate = true;
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+  SimResult persistedRes = ClusterSim(cfg, persisted.job).run();
+  SimResult volatileRes = ClusterSim(cfg, volatileJob.job).run();
+  EXPECT_LT(volatileRes.lastMapEnd, persistedRes.lastMapEnd);
+  EXPECT_LE(volatileRes.totalTime, persistedRes.totalTime);
+  EXPECT_EQ(volatileRes.mapsReExecuted, 0u);
+}
+
+TEST(ClusterSim, ReduceFailureRecoveryModels) {
+  WorkloadSpec w = smallWorkload();
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+
+  // Baseline: no failure.
+  BuiltWorkload base = buildWorkload(w, core::SystemMode::kSidr, 8);
+  SimResult baseRes = ClusterSim(cfg, base.job).run();
+
+  // Persisted intermediate: a failed reduce re-fetches and re-merges
+  // but re-runs no maps.
+  BuiltWorkload persisted = buildWorkload(w, core::SystemMode::kSidr, 8);
+  persisted.job.failOnceReduces = {3};
+  SimResult persistedRes = ClusterSim(cfg, persisted.job).run();
+  EXPECT_EQ(persistedRes.reduceFailures, 1u);
+  EXPECT_EQ(persistedRes.mapsReExecuted, 0u);
+  EXPECT_GT(persistedRes.reduces[3].end, baseRes.reduces[3].end);
+
+  // Volatile intermediate: the failure re-executes exactly |I_3| maps.
+  BuiltWorkload volatileJob = buildWorkload(w, core::SystemMode::kSidr, 8);
+  volatileJob.job.volatileIntermediate = true;
+  volatileJob.job.failOnceReduces = {3};
+  SimResult volatileRes = ClusterSim(cfg, volatileJob.job).run();
+  EXPECT_EQ(volatileRes.reduceFailures, 1u);
+  EXPECT_EQ(volatileRes.mapsReExecuted,
+            volatileJob.dependencies.keyblockToSplits[3].size());
+  // Other keyblocks' results are unaffected by the recovery.
+  for (std::uint32_t kb = 0; kb < 8; ++kb) {
+    EXPECT_GT(volatileRes.reduces[kb].end, 0.0);
+  }
+}
+
+TEST(ClusterSim, HopEstimatesAreOrderedAndPreFinal) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  built.job.hopEstimates = true;
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+  SimResult res = ClusterSim(cfg, built.job).run();
+  ASSERT_EQ(res.estimates.size(), 3u);
+  double prev = 0;
+  for (const auto& [frac, t] : res.estimates) {
+    EXPECT_GT(frac, 0.0);
+    EXPECT_LT(frac, 1.0);
+    EXPECT_GT(t, prev);
+    prev = t;
+    EXPECT_LT(t, res.firstResult) << "estimates precede the exact output";
+  }
+  // Snapshot work costs something: the exact answer is no earlier than
+  // a plain stock run's.
+  BuiltWorkload plain = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  SimResult plainRes = ClusterSim(cfg, plain.job).run();
+  EXPECT_GE(res.totalTime, plainRes.totalTime);
+}
+
+TEST(ClusterSim, HopRejectedInSidrMode) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload built = buildWorkload(w, core::SystemMode::kSidr, 8);
+  built.job.hopEstimates = true;
+  EXPECT_THROW(ClusterSim(ClusterConfig{}, built.job).run(),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, FailureInjectionRequiresSidr) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload stock = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  stock.job.failOnceReduces = {0};
+  EXPECT_THROW(ClusterSim(ClusterConfig{}, stock.job).run(),
+               std::invalid_argument);
+}
+
+TEST(ClusterSim, MalformedJobsRejected) {
+  SimJob job;
+  job.numMaps = 2;
+  job.numReduces = 1;
+  EXPECT_THROW(ClusterSim(ClusterConfig{}, job).run(),
+               std::invalid_argument);
+}
+
+TEST(Trace, CompletionSeriesEndsAtOne) {
+  std::vector<double> ends{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  CompletionSeries s = completionSeries(ends, 4);
+  EXPECT_EQ(s.fractions.back(), 1.0);
+  EXPECT_EQ(s.times.back(), 10.0);
+  for (std::size_t i = 1; i < s.times.size(); ++i) {
+    EXPECT_GE(s.times[i], s.times[i - 1]);
+    EXPECT_GT(s.fractions[i], s.fractions[i - 1]);
+  }
+}
+
+TEST(Trace, TimeAtFraction) {
+  std::vector<double> ends{10, 20, 30, 40};
+  EXPECT_EQ(timeAtFraction(ends, 0.25), 10.0);
+  EXPECT_EQ(timeAtFraction(ends, 0.5), 20.0);
+  EXPECT_EQ(timeAtFraction(ends, 0.51), 30.0);
+  EXPECT_EQ(timeAtFraction(ends, 1.0), 40.0);
+  EXPECT_THROW(timeAtFraction(ends, 0.0), std::invalid_argument);
+  EXPECT_THROW(timeAtFraction(ends, 1.1), std::invalid_argument);
+  EXPECT_THROW(timeAtFraction({}, 0.5), std::invalid_argument);
+}
+
+TEST(Trace, FractionStatsAcrossRuns) {
+  std::vector<std::vector<double>> runs{{10, 20, 30, 40},
+                                        {12, 22, 32, 42},
+                                        {8, 18, 28, 38}};
+  FractionStats st = fractionStats(runs, 4);
+  ASSERT_EQ(st.fractions.size(), 4u);
+  EXPECT_DOUBLE_EQ(st.meanTimes[0], 10.0);
+  EXPECT_DOUBLE_EQ(st.meanTimes[3], 40.0);
+  EXPECT_NEAR(st.stddevTimes[0], std::sqrt(8.0 / 3.0), 1e-9);
+}
+
+TEST(Trace, VarianceShrinksWithMoreReducers) {
+  // Figure 12's claim, validated on the small workload across 5 seeds.
+  WorkloadSpec w = smallWorkload();
+  auto spread = [&](std::uint32_t r) {
+    std::vector<std::vector<double>> runs;
+    for (int i = 0; i < 5; ++i) {
+      ClusterConfig cfg;
+      cfg.mapNoiseSigma = 0.3;
+      cfg.seed = 100 + static_cast<std::uint64_t>(i);
+      BuiltWorkload built = buildWorkload(w, core::SystemMode::kSidr, r);
+      runs.push_back(ClusterSim(cfg, built.job).run().sortedReduceEnds());
+    }
+    FractionStats st = fractionStats(runs, 10);
+    double maxDev = 0;
+    for (double d : st.stddevTimes) maxDev = std::max(maxDev, d);
+    return maxDev;
+  };
+  EXPECT_LT(spread(32), spread(4) * 1.2)
+      << "more reducers should not inflate completion variance";
+}
+
+}  // namespace
+}  // namespace sidr::sim

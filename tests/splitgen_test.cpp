@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "scihadoop/split_gen.hpp"
+
+namespace sidr::sh {
+namespace {
+
+void expectExactPartition(const std::vector<mr::InputSplit>& splits,
+                          const nd::Coord& inputShape) {
+  std::vector<bool> covered(
+      static_cast<std::size_t>(inputShape.volume()), false);
+  for (const auto& split : splits) {
+    for (const nd::Region& region : split.regions) {
+    for (nd::RegionCursor cur(region); cur.valid(); cur.next()) {
+      auto li = static_cast<std::size_t>(
+          nd::linearize(cur.coord(), inputShape));
+      EXPECT_FALSE(covered[li]) << "overlap at " << cur.coord().toString();
+      covered[li] = true;
+    }
+    }
+  }
+  for (std::size_t i = 0; i < covered.size(); ++i) {
+    EXPECT_TRUE(covered[i]) << "gap at linear " << i;
+  }
+}
+
+TEST(SplitGen, CoversSpaceExactly) {
+  SplitOptions opts;
+  opts.targetElements = 100;
+  auto splits = generateSplits(nd::Coord{17, 9}, opts);
+  expectExactPartition(splits, nd::Coord{17, 9});
+  // Ids are dense and ordered.
+  for (std::size_t i = 0; i < splits.size(); ++i) {
+    EXPECT_EQ(splits[i].id, i);
+  }
+}
+
+TEST(SplitGen, RespectsTargetSize) {
+  SplitOptions opts;
+  opts.targetElements = 1000;
+  auto splits = generateSplits(nd::Coord{100, 20}, opts);
+  for (const auto& s : splits) {
+    EXPECT_LE(s.volume(), 1000);
+  }
+  // Slabs of 50 rows -> 2 splits.
+  EXPECT_EQ(splits.size(), 2u);
+}
+
+TEST(SplitGen, DescendsWhenRowsExceedTarget) {
+  // One leading row (1x1000) is larger than the target, so the
+  // generator must slice an inner dimension.
+  SplitOptions opts;
+  opts.targetElements = 250;
+  auto splits = generateSplits(nd::Coord{4, 1000}, opts);
+  expectExactPartition(splits, nd::Coord{4, 1000});
+  EXPECT_EQ(splits.size(), 16u);
+  for (const auto& s : splits) {
+    ASSERT_EQ(s.regions.size(), 1u);
+    EXPECT_EQ(s.regions[0].shape()[0], 1);
+    EXPECT_EQ(s.regions[0].shape()[1], 250);
+  }
+}
+
+TEST(SplitGen, SingleSplitWhenTargetHuge) {
+  SplitOptions opts;
+  opts.targetElements = 1 << 30;
+  auto splits = generateSplits(nd::Coord{10, 10}, opts);
+  ASSERT_EQ(splits.size(), 1u);
+  ASSERT_EQ(splits[0].regions.size(), 1u);
+  EXPECT_EQ(splits[0].regions[0], nd::Region::wholeSpace(nd::Coord{10, 10}));
+}
+
+TEST(ByteRangeSplits, CoverSpaceExactly) {
+  auto splits = generateByteRangeSplits(nd::Coord{17, 9}, 7);
+  EXPECT_EQ(splits.size(), 7u);
+  expectExactPartition(splits, nd::Coord{17, 9});
+}
+
+TEST(ByteRangeSplits, BalancedWithinOneElement) {
+  auto splits = generateByteRangeSplits(nd::Coord{100, 7}, 9);
+  nd::Index mn = INT64_MAX;
+  nd::Index mx = 0;
+  for (const auto& s : splits) {
+    mn = std::min(mn, s.volume());
+    mx = std::max(mx, s.volume());
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(ByteRangeSplits, RegionCountBounded) {
+  auto splits = generateByteRangeSplits(nd::Coord{11, 7, 5}, 13);
+  for (const auto& s : splits) {
+    EXPECT_LE(s.regions.size(), 2u * 3u + 1u);
+    EXPECT_GE(s.regions.size(), 1u);
+  }
+}
+
+TEST(ByteRangeSplits, PaperSplitCountReproduced) {
+  // The layout the paper's 348 GB / 128 MB HDFS blocks induce: exactly
+  // 2,781 splits, each ~2.59 leading rows, straddling cell boundaries.
+  auto splits =
+      generateByteRangeSplits(nd::Coord{7200, 360, 720, 50}, 2781);
+  EXPECT_EQ(splits.size(), 2781u);
+  nd::Index total = 0;
+  for (const auto& s : splits) total += s.volume();
+  EXPECT_EQ(total, (nd::Coord{7200, 360, 720, 50}).volume());
+}
+
+TEST(ByteRangeSplits, MoreSplitsThanElementsClamps) {
+  auto splits = generateByteRangeSplits(nd::Coord{3, 2}, 100);
+  EXPECT_EQ(splits.size(), 6u);
+  expectExactPartition(splits, nd::Coord{3, 2});
+}
+
+TEST(ByteRangeSplits, Validation) {
+  EXPECT_THROW(generateByteRangeSplits(nd::Coord{4}, 0),
+               std::invalid_argument);
+}
+
+TEST(SplitGen, ElementTargetOfOne) {
+  SplitOptions opts;
+  opts.targetElements = 1;
+  auto splits = generateSplits(nd::Coord{3, 2}, opts);
+  EXPECT_EQ(splits.size(), 6u);
+  expectExactPartition(splits, nd::Coord{3, 2});
+}
+
+TEST(SplitGen, AlignmentSnapsToStride) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  ExtractionMap ex(q, nd::Coord{70, 20});
+  SplitOptions opts;
+  opts.targetElements = 16 * 20;  // 16 rows: not a multiple of 7
+  opts.alignToExtraction = true;
+  auto splits = generateSplits(nd::Coord{70, 20}, ex, opts);
+  expectExactPartition(splits, nd::Coord{70, 20});
+  // Slab thickness snapped down to 14 (a multiple of the stride 7).
+  EXPECT_EQ(splits[0].regions[0].shape()[0], 14);
+}
+
+TEST(SplitGen, AlignmentSkippedWhenTargetTooSmall) {
+  StructuralQuery q;
+  q.op = OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  ExtractionMap ex(q, nd::Coord{70, 20});
+  SplitOptions opts;
+  opts.targetElements = 3 * 20;  // below one stride of rows
+  opts.alignToExtraction = true;
+  auto splits = generateSplits(nd::Coord{70, 20}, ex, opts);
+  expectExactPartition(splits, nd::Coord{70, 20});
+  EXPECT_EQ(splits[0].regions[0].shape()[0], 3);
+}
+
+TEST(SplitGen, PaperScaleSplitCounts) {
+  // 348 GB / 128 MB -> the paper's 2781 splits; our coordinate slabs of
+  // 2 leading rows give 3600 (the closest row-aligned layout).
+  nd::Coord shape{7200, 360, 720, 50};
+  nd::Index target = targetElementsForCount(shape, 2781);
+  EXPECT_EQ(target, shape.volume() / 2781);
+  SplitOptions opts;
+  opts.targetElements = target;
+  auto splits = generateSplits(shape, opts);
+  EXPECT_EQ(splits.size(), 3600u);
+  for (const auto& s : splits) {
+    EXPECT_EQ(s.regions[0].shape()[0], 2);
+  }
+}
+
+TEST(SplitGen, Validation) {
+  SplitOptions opts;
+  opts.targetElements = 0;
+  EXPECT_THROW(generateSplits(nd::Coord{4, 4}, opts), std::invalid_argument);
+  EXPECT_THROW(targetElementsForCount(nd::Coord{4}, 0),
+               std::invalid_argument);
+  // More desired splits than elements degrades to 1 element per split.
+  EXPECT_EQ(targetElementsForCount(nd::Coord{4}, 100), 1);
+}
+
+}  // namespace
+}  // namespace sidr::sh

@@ -1,0 +1,151 @@
+// Subset queries: a structural query addressed to a coordinate range of
+// the input ("requesting all of the data for a given range of
+// coordinates", paper section 2.4.2). Extraction instances tile the
+// subset from its corner; everything outside it produces nothing.
+#include <gtest/gtest.h>
+
+#include "mapreduce/engine.hpp"
+#include "scihadoop/query_parser.hpp"
+#include "sidr/planner.hpp"
+
+namespace sidr::core {
+namespace {
+
+sh::StructuralQuery subsetQuery() {
+  // Weeks 2..6 of a limited latitude band.
+  sh::StructuralQuery q;
+  q.variable = "temperature";
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{7, 5};
+  q.subset = nd::Region(nd::Coord{14, 10}, nd::Coord{28, 15});
+  return q;
+}
+
+TEST(SubsetQuery, DomainAndGrid) {
+  sh::ExtractionMap ex(subsetQuery(), nd::Coord{70, 40});
+  EXPECT_EQ(ex.domain().corner(), (nd::Coord{14, 10}));
+  EXPECT_EQ(ex.domain().shape(), (nd::Coord{28, 15}));
+  EXPECT_EQ(ex.instanceGridShape(), (nd::Coord{4, 3}));
+}
+
+TEST(SubsetQuery, KeysOutsideSubsetProduceNothing) {
+  sh::ExtractionMap ex(subsetQuery(), nd::Coord{70, 40});
+  EXPECT_FALSE(ex.keyFor(nd::Coord{0, 0}).has_value());
+  EXPECT_FALSE(ex.keyFor(nd::Coord{13, 12}).has_value());  // before corner
+  EXPECT_FALSE(ex.keyFor(nd::Coord{42, 9}).has_value());   // lat too low
+  auto kp = ex.keyFor(nd::Coord{14, 10});  // the subset corner
+  ASSERT_TRUE(kp.has_value());
+  EXPECT_EQ(*kp, (nd::Coord{0, 0}));
+  auto kp2 = ex.keyFor(nd::Coord{21, 16});
+  ASSERT_TRUE(kp2.has_value());
+  EXPECT_EQ(*kp2, (nd::Coord{1, 1}));
+}
+
+TEST(SubsetQuery, CellsLiveInOriginalCoordinates) {
+  sh::ExtractionMap ex(subsetQuery(), nd::Coord{70, 40});
+  nd::Region cell = ex.cellOf(nd::Coord{0, 0});
+  EXPECT_EQ(cell.corner(), (nd::Coord{14, 10}));
+  EXPECT_EQ(cell.shape(), (nd::Coord{7, 5}));
+  // Every cell lies inside the domain.
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex.instanceGridShape()));
+       g.valid(); g.next()) {
+    EXPECT_TRUE(ex.domain().containsRegion(ex.cellOf(g.coord())));
+  }
+}
+
+TEST(SubsetQuery, InstanceRangeClipsToDomain) {
+  sh::ExtractionMap ex(subsetQuery(), nd::Coord{70, 40});
+  // A region entirely before the subset.
+  EXPECT_FALSE(ex.instanceRangeOf(nd::Region(nd::Coord{0, 0},
+                                             nd::Coord{10, 10}))
+                   .has_value());
+  // The whole space touches exactly the full grid.
+  auto all =
+      ex.instanceRangeOf(nd::Region::wholeSpace(nd::Coord{70, 40}));
+  ASSERT_TRUE(all.has_value());
+  EXPECT_EQ(all->shape(), ex.instanceGridShape());
+}
+
+TEST(SubsetQuery, PreserveCoordsKeysOffsetByCorner) {
+  sh::StructuralQuery q = subsetQuery();
+  q.keyMode = sh::KeyMode::kPreserveCoords;
+  sh::ExtractionMap ex(q, nd::Coord{70, 40});
+  EXPECT_EQ(ex.keyForInstance(nd::Coord{0, 0}), (nd::Coord{14, 10}));
+  EXPECT_EQ(ex.keyForInstance(nd::Coord{2, 1}), (nd::Coord{28, 15}));
+  EXPECT_EQ(ex.instanceForKey(nd::Coord{28, 15}), (nd::Coord{2, 1}));
+}
+
+TEST(SubsetQuery, PlannerSplitsCoverExactlyTheSubset) {
+  QueryPlanner planner(subsetQuery(), nd::Coord{70, 40});
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 3;
+  opts.desiredSplitCount = 4;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  nd::Region domain = plan.extraction->domain();
+  std::int64_t covered = 0;
+  for (const auto& split : plan.spec.splits) {
+    for (const auto& region : split.regions) {
+      EXPECT_TRUE(domain.containsRegion(region));
+      covered += region.volume();
+    }
+  }
+  EXPECT_EQ(covered, domain.volume());
+}
+
+TEST(SubsetQuery, EngineMatchesOracle) {
+  sh::StructuralQuery q = subsetQuery();
+  sh::ValueFn fn = sh::temperatureField(37);
+  QueryPlanner planner(q, nd::Coord{70, 40});
+  for (SystemMode system : {SystemMode::kSciHadoop, SystemMode::kSidr}) {
+    PlanOptions opts;
+    opts.system = system;
+    opts.numReducers = 3;
+    opts.desiredSplitCount = 5;
+    QueryPlan plan = planner.plan(fn, opts);
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    EXPECT_EQ(result.annotationViolations, 0u);
+
+    sh::ExtractionMap ex(q, nd::Coord{70, 40});
+    std::vector<mr::KeyValue> oracle = sh::runSerialOracle(q, ex, fn);
+    std::vector<mr::KeyValue> got = result.collectAll();
+    ASSERT_EQ(got.size(), oracle.size());
+    ASSERT_EQ(got.size(), 12u);  // the 4x3 instance grid
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].key, oracle[i].key);
+      EXPECT_NEAR(got[i].value.asScalar(), oracle[i].value.asScalar(),
+                  1e-9);
+    }
+  }
+}
+
+TEST(SubsetQuery, ParserSubsetSyntax) {
+  sh::StructuralQuery q = sh::parseQuery(
+      "mean(temperature[14:42, 10:25], eshape={7,5})");
+  ASSERT_TRUE(q.subset.has_value());
+  EXPECT_EQ(q.subset->corner(), (nd::Coord{14, 10}));
+  EXPECT_EQ(q.subset->shape(), (nd::Coord{28, 15}));
+  // Round trip.
+  sh::StructuralQuery back = sh::parseQuery(sh::toQueryString(q));
+  EXPECT_EQ(back.subset, q.subset);
+  // Errors.
+  EXPECT_THROW(sh::parseQuery("mean(v[5:5], eshape={1})"),
+               std::invalid_argument);
+  EXPECT_THROW(sh::parseQuery("mean(v[5:], eshape={1})"),
+               std::invalid_argument);
+  EXPECT_THROW(sh::parseQuery("mean(v[5:9, eshape={1})"),
+               std::invalid_argument);
+}
+
+TEST(SubsetQuery, SubsetOutsideInputRejected) {
+  sh::StructuralQuery q = subsetQuery();
+  EXPECT_THROW(sh::ExtractionMap(q, nd::Coord{30, 20}),
+               std::invalid_argument);
+  // eshape larger than the subset extent.
+  q.subset = nd::Region(nd::Coord{0, 0}, nd::Coord{5, 4});
+  EXPECT_THROW(sh::ExtractionMap(q, nd::Coord{70, 40}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sidr::core
