@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_hop.cpp" "bench/CMakeFiles/bench_ablation_hop.dir/bench_ablation_hop.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_hop.dir/bench_ablation_hop.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sidr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sidr/CMakeFiles/sidr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/scihadoop/CMakeFiles/sidr_scihadoop.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sidr_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/scifile/CMakeFiles/sidr_scifile.dir/DependInfo.cmake"
+  "/root/repo/build/src/ndarray/CMakeFiles/sidr_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/sidr_dfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

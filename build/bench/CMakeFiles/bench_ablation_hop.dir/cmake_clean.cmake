@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hop.dir/bench_ablation_hop.cpp.o"
+  "CMakeFiles/bench_ablation_hop.dir/bench_ablation_hop.cpp.o.d"
+  "bench_ablation_hop"
+  "bench_ablation_hop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_sailfish.dir/bench_ablation_sailfish.cpp.o"
+  "CMakeFiles/bench_ablation_sailfish.dir/bench_ablation_sailfish.cpp.o.d"
+  "bench_ablation_sailfish"
+  "bench_ablation_sailfish.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_sailfish.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_early_results.dir/bench_fig9_early_results.cpp.o"
+  "CMakeFiles/bench_fig9_early_results.dir/bench_fig9_early_results.cpp.o.d"
+  "bench_fig9_early_results"
+  "bench_fig9_early_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_early_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

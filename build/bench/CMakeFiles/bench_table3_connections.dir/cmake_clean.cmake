@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_connections.dir/bench_table3_connections.cpp.o"
+  "CMakeFiles/bench_table3_connections.dir/bench_table3_connections.cpp.o.d"
+  "bench_table3_connections"
+  "bench_table3_connections.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_connections.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_outliers.dir/filter_outliers.cpp.o"
+  "CMakeFiles/filter_outliers.dir/filter_outliers.cpp.o.d"
+  "filter_outliers"
+  "filter_outliers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_outliers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

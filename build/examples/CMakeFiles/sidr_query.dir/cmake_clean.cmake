@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_query.dir/sidr_query.cpp.o"
+  "CMakeFiles/sidr_query.dir/sidr_query.cpp.o.d"
+  "sidr_query"
+  "sidr_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_priority.dir/steering_priority.cpp.o"
+  "CMakeFiles/steering_priority.dir/steering_priority.cpp.o.d"
+  "steering_priority"
+  "steering_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

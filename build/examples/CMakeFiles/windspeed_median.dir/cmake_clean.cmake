@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/windspeed_median.dir/windspeed_median.cpp.o"
+  "CMakeFiles/windspeed_median.dir/windspeed_median.cpp.o.d"
+  "windspeed_median"
+  "windspeed_median.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/windspeed_median.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

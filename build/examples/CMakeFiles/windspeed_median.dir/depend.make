@@ -1,0 +1,2 @@
+# Empty dependencies file for windspeed_median.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_dfs.dir/namenode.cpp.o"
+  "CMakeFiles/sidr_dfs.dir/namenode.cpp.o.d"
+  "libsidr_dfs.a"
+  "libsidr_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsidr_dfs.a"
+)

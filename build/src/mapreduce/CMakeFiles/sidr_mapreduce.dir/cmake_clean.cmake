@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_mapreduce.dir/engine.cpp.o"
+  "CMakeFiles/sidr_mapreduce.dir/engine.cpp.o.d"
+  "CMakeFiles/sidr_mapreduce.dir/segment.cpp.o"
+  "CMakeFiles/sidr_mapreduce.dir/segment.cpp.o.d"
+  "libsidr_mapreduce.a"
+  "libsidr_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

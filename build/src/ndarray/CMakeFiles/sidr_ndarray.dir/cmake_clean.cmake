@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_ndarray.dir/coord.cpp.o"
+  "CMakeFiles/sidr_ndarray.dir/coord.cpp.o.d"
+  "CMakeFiles/sidr_ndarray.dir/region.cpp.o"
+  "CMakeFiles/sidr_ndarray.dir/region.cpp.o.d"
+  "CMakeFiles/sidr_ndarray.dir/tiling.cpp.o"
+  "CMakeFiles/sidr_ndarray.dir/tiling.cpp.o.d"
+  "libsidr_ndarray.a"
+  "libsidr_ndarray.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_ndarray.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

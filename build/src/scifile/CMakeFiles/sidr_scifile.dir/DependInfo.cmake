@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scifile/cdl.cpp" "src/scifile/CMakeFiles/sidr_scifile.dir/cdl.cpp.o" "gcc" "src/scifile/CMakeFiles/sidr_scifile.dir/cdl.cpp.o.d"
+  "/root/repo/src/scifile/dataset.cpp" "src/scifile/CMakeFiles/sidr_scifile.dir/dataset.cpp.o" "gcc" "src/scifile/CMakeFiles/sidr_scifile.dir/dataset.cpp.o.d"
+  "/root/repo/src/scifile/metadata.cpp" "src/scifile/CMakeFiles/sidr_scifile.dir/metadata.cpp.o" "gcc" "src/scifile/CMakeFiles/sidr_scifile.dir/metadata.cpp.o.d"
+  "/root/repo/src/scifile/output_writers.cpp" "src/scifile/CMakeFiles/sidr_scifile.dir/output_writers.cpp.o" "gcc" "src/scifile/CMakeFiles/sidr_scifile.dir/output_writers.cpp.o.d"
+  "/root/repo/src/scifile/storage.cpp" "src/scifile/CMakeFiles/sidr_scifile.dir/storage.cpp.o" "gcc" "src/scifile/CMakeFiles/sidr_scifile.dir/storage.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndarray/CMakeFiles/sidr_ndarray.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_scifile.dir/cdl.cpp.o"
+  "CMakeFiles/sidr_scifile.dir/cdl.cpp.o.d"
+  "CMakeFiles/sidr_scifile.dir/dataset.cpp.o"
+  "CMakeFiles/sidr_scifile.dir/dataset.cpp.o.d"
+  "CMakeFiles/sidr_scifile.dir/metadata.cpp.o"
+  "CMakeFiles/sidr_scifile.dir/metadata.cpp.o.d"
+  "CMakeFiles/sidr_scifile.dir/output_writers.cpp.o"
+  "CMakeFiles/sidr_scifile.dir/output_writers.cpp.o.d"
+  "CMakeFiles/sidr_scifile.dir/storage.cpp.o"
+  "CMakeFiles/sidr_scifile.dir/storage.cpp.o.d"
+  "libsidr_scifile.a"
+  "libsidr_scifile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_scifile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scihadoop/datagen.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/datagen.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/datagen.cpp.o.d"
+  "/root/repo/src/scihadoop/extraction.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/extraction.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/extraction.cpp.o.d"
+  "/root/repo/src/scihadoop/operators.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/operators.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/operators.cpp.o.d"
+  "/root/repo/src/scihadoop/query_parser.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/query_parser.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/query_parser.cpp.o.d"
+  "/root/repo/src/scihadoop/record_reader.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/record_reader.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/record_reader.cpp.o.d"
+  "/root/repo/src/scihadoop/split_gen.cpp" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/split_gen.cpp.o" "gcc" "src/scihadoop/CMakeFiles/sidr_scihadoop.dir/split_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ndarray/CMakeFiles/sidr_ndarray.dir/DependInfo.cmake"
+  "/root/repo/build/src/scifile/CMakeFiles/sidr_scifile.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/sidr_mapreduce.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_scihadoop.dir/datagen.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/datagen.cpp.o.d"
+  "CMakeFiles/sidr_scihadoop.dir/extraction.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/extraction.cpp.o.d"
+  "CMakeFiles/sidr_scihadoop.dir/operators.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/operators.cpp.o.d"
+  "CMakeFiles/sidr_scihadoop.dir/query_parser.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/query_parser.cpp.o.d"
+  "CMakeFiles/sidr_scihadoop.dir/record_reader.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/record_reader.cpp.o.d"
+  "CMakeFiles/sidr_scihadoop.dir/split_gen.cpp.o"
+  "CMakeFiles/sidr_scihadoop.dir/split_gen.cpp.o.d"
+  "libsidr_scihadoop.a"
+  "libsidr_scihadoop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_scihadoop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_core.dir/dependency.cpp.o"
+  "CMakeFiles/sidr_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/sidr_core.dir/partition_plus.cpp.o"
+  "CMakeFiles/sidr_core.dir/partition_plus.cpp.o.d"
+  "CMakeFiles/sidr_core.dir/planner.cpp.o"
+  "CMakeFiles/sidr_core.dir/planner.cpp.o.d"
+  "libsidr_core.a"
+  "libsidr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

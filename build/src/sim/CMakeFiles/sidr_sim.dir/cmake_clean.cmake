@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sidr_sim.dir/sim_engine.cpp.o"
+  "CMakeFiles/sidr_sim.dir/sim_engine.cpp.o.d"
+  "CMakeFiles/sidr_sim.dir/trace.cpp.o"
+  "CMakeFiles/sidr_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/sidr_sim.dir/workload.cpp.o"
+  "CMakeFiles/sidr_sim.dir/workload.cpp.o.d"
+  "libsidr_sim.a"
+  "libsidr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sidr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndarray_test.dir/ndarray_test.cpp.o"
+  "CMakeFiles/ndarray_test.dir/ndarray_test.cpp.o.d"
+  "ndarray_test"
+  "ndarray_test.pdb"
+  "ndarray_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndarray_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/partition_plus_test.dir/partition_plus_test.cpp.o"
+  "CMakeFiles/partition_plus_test.dir/partition_plus_test.cpp.o.d"
+  "partition_plus_test"
+  "partition_plus_test.pdb"
+  "partition_plus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/partition_plus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scifile_test.dir/scifile_test.cpp.o"
+  "CMakeFiles/scifile_test.dir/scifile_test.cpp.o.d"
+  "scifile_test"
+  "scifile_test.pdb"
+  "scifile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scifile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

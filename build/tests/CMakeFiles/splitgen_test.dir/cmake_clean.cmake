@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splitgen_test.dir/splitgen_test.cpp.o"
+  "CMakeFiles/splitgen_test.dir/splitgen_test.cpp.o.d"
+  "splitgen_test"
+  "splitgen_test.pdb"
+  "splitgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splitgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/ndarray_test[1]_include.cmake")
+include("/root/repo/build/tests/scifile_test[1]_include.cmake")
+include("/root/repo/build/tests/segment_test[1]_include.cmake")
+include("/root/repo/build/tests/extraction_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_plus_test[1]_include.cmake")
+include("/root/repo/build/tests/dependency_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/dfs_test[1]_include.cmake")
+include("/root/repo/build/tests/splitgen_test[1]_include.cmake")
+include("/root/repo/build/tests/operators_test[1]_include.cmake")
+include("/root/repo/build/tests/datagen_test[1]_include.cmake")
+include("/root/repo/build/tests/query_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/planner_test[1]_include.cmake")
+include("/root/repo/build/tests/randomized_test[1]_include.cmake")
+include("/root/repo/build/tests/subset_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
