@@ -1,0 +1,340 @@
+// Microbenchmark for the map-output segment codec and the in-memory
+// shuffle path.
+//
+// `legacy::` freezes the original byte-at-a-time codec (push_back per
+// byte on serialize, shift-loop per word on deserialize) so the bulk
+// codec in `Segment` can be compared against it in one binary. The
+// engine benchmark runs a fig10-style reduce sweep on the real
+// in-process engine with the in-memory (zero-copy) segment store.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <random>
+#include <stdexcept>
+
+#include "mapreduce/engine.hpp"
+#include "mapreduce/segment.hpp"
+#include "scihadoop/datagen.hpp"
+#include "sidr/planner.hpp"
+
+namespace sidr::mr {
+namespace legacy {
+
+// --- frozen copy of the pre-bulk codec, for baseline comparison ---
+
+void putU64(std::vector<std::byte>& out, std::uint64_t x) {
+  for (int b = 0; b < 8; ++b) {
+    out.push_back(static_cast<std::byte>((x >> (b * 8)) & 0xff));
+  }
+}
+
+void putF64(std::vector<std::byte>& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  putU64(out, bits);
+}
+
+class Cursor {
+ public:
+  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+  std::uint64_t getU64() {
+    if (pos_ + 8 > bytes_.size()) {
+      throw std::out_of_range("legacy deserialize: truncated");
+    }
+    std::uint64_t x = 0;
+    for (int b = 0; b < 8; ++b) {
+      x |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(b)])
+           << (b * 8);
+    }
+    pos_ += 8;
+    return x;
+  }
+
+  double getF64() {
+    std::uint64_t bits = getU64();
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+ private:
+  std::span<const std::byte> bytes_;
+  std::size_t pos_ = 0;
+};
+
+std::vector<std::byte> serialize(const Segment& seg) {
+  std::vector<std::byte> out;
+  const SegmentHeader& h = seg.header();
+  putU64(out, h.mapTask);
+  putU64(out, h.keyblock);
+  putU64(out, h.numRecords);
+  putU64(out, h.represents);
+  for (const KeyValue& kv : seg.records()) {
+    putU64(out, kv.key.rank());
+    for (nd::Index c : kv.key) putU64(out, static_cast<std::uint64_t>(c));
+    putU64(out, kv.represents);
+    putU64(out, static_cast<std::uint64_t>(kv.value.kind()));
+    switch (kv.value.kind()) {
+      case ValueKind::kScalar:
+        putF64(out, kv.value.asScalar());
+        break;
+      case ValueKind::kPartial: {
+        const Partial& p = kv.value.asPartial();
+        putF64(out, p.sum);
+        putF64(out, p.min);
+        putF64(out, p.max);
+        putU64(out, static_cast<std::uint64_t>(p.count));
+        break;
+      }
+      case ValueKind::kList: {
+        const auto& xs = kv.value.asList();
+        putU64(out, xs.size());
+        for (double x : xs) putF64(out, x);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+Segment deserialize(std::span<const std::byte> bytes) {
+  Cursor cur(bytes);
+  SegmentHeader h;
+  h.mapTask = static_cast<std::uint32_t>(cur.getU64());
+  h.keyblock = static_cast<std::uint32_t>(cur.getU64());
+  h.numRecords = cur.getU64();
+  h.represents = cur.getU64();
+  std::vector<KeyValue> records;
+  records.reserve(h.numRecords);
+  for (std::uint64_t i = 0; i < h.numRecords; ++i) {
+    KeyValue kv;
+    std::uint64_t rank = cur.getU64();
+    nd::Coord key = nd::Coord::zeros(rank);
+    for (std::uint64_t d = 0; d < rank; ++d) {
+      key[d] = static_cast<nd::Index>(cur.getU64());
+    }
+    kv.key = key;
+    kv.represents = cur.getU64();
+    auto kind = static_cast<ValueKind>(cur.getU64());
+    switch (kind) {
+      case ValueKind::kScalar:
+        kv.value = Value::scalar(cur.getF64());
+        break;
+      case ValueKind::kPartial: {
+        Partial p;
+        p.sum = cur.getF64();
+        p.min = cur.getF64();
+        p.max = cur.getF64();
+        p.count = static_cast<std::int64_t>(cur.getU64());
+        kv.value = Value::partial(p);
+        break;
+      }
+      case ValueKind::kList: {
+        std::uint64_t n = cur.getU64();
+        std::vector<double> xs(n);
+        for (auto& x : xs) x = cur.getF64();
+        kv.value = Value::list(std::move(xs));
+        break;
+      }
+      default:
+        throw std::runtime_error("legacy deserialize: bad value kind");
+    }
+    records.push_back(std::move(kv));
+  }
+  return Segment(h.mapTask, h.keyblock, std::move(records));
+}
+
+}  // namespace legacy
+
+namespace {
+
+/// Benchmark workloads. Mixed: rank-3 keys, alternating scalar /
+/// partial / short-list values — an algebraic-query shuffle. Median:
+/// every value is a ~32-63 element list — what a holistic operator
+/// (paper Query 1, median over windspeed) actually ships, where the
+/// payload dwarfs the per-record framing.
+enum Workload : std::int64_t { kMixed = 0, kMedian = 1 };
+
+Segment makeSegment(std::size_t numRecords, Workload workload) {
+  std::mt19937_64 rng(42);
+  std::vector<KeyValue> records;
+  records.reserve(numRecords);
+  for (std::size_t i = 0; i < numRecords; ++i) {
+    KeyValue kv;
+    kv.key = nd::Coord{static_cast<nd::Index>(rng() % 512),
+                       static_cast<nd::Index>(rng() % 128),
+                       static_cast<nd::Index>(rng() % 64)};
+    kv.represents = 1 + rng() % 32;
+    if (workload == kMedian) {
+      std::vector<double> xs(32 + rng() % 32);
+      for (auto& x : xs) x = static_cast<double>(rng() % 1000) / 7.0;
+      kv.represents = xs.size();
+      kv.value = Value::list(std::move(xs));
+    } else {
+      switch (i % 3) {
+        case 0:
+          kv.value = Value::scalar(static_cast<double>(rng() % 1000) / 7.0);
+          break;
+        case 1:
+          kv.value = Value::partial(
+              Partial::ofValue(static_cast<double>(rng() % 1000) / 7.0));
+          break;
+        default: {
+          std::vector<double> xs(1 + rng() % 6);
+          for (auto& x : xs) x = static_cast<double>(rng() % 1000) / 7.0;
+          kv.value = Value::list(std::move(xs));
+          break;
+        }
+      }
+    }
+    records.push_back(std::move(kv));
+  }
+  Segment seg(3, 1, std::move(records));
+  seg.sortByKey();
+  return seg;
+}
+
+Segment makeSegment(const benchmark::State& state) {
+  return makeSegment(static_cast<std::size_t>(state.range(0)),
+                     static_cast<Workload>(state.range(1)));
+}
+
+void BM_LegacySerialize(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  std::size_t bytes = legacy::serialize(seg).size();
+  for (auto _ : state) {
+    auto out = legacy::serialize(seg);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+
+void BM_BulkSerialize(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  std::size_t bytes = seg.serialize().size();
+  for (auto _ : state) {
+    auto out = seg.serialize();
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+
+void BM_LegacyDeserialize(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  auto bytes = seg.serialize();
+  for (auto _ : state) {
+    Segment back = legacy::deserialize(bytes);
+    benchmark::DoNotOptimize(back.records().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+}
+
+void BM_BulkDeserialize(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  auto bytes = seg.serialize();
+  for (auto _ : state) {
+    Segment back = Segment::deserialize(bytes);
+    benchmark::DoNotOptimize(back.records().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes.size()) *
+                          state.iterations());
+}
+
+void BM_LegacyRoundTrip(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  std::size_t bytes = legacy::serialize(seg).size();
+  for (auto _ : state) {
+    auto out = legacy::serialize(seg);
+    Segment back = legacy::deserialize(out);
+    benchmark::DoNotOptimize(back.records().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * 2 *
+                          state.iterations());
+}
+
+void BM_BulkRoundTrip(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  std::size_t bytes = seg.serialize().size();
+  for (auto _ : state) {
+    auto out = seg.serialize();
+    Segment back = Segment::deserialize(out);
+    benchmark::DoNotOptimize(back.records().data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) * 2 *
+                          state.iterations());
+}
+
+/// The map side's actual spill pattern: serializeInto() with one
+/// buffer reused across segments, so steady-state encoding never
+/// allocates at all.
+void BM_BulkSerializeReuse(benchmark::State& state) {
+  Segment seg = makeSegment(state);
+  std::size_t bytes = seg.serializedSize();
+  std::vector<std::byte> buf;
+  for (auto _ : state) {
+    seg.serializeInto(buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+
+#define CODEC_WORKLOADS(bm)                                      \
+  BENCHMARK(bm)                                                  \
+      ->ArgNames({"records", "median"})                          \
+      ->Args({1000, kMixed})                                     \
+      ->Args({20000, kMixed})                                    \
+      ->Args({4000, kMedian})
+
+CODEC_WORKLOADS(BM_LegacySerialize);
+CODEC_WORKLOADS(BM_BulkSerialize);
+CODEC_WORKLOADS(BM_BulkSerializeReuse);
+CODEC_WORKLOADS(BM_LegacyDeserialize);
+CODEC_WORKLOADS(BM_BulkDeserialize);
+CODEC_WORKLOADS(BM_LegacyRoundTrip);
+CODEC_WORKLOADS(BM_BulkRoundTrip);
+
+#undef CODEC_WORKLOADS
+
+/// Fig10-style reduce sweep on the REAL engine with the in-memory
+/// segment store: a mean query over a 3-D grid, SIDR scheduling,
+/// reducer count as the benchmark argument. Wall-clock here is
+/// dominated by map compute + shuffle + merge, so the zero-copy
+/// in-memory fetch shows up directly.
+void BM_EngineInMemoryReduceSweep(benchmark::State& state) {
+  nd::Coord input{96, 48, 8};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = sh::OperatorKind::kMedian;  // holistic: all records shuffle
+  q.extractionShape = nd::Coord{4, 4, 2};
+  sh::ValueFn fn = sh::temperatureField(11);
+
+  std::uint64_t shuffleBytes = 0;
+  for (auto _ : state) {
+    core::QueryPlanner planner(q, input);
+    core::PlanOptions opts;
+    opts.system = core::SystemMode::kSidr;
+    opts.numReducers = static_cast<std::uint32_t>(state.range(0));
+    opts.desiredSplitCount = 24;
+    opts.numThreads = 4;
+    JobResult result = Engine(planner.plan(fn, opts).spec).run();
+    benchmark::DoNotOptimize(result.outputs.data());
+    shuffleBytes = result.shuffleBytes;
+  }
+  state.counters["shuffleBytes"] =
+      static_cast<double>(shuffleBytes);
+}
+
+BENCHMARK(BM_EngineInMemoryReduceSweep)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sidr::mr
+
+BENCHMARK_MAIN();

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification: full build + test suite, then the concurrency-
+# sensitive engine tests again under ThreadSanitizer (the engine's
+# locking discipline — lock-free reduce fetch over published segment
+# handles — is exactly what TSan checks).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake --preset default
+cmake --build --preset default -j"$(nproc)"
+ctest --test-dir build --output-on-failure -j"$(nproc)"
+
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test

@@ -19,12 +19,37 @@ using Clock = std::chrono::steady_clock;
 }  // namespace
 
 std::vector<KeyValue> JobResult::collectAll() const {
-  std::vector<KeyValue> all;
+  // Each reducer's output is already key-sorted (the merger iterates
+  // keys ascending), so a k-way merge over the outputs suffices — no
+  // full re-sort of the concatenation.
+  struct Cursor {
+    const std::vector<KeyValue>* records;
+    std::size_t pos;
+  };
+  std::size_t total = 0;
+  std::vector<Cursor> heap;
   for (const ReduceOutput& out : outputs) {
-    all.insert(all.end(), out.records.begin(), out.records.end());
+    total += out.records.size();
+    if (!out.records.empty()) heap.push_back(Cursor{&out.records, 0});
   }
-  std::sort(all.begin(), all.end(),
-            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  // std::push_heap/pop_heap build a max-heap; invert the comparison to
+  // pop the smallest key first.
+  auto byKeyDesc = [](const Cursor& a, const Cursor& b) {
+    return (*b.records)[b.pos].key < (*a.records)[a.pos].key;
+  };
+  std::make_heap(heap.begin(), heap.end(), byKeyDesc);
+  std::vector<KeyValue> all;
+  all.reserve(total);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), byKeyDesc);
+    Cursor& c = heap.back();
+    all.push_back((*c.records)[c.pos]);
+    if (++c.pos < c.records->size()) {
+      std::push_heap(heap.begin(), heap.end(), byKeyDesc);
+    } else {
+      heap.pop_back();
+    }
+  }
   return all;
 }
 
@@ -82,8 +107,19 @@ struct Engine::Impl {
   std::vector<bool> mapDone;
   std::uint32_t runningMaps = 0;
 
-  // --- segment store: serialized map output per (map, keyblock) ---
-  std::vector<std::vector<std::vector<std::byte>>> segmentBytes;
+  // --- segment store: map output per (map, keyblock) ---
+  // In-memory mode publishes one immutable, shared segment handle per
+  // (map, keyblock): runMap builds the Segment outside the lock and the
+  // commit section only moves the pointer into its slot (an
+  // availability flip, not a data copy). A reduce fetch is then a plain
+  // pointer read with NO lock held: the reduce only runs after
+  // observing (under mtx) that every dependency flipped segAvail, and
+  // that same critical section published the handles, so the mutex
+  // release/acquire pair establishes the happens-before edge. Segments
+  // are never mutated after publication; a recovery re-run republishes
+  // a fresh handle under mtx before re-flipping segAvail, while any
+  // still-referenced old handle stays alive through shared ownership.
+  std::vector<std::vector<std::shared_ptr<const Segment>>> segments;
   std::vector<std::vector<bool>> segAvail;
 
   // --- reduce state ---
@@ -134,21 +170,25 @@ struct Engine::Impl {
     file.flush();
   }
 
-  /// Reads ONLY the 32-byte header of a spilled segment — the cheap
+  /// Reads ONLY the header of a spilled segment — the cheap
   /// annotation-tally access of paper section 3.2.1.
   SegmentHeader peekSpilledHeader(std::uint32_t m, std::uint32_t kb) const {
     sci::FileStorage file(segmentPath(m, kb),
                           sci::FileStorage::Mode::kOpenReadOnly);
-    std::array<std::byte, 32> head{};
+    std::array<std::byte, Segment::kHeaderBytes> head{};
     file.readAt(0, head);
     return Segment::peekHeader(head);
   }
 
-  Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb) const {
+  /// Reads and decodes a spilled segment; adds the bytes moved to
+  /// `bytesFetched` (the shuffleBytes accounting).
+  Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
+                             std::uint64_t& bytesFetched) const {
     sci::FileStorage file(segmentPath(m, kb),
                           sci::FileStorage::Mode::kOpenReadOnly);
     std::vector<std::byte> bytes(file.size());
     file.readAt(0, bytes);
+    bytesFetched += bytes.size();
     return Segment::deserialize(bytes);
   }
 
@@ -230,10 +270,15 @@ void Engine::Impl::runMap(std::uint32_t m) {
   }
   mapper->finish(ctx);
 
-  // Build, sort and serialize one segment per keyblock; verify routing
-  // against the declared dependency sets (a record landing in a keyblock
-  // that does not list this split is a partitioner/dependency bug).
-  std::vector<std::vector<std::byte>> localBytes(numReduces);
+  // Build and sort one segment per keyblock; verify routing against the
+  // declared dependency sets (a record landing in a keyblock that does
+  // not list this split is a partitioner/dependency bug). In-memory
+  // mode never serializes: the segment itself becomes the published
+  // immutable handle. Spill mode encodes with the bulk codec and writes
+  // a map-output file per keyblock.
+  std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
+  std::uint64_t bytesSpilled = 0;
+  std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
   std::unique_ptr<Combiner> combiner =
       spec.combinerFactory ? spec.combinerFactory() : nullptr;
   for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
@@ -248,14 +293,14 @@ void Engine::Impl::runMap(std::uint32_t m) {
             " produced data for undeclared keyblock " + std::to_string(kb));
       }
     }
-    localBytes[kb] = seg.serialize();
-  }
-  // Persist map output before declaring completion (Hadoop commits map
-  // output files atomically with the task).
-  if (spillEnabled()) {
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      spillSegment(m, kb, localBytes[kb]);
-      localBytes[kb].clear();
+    if (spillEnabled()) {
+      // Persist map output before declaring completion (Hadoop commits
+      // map output files atomically with the task).
+      seg.serializeInto(spillBuf);
+      bytesSpilled += spillBuf.size();
+      spillSegment(m, kb, spillBuf);
+    } else {
+      localSegments[kb] = std::make_shared<const Segment>(std::move(seg));
     }
   }
   double tEnd = now();
@@ -263,9 +308,12 @@ void Engine::Impl::runMap(std::uint32_t m) {
   std::scoped_lock lock(mtx);
   recordEvent(TaskEvent::Kind::kMapStart, m, tStart);
   recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd);
+  result.shuffleBytes += bytesSpilled;
   if (!spillEnabled()) {
+    // Publication is a pointer flip per keyblock — no data copy runs
+    // under the engine mutex.
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      segmentBytes[m][kb] = std::move(localBytes[kb]);
+      segments[m][kb] = std::move(localSegments[kb]);
     }
   }
   mapDone[m] = true;
@@ -348,48 +396,65 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     for (std::uint32_t m = 0; m < numMaps; ++m) fetchSet[m] = m;
   }
 
-  std::vector<Segment> fetched;
+  // The entire fetch runs WITHOUT the engine mutex, in both modes:
+  // segments are immutable once published, and this reduce only became
+  // runnable after observing (under mtx) that every fetched dependency
+  // committed, which ordered those publications before these reads.
+  std::vector<Segment> fetched;                             // spill mode
+  std::vector<std::shared_ptr<const Segment>> handles;     // in-memory
   std::uint64_t tally = 0;
   std::uint64_t connections = 0;
   std::uint64_t nonEmpty = 0;
+  std::uint64_t bytesFetched = 0;
   {
     std::scoped_lock lock(mtx);
     recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart);
   }
+  double tFetchStart = now();
   if (spillEnabled()) {
-    // Spilled segments are immutable once their map committed; read them
-    // without the engine lock. The header-only read suffices for the
-    // annotation tally; only non-empty segments are fully parsed.
+    // The header-only read suffices for the annotation tally; only
+    // non-empty segments are fully read and decoded.
     for (std::uint32_t m : fetchSet) {
       ++connections;
       SegmentHeader h = peekSpilledHeader(m, kb);
+      bytesFetched += Segment::kHeaderBytes;
       tally += h.represents;
       if (h.numRecords > 0) {
         ++nonEmpty;
-        fetched.push_back(loadSpilledSegment(m, kb));
+        fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
       }
     }
   } else {
-    std::scoped_lock lock(mtx);
+    // Zero-copy fetch: acquiring a published handle is a shared_ptr
+    // copy; the header is read in-struct. No serialize/deserialize
+    // round trip, no data copy, no lock.
+    handles.reserve(fetchSet.size());
     for (std::uint32_t m : fetchSet) {
       ++connections;
-      const auto& bytes = segmentBytes[m][kb];
-      SegmentHeader h = Segment::peekHeader(bytes);
-      tally += h.represents;
-      if (h.numRecords > 0) {
+      std::shared_ptr<const Segment> seg = segments[m][kb];
+      if (seg == nullptr) {
+        throw std::logic_error("Engine: reduce fetched unpublished segment");
+      }
+      tally += seg->header().represents;
+      if (seg->header().numRecords > 0) {
         ++nonEmpty;
-        fetched.push_back(Segment::deserialize(bytes));
+        handles.push_back(std::move(seg));
       }
     }
   }
+  double tFetchEnd = now();
 
   // Merge/group/reduce (outside the lock: pure local computation).
   std::vector<const Segment*> ptrs;
-  ptrs.reserve(fetched.size());
+  ptrs.reserve(fetched.size() + handles.size());
   std::uint64_t recordCount = 0;
   for (const Segment& s : fetched) {
     ptrs.push_back(&s);
     recordCount += s.records().size();
+  }
+  for (const auto& s : handles) {
+    ptrs.push_back(s.get());
+    recordCount += s->records().size();
   }
   SegmentMerger merger(ptrs);
   auto reducer = spec.reducerFactory();
@@ -404,6 +469,8 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   std::scoped_lock lock(mtx);
   result.shuffleConnections += connections;
   result.nonEmptyConnections += nonEmpty;
+  result.shuffleBytes += bytesFetched;
+  result.shuffleFetchSeconds += tFetchEnd - tFetchStart;
   ReduceOutput& ro = result.outputs[kb];
   ro.keyblock = kb;
   ro.records = out.take();
@@ -443,6 +510,14 @@ void Engine::Impl::workerLoop() {
         std::scoped_lock elock(mtx);
         if (!firstError) firstError = std::current_exception();
         --runningReduces;
+        // Release the SIDR slot this reduce held; without this a failed
+        // reduce counts against scheduledActive forever and wedges slot
+        // accounting.
+        if (isSidr() && reduceScheduled[kb] && !reduceDone[kb]) {
+          reduceScheduled[kb] = false;
+          --scheduledActive;
+          scheduleReducesLocked();
+        }
         cv.notify_all();
       }
       lock.lock();
@@ -482,7 +557,8 @@ JobResult Engine::Impl::run() {
   mapDone.assign(numMaps, false);
   runningMapSet.assign(numMaps, false);
   mapRunCount.assign(numMaps, 0);
-  segmentBytes.assign(numMaps, std::vector<std::vector<std::byte>>(numReduces));
+  segments.assign(numMaps,
+                  std::vector<std::shared_ptr<const Segment>>(numReduces));
   segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
   reduceScheduled.assign(numReduces, false);
   reduceRunnableFlag.assign(numReduces, false);

@@ -4,9 +4,10 @@
 //
 // The engine is the "Hadoop" of this reproduction: it owns split
 // assignment, map execution, the map-output segment store (one
-// serialized segment per (map, keyblock), with count-annotation
-// headers), shuffle fetches, merge/group, reduce execution and atomic
-// output commit. Scheduling policy and reduce gating vary with
+// immutable segment handle per (map, keyblock) in memory, or one
+// bulk-encoded map-output file when spilling, each with a
+// count-annotation header), lock-free shuffle fetches, merge/group,
+// reduce execution and atomic output commit. Scheduling policy and reduce gating vary with
 // JobSpec::mode; everything else is shared, so mode comparisons isolate
 // exactly the mechanisms the paper changes.
 #pragma once

@@ -5,6 +5,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 
 #include "mapreduce/kv.hpp"
 #include "ndarray/region.hpp"

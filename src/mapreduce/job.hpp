@@ -128,6 +128,14 @@ struct JobResult {
 
   /// Total (map, reduce) fetches performed — Table 3's connection count.
   std::uint64_t shuffleConnections = 0;
+  /// Bytes moved through the serialized shuffle path (segment encode on
+  /// the map side plus decode on the reduce side). Zero when spill is
+  /// disabled: the in-memory store publishes immutable segment handles,
+  /// so reduces fetch by pointer and never touch the wire format.
+  std::uint64_t shuffleBytes = 0;
+  /// Total seconds reduce tasks spent in their fetch phase (header
+  /// tallies + segment acquisition), summed across reduces.
+  double shuffleFetchSeconds = 0.0;
   /// Fetches that carried at least one record.
   std::uint64_t nonEmptyConnections = 0;
   /// Intermediate records per keyblock (skew measurement, section 4.3).

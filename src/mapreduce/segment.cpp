@@ -3,6 +3,7 @@
 #include "mapreduce/interfaces.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <stdexcept>
 
@@ -50,126 +51,264 @@ bool Segment::isSorted() const {
 
 namespace {
 
-void putU64(std::vector<std::byte>& out, std::uint64_t x) {
-  for (int b = 0; b < 8; ++b) {
-    out.push_back(static_cast<std::byte>((x >> (b * 8)) & 0xff));
+// Fixed little-endian u64 words; on little-endian hosts every word is a
+// single memcpy (and runs of words — keys, list payloads — are a single
+// bulk memcpy), big-endian hosts fall back to byte shifts.
+
+inline void storeU64(std::byte* dst, std::uint64_t x) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(dst, &x, 8);
+  } else {
+    for (int b = 0; b < 8; ++b) {
+      dst[b] = static_cast<std::byte>((x >> (b * 8)) & 0xff);
+    }
   }
 }
 
-void putF64(std::vector<std::byte>& out, double v) {
-  std::uint64_t bits = 0;
-  std::memcpy(&bits, &v, sizeof(bits));
-  putU64(out, bits);
-}
-
-class Cursor {
- public:
-  explicit Cursor(std::span<const std::byte> bytes) : bytes_(bytes) {}
-
-  std::uint64_t getU64() {
-    if (pos_ + 8 > bytes_.size()) {
-      throw std::out_of_range("Segment::deserialize: truncated");
-    }
+inline std::uint64_t loadU64(const std::byte* src) {
+  if constexpr (std::endian::native == std::endian::little) {
+    std::uint64_t x;
+    std::memcpy(&x, src, 8);
+    return x;
+  } else {
     std::uint64_t x = 0;
     for (int b = 0; b < 8; ++b) {
-      x |= static_cast<std::uint64_t>(bytes_[pos_ + static_cast<std::size_t>(b)])
-           << (b * 8);
+      x |= static_cast<std::uint64_t>(src[b]) << (b * 8);
     }
-    pos_ += 8;
+    return x;
+  }
+}
+
+/// Appends words into a preallocated, exact-size buffer.
+class Writer {
+ public:
+  explicit Writer(std::byte* p) : p_(p) {}
+
+  void u64(std::uint64_t x) {
+    storeU64(p_, x);
+    p_ += 8;
+  }
+
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+
+  /// Bulk-writes `n` contiguous 8-byte values (int64/double arrays).
+  template <typename T>
+  void words(const T* src, std::size_t n) {
+    static_assert(sizeof(T) == 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(p_, src, n * 8);
+      p_ += n * 8;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t bits;
+        std::memcpy(&bits, src + i, 8);
+        u64(bits);
+      }
+    }
+  }
+
+  const std::byte* pos() const noexcept { return p_; }
+
+ private:
+  std::byte* p_;
+};
+
+/// Bounds-checked reading cursor: every read (and every length-derived
+/// allocation) is validated against the remaining byte count first.
+class Reader {
+ public:
+  explicit Reader(std::span<const std::byte> bytes)
+      : p_(bytes.data()), end_(bytes.data() + bytes.size()) {}
+
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end_ - p_);
+  }
+
+  void require(std::size_t n) const {
+    if (remaining() < n) {
+      throw std::out_of_range("Segment::deserialize: truncated");
+    }
+  }
+
+  std::uint64_t u64() {
+    require(8);
+    return u64Unchecked();
+  }
+
+  /// Read after a covering require(): bounds already validated.
+  std::uint64_t u64Unchecked() {
+    std::uint64_t x = loadU64(p_);
+    p_ += 8;
     return x;
   }
 
-  double getF64() {
-    std::uint64_t bits = getU64();
-    double v = 0;
+  double f64() {
+    std::uint64_t bits = u64();
+    double v;
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
 
+  double f64Unchecked() {
+    std::uint64_t bits = u64Unchecked();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  /// Bulk-reads `n` contiguous 8-byte values after a covering
+  /// require().
+  template <typename T>
+  void wordsUnchecked(T* dst, std::size_t n) {
+    static_assert(sizeof(T) == 8);
+    if constexpr (std::endian::native == std::endian::little) {
+      std::memcpy(dst, p_, n * 8);
+      p_ += n * 8;
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t bits = u64Unchecked();
+        std::memcpy(dst + i, &bits, 8);
+      }
+    }
+  }
+
  private:
-  std::span<const std::byte> bytes_;
-  std::size_t pos_ = 0;
+  const std::byte* p_;
+  const std::byte* end_;
 };
+
+/// Smallest possible encoded record: rank-0 key + represents + kind +
+/// scalar payload. Used to validate numRecords before reserving.
+constexpr std::size_t kMinRecordBytes = 8 + 8 + 8 + 8;
 
 }  // namespace
 
-std::vector<std::byte> Segment::serialize() const {
-  std::vector<std::byte> out;
-  putU64(out, header_.mapTask);
-  putU64(out, header_.keyblock);
-  putU64(out, header_.numRecords);
-  putU64(out, header_.represents);
+std::size_t Segment::serializedSize() const noexcept {
+  std::size_t size = kHeaderBytes;
   for (const KeyValue& kv : records_) {
-    putU64(out, kv.key.rank());
-    for (nd::Index c : kv.key) putU64(out, static_cast<std::uint64_t>(c));
-    putU64(out, kv.represents);
-    putU64(out, static_cast<std::uint64_t>(kv.value.kind()));
+    size += 8 + 8 * kv.key.rank();  // rank word + coordinates
+    size += 8 + 8;                  // represents + value kind
     switch (kv.value.kind()) {
       case ValueKind::kScalar:
-        putF64(out, kv.value.asScalar());
+        size += 8;
+        break;
+      case ValueKind::kPartial:
+        size += 4 * 8;
+        break;
+      case ValueKind::kList:
+        size += 8 + 8 * kv.value.asList().size();
+        break;
+    }
+  }
+  return size;
+}
+
+std::vector<std::byte> Segment::serialize() const {
+  std::vector<std::byte> out;
+  serializeInto(out);
+  return out;
+}
+
+void Segment::serializeInto(std::vector<std::byte>& out) const {
+  out.resize(serializedSize());
+  Writer w(out.data());
+  w.u64(header_.mapTask);
+  w.u64(header_.keyblock);
+  w.u64(header_.numRecords);
+  w.u64(header_.represents);
+  for (const KeyValue& kv : records_) {
+    w.u64(kv.key.rank());
+    w.words(kv.key.begin(), kv.key.rank());
+    w.u64(kv.represents);
+    w.u64(static_cast<std::uint64_t>(kv.value.kind()));
+    switch (kv.value.kind()) {
+      case ValueKind::kScalar:
+        w.f64(kv.value.asScalar());
         break;
       case ValueKind::kPartial: {
         const Partial& p = kv.value.asPartial();
-        putF64(out, p.sum);
-        putF64(out, p.min);
-        putF64(out, p.max);
-        putU64(out, static_cast<std::uint64_t>(p.count));
+        w.f64(p.sum);
+        w.f64(p.min);
+        w.f64(p.max);
+        w.u64(static_cast<std::uint64_t>(p.count));
         break;
       }
       case ValueKind::kList: {
         const auto& xs = kv.value.asList();
-        putU64(out, xs.size());
-        for (double x : xs) putF64(out, x);
+        w.u64(xs.size());
+        w.words(xs.data(), xs.size());
         break;
       }
     }
   }
-  return out;
 }
 
 Segment Segment::deserialize(std::span<const std::byte> bytes) {
-  Cursor cur(bytes);
+  Reader cur(bytes);
+  cur.require(kHeaderBytes);
   SegmentHeader h;
-  h.mapTask = static_cast<std::uint32_t>(cur.getU64());
-  h.keyblock = static_cast<std::uint32_t>(cur.getU64());
-  h.numRecords = cur.getU64();
-  h.represents = cur.getU64();
+  h.mapTask = static_cast<std::uint32_t>(cur.u64());
+  h.keyblock = static_cast<std::uint32_t>(cur.u64());
+  h.numRecords = cur.u64();
+  h.represents = cur.u64();
+  // A corrupt header must not drive a huge reserve: every record costs
+  // at least kMinRecordBytes on the wire, so the claimed count is
+  // bounded by the bytes actually present.
+  if (h.numRecords > cur.remaining() / kMinRecordBytes) {
+    throw std::out_of_range("Segment::deserialize: record count exceeds input");
+  }
+  // Records are constructed in place (no build-then-move), and bounds
+  // checks are hoisted: one covering require() per record's fixed part
+  // and one per payload, instead of one per word. reserve + emplace
+  // avoids zero-initializing the whole array up front.
   std::vector<KeyValue> records;
   records.reserve(h.numRecords);
   for (std::uint64_t i = 0; i < h.numRecords; ++i) {
-    KeyValue kv;
-    std::uint64_t rank = cur.getU64();
-    nd::Coord key = nd::Coord::zeros(rank);
-    for (std::uint64_t d = 0; d < rank; ++d) {
-      key[d] = static_cast<nd::Index>(cur.getU64());
+    KeyValue& kv = records.emplace_back();
+    std::uint64_t rank = cur.u64();
+    if (rank > nd::kMaxRank) {
+      throw std::runtime_error("Segment::deserialize: bad key rank");
     }
-    kv.key = key;
-    kv.represents = cur.getU64();
-    auto kind = static_cast<ValueKind>(cur.getU64());
+    cur.require(8 * rank + 16);  // coords + represents + value kind
+    kv.key = nd::Coord::zeros(rank);
+    cur.wordsUnchecked(kv.key.begin(), rank);
+    kv.represents = cur.u64Unchecked();
+    auto kind = static_cast<ValueKind>(cur.u64Unchecked());
     switch (kind) {
       case ValueKind::kScalar:
-        kv.value = Value::scalar(cur.getF64());
+        kv.value = Value::scalar(cur.f64());
         break;
       case ValueKind::kPartial: {
+        cur.require(4 * 8);
         Partial p;
-        p.sum = cur.getF64();
-        p.min = cur.getF64();
-        p.max = cur.getF64();
-        p.count = static_cast<std::int64_t>(cur.getU64());
+        p.sum = cur.f64Unchecked();
+        p.min = cur.f64Unchecked();
+        p.max = cur.f64Unchecked();
+        p.count = static_cast<std::int64_t>(cur.u64Unchecked());
         kv.value = Value::partial(p);
         break;
       }
       case ValueKind::kList: {
-        std::uint64_t n = cur.getU64();
+        std::uint64_t n = cur.u64();
+        if (n > cur.remaining() / 8) {
+          throw std::out_of_range(
+              "Segment::deserialize: list length exceeds input");
+        }
         std::vector<double> xs(n);
-        for (auto& x : xs) x = cur.getF64();
+        cur.wordsUnchecked(xs.data(), n);
         kv.value = Value::list(std::move(xs));
         break;
       }
       default:
         throw std::runtime_error("Segment::deserialize: bad value kind");
     }
-    records.push_back(std::move(kv));
+  }
+  if (cur.remaining() != 0) {
+    throw std::runtime_error("Segment::deserialize: trailing bytes");
   }
   Segment s(h.mapTask, h.keyblock, std::move(records));
   if (s.header_.represents != h.represents) {
@@ -179,12 +318,13 @@ Segment Segment::deserialize(std::span<const std::byte> bytes) {
 }
 
 SegmentHeader Segment::peekHeader(std::span<const std::byte> bytes) {
-  Cursor cur(bytes);
+  Reader cur(bytes);
+  cur.require(kHeaderBytes);
   SegmentHeader h;
-  h.mapTask = static_cast<std::uint32_t>(cur.getU64());
-  h.keyblock = static_cast<std::uint32_t>(cur.getU64());
-  h.numRecords = cur.getU64();
-  h.represents = cur.getU64();
+  h.mapTask = static_cast<std::uint32_t>(cur.u64());
+  h.keyblock = static_cast<std::uint32_t>(cur.u64());
+  h.numRecords = cur.u64();
+  h.represents = cur.u64();
   return h;
 }
 

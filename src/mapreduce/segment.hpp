@@ -50,9 +50,30 @@ class Segment {
   /// True when records are sorted by key.
   bool isSorted() const;
 
+  /// Encoded size of the fixed header prefix (4 little-endian u64
+  /// words); peekHeader needs exactly this many bytes.
+  static constexpr std::size_t kHeaderBytes = 32;
+
+  /// Exact byte size of serialize()'s output, computed without
+  /// encoding anything. serialize() allocates once from this.
+  std::size_t serializedSize() const noexcept;
+
   /// Flat binary encoding (header + records), as written to the local
-  /// map-output file a reducer fetches.
+  /// map-output file a reducer fetches. Wire format: fixed-width
+  /// little-endian u64 words (doubles as IEEE-754 bit patterns),
+  /// written with bulk stores into a single exact-size allocation.
   std::vector<std::byte> serialize() const;
+
+  /// serialize() into a caller-owned buffer, reusing its capacity —
+  /// the map side encodes one segment per keyblock and can amortize
+  /// one allocation across all of them.
+  void serializeInto(std::vector<std::byte>& out) const;
+
+  /// Decodes serialize()'s output. Every length field (record count,
+  /// key rank, list length) is validated against the remaining byte
+  /// count BEFORE any allocation, so corrupt or truncated input throws
+  /// (std::out_of_range / std::runtime_error) instead of triggering a
+  /// huge reserve. Trailing bytes after the last record are rejected.
   static Segment deserialize(std::span<const std::byte> bytes);
 
   /// Reads ONLY the header fields from an encoded segment — the cheap

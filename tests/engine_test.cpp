@@ -375,6 +375,24 @@ TEST(Engine, SpilledSegmentsMatchInMemory) {
 
   EXPECT_EQ(spillResult.annotationViolations, 0u);
   EXPECT_EQ(spillResult.shuffleConnections, memResult.shuffleConnections);
+  // In-memory mode is zero-copy: no bytes cross the wire format. Spill
+  // mode moves every segment through encode + decode.
+  EXPECT_EQ(memResult.shuffleBytes, 0u);
+  EXPECT_GT(spillResult.shuffleBytes, 0u);
+  // Identical per-keyblock outputs AND annotation tallies.
+  ASSERT_EQ(spillResult.outputs.size(), memResult.outputs.size());
+  for (std::size_t kb = 0; kb < memResult.outputs.size(); ++kb) {
+    EXPECT_EQ(spillResult.outputs[kb].annotationTally,
+              memResult.outputs[kb].annotationTally);
+    ASSERT_EQ(spillResult.outputs[kb].records.size(),
+              memResult.outputs[kb].records.size());
+    for (std::size_t i = 0; i < memResult.outputs[kb].records.size(); ++i) {
+      EXPECT_EQ(spillResult.outputs[kb].records[i].key,
+                memResult.outputs[kb].records[i].key);
+      EXPECT_EQ(spillResult.outputs[kb].records[i].value,
+                memResult.outputs[kb].records[i].value);
+    }
+  }
   auto a = memResult.collectAll();
   auto b = spillResult.collectAll();
   ASSERT_EQ(a.size(), b.size());
@@ -384,6 +402,51 @@ TEST(Engine, SpilledSegmentsMatchInMemory) {
   }
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(spillResult, sh::runSerialOracle(q, ex, fn));
+}
+
+TEST(Engine, InMemoryShuffleIsZeroCopy) {
+  // The acceptance property of the zero-copy shuffle: with spill
+  // disabled, no reduce-side segment copy or decode happens at all, so
+  // the shuffleBytes counter stays exactly zero while real data flows.
+  nd::Coord input{40, 16};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 8;
+  QueryPlan plan = planner.plan(sh::temperatureField(3), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  EXPECT_EQ(result.shuffleBytes, 0u);
+  EXPECT_GE(result.shuffleFetchSeconds, 0.0);
+  std::uint64_t totalRecords = 0;
+  for (std::uint64_t c : result.recordsPerReducer) totalRecords += c;
+  EXPECT_GT(totalRecords, 0u);
+}
+
+TEST(Engine, ReduceExceptionPropagatesWithoutWedging) {
+  // A reducer that throws must surface its error from run() — not hang
+  // on slot accounting (the scheduledActive slot is released in the
+  // worker's failure path).
+  nd::Coord input{16, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 4;
+  opts.reduceSlots = 1;  // a leaked slot would be maximally visible
+  QueryPlan plan = planner.plan(sh::temperatureField(5), opts);
+  plan.spec.reducerFactory = [] {
+    class ThrowingReducer final : public mr::Reducer {
+      void reduce(const nd::Coord&, std::span<const mr::Value* const>,
+                  mr::ReduceContext&) override {
+        throw std::runtime_error("reduce task died");
+      }
+    };
+    return std::make_unique<ThrowingReducer>();
+  };
+  EXPECT_THROW(mr::Engine(std::move(plan.spec)).run(), std::runtime_error);
 }
 
 TEST(Engine, RepeatedRunsAreStableUnderThreads) {

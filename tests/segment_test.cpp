@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <random>
+
 #include "mapreduce/combiners.hpp"
 #include "mapreduce/partitioners.hpp"
 #include "mapreduce/segment.hpp"
@@ -103,6 +105,123 @@ TEST(Segment, DeserializeRejectsTruncation) {
   auto bytes = seg.serialize();
   bytes.resize(bytes.size() - 1);
   EXPECT_THROW(Segment::deserialize(bytes), std::out_of_range);
+}
+
+TEST(Segment, SerializedSizeIsExact) {
+  for (auto& records :
+       {sampleRecords(), std::vector<KeyValue>{},
+        std::vector<KeyValue>{{nd::Coord{}, Value::scalar(1.0), 1}}}) {
+    Segment seg(1, 2, records);
+    EXPECT_EQ(seg.serializedSize(), seg.serialize().size());
+  }
+}
+
+TEST(Segment, DeserializeRejectsEveryTruncationPoint) {
+  // Cutting the encoding anywhere must throw — never crash, never
+  // succeed with partial data.
+  Segment seg(3, 1, sampleRecords());
+  auto bytes = seg.serialize();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    std::vector<std::byte> prefix(bytes.begin(),
+                                  bytes.begin() + static_cast<long>(cut));
+    EXPECT_THROW(Segment::deserialize(prefix), std::exception)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Segment, DeserializeRejectsCorruptRecordCount) {
+  // A corrupt header claiming a huge record count must be rejected by
+  // comparing against the remaining byte count, BEFORE any reserve.
+  Segment seg(0, 0, sampleRecords());
+  auto bytes = seg.serialize();
+  auto writeU64At = [&](std::size_t off, std::uint64_t x) {
+    for (int b = 0; b < 8; ++b) {
+      bytes[off + static_cast<std::size_t>(b)] =
+          static_cast<std::byte>((x >> (b * 8)) & 0xff);
+    }
+  };
+  writeU64At(16, std::uint64_t{1} << 60);  // numRecords word
+  EXPECT_THROW(Segment::deserialize(bytes), std::out_of_range);
+}
+
+TEST(Segment, DeserializeRejectsCorruptListLength) {
+  Segment seg(0, 0, {{nd::Coord{1}, Value::list({1.0, 2.0}), 1}});
+  auto bytes = seg.serialize();
+  // Layout: header (32) + rank (8) + 1 coord (8) + represents (8) +
+  // kind (8) = 64 bytes before the list length word.
+  std::uint64_t huge = std::uint64_t{1} << 60;
+  for (int b = 0; b < 8; ++b) {
+    bytes[64 + static_cast<std::size_t>(b)] =
+        static_cast<std::byte>((huge >> (b * 8)) & 0xff);
+  }
+  EXPECT_THROW(Segment::deserialize(bytes), std::out_of_range);
+}
+
+TEST(Segment, DeserializeRejectsCorruptRank) {
+  Segment seg(0, 0, {{nd::Coord{1}, Value::scalar(2.0), 1}});
+  auto bytes = seg.serialize();
+  bytes[32] = static_cast<std::byte>(200);  // rank word: > kMaxRank
+  EXPECT_THROW(Segment::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Segment, DeserializeRejectsTrailingBytes) {
+  Segment seg(0, 0, sampleRecords());
+  auto bytes = seg.serialize();
+  bytes.push_back(std::byte{0});
+  EXPECT_THROW(Segment::deserialize(bytes), std::runtime_error);
+}
+
+TEST(Segment, RoundTripPropertyAllValueKinds) {
+  // Randomized round-trip sweep over every ValueKind, ranks 0..4
+  // (including rank-0 keys) and empty segments.
+  std::mt19937_64 rng(1234);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::size_t rank = rng() % 5;
+    std::size_t count = trial == 0 ? 0 : rng() % 40;
+    std::vector<KeyValue> records;
+    for (std::size_t i = 0; i < count; ++i) {
+      KeyValue kv;
+      nd::Coord key = nd::Coord::zeros(rank);
+      for (std::size_t d = 0; d < rank; ++d) {
+        key[d] = static_cast<nd::Index>(rng() % 1000) - 500;
+      }
+      kv.key = key;
+      kv.represents = rng() % 1000;
+      switch (rng() % 3) {
+        case 0:
+          kv.value = Value::scalar(static_cast<double>(rng() % 997) / 13.0);
+          break;
+        case 1: {
+          Partial p;
+          p.sum = static_cast<double>(rng() % 997) / 7.0;
+          p.min = -p.sum;
+          p.max = p.sum * 2;
+          p.count = static_cast<std::int64_t>(rng() % 100);
+          kv.value = Value::partial(p);
+          break;
+        }
+        default: {
+          std::vector<double> xs(rng() % 9);  // includes empty lists
+          for (auto& x : xs) x = static_cast<double>(rng() % 997) / 3.0;
+          kv.value = Value::list(std::move(xs));
+          break;
+        }
+      }
+      records.push_back(std::move(kv));
+    }
+    Segment seg(static_cast<std::uint32_t>(rng() % 64),
+                static_cast<std::uint32_t>(rng() % 16), std::move(records));
+    auto bytes = seg.serialize();
+    ASSERT_EQ(bytes.size(), seg.serializedSize());
+    Segment back = Segment::deserialize(bytes);
+    EXPECT_EQ(back.header(), seg.header());
+    ASSERT_EQ(back.records().size(), seg.records().size());
+    for (std::size_t i = 0; i < seg.records().size(); ++i) {
+      EXPECT_EQ(back.records()[i].key, seg.records()[i].key);
+      EXPECT_EQ(back.records()[i].value, seg.records()[i].value);
+      EXPECT_EQ(back.records()[i].represents, seg.records()[i].represents);
+    }
+  }
 }
 
 TEST(Segment, EmptySegment) {
