@@ -5,11 +5,13 @@
 // savings in the non-failure case will offset said re-execution cost.")
 //
 // This bench runs the REAL in-process engine (not the simulator) on a
-// scaled Query-1-like median workload, injecting one reduce failure,
-// under both recovery models, and reports re-executed maps and wall
-// time; then uses the simulator to size the paper-scale trade-off:
-// persist-all pays a full intermediate spill every run, recompute pays
-// |I_l| map re-executions only when a failure happens.
+// scaled Query-1-like median workload, injecting failures at BOTH sites
+// (a map attempt and a reduce attempt, via the FaultPlan), under both
+// recovery models, and reports re-executed maps and wall time; then
+// uses the simulator to mirror the same two failure sites and size the
+// paper-scale trade-off: persist-all pays a full intermediate spill
+// every run, recompute pays |I_l| map re-executions only when a failure
+// happens.
 #include <chrono>
 
 #include "mapreduce/engine.hpp"
@@ -28,8 +30,11 @@ int main() {
   q.extractionShape = nd::Coord{2, 6, 5};
   core::QueryPlanner planner(q, nd::Coord{128, 24, 10});
 
-  std::printf("%-18s %10s %14s %14s %12s\n", "recovery", "failures",
-              "maps re-run", "deps of kb1", "wall ms");
+  // Engine: failures injected at both sites — map 3 dies on its first
+  // attempt (retried), reduce 1 dies on its first attempt (recovered
+  // per model).
+  std::printf("%-18s %6s %6s %11s %12s %10s\n", "recovery", "mFail",
+              "rFail", "maps re-run", "deps of kb1", "wall ms");
   for (auto [model, label] :
        {std::pair{mr::RecoveryModel::kPersistAll, "persist-all"},
         std::pair{mr::RecoveryModel::kRecomputeDeps, "recompute-deps"}}) {
@@ -38,7 +43,7 @@ int main() {
     opts.numReducers = 8;
     opts.desiredSplitCount = 32;
     opts.recovery = model;
-    opts.failOnceReduces = {1};
+    opts.faultPlan.failMap(3).failReduce(1);
     core::QueryPlan plan = planner.plan(sh::windspeedField(), opts);
     std::size_t deps = plan.dependencies.keyblockToSplits[1].size();
     auto t0 = std::chrono::steady_clock::now();
@@ -46,8 +51,8 @@ int main() {
     double ms = std::chrono::duration<double, std::milli>(
                     std::chrono::steady_clock::now() - t0)
                     .count();
-    std::printf("%-18s %10u %14u %14zu %12.1f\n", label, res.reduceFailures,
-                res.mapsReExecuted, deps, ms);
+    std::printf("%-18s %6u %6u %11u %12zu %10.1f\n", label, res.mapFailures,
+                res.reduceFailures, res.mapsReExecuted, deps, ms);
     if (res.annotationViolations != 0) {
       std::printf("ANNOTATION VIOLATIONS: %u\n", res.annotationViolations);
       return 1;
@@ -71,17 +76,29 @@ int main() {
   sim::SimResult volatileFailRes =
       sim::ClusterSim(cfg, volatileFail.job).run();
 
+  // Map-site failure, mirroring the engine's map-attempt injection: the
+  // failed attempt retries before any dependent reduce can start, so
+  // the penalty is one map re-execution on the critical path.
+  auto mapFail = sim::buildWorkload(w, core::SystemMode::kSidr, 66);
+  mapFail.job.volatileIntermediate = true;
+  mapFail.job.failOnceMaps = {7};
+  sim::SimResult mapFailRes = sim::ClusterSim(cfg, mapFail.job).run();
+
   std::printf(
       "\npaper-scale simulation (Query 1, 66 reducers, 24 nodes):\n"
       "  persist-all, no failure:    total %7.0f s\n"
       "  volatile,    no failure:    total %7.0f s (saves %.0f s of "
       "spill I/O per run)\n"
       "  volatile, 1 reduce failure: total %7.0f s, %u maps re-run "
+      "(failure penalty %.0f s)\n"
+      "  volatile, 1 map failure:    total %7.0f s, %u map retried "
       "(failure penalty %.0f s)\n",
       persistedRes.totalTime, volatileOkRes.totalTime,
       persistedRes.totalTime - volatileOkRes.totalTime,
       volatileFailRes.totalTime, volatileFailRes.mapsReExecuted,
-      volatileFailRes.totalTime - volatileOkRes.totalTime);
+      volatileFailRes.totalTime - volatileOkRes.totalTime,
+      mapFailRes.totalTime, mapFailRes.mapsReExecuted,
+      mapFailRes.totalTime - volatileOkRes.totalTime);
   double saving = persistedRes.totalTime - volatileOkRes.totalTime;
   double penalty = volatileFailRes.totalTime - volatileOkRes.totalTime;
   std::printf(

@@ -2,7 +2,12 @@
 # Tier-1 verification: full build + test suite, then the concurrency-
 # sensitive engine tests again under ThreadSanitizer (the engine's
 # locking discipline — lock-free reduce fetch over published segment
-# handles — is exactly what TSan checks).
+# handles, atomic attempt commits of spilled map output — is exactly
+# what TSan checks). engine_test and randomized_test cover BOTH shuffle
+# paths: the fault-plan / recovery suites (Engine.SpillRecoveryRaceHammer,
+# Engine.FaultPlan*, RandomizedFaultPlan.*) run with spillDirectory set,
+# so the spilled path's recovery races are sanitized too, not just the
+# in-memory path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

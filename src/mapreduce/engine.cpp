@@ -130,7 +130,6 @@ struct Engine::Impl {
   std::vector<bool> reduceRunnableFlag;
   std::deque<std::uint32_t> runnableReduces;
   std::vector<bool> reduceDone;
-  std::vector<bool> reduceFailedOnce;
   std::uint32_t scheduledActive = 0;  // scheduled && !done (slot holders)
   std::uint32_t nextPriorityPos = 0;
   std::uint32_t runningReduces = 0;
@@ -146,8 +145,9 @@ struct Engine::Impl {
     return std::chrono::duration<double>(Clock::now() - start).count();
   }
 
-  void recordEvent(TaskEvent::Kind kind, std::uint32_t id, double t) {
-    result.events.push_back(TaskEvent{kind, id, t});
+  void recordEvent(TaskEvent::Kind kind, std::uint32_t id, double t,
+                   std::uint32_t attempt) {
+    result.events.push_back(TaskEvent{kind, id, t, attempt});
   }
 
   bool isSidr() const { return spec.mode == ExecutionMode::kSidr; }
@@ -157,15 +157,20 @@ struct Engine::Impl {
   bool spillEnabled() const { return !spec.spillDirectory.empty(); }
 
   std::string segmentPath(std::uint32_t m, std::uint32_t kb) const {
-    return spec.spillDirectory + "/map" + std::to_string(m) + "_kb" +
-           std::to_string(kb) + ".seg";
+    return spec.spillDirectory + "/" + segmentFileName(m, kb);
   }
 
-  /// Persists one serialized segment as a map-output file.
-  void spillSegment(std::uint32_t m, std::uint32_t kb,
-                    std::span<const std::byte> bytes) const {
-    sci::FileStorage file(segmentPath(m, kb),
-                          sci::FileStorage::Mode::kCreate);
+  /// Writes one serialized segment to the attempt's TEMPORARY file.
+  /// Nothing becomes visible under the committed name until the whole
+  /// attempt commits via commitSegmentFile (atomic rename), so a
+  /// recovery re-run never truncates a file a concurrent lock-free
+  /// reduce fetch may be mid-read on.
+  void spillSegmentAttempt(std::uint32_t m, std::uint32_t kb,
+                           std::uint32_t attempt,
+                           std::span<const std::byte> bytes) const {
+    sci::FileStorage file(
+        spec.spillDirectory + "/" + segmentAttemptFileName(m, kb, attempt),
+        sci::FileStorage::Mode::kCreate);
     file.writeAt(0, bytes);
     file.flush();
   }
@@ -202,7 +207,12 @@ struct Engine::Impl {
   }
 
   std::vector<bool> runningMapSet;
-  std::vector<std::uint32_t> mapRunCount;
+  // Attempts STARTED per task (1-based attempt ids). Incremented when
+  // an execution begins, so injected faults and events name the attempt
+  // they belong to; compared against spec.faultPlan.maxAttempts when an
+  // attempt fails.
+  std::vector<std::uint32_t> mapAttempts;
+  std::vector<std::uint32_t> reduceAttempts;
 
   // Schedules reduce tasks into free slots, in priority order; SIDR only.
   // Caller holds mtx.
@@ -250,13 +260,60 @@ Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
       }
     }
   }
-  if (!spec_.reducePriority.empty() &&
-      spec_.reducePriority.size() != spec_.numReducers) {
-    throw std::invalid_argument("Engine: priority list must cover all reduces");
+  if (!spec_.reducePriority.empty()) {
+    if (spec_.reducePriority.size() != spec_.numReducers) {
+      throw std::invalid_argument(
+          "Engine: priority list must cover all reduces");
+    }
+    // An out-of-range or duplicate keyblock id would corrupt the slot
+    // accounting in scheduleReducesLocked (out-of-bounds write /
+    // double-counted scheduledActive).
+    std::vector<bool> seen(spec_.numReducers, false);
+    for (std::uint32_t kb : spec_.reducePriority) {
+      if (kb >= spec_.numReducers) {
+        throw std::invalid_argument(
+            "Engine: priority list names keyblock " + std::to_string(kb) +
+            " but job has " + std::to_string(spec_.numReducers) + " reduces");
+      }
+      if (seen[kb]) {
+        throw std::invalid_argument(
+            "Engine: priority list repeats keyblock " + std::to_string(kb));
+      }
+      seen[kb] = true;
+    }
+  }
+  if (!spec_.expectedRepresents.empty() &&
+      spec_.expectedRepresents.size() != spec_.numReducers) {
+    throw std::invalid_argument(
+        "Engine: expectedRepresents must cover all reduces when non-empty");
+  }
+  if (spec_.faultPlan.maxAttempts == 0) {
+    throw std::invalid_argument("Engine: FaultPlan::maxAttempts must be > 0");
+  }
+  for (const FaultSpec& f : spec_.faultPlan.faults) {
+    if (f.attempt == 0) {
+      throw std::invalid_argument("Engine: fault attempt ids are 1-based");
+    }
+    const std::size_t bound = f.kind == TaskKind::kMap
+                                  ? spec_.splits.size()
+                                  : spec_.numReducers;
+    if (f.id >= bound) {
+      throw std::invalid_argument(
+          std::string("Engine: fault plan names ") + taskKindName(f.kind) +
+          " task " + std::to_string(f.id) + " out of range");
+    }
   }
 }
 
 void Engine::Impl::runMap(std::uint32_t m) {
+  std::uint32_t attempt;
+  {
+    std::scoped_lock lock(mtx);
+    attempt = ++mapAttempts[m];
+    // Any execution beyond the first attempt is recovery cost, whether
+    // it re-runs after a recovery reset or retries a failed attempt.
+    if (attempt > 1) ++result.mapsReExecuted;
+  }
   double tStart = now();
   auto mapper = spec.mapperFactory();
   BufferingMapContext ctx(*spec.partitioner, numReduces);
@@ -294,20 +351,59 @@ void Engine::Impl::runMap(std::uint32_t m) {
       }
     }
     if (spillEnabled()) {
-      // Persist map output before declaring completion (Hadoop commits
-      // map output files atomically with the task).
+      // Persist map output to attempt-scoped temp files; nothing is
+      // visible under the committed names until the attempt commits
+      // below (Hadoop commits map output files atomically with the
+      // task).
       seg.serializeInto(spillBuf);
       bytesSpilled += spillBuf.size();
-      spillSegment(m, kb, spillBuf);
+      spillSegmentAttempt(m, kb, attempt, spillBuf);
     } else {
       localSegments[kb] = std::make_shared<const Segment>(std::move(seg));
+    }
+  }
+
+  // Injected failure: the attempt did its work (including any temp
+  // spill writes) but dies before committing anything.
+  if (spec.faultPlan.shouldFail(TaskKind::kMap, m, attempt)) {
+    if (spillEnabled()) {
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        discardSegmentAttemptFile(spec.spillDirectory, m, kb, attempt);
+      }
+    }
+    double tFail = now();
+    std::scoped_lock lock(mtx);
+    ++result.mapFailures;
+    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kMapFail, m, tFail, attempt);
+    runningMapSet[m] = false;
+    --runningMaps;
+    if (attempt >= spec.faultPlan.maxAttempts) {
+      if (!firstError) {
+        firstError = std::make_exception_ptr(
+            JobError(TaskKind::kMap, m, attempt, spec.faultPlan.maxAttempts));
+      }
+    } else {
+      markMapEligible(m);  // retry as the next attempt
+    }
+    cv.notify_all();
+    return;
+  }
+
+  // Commit phase. Spill mode publishes every keyblock file with an
+  // atomic rename FIRST: once segAvail flips below, any reduce may open
+  // the committed path lock-free, and a reader still holding the
+  // previous attempt's file (recovery races) keeps its old inode.
+  if (spillEnabled()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      commitSegmentFile(spec.spillDirectory, m, kb, attempt);
     }
   }
   double tEnd = now();
 
   std::scoped_lock lock(mtx);
-  recordEvent(TaskEvent::Kind::kMapStart, m, tStart);
-  recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd);
+  recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
+  recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd, attempt);
   result.shuffleBytes += bytesSpilled;
   if (!spillEnabled()) {
     // Publication is a pointer flip per keyblock — no data copy runs
@@ -317,8 +413,6 @@ void Engine::Impl::runMap(std::uint32_t m) {
     }
   }
   mapDone[m] = true;
-  ++mapRunCount[m];
-  if (mapRunCount[m] > 1) ++result.mapsReExecuted;
   // Dependency accounting: only a false->true availability transition
   // satisfies a dependency, so a recovery re-run of this map cannot
   // double-decrement a keyblock that already counted its first run.
@@ -343,24 +437,31 @@ void Engine::Impl::runMap(std::uint32_t m) {
 }
 
 void Engine::Impl::runReduce(std::uint32_t kb) {
-  double tStart = now();
-
-  // Injected failure: simulate a reduce task dying after starting.
-  bool injectFail = false;
+  std::uint32_t attempt;
   {
     std::scoped_lock lock(mtx);
-    if (!reduceFailedOnce[kb] &&
-        std::find(spec.failOnceReduces.begin(), spec.failOnceReduces.end(),
-                  kb) != spec.failOnceReduces.end()) {
-      reduceFailedOnce[kb] = true;
-      injectFail = true;
-    }
+    attempt = ++reduceAttempts[kb];
   }
-  if (injectFail) {
+  double tStart = now();
+
+  // Injected failure: simulate this reduce attempt dying after starting
+  // but before committing output.
+  if (spec.faultPlan.shouldFail(TaskKind::kReduce, kb, attempt)) {
+    double tFail = now();
     std::scoped_lock lock(mtx);
     ++result.reduceFailures;
-    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart);
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kReduceFail, kb, tFail, attempt);
     reduceRunnableFlag[kb] = false;
+    --runningReduces;
+    if (attempt >= spec.faultPlan.maxAttempts) {
+      if (!firstError) {
+        firstError = std::make_exception_ptr(JobError(
+            TaskKind::kReduce, kb, attempt, spec.faultPlan.maxAttempts));
+      }
+      cv.notify_all();
+      return;
+    }
     if (spec.recovery == RecoveryModel::kRecomputeDeps) {
       // Intermediate data was volatile: drop this keyblock's segments
       // and re-execute exactly the I_l map subset (paper section 6).
@@ -381,7 +482,6 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
       reduceRunnableFlag[kb] = true;
       runnableReduces.push_back(kb);
     }
-    --runningReduces;
     cv.notify_all();
     return;
   }
@@ -408,7 +508,7 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   std::uint64_t bytesFetched = 0;
   {
     std::scoped_lock lock(mtx);
-    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart);
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
   }
   double tFetchStart = now();
   if (spillEnabled()) {
@@ -481,7 +581,7 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     ++result.annotationViolations;
   }
   result.recordsPerReducer[kb] = recordCount;
-  recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd);
+  recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd, attempt);
   reduceDone[kb] = true;
   ++completedReduces;
   --runningReduces;
@@ -556,14 +656,14 @@ JobResult Engine::Impl::run() {
   mapEverEligible.assign(numMaps, false);
   mapDone.assign(numMaps, false);
   runningMapSet.assign(numMaps, false);
-  mapRunCount.assign(numMaps, 0);
+  mapAttempts.assign(numMaps, 0);
   segments.assign(numMaps,
                   std::vector<std::shared_ptr<const Segment>>(numReduces));
   segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
   reduceScheduled.assign(numReduces, false);
   reduceRunnableFlag.assign(numReduces, false);
   reduceDone.assign(numReduces, false);
-  reduceFailedOnce.assign(numReduces, false);
+  reduceAttempts.assign(numReduces, 0);
   result.outputs.resize(numReduces);
   result.recordsPerReducer.assign(numReduces, 0);
 

@@ -10,6 +10,13 @@
 // reduce execution and atomic output commit. Scheduling policy and reduce gating vary with
 // JobSpec::mode; everything else is shared, so mode comparisons isolate
 // exactly the mechanisms the paper changes.
+//
+// Every task execution is a numbered ATTEMPT (Hadoop's task-attempt
+// discipline): spilled output is written to attempt-suffixed temp files
+// and committed by atomic rename, events carry the attempt id, and
+// JobSpec::faultPlan injects map/reduce attempt failures with a per-task
+// retry bound — exceeding it raises mr::JobError from run() naming the
+// task and attempt (see DESIGN.md section 10).
 #pragma once
 
 #include "mapreduce/job.hpp"

@@ -3,6 +3,8 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "mapreduce/interfaces.hpp"
@@ -30,6 +32,91 @@ enum class RecoveryModel {
   /// Paper section 6 (future work): intermediate data is volatile; a
   /// failed reduce triggers re-execution of just its I_l map subset.
   kRecomputeDeps,
+};
+
+/// Which side of the dataflow a task (or an injected fault) belongs to.
+enum class TaskKind : std::uint8_t { kMap, kReduce };
+
+inline const char* taskKindName(TaskKind kind) {
+  return kind == TaskKind::kMap ? "map" : "reduce";
+}
+
+/// One injected failure: task `id` dies on its `attempt`-th execution
+/// (1-based) after doing its work but before committing any output —
+/// a failed map attempt leaves no committed map-output files and
+/// publishes no segment handles; a failed reduce attempt commits no
+/// reduce output.
+struct FaultSpec {
+  TaskKind kind = TaskKind::kReduce;
+  std::uint32_t id = 0;       ///< map task id or keyblock id
+  std::uint32_t attempt = 1;  ///< which attempt dies (1-based)
+
+  friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
+};
+
+/// Failure-injection plan plus the engine's retry bound. Generalizes
+/// the old fail-once-reduce list: faults may hit map AND reduce tasks,
+/// on any attempt number, so multi-failure and repeated-failure
+/// scenarios (fail attempts 1 and 2 of the same task) are expressible.
+struct FaultPlan {
+  std::vector<FaultSpec> faults;
+
+  /// Maximum executions per task. A task whose `maxAttempts`-th attempt
+  /// fails raises JobError from Engine::run() instead of retrying.
+  std::uint32_t maxAttempts = 4;
+
+  FaultPlan& failMap(std::uint32_t id, std::uint32_t attempt = 1) {
+    faults.push_back(FaultSpec{TaskKind::kMap, id, attempt});
+    return *this;
+  }
+  FaultPlan& failReduce(std::uint32_t id, std::uint32_t attempt = 1) {
+    faults.push_back(FaultSpec{TaskKind::kReduce, id, attempt});
+    return *this;
+  }
+
+  bool empty() const noexcept { return faults.empty(); }
+
+  bool shouldFail(TaskKind kind, std::uint32_t id,
+                  std::uint32_t attempt) const noexcept {
+    for (const FaultSpec& f : faults) {
+      if (f.kind == kind && f.id == id && f.attempt == attempt) return true;
+    }
+    return false;
+  }
+
+  std::uint32_t countFor(TaskKind kind) const noexcept {
+    std::uint32_t n = 0;
+    for (const FaultSpec& f : faults) {
+      if (f.kind == kind) ++n;
+    }
+    return n;
+  }
+};
+
+/// Job-level failure: a task exhausted its retry budget. Thrown from
+/// Engine::run() with diagnostics naming the task and attempt, instead
+/// of wedging slot accounting or surfacing an anonymous error.
+class JobError : public std::runtime_error {
+ public:
+  JobError(TaskKind kind, std::uint32_t taskId, std::uint32_t attempt,
+           std::uint32_t maxAttempts)
+      : std::runtime_error(std::string("JobError: ") + taskKindName(kind) +
+                           " task " + std::to_string(taskId) +
+                           " failed on attempt " + std::to_string(attempt) +
+                           " of " + std::to_string(maxAttempts) +
+                           " (retry limit exhausted)"),
+        kind_(kind),
+        taskId_(taskId),
+        attempt_(attempt) {}
+
+  TaskKind taskKind() const noexcept { return kind_; }
+  std::uint32_t taskId() const noexcept { return taskId_; }
+  std::uint32_t attempt() const noexcept { return attempt_; }
+
+ private:
+  TaskKind kind_;
+  std::uint32_t taskId_;
+  std::uint32_t attempt_;
 };
 
 /// One unit of map input (SciHadoop defines splits in logical
@@ -89,9 +176,9 @@ struct JobSpec {
   std::uint32_t numThreads = 4;
 
   RecoveryModel recovery = RecoveryModel::kPersistAll;
-  /// Keyblocks whose Reduce task fails once before succeeding
-  /// (failure-injection for the recovery experiments).
-  std::vector<std::uint32_t> failOnceReduces;
+  /// Failure injection for the recovery experiments: which task
+  /// attempts die, and the per-task retry bound.
+  FaultPlan faultPlan;
 
   /// When non-empty, map-output segments are spilled to files under
   /// this directory (as Hadoop's map-output files) instead of held in
@@ -104,13 +191,20 @@ struct JobSpec {
 struct TaskEvent {
   enum class Kind : std::uint8_t {
     kMapStart,
-    kMapEnd,
+    kMapEnd,       ///< map output committed (atomic attempt commit)
+    kMapFail,      ///< map attempt died before committing
     kReduceStart,  ///< reduce begins fetching/merging (deps satisfied)
     kReduceEnd,    ///< reduce output committed (result available)
+    kReduceFail,   ///< reduce attempt died before committing
   };
   Kind kind;
   std::uint32_t taskId;
   double seconds;  ///< relative to job start
+  /// Which execution of the task this event belongs to (1-based).
+  /// Every {kMapStart, kReduceStart} pairs with exactly one end-or-fail
+  /// event of the same task AND attempt, so completion-time series can
+  /// pair starts and ends correctly across retries.
+  std::uint32_t attempt = 1;
 };
 
 struct ReduceOutput {
@@ -143,8 +237,11 @@ struct JobResult {
   /// Annotation tallies that disagreed with expectedRepresents (must be
   /// zero for a correct run).
   std::uint32_t annotationViolations = 0;
-  /// Map task executions beyond the first run of each (recovery cost).
+  /// Map task executions beyond the first attempt of each — recovery
+  /// re-runs plus retries of failed attempts (recovery cost).
   std::uint32_t mapsReExecuted = 0;
+  /// Map attempts that were injected failures.
+  std::uint32_t mapFailures = 0;
   /// Reduce attempts that were injected failures.
   std::uint32_t reduceFailures = 0;
 

@@ -5,9 +5,40 @@
 #include <algorithm>
 #include <bit>
 #include <cstring>
+#include <filesystem>
 #include <stdexcept>
 
 namespace sidr::mr {
+
+std::string segmentFileName(std::uint32_t mapTask, std::uint32_t keyblock) {
+  return "map" + std::to_string(mapTask) + "_kb" + std::to_string(keyblock) +
+         ".seg";
+}
+
+std::string segmentAttemptFileName(std::uint32_t mapTask,
+                                   std::uint32_t keyblock,
+                                   std::uint32_t attempt) {
+  return segmentFileName(mapTask, keyblock) + ".attempt" +
+         std::to_string(attempt) + ".tmp";
+}
+
+void commitSegmentFile(const std::string& dir, std::uint32_t mapTask,
+                       std::uint32_t keyblock, std::uint32_t attempt) {
+  std::filesystem::rename(
+      std::filesystem::path(dir) /
+          segmentAttemptFileName(mapTask, keyblock, attempt),
+      std::filesystem::path(dir) / segmentFileName(mapTask, keyblock));
+}
+
+void discardSegmentAttemptFile(const std::string& dir, std::uint32_t mapTask,
+                               std::uint32_t keyblock,
+                               std::uint32_t attempt) {
+  std::error_code ec;  // swallowed: cleanup of a dead attempt is advisory
+  std::filesystem::remove(
+      std::filesystem::path(dir) /
+          segmentAttemptFileName(mapTask, keyblock, attempt),
+      ec);
+}
 
 Segment::Segment(std::uint32_t mapTask, std::uint32_t keyblock,
                  std::vector<KeyValue> records)

@@ -11,11 +11,40 @@
 
 #include <cstddef>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "mapreduce/kv.hpp"
 
 namespace sidr::mr {
+
+// ---- spilled map-output file naming and atomic attempt commit ----
+//
+// Spill mode follows Hadoop's task-commit discipline: an attempt writes
+// its output under an attempt-scoped temporary name and only an atomic
+// rename publishes it under the committed name. A concurrent reader
+// that already opened the committed file keeps reading the old inode;
+// a reader opening the path sees either the old or the new complete
+// file — never a truncated in-place rewrite.
+
+/// Committed map-output file name for (map, keyblock).
+std::string segmentFileName(std::uint32_t mapTask, std::uint32_t keyblock);
+
+/// Attempt-scoped temporary name a map attempt writes before commit.
+std::string segmentAttemptFileName(std::uint32_t mapTask,
+                                   std::uint32_t keyblock,
+                                   std::uint32_t attempt);
+
+/// Atomically publishes `dir/segmentAttemptFileName(...)` as
+/// `dir/segmentFileName(...)` via std::filesystem::rename (which
+/// replaces any previously committed file in one step).
+void commitSegmentFile(const std::string& dir, std::uint32_t mapTask,
+                       std::uint32_t keyblock, std::uint32_t attempt);
+
+/// Best-effort removal of a failed attempt's temporary file; missing
+/// files are ignored (the attempt may have died before writing it).
+void discardSegmentAttemptFile(const std::string& dir, std::uint32_t mapTask,
+                               std::uint32_t keyblock, std::uint32_t attempt);
 
 struct SegmentHeader {
   std::uint32_t mapTask = 0;      ///< producing map task id

@@ -61,7 +61,7 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.reduceSlots = options.reduceSlots;
   spec.numThreads = options.numThreads;
   spec.recovery = options.recovery;
-  spec.failOnceReduces = options.failOnceReduces;
+  spec.faultPlan = options.faultPlan;
 
   if (options.system == SystemMode::kSidr) {
     auto pp = std::make_shared<const PartitionPlus>(

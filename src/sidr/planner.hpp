@@ -56,7 +56,9 @@ struct PlanOptions {
   std::uint32_t numThreads = 4;
 
   mr::RecoveryModel recovery = mr::RecoveryModel::kPersistAll;
-  std::vector<std::uint32_t> failOnceReduces;
+  /// Failure injection (map and reduce attempts) + retry bound,
+  /// forwarded to mr::JobSpec::faultPlan.
+  mr::FaultPlan faultPlan;
 };
 
 /// A fully-assembled plan: the JobSpec plus the structural artifacts the

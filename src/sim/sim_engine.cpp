@@ -126,6 +126,7 @@ struct ClusterSim::Impl {
   // re-runs cannot double-satisfy a dependency.
   std::vector<std::vector<bool>> depCredited;  // [map] -> per-keyblock
   std::vector<bool> reduceFailedOnce;
+  std::vector<bool> mapFailedOnce;
   std::vector<std::uint32_t> mapRunCount;
   std::vector<std::uint32_t> fetchesRemaining;
   std::vector<bool> reduceScheduled;
@@ -199,12 +200,25 @@ struct ClusterSim::Impl {
   }
 
   void onMapDone(std::uint32_t m, std::uint32_t node) {
+    ++mapRunCount[m];
+    if (mapRunCount[m] > 1) ++result.mapsReExecuted;
+    // Injected failure: the map did its work but dies before committing
+    // its output (mirrors the engine's attempt-level injection). The
+    // slot frees up and the map re-queues for another full execution.
+    if (!mapFailedOnce[m] &&
+        std::find(job.failOnceMaps.begin(), job.failOnceMaps.end(), m) !=
+            job.failOnceMaps.end()) {
+      mapFailedOnce[m] = true;
+      ++result.mapFailures;
+      ++nodes[node].freeMapSlots;
+      markMapEligible(m);
+      dispatch();
+      return;
+    }
     mapDone[m] = true;
     ++mapsDone;
     result.maps[m].end = now;
     ++nodes[node].freeMapSlots;
-    ++mapRunCount[m];
-    if (mapRunCount[m] > 1) ++result.mapsReExecuted;
     for (std::uint32_t kb : mapToReduces[m]) {
       if (depCredited[m][kb]) continue;
       depCredited[m][kb] = true;
@@ -496,6 +510,7 @@ struct ClusterSim::Impl {
     reduceMergeStarted.assign(nr, false);
     reduceNode.assign(nr, 0);
     reduceFailedOnce.assign(nr, false);
+    mapFailedOnce.assign(nm, false);
     reduceFetchedBytes.assign(nr, 0.0);
     mapRunCount.assign(nm, 0);
     if (job.hopEstimates && isSidr()) {
@@ -506,8 +521,22 @@ struct ClusterSim::Impl {
     if ((job.volatileIntermediate || !job.failOnceReduces.empty()) &&
         !isSidr()) {
       throw std::invalid_argument(
-          "ClusterSim: volatile intermediate / failure injection require "
-          "kSidr mode");
+          "ClusterSim: volatile intermediate / reduce failure injection "
+          "require kSidr mode");
+    }
+    // Mirror the engine's fault-plan validation: a silently ignored
+    // out-of-range id would make failure counters lie about the plan.
+    for (std::uint32_t kb : job.failOnceReduces) {
+      if (kb >= nr) {
+        throw std::invalid_argument(
+            "ClusterSim: failOnceReduces names keyblock out of range");
+      }
+    }
+    for (std::uint32_t m : job.failOnceMaps) {
+      if (m >= nm) {
+        throw std::invalid_argument(
+            "ClusterSim: failOnceMaps names map out of range");
+      }
     }
 
     priorityOrder.resize(nr);

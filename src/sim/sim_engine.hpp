@@ -76,6 +76,13 @@ struct SimJob {
   /// injection for the recovery experiment). kSidr mode only.
   std::vector<std::uint32_t> failOnceReduces;
 
+  /// Maps whose execution fails once just before committing output
+  /// (mirrors the engine's map-attempt failure injection, so
+  /// bench_ablation_recovery can compare engine vs simulator at both
+  /// failure sites). The failed attempt's slot is released and the map
+  /// re-queued; works in every execution mode.
+  std::vector<std::uint32_t> failOnceMaps;
+
   /// HOP / MapReduce Online semantics (paper section 5): reduces apply
   /// their function to the data fetched so far whenever the map phase
   /// crosses 25/50/75%, emitting ESTIMATES of the final output (not
@@ -103,8 +110,9 @@ struct SimResult {
   double firstResult = 0;  ///< earliest reduce commit
   double totalTime = 0;    ///< last reduce commit
   std::uint64_t shuffleConnections = 0;
-  std::uint32_t mapsReExecuted = 0;  ///< recovery re-runs
-  std::uint32_t reduceFailures = 0;  ///< injected failures
+  std::uint32_t mapsReExecuted = 0;  ///< recovery re-runs + failed-attempt retries
+  std::uint32_t mapFailures = 0;     ///< injected map-attempt failures
+  std::uint32_t reduceFailures = 0;  ///< injected reduce failures
 
   /// HOP estimate emissions: (fraction of maps complete, time at which
   /// EVERY reduce finished its snapshot over the data seen so far).

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <map>
+#include <tuple>
 
 #include "mapreduce/combiners.hpp"
 #include "mapreduce/engine.hpp"
@@ -40,6 +42,37 @@ void expectMatchesOracle(const mr::JobResult& result,
       }
     }
   }
+}
+
+/// Event-log invariant: every start event pairs with exactly one end
+/// OR fail event of the same task and attempt, and attempts of a task
+/// are numbered 1..n without repetition.
+void expectEventLogWellPaired(const mr::JobResult& result) {
+  using Kind = mr::TaskEvent::Kind;
+  // key: (isMap, taskId, attempt)
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> starts;
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> finishes;
+  for (const mr::TaskEvent& ev : result.events) {
+    EXPECT_GE(ev.attempt, 1u);
+    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
+                 ev.kind == Kind::kMapFail;
+    auto key = std::make_tuple(isMap, ev.taskId, ev.attempt);
+    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) {
+      ++starts[key];
+    } else {
+      ++finishes[key];
+    }
+  }
+  for (const auto& [key, n] : starts) {
+    EXPECT_EQ(n, 1) << "duplicate start for task " << std::get<1>(key)
+                    << " attempt " << std::get<2>(key);
+    auto it = finishes.find(key);
+    ASSERT_NE(it, finishes.end())
+        << "start without end/fail for task " << std::get<1>(key)
+        << " attempt " << std::get<2>(key);
+    EXPECT_EQ(it->second, 1);
+  }
+  EXPECT_EQ(starts.size(), finishes.size()) << "end/fail without a start";
 }
 
 struct EngineCase {
@@ -199,7 +232,7 @@ TEST(Engine, RecoveryRecomputeOnlyDeps) {
   opts.numReducers = 4;
   opts.desiredSplitCount = 12;
   opts.recovery = mr::RecoveryModel::kRecomputeDeps;
-  opts.failOnceReduces = {1};
+  opts.faultPlan.failReduce(1);
   QueryPlan plan = planner.plan(fn, opts);
   std::size_t depsOfFailed = plan.dependencies.keyblockToSplits[1].size();
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
@@ -221,7 +254,7 @@ TEST(Engine, RecoveryPersistAllReRunsNothing) {
   opts.numReducers = 4;
   opts.desiredSplitCount = 12;
   opts.recovery = mr::RecoveryModel::kPersistAll;
-  opts.failOnceReduces = {1, 3};
+  opts.faultPlan.failReduce(1).failReduce(3);
   QueryPlan plan = planner.plan(fn, opts);
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
 
@@ -229,6 +262,217 @@ TEST(Engine, RecoveryPersistAllReRunsNothing) {
   EXPECT_EQ(result.mapsReExecuted, 0u);
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  expectEventLogWellPaired(result);
+}
+
+TEST(Engine, FaultPlanMapAndReduceFailuresBothShuffleModes) {
+  // The acceptance scenario: >=2 map failures and >=2 reduce failures
+  // (fail-on-attempt-2 included — reduce 1 dies on attempts 1 AND 2),
+  // in both spill and in-memory modes. The job completes with correct
+  // output and counters matching the plan exactly.
+  nd::Coord input{28, 12};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  sh::ValueFn fn = sh::temperatureField(31);
+  QueryPlanner planner(q, input);
+  for (bool spill : {false, true}) {
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 4;
+    opts.desiredSplitCount = 8;
+    opts.numThreads = 4;
+    opts.recovery = mr::RecoveryModel::kPersistAll;
+    opts.faultPlan.failMap(0).failMap(2).failReduce(1, 1).failReduce(1, 2);
+    QueryPlan plan = planner.plan(fn, opts);
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "sidr_fault_spill")
+            .string();
+    if (spill) plan.spec.spillDirectory = dir;
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    if (spill) std::filesystem::remove_all(dir);
+    SCOPED_TRACE(spill ? "spill" : "in-memory");
+    EXPECT_EQ(result.mapFailures, 2u);
+    EXPECT_EQ(result.reduceFailures, 2u);
+    // Persist-all recovery re-runs nothing for the reduce failures; the
+    // two failed map attempts retry once each.
+    EXPECT_EQ(result.mapsReExecuted, 2u);
+    EXPECT_EQ(result.annotationViolations, 0u);
+    expectEventLogWellPaired(result);
+    sh::ExtractionMap ex(q, input);
+    expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  }
+}
+
+TEST(Engine, FaultPlanUnderRecomputeDepsRecovery) {
+  // Same multi-fault plan under dependency-bounded recovery: each
+  // reduce failure re-executes its I_l subset, so re-execution cost is
+  // at least the two map retries and the job still matches the oracle.
+  nd::Coord input{28, 12};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMedian, nd::Coord{4, 4});
+  sh::ValueFn fn = sh::temperatureField(37);
+  QueryPlanner planner(q, input);
+  for (bool spill : {false, true}) {
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 4;
+    opts.desiredSplitCount = 8;
+    opts.numThreads = 4;
+    opts.recovery = mr::RecoveryModel::kRecomputeDeps;
+    opts.faultPlan.failMap(1).failMap(3).failReduce(2, 1).failReduce(2, 2);
+    QueryPlan plan = planner.plan(fn, opts);
+    std::size_t depsOfFailed = plan.dependencies.keyblockToSplits[2].size();
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "sidr_fault_spill_rc")
+            .string();
+    if (spill) plan.spec.spillDirectory = dir;
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    if (spill) std::filesystem::remove_all(dir);
+    SCOPED_TRACE(spill ? "spill" : "in-memory");
+    EXPECT_EQ(result.mapFailures, 2u);
+    EXPECT_EQ(result.reduceFailures, 2u);
+    // Two failed-attempt retries plus both recoveries' I_2 re-runs.
+    EXPECT_GE(result.mapsReExecuted, 2u + 2u * depsOfFailed);
+    EXPECT_EQ(result.annotationViolations, 0u);
+    expectEventLogWellPaired(result);
+    sh::ExtractionMap ex(q, input);
+    expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  }
+}
+
+TEST(Engine, RetryLimitRaisesJobErrorNamingTaskAndAttempt) {
+  nd::Coord input{16, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 4;
+  opts.recovery = mr::RecoveryModel::kRecomputeDeps;
+  opts.faultPlan.maxAttempts = 2;
+  opts.faultPlan.failReduce(1, 1).failReduce(1, 2);
+  QueryPlan plan = planner.plan(sh::temperatureField(5), opts);
+  try {
+    mr::Engine(std::move(plan.spec)).run();
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_EQ(e.taskKind(), mr::TaskKind::kReduce);
+    EXPECT_EQ(e.taskId(), 1u);
+    EXPECT_EQ(e.attempt(), 2u);
+    EXPECT_NE(std::string(e.what()).find("reduce task 1"), std::string::npos);
+  }
+
+  // Map-side variant: a map that dies on every allowed attempt.
+  PlanOptions mopts;
+  mopts.system = SystemMode::kSidr;
+  mopts.numReducers = 4;
+  mopts.desiredSplitCount = 4;
+  mopts.faultPlan.maxAttempts = 2;
+  mopts.faultPlan.failMap(0, 1).failMap(0, 2);
+  QueryPlan mplan = planner.plan(sh::temperatureField(5), mopts);
+  try {
+    mr::Engine(std::move(mplan.spec)).run();
+    FAIL() << "expected JobError";
+  } catch (const mr::JobError& e) {
+    EXPECT_EQ(e.taskKind(), mr::TaskKind::kMap);
+    EXPECT_EQ(e.taskId(), 0u);
+    EXPECT_EQ(e.attempt(), 2u);
+  }
+}
+
+TEST(Engine, SpillRecoveryRaceHammer) {
+  // Regression for the spill-mode recovery race: a recovering map used
+  // to rewrite mapX_kbY.seg IN PLACE (truncating via
+  // FileStorage::Mode::kCreate) while another reduce's lock-free fetch
+  // could be mid-read of the same file. Attempt-suffixed temp files +
+  // atomic rename commits keep every committed file immutable at its
+  // inode. Hammer recovery with spill enabled and many threads; run
+  // under TSan via scripts/tier1.sh.
+  nd::Coord input{36, 10};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{3, 5});
+  sh::ValueFn fn = sh::temperatureField(43);
+  QueryPlanner planner(q, input);
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "sidr_recovery_hammer")
+          .string();
+  sh::ExtractionMap ex(q, input);
+  std::vector<mr::KeyValue> oracle = sh::runSerialOracle(q, ex, fn);
+  for (int iter = 0; iter < 3; ++iter) {
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 6;
+    opts.desiredSplitCount = 12;
+    opts.numThreads = 8;
+    opts.reduceSlots = 4;
+    opts.mapSlots = 4;
+    opts.recovery = mr::RecoveryModel::kRecomputeDeps;
+    opts.faultPlan.failReduce(0).failReduce(2).failReduce(3).failReduce(5);
+    QueryPlan plan = planner.plan(fn, opts);
+    plan.spec.spillDirectory = dir;
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    EXPECT_EQ(result.reduceFailures, 4u);
+    EXPECT_EQ(result.annotationViolations, 0u);
+    expectEventLogWellPaired(result);
+    expectMatchesOracle(result, oracle);
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Engine, InvalidReducePriorityRejected) {
+  nd::Coord input{16, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 4;
+
+  QueryPlan outOfRange = planner.plan(sh::temperatureField(5), opts);
+  outOfRange.spec.reducePriority = {0, 1, 2, 9};  // keyblock 9 of 4
+  EXPECT_THROW(mr::Engine{std::move(outOfRange.spec)}, std::invalid_argument);
+
+  QueryPlan duplicate = planner.plan(sh::temperatureField(5), opts);
+  duplicate.spec.reducePriority = {0, 1, 1, 3};  // kb 1 twice, kb 2 never
+  EXPECT_THROW(mr::Engine{std::move(duplicate.spec)}, std::invalid_argument);
+}
+
+TEST(Engine, ShortExpectedRepresentsRejected) {
+  nd::Coord input{16, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 4;
+  QueryPlan plan = planner.plan(sh::temperatureField(5), opts);
+  ASSERT_EQ(plan.spec.expectedRepresents.size(), 4u);
+  plan.spec.expectedRepresents.pop_back();  // would be an OOB read
+  EXPECT_THROW(mr::Engine{std::move(plan.spec)}, std::invalid_argument);
+}
+
+TEST(Engine, InvalidFaultPlanRejected) {
+  nd::Coord input{16, 8};
+  sh::StructuralQuery q = makeQuery(OperatorKind::kMean, nd::Coord{4, 4});
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 4;
+  opts.desiredSplitCount = 4;
+
+  QueryPlan badReduce = planner.plan(sh::temperatureField(5), opts);
+  badReduce.spec.faultPlan.failReduce(99);  // silently ignored before
+  EXPECT_THROW(mr::Engine{std::move(badReduce.spec)}, std::invalid_argument);
+
+  QueryPlan badMap = planner.plan(sh::temperatureField(5), opts);
+  badMap.spec.faultPlan.failMap(
+      static_cast<std::uint32_t>(badMap.spec.splits.size()));
+  EXPECT_THROW(mr::Engine{std::move(badMap.spec)}, std::invalid_argument);
+
+  QueryPlan badAttempt = planner.plan(sh::temperatureField(5), opts);
+  badAttempt.spec.faultPlan.failReduce(0, 0);  // attempts are 1-based
+  EXPECT_THROW(mr::Engine{std::move(badAttempt.spec)}, std::invalid_argument);
+
+  QueryPlan badLimit = planner.plan(sh::temperatureField(5), opts);
+  badLimit.spec.faultPlan.maxAttempts = 0;
+  EXPECT_THROW(mr::Engine{std::move(badLimit.spec)}, std::invalid_argument);
 }
 
 TEST(Engine, SkewMeasuredUnderModuloVsPartitionPlus) {

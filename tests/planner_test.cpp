@@ -78,14 +78,20 @@ TEST(QueryPlanner, OptionPassThrough) {
   opts.reduceSlots = 5;
   opts.numThreads = 9;
   opts.recovery = mr::RecoveryModel::kRecomputeDeps;
-  opts.failOnceReduces = {2};
+  opts.faultPlan.failReduce(2).failMap(1, 2);
+  opts.faultPlan.maxAttempts = 3;
   opts.reducePriority = {2, 0, 1};
   QueryPlan plan = planner.plan(sh::temperatureField(), opts);
   EXPECT_EQ(plan.spec.mapSlots, 7u);
   EXPECT_EQ(plan.spec.reduceSlots, 5u);
   EXPECT_EQ(plan.spec.numThreads, 9u);
   EXPECT_EQ(plan.spec.recovery, mr::RecoveryModel::kRecomputeDeps);
-  EXPECT_EQ(plan.spec.failOnceReduces, (std::vector<std::uint32_t>{2}));
+  ASSERT_EQ(plan.spec.faultPlan.faults.size(), 2u);
+  EXPECT_EQ(plan.spec.faultPlan.faults[0],
+            (mr::FaultSpec{mr::TaskKind::kReduce, 2, 1}));
+  EXPECT_EQ(plan.spec.faultPlan.faults[1],
+            (mr::FaultSpec{mr::TaskKind::kMap, 1, 2}));
+  EXPECT_EQ(plan.spec.faultPlan.maxAttempts, 3u);
   EXPECT_EQ(plan.spec.reducePriority, (std::vector<std::uint32_t>{2, 0, 1}));
 }
 

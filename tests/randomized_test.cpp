@@ -6,7 +6,10 @@
 // here first.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <map>
 #include <random>
+#include <tuple>
 
 #include "mapreduce/engine.hpp"
 #include "scihadoop/datagen.hpp"
@@ -156,6 +159,124 @@ TEST_P(RandomizedOracle, EngineMatchesOracle) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedOracle, ::testing::Range(0, 24));
+
+// ---- randomized fault-plan property test ----
+//
+// Random map+reduce attempt failures over both recovery models and both
+// shuffle modes: whatever the injected fault schedule, the engine must
+// converge to the serial oracle with zero annotation violations, and
+// the attempt-aware event log must pair every start with exactly one
+// end-or-fail of the same task and attempt.
+
+class RandomizedFaultPlan : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 13);
+  nd::Coord input{static_cast<nd::Index>(20 + rng() % 20),
+                  static_cast<nd::Index>(8 + rng() % 8)};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = (rng() % 2 == 0) ? sh::OperatorKind::kMean : sh::OperatorKind::kMedian;
+  q.extractionShape = nd::Coord{static_cast<nd::Index>(2 + rng() % 3),
+                                static_cast<nd::Index>(2 + rng() % 3)};
+  sh::ValueFn fn = sh::temperatureField(static_cast<std::uint64_t>(
+      GetParam() + 500));
+
+  const bool spill = rng() % 2 == 0;
+  const bool stock = rng() % 4 == 0;
+  PlanOptions opts;
+  opts.system = stock ? SystemMode::kSciHadoop : SystemMode::kSidr;
+  opts.numReducers = static_cast<std::uint32_t>(2 + rng() % 5);
+  opts.desiredSplitCount = 4 + rng() % 9;
+  opts.numThreads = static_cast<std::uint32_t>(2 + rng() % 5);
+  opts.recovery = (rng() % 2 == 0) ? mr::RecoveryModel::kPersistAll
+                                   : mr::RecoveryModel::kRecomputeDeps;
+
+  QueryPlanner planner(q, input);
+  QueryPlan plan = planner.plan(fn, opts);
+
+  // Faults are drawn against the ACTUAL split count, after planning.
+  const auto numMaps = static_cast<std::uint32_t>(plan.spec.splits.size());
+  mr::FaultPlan& fp = plan.spec.faultPlan;
+  std::uint32_t expectReduceFailures = 0;
+  std::uint32_t expectMapFailures = 0;
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 4); i < n;
+       ++i) {
+    std::uint32_t kb = static_cast<std::uint32_t>(rng()) % opts.numReducers;
+    std::uint32_t upTo = 1 + static_cast<std::uint32_t>(rng() % 2);
+    for (std::uint32_t a = 1; a <= upTo; ++a) {
+      if (fp.shouldFail(mr::TaskKind::kReduce, kb, a)) continue;
+      fp.failReduce(kb, a);
+      ++expectReduceFailures;
+    }
+  }
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 3); i < n;
+       ++i) {
+    std::uint32_t m = static_cast<std::uint32_t>(rng()) % numMaps;
+    if (fp.shouldFail(mr::TaskKind::kMap, m, 1)) continue;
+    fp.failMap(m, 1);
+    ++expectMapFailures;
+  }
+
+  std::string dir;
+  if (spill) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("sidr_randfault_" + std::to_string(GetParam())))
+              .string();
+    plan.spec.spillDirectory = dir;
+  }
+  SCOPED_TRACE("input " + input.toString() + " r=" +
+               std::to_string(opts.numReducers) + " maps=" +
+               std::to_string(numMaps) + (spill ? " spill" : " mem") +
+               (stock ? " stock" : " sidr") +
+               (opts.recovery == mr::RecoveryModel::kRecomputeDeps
+                    ? " recompute"
+                    : " persist") +
+               " faults=" + std::to_string(fp.faults.size()));
+
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  if (spill) std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(result.annotationViolations, 0u);
+  EXPECT_EQ(result.reduceFailures, expectReduceFailures);
+  EXPECT_EQ(result.mapFailures, expectMapFailures);
+
+  // Event-log invariant: starts pair 1:1 with end/fail per attempt.
+  using Kind = mr::TaskEvent::Kind;
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> starts;
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> finishes;
+  for (const mr::TaskEvent& ev : result.events) {
+    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
+                 ev.kind == Kind::kMapFail;
+    auto key = std::make_tuple(isMap, ev.taskId, ev.attempt);
+    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) {
+      ++starts[key];
+    } else {
+      ++finishes[key];
+    }
+  }
+  EXPECT_EQ(starts.size(), finishes.size());
+  for (const auto& [key, n] : starts) {
+    EXPECT_EQ(n, 1);
+    auto it = finishes.find(key);
+    ASSERT_NE(it, finishes.end());
+    EXPECT_EQ(it->second, 1);
+  }
+
+  std::vector<mr::KeyValue> oracle =
+      sh::runSerialOracle(q, sh::ExtractionMap(q, input), fn);
+  std::vector<mr::KeyValue> got = result.collectAll();
+  ASSERT_EQ(got.size(), oracle.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].key, oracle[i].key);
+    if (got[i].value.kind() == mr::ValueKind::kScalar) {
+      EXPECT_NEAR(got[i].value.asScalar(), oracle[i].value.asScalar(), 1e-9);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedFaultPlan,
+                         ::testing::Range(0, 16));
 
 }  // namespace
 }  // namespace sidr::core

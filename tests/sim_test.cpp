@@ -289,6 +289,51 @@ TEST(ClusterSim, ReduceFailureRecoveryModels) {
   }
 }
 
+TEST(ClusterSim, MapFailureInjectionReRunsMap) {
+  // Mirrors the engine's map-attempt failure injection: the failed map
+  // releases its slot, re-queues, and re-runs in full; reduces depending
+  // on it simply see its (only) completion later.
+  WorkloadSpec w = smallWorkload();
+  ClusterConfig cfg;
+  cfg.numNodes = 6;
+
+  BuiltWorkload base = buildWorkload(w, core::SystemMode::kSidr, 8);
+  SimResult baseRes = ClusterSim(cfg, base.job).run();
+
+  BuiltWorkload failing = buildWorkload(w, core::SystemMode::kSidr, 8);
+  failing.job.failOnceMaps = {2};
+  SimResult res = ClusterSim(cfg, failing.job).run();
+  EXPECT_EQ(res.mapFailures, 1u);
+  EXPECT_EQ(res.mapsReExecuted, 1u);
+  EXPECT_EQ(res.reduceFailures, 0u);
+  EXPECT_GE(res.maps[2].end, baseRes.maps[2].end);
+  for (std::uint32_t kb = 0; kb < 8; ++kb) {
+    EXPECT_GT(res.reduces[kb].end, 0.0);
+  }
+  EXPECT_GE(res.totalTime, baseRes.totalTime);
+
+  // Map-failure injection works in stock mode too (unlike reduce
+  // injection, it does not rely on SIDR's dependency bookkeeping).
+  BuiltWorkload stock = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
+  stock.job.failOnceMaps = {0};
+  SimResult stockRes = ClusterSim(cfg, stock.job).run();
+  EXPECT_EQ(stockRes.mapFailures, 1u);
+  EXPECT_EQ(stockRes.mapsReExecuted, 1u);
+}
+
+TEST(ClusterSim, OutOfRangeFailureIdsRejected) {
+  WorkloadSpec w = smallWorkload();
+  BuiltWorkload badMap = buildWorkload(w, core::SystemMode::kSidr, 8);
+  badMap.job.failOnceMaps = {badMap.job.numMaps};
+  EXPECT_THROW(ClusterSim(ClusterConfig{}, badMap.job).run(),
+               std::invalid_argument);
+
+  BuiltWorkload badReduce = buildWorkload(w, core::SystemMode::kSidr, 8);
+  badReduce.job.failOnceReduces = {8};
+  EXPECT_THROW(ClusterSim(ClusterConfig{}, badReduce.job).run(),
+               std::invalid_argument);
+}
+
 TEST(ClusterSim, HopEstimatesAreOrderedAndPreFinal) {
   WorkloadSpec w = smallWorkload();
   BuiltWorkload built = buildWorkload(w, core::SystemMode::kSciHadoop, 8);
