@@ -8,13 +8,73 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "sim/trace.hpp"
 #include "sim/workload.hpp"
 
 namespace sidr::bench {
+
+/// Machine-readable headline emission: collects (name, value, unit)
+/// metrics and writes them as BENCH_<name>.json in the working
+/// directory, in addition to whatever the bench prints — so the perf
+/// trajectory across PRs is trackable without parsing stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string benchName) : name_(std::move(benchName)) {}
+
+  void metric(const std::string& name, double value,
+              const std::string& unit = "") {
+    metrics_.push_back(Metric{name, unit, value});
+  }
+
+  /// Writes BENCH_<name>.json; returns false (after a warning on
+  /// stderr) if the file cannot be opened, so benches never fail on a
+  /// read-only working directory.
+  bool write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path);
+    if (!out) {
+      std::fprintf(stderr, "BenchJson: cannot write %s\n", path.c_str());
+      return false;
+    }
+    out << "{\n  \"bench\": \"" << escape(name_) << "\",\n  \"metrics\": [";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      const Metric& m = metrics_[i];
+      out << (i == 0 ? "\n" : ",\n");
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+      out << "    {\"name\": \"" << escape(m.name) << "\", \"unit\": \""
+          << escape(m.unit) << "\", \"value\": " << buf << "}";
+    }
+    out << "\n  ]\n}\n";
+    return out.good();
+  }
+
+ private:
+  struct Metric {
+    std::string name;
+    std::string unit;
+    double value;
+  };
+
+  static std::string escape(const std::string& s) {
+    std::string e;
+    e.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') e.push_back('\\');
+      e.push_back(c);
+    }
+    return e;
+  }
+
+  std::string name_;
+  std::vector<Metric> metrics_;
+};
 
 inline void header(const std::string& title, const std::string& paperRef) {
   std::printf("==============================================================\n");
@@ -56,5 +116,58 @@ inline void printRunSeries(const RunSummary& rs, bool includeMaps) {
       std::cout, "reduce:" + rs.label,
       sim::completionSeries(rs.result.sortedReduceEnds(), 40));
 }
+
+#ifdef BENCHMARK_BENCHMARK_H_
+// google-benchmark adapter, compiled only when <benchmark/benchmark.h>
+// is included BEFORE this header (CSV-style benches don't link against
+// the benchmark library, so this cannot be unconditional).
+
+/// Console reporter that additionally captures every successful run's
+/// adjusted real time and counters into a BenchJson.
+class JsonCapturingReporter final : public ::benchmark::ConsoleReporter {
+ public:
+  explicit JsonCapturingReporter(BenchJson& json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      json_.metric(run.benchmark_name() + ".real_time",
+                   run.GetAdjustedRealTime(),
+                   ::benchmark::GetTimeUnitString(run.time_unit));
+      // Counters arrive already rate-adjusted by the runner (e.g. the
+      // SetItemsProcessed-derived items_per_second).
+      for (const auto& [name, counter] : run.counters) {
+        json_.metric(run.benchmark_name() + "." + name, counter.value);
+      }
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  BenchJson& json_;
+};
+
+/// Drop-in main body for google-benchmark benches: initializes the
+/// library, runs everything through a JsonCapturingReporter, and writes
+/// BENCH_<name>.json. Recognizes `--quick` (not a gbench flag) and
+/// rewrites it to a short-min-time smoke configuration so CI can
+/// exercise perf binaries cheaply.
+inline int runBenchmarksWithJson(const std::string& benchName, int argc,
+                                 char** argv) {
+  static std::string quickFlag = "--benchmark_min_time=0.01";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& a : args) {
+    if (std::string(a) == "--quick") a = quickFlag.data();
+  }
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+  BenchJson json(benchName);
+  JsonCapturingReporter reporter(json);
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  json.write();
+  ::benchmark::Shutdown();
+  return 0;
+}
+#endif  // BENCHMARK_BENCHMARK_H_
 
 }  // namespace sidr::bench

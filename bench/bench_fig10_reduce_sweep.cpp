@@ -52,5 +52,16 @@ int main() {
   std::printf("\nseries (label,time_s,fraction_complete):\n");
   bench::printRunSeries(sh, true);
   for (const auto& r : runs) bench::printRunSeries(r, false);
+
+  bench::BenchJson json("fig10_reduce_sweep");
+  for (const bench::RunSummary* rs : {&sh, &sh176}) {
+    json.metric(rs->label + ".total", rs->result.totalTime, "s");
+    json.metric(rs->label + ".first_result", rs->result.firstResult, "s");
+  }
+  for (const auto& r : runs) {
+    json.metric(r.label + ".total", r.result.totalTime, "s");
+    json.metric(r.label + ".first_result", r.result.firstResult, "s");
+  }
+  json.write();
   return 0;
 }

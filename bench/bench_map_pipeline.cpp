@@ -1,0 +1,237 @@
+// Map-side pipeline micro-benchmark: per-record lexicographic baseline
+// vs. the linearized-key fast path (DESIGN.md section 11).
+//
+// Three workloads cover the fast path's three wins:
+//   * identity_pp   — identity mapper over partition+; row-major (already
+//     sorted) emission, so the gain is batched reading + run-cached
+//     granule routing + the O(n) sorted check replacing a full sort;
+//   * transpose_mod — mapper transposes the key, so emission order is
+//     NOT sorted and the (u64, index) permutation sort carries the win;
+//   * struct_mean_pp — the real structural-mean operator (pre-aggregating
+//     mapper + combiner), the fig10-style end-to-end map task.
+//
+// Arms per workload:
+//   * legacy     — frozen copy of the seed map loop: per-record next(),
+//     per-emit virtual partition(), full std::sort under lexicographic
+//     Coord compares (the pre-PR behavior, kept as an honest baseline);
+//   * fallback   — today's pipeline with keySpace absent (batched reads,
+//     stable lex sort with sorted precheck);
+//   * linearized — today's pipeline with keySpace set (the fast path).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mapreduce/map_pipeline.hpp"
+#include "mapreduce/partitioners.hpp"
+#include "scihadoop/operators.hpp"
+#include "scihadoop/record_reader.hpp"
+#include "sidr/partition_plus.hpp"
+
+namespace {
+
+using namespace sidr;
+
+constexpr std::uint32_t kReducers = 16;
+
+double cellValue(const nd::Coord& c) {
+  double v = 1.0;
+  for (std::size_t d = 0; d < c.rank(); ++d) {
+    v += static_cast<double>(c[d]) * 0.25;
+  }
+  return v;
+}
+
+/// Emits every input record unchanged — maximal pressure on the
+/// read/emit/route path itself.
+class IdentityMapper final : public mr::Mapper {
+ public:
+  void map(const nd::Coord& key, double value, mr::MapContext& ctx) override {
+    ctx.emit(key, mr::Value::scalar(value), 1);
+  }
+};
+
+/// Emits the reversed coordinate: a row-major input stream becomes a
+/// maximally unsorted intermediate stream, putting the whole load on
+/// the sort stage.
+class TransposeMapper final : public mr::Mapper {
+ public:
+  void map(const nd::Coord& key, double value, mr::MapContext& ctx) override {
+    nd::Coord t = key;
+    for (std::size_t d = 0; d < key.rank(); ++d) {
+      t[d] = key[key.rank() - 1 - d];
+    }
+    ctx.emit(t, mr::Value::scalar(value), 1);
+  }
+};
+
+struct Workload {
+  mr::InputSplit split;
+  mr::RecordReaderFactory readerFactory;
+  mr::MapperFactory mapperFactory;
+  mr::CombinerFactory combinerFactory;  // may be null
+  std::shared_ptr<const mr::Partitioner> partitioner;
+  nd::Coord keySpace;
+  std::int64_t records = 0;
+};
+
+Workload identityPartitionPlus() {
+  const nd::Coord inputShape{48, 64, 128};
+  sh::StructuralQuery q;
+  q.extractionShape = nd::Coord{1, 1, 1};  // grid == input: identity keys
+  auto ex = std::make_shared<const sh::ExtractionMap>(q, inputShape);
+  Workload w;
+  w.split = mr::InputSplit::single(0, nd::Region::wholeSpace(inputShape));
+  w.readerFactory = sh::makeSyntheticReaderFactory(cellValue);
+  w.mapperFactory = [] { return std::make_unique<IdentityMapper>(); };
+  w.partitioner = std::make_shared<const core::PartitionPlus>(ex, kReducers);
+  w.keySpace = ex->intermediateSpaceShape();
+  w.records = inputShape.volume();
+  return w;
+}
+
+Workload transposeModulo() {
+  const nd::Coord inputShape{64, 64, 96};
+  const nd::Coord keySpace{96, 64, 64};  // reversed input shape
+  Workload w;
+  w.split = mr::InputSplit::single(0, nd::Region::wholeSpace(inputShape));
+  w.readerFactory = sh::makeSyntheticReaderFactory(cellValue);
+  w.mapperFactory = [] { return std::make_unique<TransposeMapper>(); };
+  w.partitioner = std::make_shared<const mr::ModuloPartitioner>(keySpace);
+  w.keySpace = keySpace;
+  w.records = inputShape.volume();
+  return w;
+}
+
+Workload structuralMeanPartitionPlus() {
+  const nd::Coord inputShape{64, 64, 96};
+  sh::StructuralQuery q;
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{2, 2, 4};
+  auto ex = std::make_shared<const sh::ExtractionMap>(q, inputShape);
+  Workload w;
+  w.split = mr::InputSplit::single(0, nd::Region::wholeSpace(inputShape));
+  w.readerFactory = sh::makeSyntheticReaderFactory(cellValue);
+  w.mapperFactory = sh::makeStructuralMapperFactory(q, ex);
+  w.partitioner = std::make_shared<const core::PartitionPlus>(ex, kReducers);
+  w.keySpace = ex->intermediateSpaceShape();
+  w.records = inputShape.volume();
+  return w;
+}
+
+// ---- frozen legacy map loop (seed behavior, the baseline) ----
+namespace legacy {
+
+class BufferingMapContext final : public mr::MapContext {
+ public:
+  BufferingMapContext(const mr::Partitioner& partitioner,
+                      std::uint32_t numReducers)
+      : partitioner_(partitioner), buffers_(numReducers) {}
+
+  void emit(const nd::Coord& key, mr::Value value,
+            std::uint64_t represents) override {
+    std::uint32_t kb = partitioner_.partition(
+        key, static_cast<std::uint32_t>(buffers_.size()));
+    buffers_[kb].push_back(mr::KeyValue{key, std::move(value), represents});
+  }
+
+  std::vector<std::vector<mr::KeyValue>>& buffers() noexcept {
+    return buffers_;
+  }
+
+ private:
+  const mr::Partitioner& partitioner_;
+  std::vector<std::vector<mr::KeyValue>> buffers_;
+};
+
+std::vector<mr::Segment> runMap(const Workload& w, mr::Mapper& mapper,
+                                const mr::Combiner* combiner) {
+  BufferingMapContext ctx(*w.partitioner, kReducers);
+  nd::Coord key;
+  double value = 0;
+  for (const nd::Region& region : w.split.regions) {
+    auto reader = w.readerFactory(region);
+    while (reader->next(key, value)) mapper.map(key, value, ctx);
+  }
+  mapper.finish(ctx);
+  std::vector<mr::Segment> segs;
+  segs.reserve(kReducers);
+  for (std::uint32_t kb = 0; kb < kReducers; ++kb) {
+    // The seed's Segment::sortByKey: unconditional std::sort under
+    // lexicographic Coord compares, swapping whole KeyValues.
+    std::vector<mr::KeyValue>& buf = ctx.buffers()[kb];
+    std::sort(buf.begin(), buf.end(),
+              [](const mr::KeyValue& a, const mr::KeyValue& b) {
+                return a.key < b.key;
+              });
+    mr::Segment seg(0, kb, std::move(buf));
+    if (combiner != nullptr) seg.combineWith(*combiner);
+    segs.push_back(std::move(seg));
+  }
+  return segs;
+}
+
+}  // namespace legacy
+
+enum class Arm { kLegacy, kFallback, kLinearized };
+
+void BM_MapPipeline(benchmark::State& state, Workload (*make)(), Arm arm) {
+  const Workload w = make();
+  for (auto _ : state) {
+    auto mapper = w.mapperFactory();
+    std::unique_ptr<mr::Combiner> combiner =
+        w.combinerFactory ? w.combinerFactory() : nullptr;
+    std::vector<mr::Segment> segs;
+    switch (arm) {
+      case Arm::kLegacy:
+        segs = legacy::runMap(w, *mapper, combiner.get());
+        break;
+      case Arm::kFallback:
+        segs = mr::runMapPipeline(w.split, 0, w.readerFactory, *mapper,
+                                  *w.partitioner, kReducers, combiner.get(),
+                                  nd::Coord());
+        break;
+      case Arm::kLinearized:
+        segs = mr::runMapPipeline(w.split, 0, w.readerFactory, *mapper,
+                                  *w.partitioner, kReducers, combiner.get(),
+                                  w.keySpace);
+        break;
+    }
+    benchmark::DoNotOptimize(segs.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * w.records);
+}
+
+BENCHMARK_CAPTURE(BM_MapPipeline, identity_pp_legacy, &identityPartitionPlus,
+                  Arm::kLegacy)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, identity_pp_fallback, &identityPartitionPlus,
+                  Arm::kFallback)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, identity_pp_linearized,
+                  &identityPartitionPlus, Arm::kLinearized)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, transpose_mod_legacy, &transposeModulo,
+                  Arm::kLegacy)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, transpose_mod_fallback, &transposeModulo,
+                  Arm::kFallback)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, transpose_mod_linearized, &transposeModulo,
+                  Arm::kLinearized)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_legacy,
+                  &structuralMeanPartitionPlus, Arm::kLegacy)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_fallback,
+                  &structuralMeanPartitionPlus, Arm::kFallback)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_linearized,
+                  &structuralMeanPartitionPlus, Arm::kLinearized)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return sidr::bench::runBenchmarksWithJson("map_pipeline", argc, argv);
+}

@@ -12,6 +12,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "bench_common.hpp"
 #include "mapreduce/engine.hpp"
 #include "mapreduce/segment.hpp"
 #include "scihadoop/datagen.hpp"
@@ -337,4 +338,6 @@ BENCHMARK(BM_EngineInMemoryReduceSweep)
 }  // namespace
 }  // namespace sidr::mr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sidr::bench::runBenchmarksWithJson("segment_codec", argc, argv);
+}

@@ -16,6 +16,17 @@ cmake --build --preset default -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 cmake --preset tsan
-cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test
+cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
+  linear_fastpath_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
+# The fast-path parity suite under TSan exercises packed segments' lazy
+# materialization on concurrently running reduce tasks.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/linear_fastpath_test
+
+# Keep the perf tree building and the map-side benchmark runnable: a
+# --quick pass catches bit-rot in the frozen legacy arm and the JSON
+# emission without waiting for stable timings.
+cmake --preset bench
+cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline
+./build-bench/bench/bench_map_pipeline --quick

@@ -1,5 +1,7 @@
 #include "mapreduce/engine.hpp"
 
+#include "mapreduce/map_pipeline.hpp"
+
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
@@ -25,16 +27,31 @@ std::vector<KeyValue> JobResult::collectAll() const {
   struct Cursor {
     const std::vector<KeyValue>* records;
     std::size_t pos;
+    /// Cached linear keys of the output, or nullptr when any merged
+    /// output lacks them (every compare then falls back to Coord order,
+    /// which the u64 order matches exactly — see DESIGN.md section 11).
+    const std::uint64_t* lin;
   };
   std::size_t total = 0;
-  std::vector<Cursor> heap;
+  bool allLinear = true;
   for (const ReduceOutput& out : outputs) {
     total += out.records.size();
-    if (!out.records.empty()) heap.push_back(Cursor{&out.records, 0});
+    if (!out.records.empty() && out.linearKeys.size() != out.records.size()) {
+      allLinear = false;
+    }
+  }
+  std::vector<Cursor> heap;
+  heap.reserve(outputs.size());
+  for (const ReduceOutput& out : outputs) {
+    if (!out.records.empty()) {
+      heap.push_back(
+          Cursor{&out.records, 0, allLinear ? out.linearKeys.data() : nullptr});
+    }
   }
   // std::push_heap/pop_heap build a max-heap; invert the comparison to
   // pop the smallest key first.
   auto byKeyDesc = [](const Cursor& a, const Cursor& b) {
+    if (a.lin != nullptr && b.lin != nullptr) return b.lin[b.pos] < a.lin[a.pos];
     return (*b.records)[b.pos].key < (*a.records)[a.pos].key;
   };
   std::make_heap(heap.begin(), heap.end(), byKeyDesc);
@@ -52,29 +69,6 @@ std::vector<KeyValue> JobResult::collectAll() const {
   }
   return all;
 }
-
-/// Buffers a map task's emitted records per destination keyblock.
-class BufferingMapContext final : public MapContext {
- public:
-  BufferingMapContext(const Partitioner& partitioner, std::uint32_t numReducers)
-      : partitioner_(partitioner), buffers_(numReducers) {}
-
-  void emit(const nd::Coord& key, Value value,
-            std::uint64_t represents) override {
-    std::uint32_t kb = partitioner_.partition(key, static_cast<std::uint32_t>(
-                                                       buffers_.size()));
-    if (kb >= buffers_.size()) {
-      throw std::logic_error("Partitioner returned out-of-range keyblock");
-    }
-    buffers_[kb].push_back(KeyValue{key, std::move(value), represents});
-  }
-
-  std::vector<std::vector<KeyValue>>& buffers() noexcept { return buffers_; }
-
- private:
-  const Partitioner& partitioner_;
-  std::vector<std::vector<KeyValue>> buffers_;
-};
 
 /// Collects a reduce task's output records (arrive in key order because
 /// the merger iterates ascending).
@@ -248,6 +242,10 @@ Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
   if (spec_.numReducers == 0) {
     throw std::invalid_argument("Engine: numReducers must be > 0");
   }
+  if (spec_.keySpace.rank() > 0 && !spec_.keySpace.isValidShape()) {
+    throw std::invalid_argument(
+        "Engine: keySpace must be a valid shape (all extents > 0) or empty");
+  }
   if (spec_.mode == ExecutionMode::kSidr &&
       spec_.reduceDeps.size() != spec_.numReducers) {
     throw std::invalid_argument(
@@ -316,32 +314,27 @@ void Engine::Impl::runMap(std::uint32_t m) {
   }
   double tStart = now();
   auto mapper = spec.mapperFactory();
-  BufferingMapContext ctx(*spec.partitioner, numReduces);
-  nd::Coord key;
-  double value = 0;
-  // A split may carry several regions (byte-range splits decompose into
-  // up to 2*rank+1 boxes); the mapper sees them as one record stream.
-  for (const nd::Region& region : spec.splits[m].regions) {
-    auto reader = spec.readerFactory(region);
-    while (reader->next(key, value)) mapper->map(key, value, ctx);
-  }
-  mapper->finish(ctx);
+  std::unique_ptr<Combiner> combiner =
+      spec.combinerFactory ? spec.combinerFactory() : nullptr;
+  // Batched read → map → route → sort/combine lives in the shared map
+  // pipeline (map_pipeline.cpp); with spec.keySpace set it runs the
+  // linearized fast path, otherwise the per-record lexicographic one.
+  std::vector<Segment> produced =
+      runMapPipeline(spec.splits[m], m, spec.readerFactory, *mapper,
+                     *spec.partitioner, numReduces, combiner.get(),
+                     spec.keySpace);
 
-  // Build and sort one segment per keyblock; verify routing against the
-  // declared dependency sets (a record landing in a keyblock that does
-  // not list this split is a partitioner/dependency bug). In-memory
-  // mode never serializes: the segment itself becomes the published
-  // immutable handle. Spill mode encodes with the bulk codec and writes
-  // a map-output file per keyblock.
+  // Verify routing against the declared dependency sets (a record
+  // landing in a keyblock that does not list this split is a
+  // partitioner/dependency bug). In-memory mode never serializes: the
+  // segment itself becomes the published immutable handle. Spill mode
+  // encodes with the bulk codec and writes a map-output file per
+  // keyblock.
   std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
   std::uint64_t bytesSpilled = 0;
   std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
-  std::unique_ptr<Combiner> combiner =
-      spec.combinerFactory ? spec.combinerFactory() : nullptr;
   for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-    Segment seg(m, kb, std::move(ctx.buffers()[kb]));
-    seg.sortByKey();
-    if (combiner != nullptr) seg.combineWith(*combiner);
+    Segment& seg = produced[kb];
     if (isSidr() && !seg.empty()) {
       const auto& dl = deps[kb];
       if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
@@ -522,6 +515,11 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
       if (h.numRecords > 0) {
         ++nonEmpty;
         fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
+        // Linear keys never travel on the wire; rebuild the cache so
+        // spilled segments merge on u64s like in-memory ones.
+        if (spec.keySpace.rank() > 0) {
+          fetched.back().computeLinearKeys(spec.keySpace);
+        }
       }
     }
   } else {
@@ -565,6 +563,27 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     reducer->reduce(key, values, out);
   });
 
+  // Linearize the output keys OUTSIDE the lock (reducers usually emit
+  // the group key, which lies inside keySpace; an out-of-space emission
+  // just forfeits the collectAll fast merge rather than failing).
+  std::vector<KeyValue> outRecords = out.take();
+  std::vector<std::uint64_t> outLinear;
+  if (spec.keySpace.rank() > 0) {
+    outLinear.reserve(outRecords.size());
+    for (const KeyValue& kv : outRecords) {
+      bool inSpace = kv.key.rank() == spec.keySpace.rank();
+      for (std::size_t d = 0; inSpace && d < spec.keySpace.rank(); ++d) {
+        inSpace = kv.key[d] >= 0 && kv.key[d] < spec.keySpace[d];
+      }
+      if (!inSpace) {
+        outLinear.clear();
+        break;
+      }
+      outLinear.push_back(
+          static_cast<std::uint64_t>(nd::linearize(kv.key, spec.keySpace)));
+    }
+  }
+
   double tEnd = now();
   std::scoped_lock lock(mtx);
   result.shuffleConnections += connections;
@@ -573,7 +592,8 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   result.shuffleFetchSeconds += tFetchEnd - tFetchStart;
   ReduceOutput& ro = result.outputs[kb];
   ro.keyblock = kb;
-  ro.records = out.take();
+  ro.records = std::move(outRecords);
+  ro.linearKeys = std::move(outLinear);
   ro.availableAt = tEnd;
   ro.annotationTally = tally;
   if (!spec.expectedRepresents.empty() &&

@@ -3,6 +3,8 @@
 // Hadoop 1.0 APIs the paper extends, restricted to coordinate keys.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <span>
@@ -20,6 +22,22 @@ class RecordReader {
 
   /// Advances to the next record; returns false at end of split.
   virtual bool next(nd::Coord& key, double& value) = 0;
+
+  /// Batch read: fills the parallel `keys`/`values` arrays with up to
+  /// min(keys.size(), values.size()) records and returns how many were
+  /// produced; 0 means end of split. A short (non-zero) return does NOT
+  /// signal the end — readers may stop early at internal boundaries
+  /// (e.g. row ends), so callers must loop until 0. Region-backed
+  /// readers override this with a row-run inner loop that pays the
+  /// cursor-carry and virtual-dispatch cost once per run instead of
+  /// once per record; this default delegates to next().
+  virtual std::size_t nextBatch(std::span<nd::Coord> keys,
+                                std::span<double> values) {
+    const std::size_t cap = std::min(keys.size(), values.size());
+    std::size_t n = 0;
+    while (n < cap && next(keys[n], values[n])) ++n;
+    return n;
+  }
 };
 
 /// Collects a mapper's intermediate output.
@@ -81,6 +99,27 @@ class Partitioner {
 
   virtual std::uint32_t partition(const nd::Coord& key,
                                   std::uint32_t numReducers) const = 0;
+
+  /// Linearized-key fast path (see DESIGN.md section 11). `linearKey` is
+  /// linearize(key, keySpace) for the job's declared JobSpec::keySpace;
+  /// implementations that route by row-major linear index return the
+  /// keyblock AND set `runEnd` to an exclusive linear-key bound such
+  /// that EVERY valid intermediate key with linear index in
+  /// [linearKey, runEnd) lands in the same keyblock. Callers cache the
+  /// run and skip the virtual call for keys inside it, so a
+  /// structure-aware partitioner (partition+) is consulted once per
+  /// granule row rather than once per record. Implementations must
+  /// express `runEnd` in the SAME key space the engine linearizes with —
+  /// for the planner-built jobs that is
+  /// ExtractionMap::intermediateSpaceShape(). This default is always
+  /// correct: a run of exactly one key, routed by partition().
+  virtual std::uint32_t partitionRun(const nd::Coord& key,
+                                     std::uint64_t linearKey,
+                                     std::uint32_t numReducers,
+                                     std::uint64_t& runEnd) const {
+    runEnd = linearKey + 1;
+    return partition(key, numReducers);
+  }
 };
 
 /// Factory signatures used by JobSpec.

@@ -175,6 +175,18 @@ struct JobSpec {
   /// Worker threads executing tasks (a slot is only a capacity token).
   std::uint32_t numThreads = 4;
 
+  /// Optional bounding shape of the intermediate key space K' (the
+  /// output grid). When non-empty (a valid shape whose rank matches
+  /// every intermediate key), the engine switches on the linearized-key
+  /// fast path (DESIGN.md section 11): emit-time linearization, run-
+  /// cached partitioning, (u64, index) permutation sort, and u64 heap
+  /// compares in merge — all observably identical to the lexicographic
+  /// path because row-major linearization is an order-preserving
+  /// injection on the space. The planner populates this from
+  /// ExtractionMap::intermediateSpaceShape(); hand-built jobs may leave
+  /// it empty (rank 0) to run the fallback path.
+  nd::Coord keySpace;
+
   RecoveryModel recovery = RecoveryModel::kPersistAll;
   /// Failure injection for the recovery experiments: which task
   /// attempts die, and the per-task retry bound.
@@ -210,6 +222,10 @@ struct TaskEvent {
 struct ReduceOutput {
   std::uint32_t keyblock = 0;
   std::vector<KeyValue> records;    ///< sorted by key
+  /// Parallel to `records` when JobSpec::keySpace was set and every
+  /// output key fits it: linearize(key, keySpace), letting
+  /// JobResult::collectAll's k-way merge compare u64s. Empty otherwise.
+  std::vector<std::uint64_t> linearKeys;
   double availableAt = 0.0;         ///< commit time (seconds from start)
   std::uint64_t annotationTally = 0;  ///< sum of fetched segment headers
 };

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "ndarray/coord.hpp"
@@ -115,5 +116,26 @@ struct KeyValue {
   Value value;
   std::uint64_t represents = 1;
 };
+
+/// One record of the linearized fast path's packed representation
+/// (DESIGN.md section 11): the key as its row-major linear index in the
+/// job's keySpace, the payload inline for scalar/partial values and as
+/// an index into an out-of-line list table for list values. The whole
+/// point of this layout is that it is trivially copyable — buffer growth
+/// is a memmove instead of a per-element KeyValue move (a KeyValue is
+/// ~160 bytes and owns a vector), and sorting permutes 16-byte
+/// (lin, index) pairs instead of swapping records.
+struct PackedRecord {
+  std::uint64_t lin = 0;
+  std::uint64_t represents = 1;
+  union Payload {
+    double scalar;
+    Partial partial;
+    std::uint32_t listIndex;
+    Payload() : scalar(0.0) {}
+  } payload;
+  ValueKind kind = ValueKind::kScalar;
+};
+static_assert(std::is_trivially_copyable_v<PackedRecord>);
 
 }  // namespace sidr::mr

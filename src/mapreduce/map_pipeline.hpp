@@ -1,0 +1,89 @@
+// Map-side execution pipeline: batched record reading, run-cached
+// partitioning, and per-keyblock segment construction.
+//
+// This is the engine's map task body factored into a standalone unit so
+// benchmarks and parity tests can drive the exact production path (and
+// its lexicographic fallback) without standing up a whole engine. The
+// linearized-key fast path (DESIGN.md section 11) activates when the
+// job declares a keySpace; with it absent every stage falls back to the
+// original per-record, lexicographic behavior — observably identical
+// output either way.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "mapreduce/interfaces.hpp"
+#include "mapreduce/job.hpp"
+#include "mapreduce/segment.hpp"
+
+namespace sidr::mr {
+
+/// Buffers a map task's emitted records per destination keyblock.
+///
+/// With a non-empty `keySpace` the context linearizes each emitted key
+/// once and routes through Partitioner::partitionRun, caching the
+/// returned [linearKey, runEnd) same-keyblock run — a structure-aware
+/// partitioner is then consulted once per granule row instead of once
+/// per record — and buffers PackedRecords, which takeSegment hands to
+/// the Segment still packed (full KeyValues materialize lazily at the
+/// first consumer that needs them). With an empty keySpace it routes
+/// every emit through the classic virtual partition() into KeyValue
+/// buffers and attaches no cache.
+class BufferingMapContext final : public MapContext {
+ public:
+  BufferingMapContext(const Partitioner& partitioner, std::uint32_t numReducers,
+                      nd::Coord keySpace = nd::Coord());
+
+  void emit(const nd::Coord& key, Value value,
+            std::uint64_t represents = 1) override;
+
+  /// True when the linearized fast path is active.
+  bool linearized() const noexcept { return keySpace_.rank() > 0; }
+
+  /// Capacity hint: expected records per keyblock buffer, applied lazily
+  /// on a buffer's first insertion so untouched keyblocks allocate
+  /// nothing. Callers that know the split volume pass volume/numReducers.
+  void reserveHint(std::size_t perKeyblock) noexcept {
+    reserveHint_ = perKeyblock;
+  }
+
+  /// Moves keyblock `kb`'s buffered records (plus their linear keys in
+  /// fast mode) into a Segment, sorts it, and applies the optional
+  /// combiner. Each keyblock can be taken once.
+  Segment takeSegment(std::uint32_t mapTask, std::uint32_t kb,
+                      const Combiner* combiner);
+
+ private:
+  std::uint64_t linearizeChecked(const nd::Coord& key) const;
+
+  const Partitioner& partitioner_;
+  nd::Coord keySpace_;
+  /// Fallback mode: full KeyValue buffers, one per keyblock.
+  std::vector<std::vector<KeyValue>> buffers_;
+  /// Fast mode: packed buffers plus the out-of-line list payloads.
+  std::vector<std::vector<PackedRecord>> packed_;
+  std::vector<std::vector<std::vector<double>>> lists_;
+  std::size_t reserveHint_ = 0;
+  // Cached same-keyblock run [runBegin_, runEnd_) from the last
+  // partitionRun call; starts empty so the first emit always routes.
+  std::uint64_t runBegin_ = 1;
+  std::uint64_t runEnd_ = 0;
+  std::uint32_t runKb_ = 0;
+};
+
+/// Executes one map task: reads every region of `split` in batches,
+/// feeds the mapper, and returns one sorted (and, when `combiner` is
+/// non-null, combined) segment per keyblock — exactly the segments the
+/// engine publishes or spills. `keySpace` selects the fast path as in
+/// BufferingMapContext.
+std::vector<Segment> runMapPipeline(const InputSplit& split,
+                                    std::uint32_t mapTask,
+                                    const RecordReaderFactory& readerFactory,
+                                    Mapper& mapper,
+                                    const Partitioner& partitioner,
+                                    std::uint32_t numReducers,
+                                    const Combiner* combiner,
+                                    const nd::Coord& keySpace);
+
+}  // namespace sidr::mr

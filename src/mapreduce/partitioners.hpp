@@ -25,6 +25,18 @@ class ModuloPartitioner final : public Partitioner {
     return static_cast<std::uint32_t>(linear % numReducers);
   }
 
+  /// Modulo scatters consecutive linear keys across reducers, so runs
+  /// are always a single key — but the caller already linearized, so
+  /// the duplicate linearize inside partition() is skipped. Requires
+  /// (as the planner guarantees) that the construction shape equals the
+  /// job's keySpace, making `linearKey` the same index partition() uses.
+  std::uint32_t partitionRun(const nd::Coord& /*key*/, std::uint64_t linearKey,
+                             std::uint32_t numReducers,
+                             std::uint64_t& runEnd) const override {
+    runEnd = linearKey + 1;
+    return static_cast<std::uint32_t>(linearKey % numReducers);
+  }
+
  private:
   nd::Coord keySpace_;
 };

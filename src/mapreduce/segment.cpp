@@ -6,6 +6,7 @@
 #include <bit>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <stdexcept>
 
 namespace sidr::mr {
@@ -50,31 +51,226 @@ Segment::Segment(std::uint32_t mapTask, std::uint32_t keyblock,
   for (const KeyValue& kv : records_) header_.represents += kv.represents;
 }
 
+Segment::Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+                 std::vector<KeyValue> records,
+                 std::vector<std::uint64_t> linearKeys)
+    : Segment(mapTask, keyblock, std::move(records)) {
+  if (linearKeys.size() != records_.size()) {
+    throw std::invalid_argument(
+        "Segment: linearKeys size does not match records");
+  }
+  linearKeys_ = std::move(linearKeys);
+}
+
+Segment::Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+                 std::vector<PackedRecord> packed,
+                 std::vector<std::vector<double>> lists, nd::Coord keySpace)
+    : packed_(std::move(packed)),
+      lists_(std::move(lists)),
+      packedMode_(true),
+      keySpace_(std::move(keySpace)) {
+  if (keySpace_.rank() == 0 || !keySpace_.isValidShape()) {
+    throw std::invalid_argument(
+        "Segment: packed form requires a valid non-empty keySpace");
+  }
+  header_.mapTask = mapTask;
+  header_.keyblock = keyblock;
+  header_.numRecords = packed_.size();
+  header_.represents = 0;
+  for (const PackedRecord& r : packed_) header_.represents += r.represents;
+}
+
+void Segment::materializeNow() const {
+  // Builds the KeyValue view in final order with exact capacity. Dense
+  // sorted runs delinearize by bumping the innermost coordinate instead
+  // of re-dividing (mappers over row-major input emit dense runs).
+  std::vector<KeyValue> records;
+  std::vector<std::uint64_t> linearKeys;
+  records.reserve(packed_.size());
+  linearKeys.reserve(packed_.size());
+  const std::size_t lastD = keySpace_.rank() - 1;
+  nd::Coord cur;
+  std::uint64_t prevLin = 0;
+  bool havePrev = false;
+  for (const PackedRecord& r : packed_) {
+    if (havePrev && r.lin == prevLin + 1 && cur[lastD] + 1 < keySpace_[lastD]) {
+      ++cur[lastD];
+    } else if (!havePrev || r.lin != prevLin) {
+      cur = nd::delinearize(static_cast<nd::Index>(r.lin), keySpace_);
+    }
+    prevLin = r.lin;
+    havePrev = true;
+    KeyValue& kv = records.emplace_back();
+    kv.key = cur;
+    kv.represents = r.represents;
+    switch (r.kind) {
+      case ValueKind::kScalar:
+        kv.value = Value::scalar(r.payload.scalar);
+        break;
+      case ValueKind::kPartial:
+        kv.value = Value::partial(r.payload.partial);
+        break;
+      case ValueKind::kList:
+        kv.value = Value::list(std::move(lists_[r.payload.listIndex]));
+        break;
+    }
+    linearKeys.push_back(r.lin);
+  }
+  records_ = std::move(records);
+  linearKeys_ = std::move(linearKeys);
+  packed_.clear();
+  packed_.shrink_to_fit();
+  lists_.clear();
+  lists_.shrink_to_fit();
+  packedMode_ = false;
+}
+
+void Segment::computeLinearKeys(const nd::Coord& keySpace) {
+  if (packedMode_) return;  // packed records ARE linear keys already
+  std::vector<std::uint64_t> lin;
+  lin.reserve(records_.size());
+  for (const KeyValue& kv : records_) {
+    if (kv.key.rank() != keySpace.rank()) {
+      throw std::out_of_range("Segment::computeLinearKeys: key rank mismatch");
+    }
+    for (std::size_t d = 0; d < keySpace.rank(); ++d) {
+      if (kv.key[d] < 0 || kv.key[d] >= keySpace[d]) {
+        throw std::out_of_range(
+            "Segment::computeLinearKeys: key outside space");
+      }
+    }
+    lin.push_back(static_cast<std::uint64_t>(nd::linearize(kv.key, keySpace)));
+  }
+  linearKeys_ = std::move(lin);
+}
+
 void Segment::sortByKey() {
-  std::sort(records_.begin(), records_.end(),
-            [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+  if (packedMode_) {
+    sortPacked();
+    return;
+  }
+  if (hasLinearKeys() && !records_.empty()) {
+    sortByLinearKey();
+    return;
+  }
+  // Already-sorted detection matters on both paths: mappers that walk a
+  // region emit in row-major order, so the common case is a no-op scan.
+  auto lexLess = [](const KeyValue& a, const KeyValue& b) {
+    return a.key < b.key;
+  };
+  if (std::is_sorted(records_.begin(), records_.end(), lexLess)) return;
+  // stable_sort, not sort: duplicate keys must keep emission order so the
+  // fallback and linearized paths build byte-identical segments.
+  std::stable_sort(records_.begin(), records_.end(), lexLess);
+}
+
+void Segment::sortByLinearKey() {
+  if (std::is_sorted(linearKeys_.begin(), linearKeys_.end())) return;
+  // Sort compact (u64 key, u32 index) pairs and permute the ~130-byte
+  // KeyValues once, instead of swapping them under Coord compares. The
+  // index tie-break makes the sort stable. Segments beyond u32 indexing
+  // would need a wider pair; no in-memory map output gets near that.
+  struct KeyIdx {
+    std::uint64_t key;
+    std::uint32_t idx;
+  };
+  if (records_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    linearKeys_.clear();  // cache dropped; fall back to a stable lex sort
+    std::stable_sort(
+        records_.begin(), records_.end(),
+        [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
+    return;
+  }
+  std::vector<KeyIdx> order(records_.size());
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    order[i] = {linearKeys_[i], static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(), [](const KeyIdx& a, const KeyIdx& b) {
+    return a.key < b.key || (a.key == b.key && a.idx < b.idx);
+  });
+  std::vector<KeyValue> sorted;
+  sorted.reserve(records_.size());
+  std::vector<std::uint64_t> sortedLin;
+  sortedLin.reserve(records_.size());
+  for (const KeyIdx& ki : order) {
+    sorted.push_back(std::move(records_[ki.idx]));
+    sortedLin.push_back(ki.key);
+  }
+  records_ = std::move(sorted);
+  linearKeys_ = std::move(sortedLin);
+}
+
+void Segment::sortPacked() {
+  // Mappers over row-major input usually emit each keyblock's records
+  // already key-ordered; detect that in O(n) and skip the sort.
+  const auto linLess = [](const PackedRecord& a, const PackedRecord& b) {
+    return a.lin < b.lin;
+  };
+  if (std::is_sorted(packed_.begin(), packed_.end(), linLess)) return;
+  // Buffer order is emission order, so the index tie-break keeps the
+  // sort stable — the same record order std::stable_sort produces in
+  // the lexicographic fallback. List indices stay valid: the side table
+  // is not permuted.
+  struct LinIdx {
+    std::uint64_t lin;
+    std::uint32_t idx;
+  };
+  if (packed_.size() > std::numeric_limits<std::uint32_t>::max()) {
+    // Unreachable in practice (a packed record is 40 bytes); keep the
+    // guard so the u32 index stays safe.
+    std::stable_sort(packed_.begin(), packed_.end(), linLess);
+    return;
+  }
+  std::vector<LinIdx> order(packed_.size());
+  for (std::size_t i = 0; i < packed_.size(); ++i) {
+    order[i] = {packed_[i].lin, static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(), [](const LinIdx& a, const LinIdx& b) {
+    return a.lin < b.lin || (a.lin == b.lin && a.idx < b.idx);
+  });
+  std::vector<PackedRecord> sorted;
+  sorted.reserve(packed_.size());
+  for (const LinIdx& li : order) sorted.push_back(packed_[li.idx]);
+  packed_ = std::move(sorted);
 }
 
 void Segment::combineWith(const Combiner& combiner) {
+  if (packedMode_) materializeNow();  // combiners consume full Values
   if (records_.empty()) return;
+  const bool lin = hasLinearKeys();
   std::vector<KeyValue> combined;
+  std::vector<std::uint64_t> combinedLin;
   combined.push_back(std::move(records_.front()));
+  if (lin) combinedLin.push_back(linearKeys_.front());
   for (std::size_t i = 1; i < records_.size(); ++i) {
     KeyValue& last = combined.back();
-    if (records_[i].key == last.key) {
+    // Equal-run detection on the cached u64 when present: linearization
+    // is injective over the key space, so u64 equality == Coord equality.
+    const bool sameKey =
+        lin ? linearKeys_[i] == combinedLin.back() : records_[i].key == last.key;
+    if (sameKey) {
       last.value = combiner.combine(last.value, records_[i].value);
       last.represents += records_[i].represents;
     } else {
       combined.push_back(std::move(records_[i]));
+      if (lin) combinedLin.push_back(linearKeys_[i]);
     }
   }
   records_ = std::move(combined);
+  linearKeys_ = std::move(combinedLin);
   header_.numRecords = records_.size();
   // header_.represents is preserved: combining merges values but still
   // stands for the same original input pairs.
 }
 
 bool Segment::isSorted() const {
+  if (packedMode_) {
+    return std::is_sorted(
+        packed_.begin(), packed_.end(),
+        [](const PackedRecord& a, const PackedRecord& b) {
+          return a.lin < b.lin;
+        });
+  }
   return std::is_sorted(
       records_.begin(), records_.end(),
       [](const KeyValue& a, const KeyValue& b) { return a.key < b.key; });
@@ -218,7 +414,8 @@ constexpr std::size_t kMinRecordBytes = 8 + 8 + 8 + 8;
 
 }  // namespace
 
-std::size_t Segment::serializedSize() const noexcept {
+std::size_t Segment::serializedSize() const {
+  if (packedMode_) materializeNow();  // the wire format is the KeyValue view
   std::size_t size = kHeaderBytes;
   for (const KeyValue& kv : records_) {
     size += 8 + 8 * kv.key.rank();  // rank word + coordinates
@@ -245,7 +442,7 @@ std::vector<std::byte> Segment::serialize() const {
 }
 
 void Segment::serializeInto(std::vector<std::byte>& out) const {
-  out.resize(serializedSize());
+  out.resize(serializedSize());  // materializes a packed segment
   Writer w(out.data());
   w.u64(header_.mapTask);
   w.u64(header_.keyblock);
@@ -360,14 +557,29 @@ SegmentHeader Segment::peekHeader(std::span<const std::byte> bytes) {
 }
 
 SegmentMerger::SegmentMerger(std::span<const Segment* const> segments) {
+  // The u64 heap is only valid when EVERY participating segment carries
+  // the cache: a mixed heap would compare a u64 against a Coord.
+  bool allLinear = true;
   for (const Segment* s : segments) {
-    if (s != nullptr && !s->empty()) heap_.push_back(Cursor{s, 0});
+    if (s != nullptr && !s->empty() && !s->hasLinearKeys()) {
+      allLinear = false;
+      break;
+    }
+  }
+  for (const Segment* s : segments) {
+    if (s != nullptr && !s->empty()) {
+      heap_.push_back(
+          Cursor{s, 0, allLinear ? s->linearKeys().data() : nullptr});
+    }
   }
   // Build a binary min-heap on the cursors' current keys.
   for (std::size_t i = heap_.size(); i-- > 0;) siftDown(i);
 }
 
 bool SegmentMerger::cursorLess(const Cursor& a, const Cursor& b) const {
+  if (a.lin != nullptr && b.lin != nullptr) {
+    return a.lin[a.pos] < b.lin[b.pos];
+  }
   return a.segment->records()[a.pos].key < b.segment->records()[b.pos].key;
 }
 

@@ -61,14 +61,89 @@ class Segment {
   Segment(std::uint32_t mapTask, std::uint32_t keyblock,
           std::vector<KeyValue> records);
 
+  /// Constructs a segment that carries the linearized-key cache: one
+  /// row-major u64 per record (linearize(key, JobSpec::keySpace)),
+  /// computed by the map pipeline at emit time. The cache is an
+  /// in-memory acceleration only — it never reaches the wire format —
+  /// and because linearization is an order-preserving injection, u64
+  /// compares on it agree exactly with lexicographic Coord compares.
+  /// Throws std::invalid_argument when sizes differ.
+  Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+          std::vector<KeyValue> records,
+          std::vector<std::uint64_t> linearKeys);
+
+  /// Constructs a segment in PACKED form (DESIGN.md section 11): the
+  /// records stay as trivially-copyable PackedRecords (keys linearized
+  /// in `keySpace`, list payloads out-of-line in `lists`) until a
+  /// consumer needs full KeyValues. Sorting and the annotation header
+  /// work directly on the packed form; records()/linearKeys()/
+  /// serialize() materialize the KeyValue view lazily, exactly once.
+  /// This keeps the map side free of the dominant per-record cost
+  /// (writing ~160-byte KeyValues); the cost moves to whoever actually
+  /// needs the materialized view (spill encoding, the reduce-side
+  /// merge). Throws std::invalid_argument when keySpace is not a valid
+  /// non-empty shape.
+  Segment(std::uint32_t mapTask, std::uint32_t keyblock,
+          std::vector<PackedRecord> packed,
+          std::vector<std::vector<double>> lists, nd::Coord keySpace);
+
   const SegmentHeader& header() const noexcept { return header_; }
-  const std::vector<KeyValue>& records() const noexcept { return records_; }
-  std::vector<KeyValue>& mutableRecords() noexcept { return records_; }
 
-  bool empty() const noexcept { return records_.empty(); }
+  /// Record access; materializes a packed segment on first use. Lazy
+  /// materialization is NOT internally synchronized: concurrent first
+  /// access from multiple threads needs external ordering. The engine
+  /// provides it — each segment is consumed by exactly one reduce task
+  /// (its keyblock's), attempts are serialized, and publication/
+  /// consumption are ordered by the engine mutex.
+  const std::vector<KeyValue>& records() const {
+    if (packedMode_) materializeNow();
+    return records_;
+  }
 
-  /// Sorts records by key (row-major lexicographic order). Map tasks sort
-  /// their output before serving it to reducers, as Hadoop does.
+  /// Mutable record access drops the linear-key cache (the caller may
+  /// reorder or rewrite keys, which would desynchronize it).
+  std::vector<KeyValue>& mutableRecords() {
+    if (packedMode_) materializeNow();
+    linearKeys_.clear();
+    return records_;
+  }
+
+  bool empty() const noexcept {
+    return packedMode_ ? packed_.empty() : records_.empty();
+  }
+
+  /// True when the segment still holds the packed representation.
+  bool packed() const noexcept { return packedMode_; }
+
+  /// True when every record has a cached linear key (trivially true in
+  /// packed form — the linear key IS the stored key).
+  bool hasLinearKeys() const noexcept {
+    return packedMode_ || linearKeys_.size() == records_.size();
+  }
+
+  /// Cached linear keys, parallel to records(); empty when not cached.
+  /// Materializes a packed segment (see records() for the threading
+  /// contract).
+  std::span<const std::uint64_t> linearKeys() const {
+    if (packedMode_) materializeNow();
+    return {linearKeys_.data(), linearKeys_.size()};
+  }
+
+  /// (Re)builds the linear-key cache from the records — used after
+  /// deserialize() so spilled segments merge on u64s too. Throws
+  /// std::out_of_range when a key falls outside `keySpace` (possible
+  /// with corrupt spill files: the codec validates structure, not
+  /// coordinate ranges).
+  void computeLinearKeys(const nd::Coord& keySpace);
+
+  /// Sorts records by key (row-major lexicographic order), ties broken
+  /// by emission order (stable, so the fallback and linearized paths
+  /// produce identical segments). Map tasks sort their output before
+  /// serving it to reducers, as Hadoop does. With a linear-key cache
+  /// this sorts (u64, u32 index) pairs and applies the permutation to
+  /// the ~130-byte records once, instead of swapping them under
+  /// lexicographic Coord compares; already-sorted output (the common
+  /// case: mappers emit in row-major order) is detected in O(n).
   void sortByKey();
 
   /// Applies a combiner: merges runs of equal-key records into one,
@@ -85,7 +160,9 @@ class Segment {
 
   /// Exact byte size of serialize()'s output, computed without
   /// encoding anything. serialize() allocates once from this.
-  std::size_t serializedSize() const noexcept;
+  /// Materializes a packed segment first (the wire format is the
+  /// KeyValue encoding — packed form never travels).
+  std::size_t serializedSize() const;
 
   /// Flat binary encoding (header + records), as written to the local
   /// map-output file a reducer fetches. Wire format: fixed-width
@@ -111,14 +188,33 @@ class Segment {
   static SegmentHeader peekHeader(std::span<const std::byte> bytes);
 
  private:
+  void sortByLinearKey();
+  void sortPacked();
+  void materializeNow() const;
+
   SegmentHeader header_;
-  std::vector<KeyValue> records_;
+  // Lazy materialization: these are written once by materializeNow()
+  // under const access (see records() for the threading contract).
+  mutable std::vector<KeyValue> records_;
+  /// Parallel to records_: row-major linear key per record, or empty
+  /// when the producing job declared no keySpace (and after
+  /// deserialize(), until computeLinearKeys() rebuilds it).
+  mutable std::vector<std::uint64_t> linearKeys_;
+  /// Packed form (packedMode_ only); cleared by materializeNow().
+  mutable std::vector<PackedRecord> packed_;
+  mutable std::vector<std::vector<double>> lists_;
+  mutable bool packedMode_ = false;
+  nd::Coord keySpace_;
 };
 
 /// k-way merge of sorted segments into one key-grouped stream:
 /// for each distinct key (ascending), calls
 ///   fn(key, span<const Value*> values, totalRepresents).
 /// This is the sort/merge/group step that precedes the Reduce function.
+/// When every non-empty input segment carries a linear-key cache, the
+/// heap orders cursors and detects group boundaries by comparing u64s
+/// instead of lexicographic Coords; since linearization is an
+/// order-preserving injection the pop order is identical either way.
 class SegmentMerger {
  public:
   explicit SegmentMerger(std::span<const Segment* const> segments);
@@ -128,9 +224,11 @@ class SegmentMerger {
   void forEachGroup(Fn&& fn) {
     while (!heap_.empty()) {
       const nd::Coord key = top().key;
+      const std::uint64_t keyLin =
+          heap_.front().lin ? heap_.front().lin[heap_.front().pos] : 0;
       groupValues_.clear();
       std::uint64_t represents = 0;
-      while (!heap_.empty() && top().key == key) {
+      while (!heap_.empty() && topKeyEquals(key, keyLin)) {
         groupValues_.push_back(&top().value);
         represents += top().represents;
         pop();
@@ -143,11 +241,20 @@ class SegmentMerger {
   struct Cursor {
     const Segment* segment;
     std::size_t pos;
+    /// Segment's cached linear keys; nullptr when any merged segment
+    /// lacks the cache (then every compare falls back to Coord order).
+    const std::uint64_t* lin;
   };
 
   const KeyValue& top() const {
     const Cursor& c = heap_.front();
     return c.segment->records()[c.pos];
+  }
+
+  bool topKeyEquals(const nd::Coord& key, std::uint64_t keyLin) const {
+    const Cursor& c = heap_.front();
+    if (c.lin != nullptr) return c.lin[c.pos] == keyLin;
+    return c.segment->records()[c.pos].key == key;
   }
 
   void pop();

@@ -95,6 +95,31 @@ class RegionCursor {
     valid_ = false;
   }
 
+  /// Coordinates left in the cursor's current row: positions reachable by
+  /// incrementing only the innermost dimension (itself included).
+  /// Precondition: valid() and rank >= 1.
+  Index rowRemaining() const noexcept {
+    const std::size_t last = region_.rank() - 1;
+    return region_.corner()[last] + region_.shape()[last] - coord_[last];
+  }
+
+  /// Advances `k` positions along the innermost dimension, rolling over
+  /// to the next row when the current one is exhausted — the bulk
+  /// equivalent of `k` next() calls that never leave the row. Lets batch
+  /// record readers consume whole row runs without per-element carry
+  /// checks. Precondition: valid() and 1 <= k <= rowRemaining().
+  void advanceInRow(Index k) noexcept {
+    const std::size_t last = region_.rank() - 1;
+    coord_[last] += k;
+    if (coord_[last] < region_.corner()[last] + region_.shape()[last]) return;
+    coord_[last] = region_.corner()[last];
+    for (std::size_t d = last; d-- > 0;) {
+      if (++coord_[d] < region_.corner()[d] + region_.shape()[d]) return;
+      coord_[d] = region_.corner()[d];
+    }
+    valid_ = false;
+  }
+
  private:
   Region region_;
   Coord coord_;

@@ -14,7 +14,15 @@ void StructuralMapper::map(const nd::Coord& key, double value,
                            mr::MapContext& /*ctx*/) {
   auto kp = extraction_->keyFor(key);
   if (!kp) return;  // stride gap or truncated edge: produces nothing
-  CellState& cell = cells_[*kp];
+  CellState* cellPtr;
+  if (lastKp_ != nullptr && *lastKp_ == *kp) {
+    cellPtr = lastCell_;
+  } else {
+    auto it = cells_.try_emplace(*kp).first;
+    lastKp_ = &it->first;
+    lastCell_ = cellPtr = &it->second;
+  }
+  CellState& cell = *cellPtr;
   ++cell.consumed;
   switch (query_.op) {
     case OperatorKind::kMean:
@@ -43,6 +51,8 @@ void StructuralMapper::finish(mr::MapContext& ctx) {
     ctx.emit(kp, std::move(v), cell.consumed);
   }
   cells_.clear();
+  lastKp_ = nullptr;
+  lastCell_ = nullptr;
 }
 
 mr::Value finalizeCell(const StructuralQuery& query, const mr::Partial& p,

@@ -39,6 +39,12 @@ class StructuralMapper final : public mr::Mapper {
   StructuralQuery query_;
   std::shared_ptr<const ExtractionMap> extraction_;
   std::map<nd::Coord, CellState> cells_;
+  // Last (intermediate key -> cell) lookup: a row-major record stream
+  // hits the same extraction cell extractionShape[last] times in a row,
+  // so the tree lookup is paid once per run. std::map node pointers are
+  // stable under insertion, and nothing erases until finish().
+  const nd::Coord* lastKp_ = nullptr;
+  CellState* lastCell_ = nullptr;
 };
 
 class StructuralReducer final : public mr::Reducer {

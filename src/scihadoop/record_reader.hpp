@@ -25,6 +25,12 @@ class DatasetRecordReader final : public mr::RecordReader {
 
   bool next(nd::Coord& key, double& value) override;
 
+  /// Row-run batch read: copies whole row tails out of the preloaded
+  /// value buffer and synthesizes their keys by bumping the innermost
+  /// coordinate, paying cursor carry once per run instead of per cell.
+  std::size_t nextBatch(std::span<nd::Coord> keys,
+                        std::span<double> values) override;
+
  private:
   std::shared_ptr<sci::Dataset> dataset_;
   nd::Region region_;
@@ -50,6 +56,11 @@ class SyntheticRecordReader final : public mr::RecordReader {
     cursor_.next();
     return true;
   }
+
+  /// Row-run batch read (see DatasetRecordReader::nextBatch); values
+  /// still come from one fn_ call per key.
+  std::size_t nextBatch(std::span<nd::Coord> keys,
+                        std::span<double> values) override;
 
  private:
   ValueFn fn_;

@@ -120,4 +120,20 @@ std::vector<std::uint32_t> DependencyCalculator::recomputeSplitsFor(
   return out;
 }
 
+std::vector<std::uint32_t> DependencyCalculator::recomputeSplitsFor(
+    std::uint32_t keyblock, std::span<const mr::InputSplit> splits,
+    const DependencyInfo& info) const {
+  std::vector<std::uint32_t> out;
+  for (const mr::InputSplit& split : splits) {
+    // keyblocksForSplit results are ascending, so the stored per-split
+    // lists admit a binary search — no geometry re-derivation.
+    const auto& kbs = info.splitToKeyblocks.at(split.id);
+    if (std::binary_search(kbs.begin(), kbs.end(), keyblock)) {
+      out.push_back(split.id);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace sidr::core

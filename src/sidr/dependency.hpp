@@ -57,6 +57,17 @@ class DependencyCalculator {
   std::vector<std::uint32_t> recomputeSplitsFor(
       std::uint32_t keyblock, std::span<const mr::InputSplit> splits) const;
 
+  /// Per-task recomputation of one I_l against the stored index: reuses
+  /// DependencyInfo::splitToKeyblocks (already computed at submission)
+  /// with a binary search per split, instead of re-deriving every
+  /// split's keyblock set geometrically on each recovery. Agrees with
+  /// both computeAll and the from-scratch variant. `info` must come
+  /// from computeAll over a split set containing `splits` (ids index
+  /// splitToKeyblocks).
+  std::vector<std::uint32_t> recomputeSplitsFor(
+      std::uint32_t keyblock, std::span<const mr::InputSplit> splits,
+      const DependencyInfo& info) const;
+
  private:
   std::shared_ptr<const PartitionPlus> plan_;
 };

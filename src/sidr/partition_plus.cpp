@@ -88,6 +88,43 @@ std::uint32_t PartitionPlus::partition(const nd::Coord& key,
   return keyblockOfInstance(extraction_->instanceForKey(key));
 }
 
+std::uint32_t PartitionPlus::partitionRun(const nd::Coord& key,
+                                          std::uint64_t linearKey,
+                                          std::uint32_t numReducers,
+                                          std::uint64_t& runEnd) const {
+  const nd::Coord& grid = extraction_->instanceGridShape();
+  if (grid.rank() == 0) {
+    // Degenerate scalar grid: fall back to the single-key default.
+    return Partitioner::partitionRun(key, linearKey, numReducers, runEnd);
+  }
+  if (numReducers != numReducers_) {
+    throw std::logic_error(
+        "PartitionPlus: job reducer count differs from the plan");
+  }
+  const nd::Coord g = extraction_->instanceForKey(key);
+  const nd::Index linG = nd::linearize(g, grid);
+  const std::uint32_t kb = keyblockOfGranule(linG / granuleSize_);
+  // The run covers the rest of g's instance-grid row, clipped to the
+  // keyblock's (linearly contiguous) instance range: within it every
+  // instance shares the keyblock, and — because consecutive same-row
+  // instances map to same-row intermediate keys — every VALID key
+  // between this one and the run's last key is one of those instances'
+  // keys. runEnd is (linear of the run's LAST key) + 1, never the next
+  // instance's key: in preserve-coords mode the latter could overshoot
+  // the row and claim keys belonging to a different instance row.
+  const std::size_t lastD = grid.rank() - 1;
+  const nd::Index rowEnd = linG + (grid[lastD] - g[lastD]);
+  const nd::Index kbEnd = instanceRange(kb).second;
+  const nd::Index gRunEnd = std::min(rowEnd, kbEnd);
+  nd::Coord gLast = g;
+  gLast[lastD] += gRunEnd - 1 - linG;
+  runEnd = static_cast<std::uint64_t>(
+               nd::linearize(extraction_->keyForInstance(gLast),
+                             extraction_->intermediateSpaceShape())) +
+           1;
+  return kb;
+}
+
 std::pair<nd::Index, nd::Index> PartitionPlus::instanceRange(
     std::uint32_t keyblock) const {
   if (keyblock >= numReducers_) {

@@ -35,6 +35,18 @@ class PartitionPlus final : public mr::Partitioner {
   std::uint32_t partition(const nd::Coord& key,
                           std::uint32_t numReducers) const override;
 
+  /// Structure-aware run routing: returns the key's keyblock and bounds
+  /// the contiguous same-keyblock run it starts — the rest of the key's
+  /// instance-grid row, clipped to the keyblock's linear instance range.
+  /// A row-major emitter then routes once per granule row instead of
+  /// once per key (the paper's linear-index arithmetic, section 3.1,
+  /// extended from point lookups to runs). `runEnd` is exclusive and
+  /// expressed over ExtractionMap::intermediateSpaceShape(), matching
+  /// JobSpec::keySpace for planner-built jobs.
+  std::uint32_t partitionRun(const nd::Coord& key, std::uint64_t linearKey,
+                             std::uint32_t numReducers,
+                             std::uint64_t& runEnd) const override;
+
   // --- plan inspection ---
   std::uint32_t numReducers() const noexcept { return numReducers_; }
 

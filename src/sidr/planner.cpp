@@ -62,6 +62,11 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.numThreads = options.numThreads;
   spec.recovery = options.recovery;
   spec.faultPlan = options.faultPlan;
+  // The extraction map bounds every intermediate key, so every planner
+  // job runs the linearized-key fast path (DESIGN.md section 11). This
+  // is the same space both partitioners linearize over: ModuloPartitioner
+  // is constructed with it and partition+ expresses its runs in it.
+  spec.keySpace = extraction->intermediateSpaceShape();
 
   if (options.system == SystemMode::kSidr) {
     auto pp = std::make_shared<const PartitionPlus>(

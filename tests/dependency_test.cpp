@@ -90,6 +90,23 @@ TEST(DependencyCalculator, StoreVsRecomputeAgree) {
   }
 }
 
+TEST(DependencyCalculator, IndexedRecomputeAgreesWithScratchAndStore) {
+  // The indexed overload answers a recovery-time I_l query from the
+  // stored splitToKeyblocks index; it must agree with both computeAll's
+  // stored sets and the geometric from-scratch recomputation.
+  for (std::size_t splitCount : {5u, 11u, 16u}) {
+    DepSetup s = makeSetup(nd::Coord{63, 25}, nd::Coord{7, 5}, 6, 4,
+                           splitCount);
+    DependencyCalculator calc(s.plan);
+    DependencyInfo info = calc.computeAll(s.splits);
+    for (std::uint32_t kb = 0; kb < 6; ++kb) {
+      auto indexed = calc.recomputeSplitsFor(kb, s.splits, info);
+      EXPECT_EQ(indexed, info.keyblockToSplits[kb]) << "kb " << kb;
+      EXPECT_EQ(indexed, calc.recomputeSplitsFor(kb, s.splits)) << "kb " << kb;
+    }
+  }
+}
+
 TEST(DependencyCalculator, ExpectedRepresentsMatchesBruteForce) {
   for (sh::EdgeMode edge : {sh::EdgeMode::kTruncate, sh::EdgeMode::kPad}) {
     DepSetup s = makeSetup(nd::Coord{23, 11}, nd::Coord{7, 5}, 3, 1, 4, edge);
