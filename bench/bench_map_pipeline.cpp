@@ -17,11 +17,19 @@
 //   * fallback   — today's pipeline with keySpace absent (batched reads,
 //     stable lex sort with sorted precheck);
 //   * linearized — today's pipeline with keySpace set (the fast path).
+//
+// A fourth group, BM_SortMicro, isolates the sort stage: the LSD radix
+// sort vs a frozen copy of the seed's (u64, index) comparison sort on
+// identical packed buffers. Its results are written to a separate
+// BENCH_sort_micro.json (see main) so the sort trajectory is trackable
+// independently of the whole-pipeline numbers.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <random>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -230,8 +238,94 @@ BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_linearized,
                   &structuralMeanPartitionPlus, Arm::kLinearized)
     ->Unit(benchmark::kMillisecond);
 
+// ---- sort-only micro arm: radix vs frozen comparison sort ----
+
+/// The seed's Segment::sortPacked body, frozen verbatim as the
+/// comparison baseline (same oracle tests/sort_spill_parity_test.cpp
+/// pins the radix sort against for correctness).
+void frozenComparisonSortPacked(std::vector<mr::PackedRecord>& packed) {
+  struct LinIdx {
+    std::uint64_t lin;
+    std::uint32_t idx;
+  };
+  std::vector<LinIdx> order(packed.size());
+  for (std::size_t i = 0; i < packed.size(); ++i) {
+    order[i] = {packed[i].lin, static_cast<std::uint32_t>(i)};
+  }
+  std::sort(order.begin(), order.end(), [](const LinIdx& a, const LinIdx& b) {
+    return a.lin < b.lin || (a.lin == b.lin && a.idx < b.idx);
+  });
+  std::vector<mr::PackedRecord> sorted;
+  sorted.reserve(packed.size());
+  for (const LinIdx& li : order) sorted.push_back(packed[li.idx]);
+  packed = std::move(sorted);
+}
+
+/// Shuffled keys over a 4n span — the transpose-workload shape: a few
+/// low lin bytes vary, the high ones are constant, so the radix sort's
+/// pass skipping engages exactly as it does on real map output.
+std::vector<mr::PackedRecord> makeSortInput(std::size_t n) {
+  std::mt19937_64 rng(42);
+  const std::uint64_t span = 4 * static_cast<std::uint64_t>(n);
+  std::vector<mr::PackedRecord> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i].lin = rng() % span;
+    v[i].represents = 1;
+    v[i].kind = mr::ValueKind::kScalar;
+    v[i].payload.scalar = static_cast<double>(i);
+  }
+  return v;
+}
+
+void BM_SortMicro(benchmark::State& state, bool radix) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::vector<mr::PackedRecord> base = makeSortInput(n);
+  std::vector<mr::PackedRecord> buf;
+  for (auto _ : state) {
+    state.PauseTiming();
+    buf = base;
+    state.ResumeTiming();
+    if (radix) {
+      mr::radixSortPacked(buf);
+    } else {
+      frozenComparisonSortPacked(buf);
+    }
+    benchmark::DoNotOptimize(buf.data());
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+
+BENCHMARK_CAPTURE(BM_SortMicro, radix, true)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_SortMicro, comparison, false)
+    ->Arg(1 << 16)->Arg(1 << 20)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  return sidr::bench::runBenchmarksWithJson("map_pipeline", argc, argv);
+  // Same contract as bench::runBenchmarksWithJson, but split across two
+  // JSON files: the pipeline arms keep BENCH_map_pipeline.json and the
+  // sort micro-arm gets its own BENCH_sort_micro.json.
+  static std::string quickFlag = "--benchmark_min_time=0.01";
+  std::vector<char*> args(argv, argv + argc);
+  for (char*& a : args) {
+    if (std::string(a) == "--quick") a = quickFlag.data();
+  }
+  int n = static_cast<int>(args.size());
+  ::benchmark::Initialize(&n, args.data());
+  {
+    sidr::bench::BenchJson json("map_pipeline");
+    sidr::bench::JsonCapturingReporter reporter(json);
+    ::benchmark::RunSpecifiedBenchmarks(&reporter, "BM_MapPipeline.*");
+    json.write();
+  }
+  {
+    sidr::bench::BenchJson json("sort_micro");
+    sidr::bench::JsonCapturingReporter reporter(json);
+    ::benchmark::RunSpecifiedBenchmarks(&reporter, "BM_SortMicro.*");
+    json.write();
+  }
+  ::benchmark::Shutdown();
+  return 0;
 }

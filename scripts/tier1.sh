@@ -17,12 +17,17 @@ ctest --test-dir build --output-on-failure -j"$(nproc)"
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
-  linear_fastpath_test
+  linear_fastpath_test sort_spill_parity_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
 # The fast-path parity suite under TSan exercises packed segments' lazy
 # materialization on concurrently running reduce tasks.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/linear_fastpath_test
+# The sort/spill parity suite under TSan hammers the spill-writer pool:
+# SpillPoolHammer re-runs failed maps (pool workers re-encoding attempt
+# files) while other reduces' lock-free fetches read committed segments,
+# and SpillWriterParity crosses pool sizes {1,2,8} with fault injection.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sort_spill_parity_test
 
 # Keep the perf tree building and the map-side benchmark runnable: a
 # --quick pass catches bit-rot in the frozen legacy arm and the JSON

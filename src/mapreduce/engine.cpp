@@ -3,10 +3,13 @@
 #include "mapreduce/map_pipeline.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <filesystem>
+#include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 
@@ -17,6 +20,113 @@ namespace sidr::mr {
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Small shared pool of threads that encode and write map attempts'
+/// per-keyblock spill files, so keyblocks overlap instead of running
+/// sequentially on the map worker (DESIGN.md section 12). Only the
+/// attempt-suffixed TEMPORARY files are written here: the submitting
+/// map worker waits for its whole batch, and only then commits each
+/// keyblock with the atomic rename itself — so the per-(map, keyblock)
+/// publication order the lock-free reduce fetch relies on, and PR 2's
+/// crash/recovery guarantees, are exactly the sequential path's.
+class SpillWriterPool {
+ public:
+  /// One work item: encode one segment into the worker's reusable
+  /// buffer and write one attempt file.
+  using Job = std::function<void(std::vector<std::byte>& encodeBuf)>;
+
+  /// Completion handle for one map attempt's group of writes.
+  class Batch {
+   public:
+    /// Blocks until every job submitted against this batch finished;
+    /// rethrows the first encode/write failure. Must be called before
+    /// the batch (or anything its jobs reference) is destroyed.
+    void wait() {
+      std::unique_lock lock(mtx_);
+      cv_.wait(lock, [this] { return pending_ == 0; });
+      if (error_) std::rethrow_exception(error_);
+    }
+
+   private:
+    friend class SpillWriterPool;
+    std::mutex mtx_;
+    std::condition_variable cv_;
+    std::size_t pending_ = 0;
+    std::exception_ptr error_;
+  };
+
+  explicit SpillWriterPool(std::uint32_t numThreads) {
+    workers_.reserve(numThreads);
+    for (std::uint32_t i = 0; i < numThreads; ++i) {
+      workers_.emplace_back([this] { workerLoop(); });
+    }
+  }
+
+  /// Drains any queued jobs, then joins the workers (jthread dtors).
+  ~SpillWriterPool() {
+    {
+      std::scoped_lock lock(mtx_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  void submit(Batch& batch, Job job) {
+    {
+      std::scoped_lock lock(batch.mtx_);
+      ++batch.pending_;
+    }
+    {
+      std::scoped_lock lock(mtx_);
+      queue_.push_back(Item{&batch, std::move(job)});
+    }
+    cv_.notify_one();
+  }
+
+ private:
+  struct Item {
+    Batch* batch;
+    Job job;
+  };
+
+  void workerLoop() {
+    // One encode buffer per worker, reused across jobs — the same
+    // allocation amortization the sequential path got from its single
+    // spillBuf.
+    std::vector<std::byte> encodeBuf;
+    std::unique_lock lock(mtx_);
+    while (true) {
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and everything drained
+      Item item = std::move(queue_.front());
+      queue_.pop_front();
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        item.job(encodeBuf);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      {
+        std::scoped_lock batchLock(item.batch->mtx_);
+        if (error && !item.batch->error_) item.batch->error_ = error;
+        --item.batch->pending_;
+        // Notify under the batch mutex: the submitter destroys the
+        // stack-allocated Batch right after wait() returns, so the
+        // last touch of the cv must happen-before the waiter can
+        // observe pending_ == 0.
+        item.batch->cv_.notify_all();
+      }
+      lock.lock();
+    }
+  }
+
+  std::mutex mtx_;
+  std::condition_variable cv_;
+  std::deque<Item> queue_;
+  bool stop_ = false;
+  std::vector<std::jthread> workers_;
+};
 
 }  // namespace
 
@@ -149,6 +259,10 @@ struct Engine::Impl {
   // ---- map-output segment store (in-memory or spilled to files) ----
 
   bool spillEnabled() const { return !spec.spillDirectory.empty(); }
+
+  /// Spill-writer pool; null when spilling is off or spillWriters == 1
+  /// (then encode+write runs inline on the map worker, as the seed did).
+  std::unique_ptr<SpillWriterPool> spillPool;
 
   std::string segmentPath(std::uint32_t m, std::uint32_t kb) const {
     return spec.spillDirectory + "/" + segmentFileName(m, kb);
@@ -288,6 +402,9 @@ Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
   if (spec_.faultPlan.maxAttempts == 0) {
     throw std::invalid_argument("Engine: FaultPlan::maxAttempts must be > 0");
   }
+  if (spec_.spillWriters == 0) {
+    throw std::invalid_argument("Engine: spillWriters must be > 0");
+  }
   for (const FaultSpec& f : spec_.faultPlan.faults) {
     if (f.attempt == 0) {
       throw std::invalid_argument("Engine: fault attempt ids are 1-based");
@@ -326,33 +443,58 @@ void Engine::Impl::runMap(std::uint32_t m) {
 
   // Verify routing against the declared dependency sets (a record
   // landing in a keyblock that does not list this split is a
-  // partitioner/dependency bug). In-memory mode never serializes: the
-  // segment itself becomes the published immutable handle. Spill mode
-  // encodes with the bulk codec and writes a map-output file per
-  // keyblock.
+  // partitioner/dependency bug). Validated for ALL keyblocks before any
+  // spill job is queued, so a violation can never throw while pool jobs
+  // still reference this frame's segments.
+  for (std::uint32_t kb = 0; isSidr() && kb < numReduces; ++kb) {
+    if (produced[kb].empty()) continue;
+    const auto& dl = deps[kb];
+    if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
+      throw std::logic_error(
+          "SIDR routing violation: map " + std::to_string(m) +
+          " produced data for undeclared keyblock " + std::to_string(kb));
+    }
+  }
+  // In-memory mode never serializes: the segment itself becomes the
+  // published immutable handle. Spill mode encodes with the bulk codec
+  // and writes a map-output file per keyblock — on the spill-writer
+  // pool when one is configured, so keyblocks overlap; each pool job
+  // owns its keyblock's segment exclusively (lazy materialization
+  // included), and the batch barrier below orders every write before
+  // the fault check and the commit phase, exactly as the sequential
+  // path does.
   std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
   std::uint64_t bytesSpilled = 0;
-  std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
-  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-    Segment& seg = produced[kb];
-    if (isSidr() && !seg.empty()) {
-      const auto& dl = deps[kb];
-      if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
-        throw std::logic_error(
-            "SIDR routing violation: map " + std::to_string(m) +
-            " produced data for undeclared keyblock " + std::to_string(kb));
-      }
+  if (spillEnabled() && spillPool != nullptr) {
+    SpillWriterPool::Batch batch;
+    std::atomic<std::uint64_t> batchBytes{0};
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      Segment* seg = &produced[kb];
+      spillPool->submit(
+          batch, [this, seg, m, kb, attempt,
+                  &batchBytes](std::vector<std::byte>& encodeBuf) {
+            seg->serializeInto(encodeBuf);
+            batchBytes.fetch_add(encodeBuf.size(), std::memory_order_relaxed);
+            spillSegmentAttempt(m, kb, attempt, encodeBuf);
+          });
     }
-    if (spillEnabled()) {
+    batch.wait();  // rethrows the first encode/write failure
+    bytesSpilled = batchBytes.load(std::memory_order_relaxed);
+  } else if (spillEnabled()) {
+    std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
       // Persist map output to attempt-scoped temp files; nothing is
       // visible under the committed names until the attempt commits
       // below (Hadoop commits map output files atomically with the
       // task).
-      seg.serializeInto(spillBuf);
+      produced[kb].serializeInto(spillBuf);
       bytesSpilled += spillBuf.size();
       spillSegmentAttempt(m, kb, attempt, spillBuf);
-    } else {
-      localSegments[kb] = std::make_shared<const Segment>(std::move(seg));
+    }
+  } else {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      localSegments[kb] =
+          std::make_shared<const Segment>(std::move(produced[kb]));
     }
   }
 
@@ -671,6 +813,13 @@ JobResult Engine::Impl::run() {
   numReduces = spec.numReducers;
   if (spillEnabled()) {
     std::filesystem::create_directories(spec.spillDirectory);
+    if (spec.spillWriters > 1 && numReduces > 0) {
+      // No point running more writers than keyblocks: each job covers
+      // one (map, keyblock) file and a map attempt submits numReduces
+      // of them at once.
+      spillPool = std::make_unique<SpillWriterPool>(
+          std::min(spec.spillWriters, numReduces));
+    }
   }
   mapQueued.assign(numMaps, false);
   mapEverEligible.assign(numMaps, false);

@@ -198,6 +198,18 @@ struct JobSpec {
   /// segment header from disk — the paper's "without having to read and
   /// parse those files" property (section 3.2.1).
   std::string spillDirectory;
+
+  /// Spill-writer pool size: how many threads encode and write map
+  /// attempts' per-keyblock spill files concurrently (DESIGN.md section
+  /// 12). 1 runs the seed's sequential encode+write inline on the map
+  /// worker; larger values overlap keyblocks on a shared pool. Only the
+  /// attempt-suffixed TEMPORARY files are written concurrently — the
+  /// map worker still commits every keyblock itself via atomic rename
+  /// after the whole batch lands, so the publication order the
+  /// lock-free reduce fetch relies on is unchanged, and committed bytes
+  /// are identical for every pool size. Ignored when spillDirectory is
+  /// empty; must be > 0.
+  std::uint32_t spillWriters = 4;
 };
 
 struct TaskEvent {

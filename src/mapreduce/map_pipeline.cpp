@@ -13,6 +13,8 @@ BufferingMapContext::BufferingMapContext(const Partitioner& partitioner,
   if (linearized()) {
     packed_.resize(numReducers);
     lists_.resize(numReducers);
+    emitSorted_.assign(numReducers, true);
+    lastLin_.assign(numReducers, 0);
   } else {
     buffers_.resize(numReducers);
   }
@@ -67,7 +69,12 @@ void BufferingMapContext::emit(const nd::Coord& key, Value value,
     runKb_ = kb;
   }
   std::vector<PackedRecord>& buf = packed_[kb];
-  if (buf.empty() && reserveHint_ > 0) buf.reserve(reserveHint_);
+  if (buf.empty()) {
+    if (reserveHint_ > 0) buf.reserve(reserveHint_);
+  } else if (lin < lastLin_[kb]) {
+    emitSorted_[kb] = false;
+  }
+  lastLin_[kb] = lin;
   PackedRecord r;
   r.lin = lin;
   r.represents = represents;
@@ -96,7 +103,11 @@ Segment BufferingMapContext::takeSegment(std::uint32_t mapTask,
                     ? Segment(mapTask, kb, std::move(packed_[kb]),
                               std::move(lists_[kb]), keySpace_)
                     : Segment(mapTask, kb, std::move(buffers_[kb]));
-  seg.sortByKey();
+  // A keyblock whose emissions were tracked as already nondecreasing
+  // needs no sort at all — skipping the call also skips the O(n)
+  // sorted rescan, and guarantees sorted combiner output is never
+  // re-examined after the combine merge.
+  if (!linearized() || !emitSorted_[kb]) seg.sortByKey();
   if (combiner != nullptr) seg.combineWith(*combiner);
   return seg;
 }

@@ -50,7 +50,11 @@ class BufferingMapContext final : public MapContext {
 
   /// Moves keyblock `kb`'s buffered records (plus their linear keys in
   /// fast mode) into a Segment, sorts it, and applies the optional
-  /// combiner. Each keyblock can be taken once.
+  /// combiner. In fast mode a keyblock whose emissions arrived in
+  /// nondecreasing linear-key order (tracked per emit, the common
+  /// row-major case) skips the sort call outright — not even the O(n)
+  /// sorted scan runs, and already-sorted combiner output is never
+  /// re-sorted. Each keyblock can be taken once.
   Segment takeSegment(std::uint32_t mapTask, std::uint32_t kb,
                       const Combiner* combiner);
 
@@ -64,6 +68,11 @@ class BufferingMapContext final : public MapContext {
   /// Fast mode: packed buffers plus the out-of-line list payloads.
   std::vector<std::vector<PackedRecord>> packed_;
   std::vector<std::vector<std::vector<double>>> lists_;
+  /// Fast mode: per-keyblock "emissions arrived in nondecreasing linear
+  /// order so far" flag plus the last emitted linear key, maintained in
+  /// emit — lets takeSegment skip the sort without rescanning.
+  std::vector<bool> emitSorted_;
+  std::vector<std::uint64_t> lastLin_;
   std::size_t reserveHint_ = 0;
   // Cached same-keyblock run [runBegin_, runEnd_) from the last
   // partitionRun call; starts empty so the first emit always routes.

@@ -3,6 +3,7 @@
 #include "mapreduce/interfaces.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +11,71 @@
 #include <stdexcept>
 
 namespace sidr::mr {
+
+SortStats& sortStats() noexcept {
+  thread_local SortStats stats;
+  return stats;
+}
+
+void radixSortPacked(std::vector<PackedRecord>& records) {
+  SortStats& stats = sortStats();
+  const std::size_t n = records.size();
+  if (n > std::numeric_limits<std::uint32_t>::max()) {
+    // The pair buffer indexes with u32 (as the comparison path does);
+    // beyond that a stable comparison sort preserves the contract.
+    ++stats.comparisonSorts;
+    std::stable_sort(records.begin(), records.end(),
+                     [](const PackedRecord& a, const PackedRecord& b) {
+                       return a.lin < b.lin;
+                     });
+    return;
+  }
+  ++stats.radixSorts;
+  if (n <= 1) return;
+  struct LinIdx {
+    std::uint64_t lin;
+    std::uint32_t idx;
+  };
+  std::vector<LinIdx> front(n), back(n);
+  // One scan builds all eight byte histograms while filling the pair
+  // buffer, so skippable passes are known before any scatter runs.
+  std::array<std::array<std::uint32_t, 256>, 8> counts{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t k = records[i].lin;
+    front[i] = LinIdx{k, static_cast<std::uint32_t>(i)};
+    for (int b = 0; b < 8; ++b) ++counts[b][(k >> (8 * b)) & 0xff];
+  }
+  LinIdx* src = front.data();
+  LinIdx* dst = back.data();
+  for (int pass = 0; pass < 8; ++pass) {
+    std::array<std::uint32_t, 256>& c = counts[pass];
+    const int shift = 8 * pass;
+    // A byte that is constant across the segment contributes nothing to
+    // the order: a stable counting scatter on it is the identity.
+    if (c[(src[0].lin >> shift) & 0xff] == n) {
+      ++stats.radixPassesSkipped;
+      continue;
+    }
+    std::uint32_t sum = 0;
+    for (std::uint32_t& bucket : c) {
+      const std::uint32_t count = bucket;
+      bucket = sum;
+      sum += count;
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      dst[c[(src[i].lin >> shift) & 0xff]++] = src[i];
+    }
+    std::swap(src, dst);
+    ++stats.radixPasses;
+  }
+  // LSD counting passes are stable, so equal keys still carry ascending
+  // idx here — the same permutation the (lin, idx) comparison sort
+  // yields. Apply it to the 40-byte records once.
+  std::vector<PackedRecord> sorted;
+  sorted.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) sorted.push_back(records[src[i].idx]);
+  records = std::move(sorted);
+}
 
 std::string segmentFileName(std::uint32_t mapTask, std::uint32_t keyblock) {
   return "map" + std::to_string(mapTask) + "_kb" + std::to_string(keyblock) +
@@ -158,14 +224,22 @@ void Segment::sortByKey() {
   auto lexLess = [](const KeyValue& a, const KeyValue& b) {
     return a.key < b.key;
   };
-  if (std::is_sorted(records_.begin(), records_.end(), lexLess)) return;
+  if (std::is_sorted(records_.begin(), records_.end(), lexLess)) {
+    ++sortStats().sortedSkips;
+    return;
+  }
   // stable_sort, not sort: duplicate keys must keep emission order so the
   // fallback and linearized paths build byte-identical segments.
+  ++sortStats().comparisonSorts;
   std::stable_sort(records_.begin(), records_.end(), lexLess);
 }
 
 void Segment::sortByLinearKey() {
-  if (std::is_sorted(linearKeys_.begin(), linearKeys_.end())) return;
+  if (std::is_sorted(linearKeys_.begin(), linearKeys_.end())) {
+    ++sortStats().sortedSkips;
+    return;
+  }
+  ++sortStats().comparisonSorts;
   // Sort compact (u64 key, u32 index) pairs and permute the ~130-byte
   // KeyValues once, instead of swapping them under Coord compares. The
   // index tie-break makes the sort stable. Segments beyond u32 indexing
@@ -206,21 +280,25 @@ void Segment::sortPacked() {
   const auto linLess = [](const PackedRecord& a, const PackedRecord& b) {
     return a.lin < b.lin;
   };
-  if (std::is_sorted(packed_.begin(), packed_.end(), linLess)) return;
-  // Buffer order is emission order, so the index tie-break keeps the
-  // sort stable — the same record order std::stable_sort produces in
-  // the lexicographic fallback. List indices stay valid: the side table
-  // is not permuted.
+  if (std::is_sorted(packed_.begin(), packed_.end(), linLess)) {
+    ++sortStats().sortedSkips;
+    return;
+  }
+  if (packed_.size() >= kRadixSortMinRecords) {
+    // List indices stay valid on every path: the side table is never
+    // permuted.
+    radixSortPacked(packed_);
+    return;
+  }
+  // Small segment: the comparison sort on (lin, idx) pairs wins below
+  // the radix threshold. Buffer order is emission order, so the index
+  // tie-break keeps the sort stable — the same record order
+  // std::stable_sort produces in the lexicographic fallback.
+  ++sortStats().comparisonSorts;
   struct LinIdx {
     std::uint64_t lin;
     std::uint32_t idx;
   };
-  if (packed_.size() > std::numeric_limits<std::uint32_t>::max()) {
-    // Unreachable in practice (a packed record is 40 bytes); keep the
-    // guard so the u32 index stays safe.
-    std::stable_sort(packed_.begin(), packed_.end(), linLess);
-    return;
-  }
   std::vector<LinIdx> order(packed_.size());
   for (std::size_t i = 0; i < packed_.size(); ++i) {
     order[i] = {packed_[i].lin, static_cast<std::uint32_t>(i)};

@@ -46,6 +46,43 @@ void commitSegmentFile(const std::string& dir, std::uint32_t mapTask,
 void discardSegmentAttemptFile(const std::string& dir, std::uint32_t mapTask,
                                std::uint32_t keyblock, std::uint32_t attempt);
 
+// ---- packed-sort instrumentation and the radix sort itself ----
+
+/// Counters describing what Segment's key sort actually did. The
+/// differential sort suite and the sorted-skip regression test assert
+/// on these; production code never reads them. Thread-local (each map
+/// worker sorts its own segments), so tests must drive the sort on the
+/// thread that reads the counters.
+struct SortStats {
+  std::uint64_t sortedSkips = 0;      ///< sorts skipped by the O(n) sorted check
+  std::uint64_t comparisonSorts = 0;  ///< comparison-sorted segments (fallbacks)
+  std::uint64_t radixSorts = 0;       ///< radix-sorted segments
+  std::uint64_t radixPasses = 0;      ///< byte passes actually scattered
+  std::uint64_t radixPassesSkipped = 0;  ///< passes skipped (constant key byte)
+
+  void reset() { *this = SortStats{}; }
+};
+
+/// This thread's sort counters.
+SortStats& sortStats() noexcept;
+
+/// Below this record count Segment::sortPacked keeps the comparison
+/// sort: the radix pass's 256-bucket histograms and scratch buffers do
+/// not amortize on tiny segments.
+inline constexpr std::size_t kRadixSortMinRecords = 64;
+
+/// Stable LSD radix sort of packed records by `lin`, ties keeping
+/// buffer (emission) order — the exact permutation the stable
+/// comparison sort produces. Byte-wise passes over a (u64 lin, u32
+/// index) double buffer; all eight histograms are built in one scan and
+/// passes whose key byte is constant across the whole segment are
+/// skipped (common when a keyblock spans a narrow linear range). The
+/// records themselves are permuted once at the end. Exposed as a free
+/// function so the differential suite can drive it against a frozen
+/// comparison oracle at ANY size; Segment::sortPacked routes through it
+/// at or above kRadixSortMinRecords.
+void radixSortPacked(std::vector<PackedRecord>& records);
+
 struct SegmentHeader {
   std::uint32_t mapTask = 0;      ///< producing map task id
   std::uint32_t keyblock = 0;     ///< destination keyblock / reduce task
@@ -139,11 +176,13 @@ class Segment {
   /// Sorts records by key (row-major lexicographic order), ties broken
   /// by emission order (stable, so the fallback and linearized paths
   /// produce identical segments). Map tasks sort their output before
-  /// serving it to reducers, as Hadoop does. With a linear-key cache
-  /// this sorts (u64, u32 index) pairs and applies the permutation to
-  /// the ~130-byte records once, instead of swapping them under
-  /// lexicographic Coord compares; already-sorted output (the common
-  /// case: mappers emit in row-major order) is detected in O(n).
+  /// serving it to reducers, as Hadoop does. Packed segments radix-sort
+  /// (see radixSortPacked) above kRadixSortMinRecords and comparison-
+  /// sort (u64, u32 index) pairs below it; materialized segments with a
+  /// linear-key cache comparison-sort the same pairs; non-linear keys
+  /// fall back to a stable lexicographic sort. Already-sorted output
+  /// (the common case: mappers emit in row-major order) is detected in
+  /// O(n) on every path.
   void sortByKey();
 
   /// Applies a combiner: merges runs of equal-key records into one,
