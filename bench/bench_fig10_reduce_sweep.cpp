@@ -7,6 +7,7 @@
 // ("close to optimal"). Extra reducers do NOT help SciHadoop/Hadoop
 // (global barrier).
 #include "bench_common.hpp"
+#include "obs/report.hpp"
 
 int main() {
   using namespace sidr;
@@ -62,6 +63,21 @@ int main() {
     json.metric(r.label + ".total", r.result.totalTime, "s");
     json.metric(r.label + ".first_result", r.result.firstResult, "s");
   }
+  // Phase breakdown of the headline SIDR-528 run, from the simulator's
+  // span trace (same schema as the engine's; DESIGN.md section 13):
+  // aggregate simulated seconds per (side, phase). The fetch/merge/
+  // reduce split is the figure's mechanism — overlap of the copy phase
+  // with map execution is exactly what the span starts show.
+  for (const obs::PhaseTotal& pt : obs::phaseTotals(runs[3].result.trace)) {
+    json.metric(std::string("SIDR-528.phase.") + obs::taskSideName(pt.side) +
+                    ":" + obs::phaseName(pt.phase) + ".seconds",
+                pt.seconds, "s");
+  }
   json.write();
+  // Full Chrome trace of that run for chrome://tracing / Perfetto.
+  if (obs::writeChromeTraceFile("BENCH_fig10_sidr528_trace.json",
+                                runs[3].result.trace)) {
+    std::printf("\nwrote BENCH_fig10_sidr528_trace.json (chrome://tracing)\n");
+  }
   return 0;
 }

@@ -36,6 +36,8 @@
 #include "bench_common.hpp"
 #include "mapreduce/map_pipeline.hpp"
 #include "mapreduce/partitioners.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
 #include "scihadoop/operators.hpp"
 #include "scihadoop/record_reader.hpp"
 #include "sidr/partition_plus.hpp"
@@ -185,7 +187,7 @@ std::vector<mr::Segment> runMap(const Workload& w, mr::Mapper& mapper,
 
 }  // namespace legacy
 
-enum class Arm { kLegacy, kFallback, kLinearized };
+enum class Arm { kLegacy, kFallback, kLinearized, kTraced };
 
 void BM_MapPipeline(benchmark::State& state, Workload (*make)(), Arm arm) {
   const Workload w = make();
@@ -208,6 +210,18 @@ void BM_MapPipeline(benchmark::State& state, Workload (*make)(), Arm arm) {
                                   *w.partitioner, kReducers, combiner.get(),
                                   w.keySpace);
         break;
+      case Arm::kTraced: {
+        // The fast path with span recording ON: the traced-vs-linearized
+        // delta is the ENABLED recorder's cost (recorder construction and
+        // teardown included); linearized-vs-seed trend covers the
+        // disabled case, whose span scopes are a TLS load and a branch.
+        obs::TraceRecorder recorder;
+        obs::ScopedRecorder scoped(&recorder);
+        segs = mr::runMapPipeline(w.split, 0, w.readerFactory, *mapper,
+                                  *w.partitioner, kReducers, combiner.get(),
+                                  w.keySpace);
+        break;
+      }
     }
     benchmark::DoNotOptimize(segs.data());
     benchmark::ClobberMemory();
@@ -236,6 +250,13 @@ BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_fallback,
     ->Unit(benchmark::kMillisecond);
 BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_linearized,
                   &structuralMeanPartitionPlus, Arm::kLinearized)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, identity_pp_traced, &identityPartitionPlus,
+                  Arm::kTraced)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, transpose_mod_traced, &transposeModulo,
+                  Arm::kTraced)->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MapPipeline, struct_mean_pp_traced,
+                  &structuralMeanPartitionPlus, Arm::kTraced)
     ->Unit(benchmark::kMillisecond);
 
 // ---- sort-only micro arm: radix vs frozen comparison sort ----
@@ -324,6 +345,41 @@ int main(int argc, char** argv) {
     sidr::bench::BenchJson json("sort_micro");
     sidr::bench::JsonCapturingReporter reporter(json);
     ::benchmark::RunSpecifiedBenchmarks(&reporter, "BM_SortMicro.*");
+    json.write();
+  }
+  // Per-phase breakdown of ONE traced execution of each workload,
+  // written as BENCH_trace_phases.json: where a map task's time goes
+  // (read / map / sortPacked), straight from the span recorder.
+  {
+    sidr::bench::BenchJson json("trace_phases");
+    const std::pair<const char*, Workload (*)()> workloads[] = {
+        {"identity_pp", &identityPartitionPlus},
+        {"transpose_mod", &transposeModulo},
+        {"struct_mean_pp", &structuralMeanPartitionPlus},
+    };
+    for (const auto& [label, make] : workloads) {
+      const Workload w = make();
+      auto mapper = w.mapperFactory();
+      std::unique_ptr<mr::Combiner> combiner =
+          w.combinerFactory ? w.combinerFactory() : nullptr;
+      obs::TraceRecorder recorder;
+      {
+        obs::ScopedRecorder scoped(&recorder);
+        auto segs = mr::runMapPipeline(w.split, 0, w.readerFactory, *mapper,
+                                       *w.partitioner, kReducers,
+                                       combiner.get(), w.keySpace);
+        benchmark::DoNotOptimize(segs.data());
+      }
+      const obs::Trace trace = recorder.collect();
+      for (const obs::PhaseTotal& pt : obs::phaseTotals(trace)) {
+        const std::string row = std::string(label) + "." +
+                                obs::taskSideName(pt.side) + ":" +
+                                obs::phaseName(pt.phase);
+        json.metric(row + ".seconds", pt.seconds, "s");
+        json.metric(row + ".spans", static_cast<double>(pt.spans));
+        json.metric(row + ".records", static_cast<double>(pt.records));
+      }
+    }
     json.write();
   }
   ::benchmark::Shutdown();

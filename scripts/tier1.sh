@@ -7,17 +7,23 @@
 # paths: the fault-plan / recovery suites (Engine.SpillRecoveryRaceHammer,
 # Engine.FaultPlan*, RandomizedFaultPlan.*) run with spillDirectory set,
 # so the spilled path's recovery races are sanitized too, not just the
-# in-memory path.
+# in-memory path. The trace suites run under TSan as well: the lock-free
+# span recorder publishes chunks concurrently from workers and the
+# spill-writer pool, and the invariant checks read them back after join.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cmake --preset default
 cmake --build --preset default -j"$(nproc)"
-ctest --test-dir build --output-on-failure -j"$(nproc)"
+# Fast loop first (*Hammer* stress tests carry the `slow` label), then
+# the slow ones — same coverage, but a broken fast test fails sooner.
+ctest --test-dir build --output-on-failure -j"$(nproc)" -LE slow
+ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
-  linear_fastpath_test sort_spill_parity_test
+  linear_fastpath_test sort_spill_parity_test trace_invariants_test \
+  trace_differential_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
 # The fast-path parity suite under TSan exercises packed segments' lazy
@@ -28,10 +34,16 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/linear_fastpath_test
 # files) while other reduces' lock-free fetches read committed segments,
 # and SpillWriterParity crosses pool sizes {1,2,8} with fault injection.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sort_spill_parity_test
+# Trace recording ON across randomized geometries/faults (in-memory AND
+# spill): sanitizes the per-thread chunk publication and the registry.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_invariants_test
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_differential_test
 
 # Keep the perf tree building and the map-side benchmark runnable: a
 # --quick pass catches bit-rot in the frozen legacy arm and the JSON
-# emission without waiting for stable timings.
+# emission without waiting for stable timings. The quick pass also
+# emits BENCH_trace_phases.json (per-phase totals from a traced run)
+# and checks the disabled-recorder arm stays within its overhead gate.
 cmake --preset bench
 cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline
 ./build-bench/bench/bench_map_pipeline --quick

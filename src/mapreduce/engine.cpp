@@ -13,6 +13,7 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "scifile/storage.hpp"
 
 namespace sidr::mr {
@@ -264,6 +265,11 @@ struct Engine::Impl {
   /// (then encode+write runs inline on the map worker, as the seed did).
   std::unique_ptr<SpillWriterPool> spillPool;
 
+  /// Span/counter recorder; null unless spec.recordTrace. Shares the
+  /// event log's epoch (`start`), so span times and event times are on
+  /// one timebase.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+
   std::string segmentPath(std::uint32_t m, std::uint32_t kb) const {
     return spec.spillDirectory + "/" + segmentFileName(m, kb);
   }
@@ -343,6 +349,7 @@ struct Engine::Impl {
   void runMap(std::uint32_t m);
   void runReduce(std::uint32_t kb);
   void workerLoop();
+  void workerTasks();
   JobResult run();
 };
 
@@ -429,6 +436,12 @@ void Engine::Impl::runMap(std::uint32_t m) {
     // it re-runs after a recovery reset or retries a failed attempt.
     if (attempt > 1) ++result.mapsReExecuted;
   }
+  // The attempt span brackets the whole execution; being the first
+  // local, it is destroyed last and therefore contains every phase span
+  // below — including the publication spans recorded under the mutex
+  // after tEnd (well-nestedness is structural, not bookkept).
+  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m,
+                             attempt);
   double tStart = now();
   auto mapper = spec.mapperFactory();
   std::unique_ptr<Combiner> combiner =
@@ -463,6 +476,14 @@ void Engine::Impl::runMap(std::uint32_t m) {
   // included), and the batch barrier below orders every write before
   // the fault check and the commit phase, exactly as the sequential
   // path does.
+  std::uint64_t producedRecords = 0;
+  std::uint64_t producedRepresents = 0;
+  for (const Segment& seg : produced) {
+    producedRecords += seg.header().numRecords;
+    producedRepresents += seg.header().represents;
+  }
+  attemptSpan.setRecords(producedRecords);
+  attemptSpan.setRepresents(producedRepresents);
   std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
   std::uint64_t bytesSpilled = 0;
   if (spillEnabled() && spillPool != nullptr) {
@@ -473,8 +494,20 @@ void Engine::Impl::runMap(std::uint32_t m) {
       spillPool->submit(
           batch, [this, seg, m, kb, attempt,
                   &batchBytes](std::vector<std::byte>& encodeBuf) {
-            seg->serializeInto(encodeBuf);
+            // Pool threads are not workers: install the recorder per
+            // job so encode/write spans land on the pool thread's lane.
+            obs::ScopedRecorder poolScope(recorder.get());
+            {
+              obs::SpanScope enc(obs::Phase::kSpillEncode,
+                                 obs::TaskSide::kMap, m, attempt, kb);
+              seg->serializeInto(encodeBuf);
+              enc.setBytes(encodeBuf.size());
+              enc.setRecords(seg->header().numRecords);
+            }
             batchBytes.fetch_add(encodeBuf.size(), std::memory_order_relaxed);
+            obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap,
+                                 m, attempt, kb);
+            write.setBytes(encodeBuf.size());
             spillSegmentAttempt(m, kb, attempt, encodeBuf);
           });
     }
@@ -487,8 +520,17 @@ void Engine::Impl::runMap(std::uint32_t m) {
       // visible under the committed names until the attempt commits
       // below (Hadoop commits map output files atomically with the
       // task).
-      produced[kb].serializeInto(spillBuf);
+      {
+        obs::SpanScope enc(obs::Phase::kSpillEncode, obs::TaskSide::kMap, m,
+                           attempt, kb);
+        produced[kb].serializeInto(spillBuf);
+        enc.setBytes(spillBuf.size());
+        enc.setRecords(produced[kb].header().numRecords);
+      }
       bytesSpilled += spillBuf.size();
+      obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap, m,
+                           attempt, kb);
+      write.setBytes(spillBuf.size());
       spillSegmentAttempt(m, kb, attempt, spillBuf);
     }
   } else {
@@ -498,9 +540,12 @@ void Engine::Impl::runMap(std::uint32_t m) {
     }
   }
 
+  attemptSpan.setBytes(bytesSpilled);
+
   // Injected failure: the attempt did its work (including any temp
   // spill writes) but dies before committing anything.
   if (spec.faultPlan.shouldFail(TaskKind::kMap, m, attempt)) {
+    attemptSpan.fail();
     if (spillEnabled()) {
       for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
         discardSegmentAttemptFile(spec.spillDirectory, m, kb, attempt);
@@ -531,6 +576,13 @@ void Engine::Impl::runMap(std::uint32_t m) {
   // previous attempt's file (recovery races) keeps its old inode.
   if (spillEnabled()) {
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      // One commit span per keyblock, carrying the segment's count
+      // annotation: the trace-side proof a reduce may start (the
+      // gating invariant compares reduce-attempt starts against these).
+      obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
+                            attempt, kb);
+      commit.setRecords(produced[kb].header().numRecords);
+      commit.setRepresents(produced[kb].header().represents);
       commitSegmentFile(spec.spillDirectory, m, kb, attempt);
     }
   }
@@ -542,8 +594,15 @@ void Engine::Impl::runMap(std::uint32_t m) {
   result.shuffleBytes += bytesSpilled;
   if (!spillEnabled()) {
     // Publication is a pointer flip per keyblock — no data copy runs
-    // under the engine mutex.
+    // under the engine mutex. The commit spans are near-zero-width but
+    // keep the schema uniform across shuffle modes: they end inside
+    // this critical section, and any gated reduce starts only after a
+    // later acquire of mtx, so commit-span end <= reduce-span start.
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
+                            attempt, kb);
+      commit.setRecords(localSegments[kb]->header().numRecords);
+      commit.setRepresents(localSegments[kb]->header().represents);
       segments[m][kb] = std::move(localSegments[kb]);
     }
   }
@@ -577,11 +636,14 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     std::scoped_lock lock(mtx);
     attempt = ++reduceAttempts[kb];
   }
+  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kReduce,
+                             kb, attempt, kb);
   double tStart = now();
 
   // Injected failure: simulate this reduce attempt dying after starting
   // but before committing output.
   if (spec.faultPlan.shouldFail(TaskKind::kReduce, kb, attempt)) {
+    attemptSpan.fail();
     double tFail = now();
     std::scoped_lock lock(mtx);
     ++result.reduceFailures;
@@ -646,41 +708,53 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
   }
   double tFetchStart = now();
-  if (spillEnabled()) {
-    // The header-only read suffices for the annotation tally; only
-    // non-empty segments are fully read and decoded.
-    for (std::uint32_t m : fetchSet) {
-      ++connections;
-      SegmentHeader h = peekSpilledHeader(m, kb);
-      bytesFetched += Segment::kHeaderBytes;
-      tally += h.represents;
-      if (h.numRecords > 0) {
-        ++nonEmpty;
-        fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
-        // Linear keys never travel on the wire; rebuild the cache so
-        // spilled segments merge on u64s like in-memory ones.
-        if (spec.keySpace.rank() > 0) {
-          fetched.back().computeLinearKeys(spec.keySpace);
+  std::uint64_t recordsFetched = 0;
+  {
+    obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
+                             attempt, kb);
+    if (spillEnabled()) {
+      // The header-only read suffices for the annotation tally; only
+      // non-empty segments are fully read and decoded.
+      for (std::uint32_t m : fetchSet) {
+        ++connections;
+        SegmentHeader h = peekSpilledHeader(m, kb);
+        bytesFetched += Segment::kHeaderBytes;
+        tally += h.represents;
+        recordsFetched += h.numRecords;
+        if (h.numRecords > 0) {
+          ++nonEmpty;
+          fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
+          // Linear keys never travel on the wire; rebuild the cache so
+          // spilled segments merge on u64s like in-memory ones.
+          if (spec.keySpace.rank() > 0) {
+            fetched.back().computeLinearKeys(spec.keySpace);
+          }
+        }
+      }
+    } else {
+      // Zero-copy fetch: acquiring a published handle is a shared_ptr
+      // copy; the header is read in-struct. No serialize/deserialize
+      // round trip, no data copy, no lock.
+      handles.reserve(fetchSet.size());
+      for (std::uint32_t m : fetchSet) {
+        ++connections;
+        std::shared_ptr<const Segment> seg = segments[m][kb];
+        if (seg == nullptr) {
+          throw std::logic_error("Engine: reduce fetched unpublished segment");
+        }
+        tally += seg->header().represents;
+        recordsFetched += seg->header().numRecords;
+        if (seg->header().numRecords > 0) {
+          ++nonEmpty;
+          handles.push_back(std::move(seg));
         }
       }
     }
-  } else {
-    // Zero-copy fetch: acquiring a published handle is a shared_ptr
-    // copy; the header is read in-struct. No serialize/deserialize
-    // round trip, no data copy, no lock.
-    handles.reserve(fetchSet.size());
-    for (std::uint32_t m : fetchSet) {
-      ++connections;
-      std::shared_ptr<const Segment> seg = segments[m][kb];
-      if (seg == nullptr) {
-        throw std::logic_error("Engine: reduce fetched unpublished segment");
-      }
-      tally += seg->header().represents;
-      if (seg->header().numRecords > 0) {
-        ++nonEmpty;
-        handles.push_back(std::move(seg));
-      }
-    }
+    fetchSpan.setBytes(bytesFetched);
+    fetchSpan.setRecords(recordsFetched);
+    // The reduce-side annotation tally rides on the fetch span, so the
+    // trace alone can cross-check it against the commit spans' sums.
+    fetchSpan.setRepresents(tally);
   }
   double tFetchEnd = now();
 
@@ -688,27 +762,39 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   std::vector<const Segment*> ptrs;
   ptrs.reserve(fetched.size() + handles.size());
   std::uint64_t recordCount = 0;
-  for (const Segment& s : fetched) {
-    ptrs.push_back(&s);
-    recordCount += s.records().size();
+  std::unique_ptr<SegmentMerger> merger;
+  {
+    obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
+                             attempt, kb);
+    for (const Segment& s : fetched) {
+      ptrs.push_back(&s);
+      recordCount += s.records().size();
+    }
+    for (const auto& s : handles) {
+      ptrs.push_back(s.get());
+      recordCount += s->records().size();
+    }
+    merger = std::make_unique<SegmentMerger>(ptrs);
+    mergeSpan.setRecords(recordCount);
   }
-  for (const auto& s : handles) {
-    ptrs.push_back(s.get());
-    recordCount += s->records().size();
-  }
-  SegmentMerger merger(ptrs);
   auto reducer = spec.reducerFactory();
   VectorReduceContext out;
-  merger.forEachGroup([&](const nd::Coord& key,
-                          std::span<const Value* const> values,
-                          std::uint64_t /*groupRepresents*/) {
-    reducer->reduce(key, values, out);
-  });
+  std::vector<KeyValue> outRecords;
+  {
+    obs::SpanScope reduceSpan(obs::Phase::kReduce, obs::TaskSide::kReduce, kb,
+                              attempt, kb);
+    merger->forEachGroup([&](const nd::Coord& key,
+                             std::span<const Value* const> values,
+                             std::uint64_t /*groupRepresents*/) {
+      reducer->reduce(key, values, out);
+    });
+    outRecords = out.take();
+    reduceSpan.setRecords(outRecords.size());
+  }
 
   // Linearize the output keys OUTSIDE the lock (reducers usually emit
   // the group key, which lies inside keySpace; an out-of-space emission
   // just forfeits the collectAll fast merge rather than failing).
-  std::vector<KeyValue> outRecords = out.take();
   std::vector<std::uint64_t> outLinear;
   if (spec.keySpace.rank() > 0) {
     outLinear.reserve(outRecords.size());
@@ -726,7 +812,15 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     }
   }
 
+  attemptSpan.setBytes(bytesFetched);
+  attemptSpan.setRecords(outRecords.size());
+  attemptSpan.setRepresents(tally);
+
   double tEnd = now();
+  // Declared before the lock so the commit span covers the whole locked
+  // publication and its end still falls inside the attempt span.
+  obs::SpanScope commitSpan(obs::Phase::kOutputCommit, obs::TaskSide::kReduce,
+                            kb, attempt, kb);
   std::scoped_lock lock(mtx);
   result.shuffleConnections += connections;
   result.nonEmptyConnections += nonEmpty;
@@ -738,6 +832,7 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   ro.linearKeys = std::move(outLinear);
   ro.availableAt = tEnd;
   ro.annotationTally = tally;
+  commitSpan.setRecords(ro.records.size());
   if (!spec.expectedRepresents.empty() &&
       tally != spec.expectedRepresents[kb]) {
     ++result.annotationViolations;
@@ -755,6 +850,20 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
 }
 
 void Engine::Impl::workerLoop() {
+  // Install the job's recorder for every span recorded on this thread,
+  // and fold this thread's SortStats delta into the job-wide totals on
+  // the way out — workers are the only threads that sort segments (the
+  // spill pool only encodes and writes), so summing per-worker deltas
+  // surfaces the formerly thread-local counters in JobResult.
+  obs::ScopedRecorder scoped(recorder.get());
+  const SortStats sortBaseline = sortStats();
+  workerTasks();
+  const SortStats delta = sortStats().minus(sortBaseline);
+  std::scoped_lock lock(mtx);
+  result.sortTotals.add(delta);
+}
+
+void Engine::Impl::workerTasks() {
   std::unique_lock lock(mtx);
   while (true) {
     if (firstError) return;
@@ -862,6 +971,11 @@ JobResult Engine::Impl::run() {
   }
 
   start = Clock::now();
+  if (spec.recordTrace) {
+    // Shares the event-log epoch, so span timestamps and TaskEvent
+    // seconds are directly comparable.
+    recorder = std::make_unique<obs::TraceRecorder>(start);
+  }
   {
     std::scoped_lock lock(mtx);
     if (isSidr()) {
@@ -891,6 +1005,9 @@ JobResult Engine::Impl::run() {
     }
     // joined by jthread destructors
   }
+  // Join the spill pool before collecting: pool threads record spans
+  // too, and destruction guarantees their logs are final.
+  spillPool.reset();
   if (firstError) std::rethrow_exception(firstError);
 
   result.totalSeconds = now();
@@ -898,6 +1015,27 @@ JobResult Engine::Impl::run() {
   for (const ReduceOutput& out : result.outputs) {
     result.firstResultSeconds =
         std::min(result.firstResultSeconds, out.availableAt);
+  }
+  if (recorder != nullptr) {
+    result.trace = recorder->collect();
+    // Absorb the scattered JobResult scalars and the sort totals into
+    // the counter registry so consumers read one uniform surface.
+    obs::Trace& t = result.trace;
+    t.addCounter("shuffle.connections", result.shuffleConnections);
+    t.addCounter("shuffle.nonEmptyConnections", result.nonEmptyConnections);
+    t.addCounter("shuffle.bytes", result.shuffleBytes);
+    t.addCounter("shuffle.fetchMicros",
+                 static_cast<std::uint64_t>(result.shuffleFetchSeconds * 1e6));
+    t.addCounter("job.annotationViolations", result.annotationViolations);
+    t.addCounter("job.mapsReExecuted", result.mapsReExecuted);
+    t.addCounter("job.mapFailures", result.mapFailures);
+    t.addCounter("job.reduceFailures", result.reduceFailures);
+    t.addCounter("sort.sortedSkips", result.sortTotals.sortedSkips);
+    t.addCounter("sort.comparisonSorts", result.sortTotals.comparisonSorts);
+    t.addCounter("sort.radixSorts", result.sortTotals.radixSorts);
+    t.addCounter("sort.radixPasses", result.sortTotals.radixPasses);
+    t.addCounter("sort.radixPassesSkipped",
+                 result.sortTotals.radixPassesSkipped);
   }
   return std::move(result);
 }

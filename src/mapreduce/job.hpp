@@ -9,6 +9,7 @@
 
 #include "mapreduce/interfaces.hpp"
 #include "mapreduce/segment.hpp"
+#include "obs/trace.hpp"
 
 namespace sidr::mr {
 
@@ -210,6 +211,12 @@ struct JobSpec {
   /// are identical for every pool size. Ignored when spillDirectory is
   /// empty; must be > 0.
   std::uint32_t spillWriters = 4;
+
+  /// Record a per-attempt / per-phase obs::Trace into JobResult::trace
+  /// (DESIGN.md section 13). Off by default: with no recorder installed
+  /// the span scopes on the hot paths reduce to a thread-local load and
+  /// a branch.
+  bool recordTrace = false;
 };
 
 struct TaskEvent {
@@ -272,6 +279,18 @@ struct JobResult {
   std::uint32_t mapFailures = 0;
   /// Reduce attempts that were injected failures.
   std::uint32_t reduceFailures = 0;
+
+  /// Job-wide sort counters: every worker thread's thread-local
+  /// SortStats delta, summed at worker exit. Always populated (trace
+  /// recording on or off) — the uniform surface for what used to be
+  /// visible only to unit tests running on the sorting thread.
+  SortStats sortTotals;
+
+  /// Per-attempt / per-phase spans plus the counter registry, populated
+  /// when JobSpec::recordTrace was set; empty otherwise. The registry
+  /// absorbs the scalar metrics above and sortTotals under stable names
+  /// ("shuffle.bytes", "sort.radixSorts", ...) at job end.
+  obs::Trace trace;
 
   /// Flattens all reduce outputs into one key-sorted list (for oracles).
   std::vector<KeyValue> collectAll() const;

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace sidr::mr {
 
 BufferingMapContext::BufferingMapContext(const Partitioner& partitioner,
@@ -134,10 +136,18 @@ std::vector<Segment> runMapPipeline(const InputSplit& split,
   // up to 2*rank+1 boxes); the mapper sees them as one record stream.
   for (const nd::Region& region : split.regions) {
     auto reader = readerFactory(region);
-    std::size_t n;
-    while ((n = reader->nextBatch({keys.data(), kBatch},
-                                  {values.data(), kBatch})) > 0) {
+    while (true) {
+      std::size_t n;
+      {
+        obs::SpanScope readSpan(obs::Phase::kRead, obs::TaskSide::kMap,
+                                mapTask);
+        n = reader->nextBatch({keys.data(), kBatch}, {values.data(), kBatch});
+        readSpan.setRecords(n);
+      }
+      if (n == 0) break;
+      obs::SpanScope mapSpan(obs::Phase::kMap, obs::TaskSide::kMap, mapTask);
       for (std::size_t i = 0; i < n; ++i) mapper.map(keys[i], values[i], ctx);
+      mapSpan.setRecords(n);
     }
   }
   mapper.finish(ctx);

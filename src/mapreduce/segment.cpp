@@ -1,6 +1,7 @@
 #include "mapreduce/segment.hpp"
 
 #include "mapreduce/interfaces.hpp"
+#include "obs/trace.hpp"
 
 #include <algorithm>
 #include <array>
@@ -211,6 +212,9 @@ void Segment::computeLinearKeys(const nd::Coord& keySpace) {
 }
 
 void Segment::sortByKey() {
+  obs::SpanScope span(obs::Phase::kSortPacked, obs::TaskSide::kMap,
+                      header_.mapTask, 0, header_.keyblock);
+  span.setRecords(header_.numRecords);
   if (packedMode_) {
     sortPacked();
     return;

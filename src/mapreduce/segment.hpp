@@ -61,6 +61,25 @@ struct SortStats {
   std::uint64_t radixPassesSkipped = 0;  ///< passes skipped (constant key byte)
 
   void reset() { *this = SortStats{}; }
+
+  /// Field-wise difference against an earlier snapshot of the same
+  /// thread's counters — how workers compute their per-run delta.
+  SortStats minus(const SortStats& earlier) const noexcept {
+    return SortStats{sortedSkips - earlier.sortedSkips,
+                     comparisonSorts - earlier.comparisonSorts,
+                     radixSorts - earlier.radixSorts,
+                     radixPasses - earlier.radixPasses,
+                     radixPassesSkipped - earlier.radixPassesSkipped};
+  }
+
+  /// Field-wise accumulation (JobResult::sortTotals aggregation).
+  void add(const SortStats& other) noexcept {
+    sortedSkips += other.sortedSkips;
+    comparisonSorts += other.comparisonSorts;
+    radixSorts += other.radixSorts;
+    radixPasses += other.radixPasses;
+    radixPassesSkipped += other.radixPassesSkipped;
+  }
 };
 
 /// This thread's sort counters.

@@ -62,6 +62,7 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.numThreads = options.numThreads;
   spec.recovery = options.recovery;
   spec.faultPlan = options.faultPlan;
+  spec.recordTrace = options.recordTrace;
   // The extraction map bounds every intermediate key, so every planner
   // job runs the linearized-key fast path (DESIGN.md section 11). This
   // is the same space both partitioners linearize over: ModuloPartitioner

@@ -59,6 +59,10 @@ struct PlanOptions {
   /// Failure injection (map and reduce attempts) + retry bound,
   /// forwarded to mr::JobSpec::faultPlan.
   mr::FaultPlan faultPlan;
+
+  /// Record a per-attempt / per-phase obs::Trace into JobResult::trace
+  /// (forwarded to mr::JobSpec::recordTrace; DESIGN.md section 13).
+  bool recordTrace = false;
 };
 
 /// A fully-assembled plan: the JobSpec plus the structural artifacts the

@@ -139,6 +139,35 @@ struct ClusterSim::Impl {
   std::vector<std::unordered_map<std::uint32_t, std::uint64_t>> outBytes;
   std::vector<std::uint64_t> mapTotalOutBytes;
 
+  // --- trace emission (obs schema, virtual lanes) ---
+  static constexpr std::uint32_t kReduceLane = 1u << 20;
+  static constexpr std::uint32_t kFetchLane = 2u << 20;
+  std::vector<std::uint32_t> mapAttempt;     // executions started, per map
+  std::vector<std::uint32_t> reduceAttempt;  // merges started, per keyblock
+  std::vector<double> mergeStart;            // current attempt's merge start
+  std::uint32_t fetchSeq = 0;  // each fetch gets its own lane: concurrent
+                               // fetches of one keyblock may cross in time
+                               // and would break per-lane nesting otherwise
+
+  void addSpan(obs::Phase phase, obs::TaskSide side, std::uint32_t taskId,
+               std::uint32_t attempt, std::uint32_t keyblock,
+               std::uint32_t lane, double start, double end,
+               std::uint64_t bytes = 0,
+               obs::Outcome outcome = obs::Outcome::kOk) {
+    obs::Span s;
+    s.start = start;
+    s.end = end;
+    s.bytes = bytes;
+    s.taskId = taskId;
+    s.attempt = attempt;
+    s.keyblock = keyblock;
+    s.tid = lane;
+    s.phase = phase;
+    s.side = side;
+    s.outcome = outcome;
+    result.trace.spans.push_back(s);
+  }
+
   // --- HOP estimate state ---
   std::vector<double> reduceFetchedBytes;     // bytes landed per reduce
   std::vector<double> hopThresholds{0.25, 0.5, 0.75};
@@ -188,12 +217,30 @@ struct ClusterSim::Impl {
             : static_cast<double>(mapTotalOutBytes[m]) /
                   cfg.tempDiskBandwidth;
 
-    at(now + cfg.taskStartOverhead, [this, m, node, readDev, readWork,
+    const std::uint32_t attempt = ++mapAttempt[m];
+    const std::uint64_t readBytes = job.splitBytes[m];
+    at(now + cfg.taskStartOverhead, [this, m, node, attempt, readBytes,
+                                     readDev, readWork, cpuSeconds,
+                                     spillWork] {
+      const double tRead = now;
+      ioChunked(*readDev, readWork, [this, m, node, attempt, readBytes, tRead,
                                      cpuSeconds, spillWork] {
-      ioChunked(*readDev, readWork, [this, m, node, cpuSeconds, spillWork] {
-        at(now + cpuSeconds, [this, m, node, spillWork] {
+        addSpan(obs::Phase::kRead, obs::TaskSide::kMap, m, attempt,
+                obs::kNoId, m, tRead, now, readBytes);
+        const double tCpu = now;
+        at(now + cpuSeconds, [this, m, node, attempt, tCpu, spillWork] {
+          addSpan(obs::Phase::kMap, obs::TaskSide::kMap, m, attempt,
+                  obs::kNoId, m, tCpu, now);
+          const double tSpill = now;
           ioChunked(nodes[node].tempDisk, spillWork,
-                    [this, m, node] { onMapDone(m, node); });
+                    [this, m, node, attempt, tSpill] {
+                      if (!job.volatileIntermediate) {
+                        addSpan(obs::Phase::kSpillWrite, obs::TaskSide::kMap,
+                                m, attempt, obs::kNoId, m, tSpill, now,
+                                mapTotalOutBytes[m]);
+                      }
+                      onMapDone(m, node);
+                    });
         });
       });
     });
@@ -210,6 +257,9 @@ struct ClusterSim::Impl {
             job.failOnceMaps.end()) {
       mapFailedOnce[m] = true;
       ++result.mapFailures;
+      addSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m, mapAttempt[m],
+              obs::kNoId, m, result.maps[m].start, now, mapTotalOutBytes[m],
+              obs::Outcome::kFail);
       ++nodes[node].freeMapSlots;
       markMapEligible(m);
       dispatch();
@@ -218,8 +268,16 @@ struct ClusterSim::Impl {
     mapDone[m] = true;
     ++mapsDone;
     result.maps[m].end = now;
+    addSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m, mapAttempt[m],
+            obs::kNoId, m, result.maps[m].start, now, mapTotalOutBytes[m]);
     ++nodes[node].freeMapSlots;
     for (std::uint32_t kb : mapToReduces[m]) {
+      // Zero-width commit marker per destination keyblock at the moment
+      // the map's output becomes fetchable — the sim analogue of the
+      // engine's rename/pointer-flip publication, so the commit-before-
+      // reduce gating invariant is checkable on simulator traces too.
+      addSpan(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
+              mapAttempt[m], kb, m, now, now, fetchBytes(m, kb));
       if (depCredited[m][kb]) continue;
       depCredited[m][kb] = true;
       --depsRemaining[kb];
@@ -253,12 +311,19 @@ struct ClusterSim::Impl {
     double bw = std::min(cfg.perConnectionCap, cfg.nicBandwidth);
     double wireWork = cfg.connectionLatency + bytes / bw;
     std::uint32_t node = reduceNode[kb];
+    const double tFetch = now;
+    const std::uint32_t lane = kFetchLane + fetchSeq++;
+    const std::uint64_t byteCount = fetchBytes(m, kb);
     // Wire transfer, then the segment lands on the reduce node's temp
     // drive (Hadoop's shuffle writes fetched segments to disk, merging
     // them in the background during the copy phase).
     double landWork = bytes / cfg.tempDiskBandwidth;
-    ioChunked(nodes[node].nic, wireWork, [this, node, landWork, bytes, kb] {
-      ioChunked(nodes[node].tempDisk, landWork, [this, bytes, kb] {
+    ioChunked(nodes[node].nic, wireWork, [this, node, landWork, bytes, kb,
+                                          tFetch, lane, byteCount] {
+      ioChunked(nodes[node].tempDisk, landWork, [this, bytes, kb, tFetch,
+                                                 lane, byteCount] {
+        addSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb, 0, kb, lane,
+                tFetch, now, byteCount);
         reduceFetchedBytes[kb] += bytes;
         onFetchDone(kb);
       });
@@ -352,11 +417,29 @@ struct ClusterSim::Impl {
     double cpuSeconds = bytes * job.reduceCpuSecondsPerByte;
     double writeWork =
         static_cast<double>(job.reduceOutputBytes[kb]) / cfg.diskBandwidth;
-    ioChunked(nodes[node].tempDisk, mergeWork, [this, kb, node, cpuSeconds,
+    // The attempt span starts HERE (merge start), not at scheduling:
+    // every dependency commit happened at or before this instant, which
+    // is exactly the gating invariant the trace checks encode.
+    const std::uint32_t attempt = ++reduceAttempt[kb];
+    mergeStart[kb] = now;
+    const std::uint64_t mergeBytes = job.reduceInputBytes[kb];
+    ioChunked(nodes[node].tempDisk, mergeWork, [this, kb, node, attempt,
+                                                mergeBytes, cpuSeconds,
                                                 writeWork] {
-      at(now + cpuSeconds, [this, kb, node, writeWork] {
+      addSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb, attempt, kb,
+              kReduceLane + kb, mergeStart[kb], now, mergeBytes);
+      const double tCpu = now;
+      at(now + cpuSeconds, [this, kb, node, attempt, tCpu, writeWork] {
+        addSpan(obs::Phase::kReduce, obs::TaskSide::kReduce, kb, attempt, kb,
+                kReduceLane + kb, tCpu, now);
+        const double tWrite = now;
         ioChunked(nodes[node].hdfsDisk, writeWork,
-                  [this, kb, node] { onReduceDone(kb, node); });
+                  [this, kb, node, attempt, tWrite] {
+                    addSpan(obs::Phase::kOutputCommit, obs::TaskSide::kReduce,
+                            kb, attempt, kb, kReduceLane + kb, tWrite, now,
+                            job.reduceOutputBytes[kb]);
+                    onReduceDone(kb, node);
+                  });
       });
     });
   }
@@ -371,6 +454,9 @@ struct ClusterSim::Impl {
                   kb) != job.failOnceReduces.end()) {
       reduceFailedOnce[kb] = true;
       ++result.reduceFailures;
+      addSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kReduce, kb,
+              reduceAttempt[kb], kb, kReduceLane + kb, mergeStart[kb], now,
+              job.reduceInputBytes[kb], obs::Outcome::kFail);
       reduceMergeStarted[kb] = false;
       fetchesRemaining[kb] =
           static_cast<std::uint32_t>(deps[kb].size());
@@ -394,6 +480,9 @@ struct ClusterSim::Impl {
       return;
     }
     result.reduces[kb].end = now;
+    addSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kReduce, kb,
+            reduceAttempt[kb], kb, kReduceLane + kb, mergeStart[kb], now,
+            job.reduceInputBytes[kb]);
     ++nodes[node].freeReduceSlots;
     dispatch();
   }
@@ -513,6 +602,9 @@ struct ClusterSim::Impl {
     mapFailedOnce.assign(nm, false);
     reduceFetchedBytes.assign(nr, 0.0);
     mapRunCount.assign(nm, 0);
+    mapAttempt.assign(nm, 0);
+    reduceAttempt.assign(nr, 0);
+    mergeStart.assign(nr, 0.0);
     if (job.hopEstimates && isSidr()) {
       throw std::invalid_argument(
           "ClusterSim: HOP estimates apply to global-barrier mode");
@@ -578,6 +670,11 @@ struct ClusterSim::Impl {
       result.firstResult = std::min(result.firstResult, r.end);
       result.totalTime = std::max(result.totalTime, r.end);
     }
+    result.trace.sortSpans();
+    result.trace.addCounter("shuffle.connections", result.shuffleConnections);
+    result.trace.addCounter("job.mapsReExecuted", result.mapsReExecuted);
+    result.trace.addCounter("job.mapFailures", result.mapFailures);
+    result.trace.addCounter("job.reduceFailures", result.reduceFailures);
     return result;
   }
 };

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "mapreduce/job.hpp"
+#include "obs/trace.hpp"
 
 namespace sidr::sim {
 
@@ -117,6 +118,14 @@ struct SimResult {
   /// HOP estimate emissions: (fraction of maps complete, time at which
   /// EVERY reduce finished its snapshot over the data seen so far).
   std::vector<std::pair<double, double>> estimates;
+
+  /// Per-attempt / per-phase spans in the SAME schema the real engine
+  /// records (obs::Span; DESIGN.md section 13), on virtual lanes: map m
+  /// on lane m, reduce kb on lane (1<<20)+kb, each fetch on its own
+  /// lane above (2<<20). Timestamps are simulated seconds, so the same
+  /// trace_check invariants (nesting, commit-before-reduce gating)
+  /// apply verbatim to simulator output.
+  obs::Trace trace;
 
   /// Times at which the k-th fraction of maps / reduces completed.
   std::vector<double> sortedMapEnds() const;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <ostream>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace sidr::sim {
 
@@ -68,6 +69,24 @@ FractionStats fractionStats(
     stats.stddevTimes.push_back(std::sqrt(var));
   }
   return stats;
+}
+
+std::vector<double> sortedAttemptEnds(const obs::Trace& trace,
+                                      obs::TaskSide side) {
+  // A task's completion time is the end of its last OK attempt; failed
+  // attempts never complete the task (the engine and sim both re-run).
+  std::unordered_map<std::uint32_t, double> lastOkEnd;
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kTaskAttempt || s.side != side) continue;
+    if (s.outcome != obs::Outcome::kOk) continue;
+    auto [it, inserted] = lastOkEnd.try_emplace(s.taskId, s.end);
+    if (!inserted) it->second = std::max(it->second, s.end);
+  }
+  std::vector<double> ends;
+  ends.reserve(lastOkEnd.size());
+  for (const auto& [task, end] : lastOkEnd) ends.push_back(end);
+  std::sort(ends.begin(), ends.end());
+  return ends;
 }
 
 }  // namespace sidr::sim

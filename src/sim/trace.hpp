@@ -41,4 +41,11 @@ FractionStats fractionStats(
     const std::vector<std::vector<double>>& sortedEndsPerRun,
     std::size_t numPoints = 20);
 
+/// Sorted end times of the final SUCCESSFUL attempt span of each task
+/// on `side` — the obs-trace analogue of SimResult::sortedReduceEnds /
+/// sortedMapEnds, so a trace alone reproduces the completion series
+/// (and the differential test can pin the two surfaces to each other).
+std::vector<double> sortedAttemptEnds(const obs::Trace& trace,
+                                      obs::TaskSide side);
+
 }  // namespace sidr::sim

@@ -8,11 +8,13 @@
 #include "mapreduce/engine.hpp"
 #include "scihadoop/datagen.hpp"
 #include "sidr/planner.hpp"
+#include "support/trace_check.hpp"
 
 namespace sidr::core {
 namespace {
 
 using sh::OperatorKind;
+using testsupport::CheckJobTrace;
 
 sh::StructuralQuery makeQuery(OperatorKind op, nd::Coord eshape,
                               double threshold = 0.0) {
@@ -44,37 +46,6 @@ void expectMatchesOracle(const mr::JobResult& result,
   }
 }
 
-/// Event-log invariant: every start event pairs with exactly one end
-/// OR fail event of the same task and attempt, and attempts of a task
-/// are numbered 1..n without repetition.
-void expectEventLogWellPaired(const mr::JobResult& result) {
-  using Kind = mr::TaskEvent::Kind;
-  // key: (isMap, taskId, attempt)
-  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> starts;
-  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> finishes;
-  for (const mr::TaskEvent& ev : result.events) {
-    EXPECT_GE(ev.attempt, 1u);
-    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
-                 ev.kind == Kind::kMapFail;
-    auto key = std::make_tuple(isMap, ev.taskId, ev.attempt);
-    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) {
-      ++starts[key];
-    } else {
-      ++finishes[key];
-    }
-  }
-  for (const auto& [key, n] : starts) {
-    EXPECT_EQ(n, 1) << "duplicate start for task " << std::get<1>(key)
-                    << " attempt " << std::get<2>(key);
-    auto it = finishes.find(key);
-    ASSERT_NE(it, finishes.end())
-        << "start without end/fail for task " << std::get<1>(key)
-        << " attempt " << std::get<2>(key);
-    EXPECT_EQ(it->second, 1);
-  }
-  EXPECT_EQ(starts.size(), finishes.size()) << "end/fail without a start";
-}
-
 struct EngineCase {
   OperatorKind op;
   SystemMode system;
@@ -95,6 +66,7 @@ TEST_P(EngineOracle, MatchesSerialExecution) {
   opts.numReducers = 4;
   opts.desiredSplitCount = 9;
   opts.numThreads = 3;
+  opts.recordTrace = true;
   QueryPlan plan = planner.plan(fn, opts);
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
 
@@ -102,6 +74,7 @@ TEST_P(EngineOracle, MatchesSerialExecution) {
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
   EXPECT_EQ(result.annotationViolations, 0u);
   EXPECT_EQ(result.reduceFailures, 0u);
+  CheckJobTrace(result);
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -131,12 +104,14 @@ TEST(Engine, SidrShuffleConnectionsAreSumOfDeps) {
   std::uint64_t expected = plan.dependencies.totalConnections();
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
   EXPECT_EQ(result.shuffleConnections, expected);
+  CheckJobTrace(result);
   // Stock contacts every map from every reduce.
   PlanOptions stockOpts = opts;
   stockOpts.system = SystemMode::kSciHadoop;
   QueryPlan stock = planner.plan(sh::temperatureField(), stockOpts);
   std::size_t numSplits = stock.spec.splits.size();
   mr::JobResult stockResult = mr::Engine(std::move(stock.spec)).run();
+  CheckJobTrace(stockResult);
   EXPECT_EQ(stockResult.shuffleConnections, numSplits * 5);
   EXPECT_LT(result.shuffleConnections, stockResult.shuffleConnections);
 }
@@ -167,6 +142,7 @@ TEST(Engine, SidrReducesStartBeforeAllMapsFinish) {
   // The defining SIDR behaviour: some reduce starts before the global
   // barrier would have allowed (i.e. before the last map ends).
   EXPECT_LT(firstReduceStart, lastMapEnd);
+  CheckJobTrace(result);
 }
 
 TEST(Engine, StockReducesWaitForGlobalBarrier) {
@@ -192,6 +168,7 @@ TEST(Engine, StockReducesWaitForGlobalBarrier) {
     }
   }
   EXPECT_GE(firstReduceStart, lastMapEnd);
+  CheckJobTrace(result);
 }
 
 TEST(Engine, KeyblockPrioritySchedulesFirst) {
@@ -220,6 +197,7 @@ TEST(Engine, KeyblockPrioritySchedulesFirst) {
   EXPECT_EQ(commitOrder[0], 5u);
   EXPECT_EQ(commitOrder[1], 6u);
   EXPECT_EQ(commitOrder[2], 7u);
+  CheckJobTrace(result);
 }
 
 TEST(Engine, RecoveryRecomputeOnlyDeps) {
@@ -242,6 +220,7 @@ TEST(Engine, RecoveryRecomputeOnlyDeps) {
   EXPECT_EQ(result.annotationViolations, 0u);
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  CheckJobTrace(result);
 }
 
 TEST(Engine, RecoveryPersistAllReRunsNothing) {
@@ -262,7 +241,7 @@ TEST(Engine, RecoveryPersistAllReRunsNothing) {
   EXPECT_EQ(result.mapsReExecuted, 0u);
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
-  expectEventLogWellPaired(result);
+  CheckJobTrace(result);
 }
 
 TEST(Engine, FaultPlanMapAndReduceFailuresBothShuffleModes) {
@@ -296,7 +275,7 @@ TEST(Engine, FaultPlanMapAndReduceFailuresBothShuffleModes) {
     // two failed map attempts retry once each.
     EXPECT_EQ(result.mapsReExecuted, 2u);
     EXPECT_EQ(result.annotationViolations, 0u);
-    expectEventLogWellPaired(result);
+    CheckJobTrace(result);
     sh::ExtractionMap ex(q, input);
     expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
   }
@@ -332,7 +311,7 @@ TEST(Engine, FaultPlanUnderRecomputeDepsRecovery) {
     // Two failed-attempt retries plus both recoveries' I_2 re-runs.
     EXPECT_GE(result.mapsReExecuted, 2u + 2u * depsOfFailed);
     EXPECT_EQ(result.annotationViolations, 0u);
-    expectEventLogWellPaired(result);
+    CheckJobTrace(result);
     sh::ExtractionMap ex(q, input);
     expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
   }
@@ -410,7 +389,7 @@ TEST(Engine, SpillRecoveryRaceHammer) {
     mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
     EXPECT_EQ(result.reduceFailures, 4u);
     EXPECT_EQ(result.annotationViolations, 0u);
-    expectEventLogWellPaired(result);
+    CheckJobTrace(result);
     expectMatchesOracle(result, oracle);
   }
   std::filesystem::remove_all(dir);
@@ -490,6 +469,7 @@ TEST(Engine, SkewMeasuredUnderModuloVsPartitionPlus) {
   stock.desiredSplitCount = 8;
   mr::JobResult stockRes =
       mr::Engine(planner.plan(sh::temperatureField(), stock).spec).run();
+  CheckJobTrace(stockRes);
   std::uint64_t stockMax = 0;
   std::uint64_t stockMin = UINT64_MAX;
   for (std::uint64_t c : stockRes.recordsPerReducer) {
@@ -502,6 +482,7 @@ TEST(Engine, SkewMeasuredUnderModuloVsPartitionPlus) {
   sidrOpts.system = SystemMode::kSidr;
   mr::JobResult sidrRes =
       mr::Engine(planner.plan(sh::temperatureField(), sidrOpts).spec).run();
+  CheckJobTrace(sidrRes);
   std::uint64_t sidrMax = 0;
   std::uint64_t sidrMin = UINT64_MAX;
   std::uint64_t total = 0;
@@ -542,10 +523,12 @@ TEST(Engine, SingleThreadSingleReducer) {
   opts.numThreads = 1;
   opts.mapSlots = 1;
   opts.reduceSlots = 1;
+  opts.recordTrace = true;
   QueryPlan plan = planner.plan(fn, opts);
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  CheckJobTrace(result);
 }
 
 TEST(Engine, ByteRangeSplitsMatchOracle) {
@@ -574,6 +557,7 @@ TEST(Engine, ByteRangeSplitsMatchOracle) {
   mr::JobResult result = mr::Engine(std::move(spec)).run();
   EXPECT_EQ(result.annotationViolations, 0u);
   expectMatchesOracle(result, sh::runSerialOracle(q, exm, fn));
+  CheckJobTrace(result);
 }
 
 TEST(Engine, RangeAndSortOperators) {
@@ -588,10 +572,12 @@ TEST(Engine, RangeAndSortOperators) {
     opts.system = SystemMode::kSidr;
     opts.numReducers = 3;
     opts.desiredSplitCount = 6;
+    opts.recordTrace = true;
     QueryPlan plan = planner.plan(fn, opts);
     mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
     sh::ExtractionMap ex(q, input);
     expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+    CheckJobTrace(result);
   }
 }
 
@@ -608,14 +594,17 @@ TEST(Engine, SpilledSegmentsMatchInMemory) {
   opts.numReducers = 4;
   opts.desiredSplitCount = 10;
 
+  opts.recordTrace = true;
   QueryPlan mem = planner.plan(fn, opts);
   mr::JobResult memResult = mr::Engine(std::move(mem.spec)).run();
+  CheckJobTrace(memResult);
 
   QueryPlan spill = planner.plan(fn, opts);
   spill.spec.spillDirectory =
       (std::filesystem::temp_directory_path() / "sidr_engine_spill").string();
   mr::JobResult spillResult = mr::Engine(std::move(spill.spec)).run();
   std::filesystem::remove_all(spill.spec.spillDirectory);
+  CheckJobTrace(spillResult);
 
   EXPECT_EQ(spillResult.annotationViolations, 0u);
   EXPECT_EQ(spillResult.shuffleConnections, memResult.shuffleConnections);
@@ -663,6 +652,7 @@ TEST(Engine, InMemoryShuffleIsZeroCopy) {
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
   EXPECT_EQ(result.shuffleBytes, 0u);
   EXPECT_GE(result.shuffleFetchSeconds, 0.0);
+  CheckJobTrace(result);
   std::uint64_t totalRecords = 0;
   for (std::uint64_t c : result.recordsPerReducer) totalRecords += c;
   EXPECT_GT(totalRecords, 0u);
@@ -714,6 +704,7 @@ TEST(Engine, RepeatedRunsAreStableUnderThreads) {
     QueryPlan plan = planner.plan(fn, opts);
     mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
     EXPECT_EQ(result.annotationViolations, 0u);
+    CheckJobTrace(result);
     auto got = result.collectAll();
     if (run == 0) {
       reference = std::move(got);
@@ -774,6 +765,8 @@ TEST(Engine, CombinerShrinksSegmentsWithoutChangingResults) {
 
   mr::JobResult raw = mr::Engine(makeSpec(false)).run();
   mr::JobResult combined = mr::Engine(makeSpec(true)).run();
+  CheckJobTrace(raw);
+  CheckJobTrace(combined);
 
   // Identical results...
   auto a = raw.collectAll();
@@ -809,10 +802,12 @@ TEST(Engine, DatasetBackedRun) {
   opts.system = SystemMode::kSidr;
   opts.numReducers = 2;
   opts.desiredSplitCount = 4;
+  opts.recordTrace = true;
   QueryPlan plan = planner.plan(dataset, 0, opts);
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
   sh::ExtractionMap ex(q, input);
   expectMatchesOracle(result, sh::runSerialOracle(q, ex, fn));
+  CheckJobTrace(result);
 }
 
 }  // namespace

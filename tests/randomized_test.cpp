@@ -14,6 +14,7 @@
 #include "mapreduce/engine.hpp"
 #include "scihadoop/datagen.hpp"
 #include "sidr/planner.hpp"
+#include "support/trace_check.hpp"
 
 namespace sidr::core {
 namespace {
@@ -106,6 +107,7 @@ TEST_P(RandomizedOracle, EngineMatchesOracle) {
       opts.numReducers = cfg.reducers;
       opts.desiredSplitCount = cfg.splitCount;
       opts.numThreads = 3;
+      opts.recordTrace = true;
       return mr::Engine(planner.plan(fn, opts).spec).run();
     }
     // Hand-assembled byte-range variant.
@@ -132,10 +134,12 @@ TEST_P(RandomizedOracle, EngineMatchesOracle) {
           extraction->intermediateSpaceShape());
       spec.mode = mr::ExecutionMode::kGlobalBarrier;
     }
+    spec.recordTrace = true;
     return mr::Engine(std::move(spec)).run();
   }();
 
   EXPECT_EQ(result.annotationViolations, 0u);
+  testsupport::CheckJobTrace(result);
 
   std::vector<mr::KeyValue> oracle =
       sh::runSerialOracle(cfg.query, exm, fn);
@@ -192,6 +196,7 @@ TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
   opts.recovery = (rng() % 2 == 0) ? mr::RecoveryModel::kPersistAll
                                    : mr::RecoveryModel::kRecomputeDeps;
 
+  opts.recordTrace = true;
   QueryPlanner planner(q, input);
   QueryPlan plan = planner.plan(fn, opts);
 
@@ -234,6 +239,12 @@ TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
                     : " persist") +
                " faults=" + std::to_string(fp.faults.size()));
 
+  // Dependency sets survive the spec move so the gating checks can use
+  // them: SIDR uses the plan's I_l, stock the full barrier set.
+  std::vector<std::vector<std::uint32_t>> deps =
+      stock ? testsupport::barrierDeps(numMaps, opts.numReducers)
+            : plan.spec.reduceDeps;
+
   mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
   if (spill) std::filesystem::remove_all(dir);
 
@@ -241,27 +252,12 @@ TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
   EXPECT_EQ(result.reduceFailures, expectReduceFailures);
   EXPECT_EQ(result.mapFailures, expectMapFailures);
 
-  // Event-log invariant: starts pair 1:1 with end/fail per attempt.
-  using Kind = mr::TaskEvent::Kind;
-  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> starts;
-  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> finishes;
-  for (const mr::TaskEvent& ev : result.events) {
-    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
-                 ev.kind == Kind::kMapFail;
-    auto key = std::make_tuple(isMap, ev.taskId, ev.attempt);
-    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) {
-      ++starts[key];
-    } else {
-      ++finishes[key];
-    }
-  }
-  EXPECT_EQ(starts.size(), finishes.size());
-  for (const auto& [key, n] : starts) {
-    EXPECT_EQ(n, 1);
-    auto it = finishes.find(key);
-    ASSERT_NE(it, finishes.end());
-    EXPECT_EQ(it->second, 1);
-  }
+  // Shared invariants: event log pairing, span nesting, span/event
+  // agreement, and the scheduling gate — every reduce attempt started
+  // only after all its dependency maps committed.
+  testsupport::CheckJobTrace(result);
+  testsupport::ExpectCommitGating(result.trace, deps);
+  testsupport::ExpectFetchTalliesMatchCommits(result.trace, deps);
 
   std::vector<mr::KeyValue> oracle =
       sh::runSerialOracle(q, sh::ExtractionMap(q, input), fn);

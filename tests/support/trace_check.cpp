@@ -1,0 +1,211 @@
+#include "support/trace_check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_map>
+
+namespace sidr::testsupport {
+
+void ExpectEventLogWellPaired(const mr::JobResult& result) {
+  using Kind = mr::TaskEvent::Kind;
+  // key: (isMap, taskId, attempt)
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> starts;
+  std::map<std::tuple<bool, std::uint32_t, std::uint32_t>, int> finishes;
+  for (const mr::TaskEvent& ev : result.events) {
+    EXPECT_GE(ev.attempt, 1u);
+    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
+                 ev.kind == Kind::kMapFail;
+    auto key = std::make_tuple(isMap, ev.taskId, ev.attempt);
+    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) {
+      ++starts[key];
+    } else {
+      ++finishes[key];
+    }
+  }
+  for (const auto& [key, n] : starts) {
+    EXPECT_EQ(n, 1) << "duplicate start for task " << std::get<1>(key)
+                    << " attempt " << std::get<2>(key);
+    auto it = finishes.find(key);
+    ASSERT_NE(it, finishes.end())
+        << "start without end/fail for task " << std::get<1>(key)
+        << " attempt " << std::get<2>(key);
+    EXPECT_EQ(it->second, 1);
+  }
+  EXPECT_EQ(starts.size(), finishes.size()) << "end/fail without a start";
+}
+
+void ExpectSpansWellNested(const obs::Trace& trace) {
+  std::unordered_map<std::uint32_t, std::vector<obs::Span>> lanes;
+  for (const obs::Span& s : trace.spans) {
+    EXPECT_LE(s.start, s.end)
+        << "span ends before it starts: " << obs::phaseName(s.phase)
+        << " task " << s.taskId;
+    lanes[s.tid].push_back(s);
+  }
+  for (auto& [tid, spans] : lanes) {
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const obs::Span& a, const obs::Span& b) {
+                       return a.start < b.start ||
+                              (a.start == b.start && a.end > b.end);
+                     });
+    // Stack of open end times: each next span must start at or after
+    // the innermost open span's start (guaranteed by the sort) and end
+    // at or before its end, or begin after it closed.
+    std::vector<double> open;
+    for (const obs::Span& s : spans) {
+      while (!open.empty() && s.start >= open.back() &&
+             !(s.start == open.back() && s.end == s.start)) {
+        // A zero-width span exactly at an enclosing end counts as
+        // inside it (commit markers sit at attempt end).
+        open.pop_back();
+      }
+      if (!open.empty()) {
+        EXPECT_LE(s.end, open.back())
+            << "crossing spans on lane " << tid << ": "
+            << obs::phaseName(s.phase) << " task " << s.taskId
+            << " [" << s.start << ", " << s.end << "] escapes its parent";
+      }
+      open.push_back(s.end);
+    }
+  }
+}
+
+namespace {
+
+using AttemptKey = std::tuple<bool, std::uint32_t, std::uint32_t>;
+
+}  // namespace
+
+void ExpectAttemptSpansMatchEvents(const obs::Trace& trace,
+                                   const mr::JobResult& result) {
+  using Kind = mr::TaskEvent::Kind;
+  // (isMap, task, attempt) -> failed?
+  std::map<AttemptKey, bool> fromEvents;
+  for (const mr::TaskEvent& ev : result.events) {
+    bool isMap = ev.kind == Kind::kMapStart || ev.kind == Kind::kMapEnd ||
+                 ev.kind == Kind::kMapFail;
+    if (ev.kind == Kind::kMapStart || ev.kind == Kind::kReduceStart) continue;
+    bool failed = ev.kind == Kind::kMapFail || ev.kind == Kind::kReduceFail;
+    auto [it, inserted] = fromEvents.try_emplace(
+        std::make_tuple(isMap, ev.taskId, ev.attempt), failed);
+    EXPECT_TRUE(inserted) << "duplicate finish event for task " << ev.taskId
+                          << " attempt " << ev.attempt;
+  }
+  std::map<AttemptKey, bool> fromSpans;
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kTaskAttempt) continue;
+    bool isMap = s.side == obs::TaskSide::kMap;
+    auto [it, inserted] = fromSpans.try_emplace(
+        std::make_tuple(isMap, s.taskId, s.attempt),
+        s.outcome == obs::Outcome::kFail);
+    EXPECT_TRUE(inserted) << "duplicate attempt span for task " << s.taskId
+                          << " attempt " << s.attempt;
+  }
+  EXPECT_EQ(fromSpans, fromEvents)
+      << "attempt spans and event log disagree on the set of attempts "
+         "or their outcomes";
+}
+
+void ExpectCommitGating(const obs::Trace& trace,
+                        const std::vector<std::vector<std::uint32_t>>& deps) {
+  // (map, keyblock) -> earliest commit end. The earliest suffices: any
+  // committed attempt makes the segment fetchable from then on.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, double> commitEnd;
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kRenameCommit) continue;
+    auto key = std::make_pair(s.taskId, s.keyblock);
+    auto [it, inserted] = commitEnd.try_emplace(key, s.end);
+    if (!inserted) it->second = std::min(it->second, s.end);
+  }
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kTaskAttempt ||
+        s.side != obs::TaskSide::kReduce) {
+      continue;
+    }
+    ASSERT_LT(s.taskId, deps.size());
+    for (std::uint32_t m : deps[s.taskId]) {
+      auto it = commitEnd.find(std::make_pair(m, s.taskId));
+      ASSERT_NE(it, commitEnd.end())
+          << "reduce " << s.taskId << " attempt " << s.attempt
+          << " ran but map " << m << " never committed its segment";
+      EXPECT_LE(it->second, s.start)
+          << "reduce " << s.taskId << " attempt " << s.attempt
+          << " started before map " << m << " committed (paper section "
+          << "3.2: reduces start only when I_l is fully committed)";
+    }
+  }
+}
+
+void ExpectFetchTalliesMatchCommits(
+    const obs::Trace& trace,
+    const std::vector<std::vector<std::uint32_t>>& deps) {
+  // (map, keyblock) -> annotation of the LAST committed attempt: a
+  // re-executed map republishes, and the reduce fetches what is
+  // current when it runs. Committed annotations are identical across
+  // attempts (same input split), so any committed one matches.
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint64_t> committed;
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kRenameCommit) continue;
+    committed[std::make_pair(s.taskId, s.keyblock)] = s.represents;
+  }
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kFetch || s.side != obs::TaskSide::kReduce) {
+      continue;
+    }
+    ASSERT_LT(s.taskId, deps.size());
+    std::uint64_t expected = 0;
+    for (std::uint32_t m : deps[s.taskId]) {
+      auto it = committed.find(std::make_pair(m, s.taskId));
+      ASSERT_NE(it, committed.end());
+      expected += it->second;
+    }
+    EXPECT_EQ(s.represents, expected)
+        << "reduce " << s.taskId << " attempt " << s.attempt
+        << " fetched an annotation tally that disagrees with the commit "
+        << "spans of its dependency set";
+  }
+}
+
+std::vector<std::vector<std::uint32_t>> barrierDeps(std::uint32_t numMaps,
+                                                    std::uint32_t numReduces) {
+  std::vector<std::vector<std::uint32_t>> deps(numReduces);
+  for (auto& d : deps) {
+    d.resize(numMaps);
+    for (std::uint32_t m = 0; m < numMaps; ++m) d[m] = m;
+  }
+  return deps;
+}
+
+AttemptSummary summarizeAttempts(const obs::Trace& trace) {
+  // attempt-number order, then flattened to the outcome sequence
+  std::map<std::pair<obs::TaskSide, std::uint32_t>,
+           std::map<std::uint32_t, obs::Outcome>>
+      byAttempt;
+  for (const obs::Span& s : trace.spans) {
+    if (s.phase != obs::Phase::kTaskAttempt) continue;
+    byAttempt[{s.side, s.taskId}][s.attempt] = s.outcome;
+  }
+  AttemptSummary summary;
+  for (const auto& [task, attempts] : byAttempt) {
+    std::uint32_t expect = 1;
+    for (const auto& [attempt, outcome] : attempts) {
+      EXPECT_EQ(attempt, expect)
+          << "attempts of task " << task.second << " are not 1..n";
+      ++expect;
+      summary[task].push_back(outcome);
+    }
+  }
+  return summary;
+}
+
+void CheckJobTrace(const mr::JobResult& result) {
+  ExpectEventLogWellPaired(result);
+  if (!result.trace.spans.empty()) {
+    ExpectSpansWellNested(result.trace);
+    ExpectAttemptSpansMatchEvents(result.trace, result);
+  }
+}
+
+}  // namespace sidr::testsupport

@@ -1,0 +1,78 @@
+// Reusable trace/event-log invariant checkers (DESIGN.md section 13).
+//
+// The engine's event log and the obs span trace describe the same
+// execution from two angles; these helpers pin both to the paper's
+// scheduling contract:
+//   - every start event pairs with exactly one end-or-fail event of the
+//     same task AND attempt (promoted from engine_test's local helper);
+//   - spans on one lane are well nested (an attempt span contains its
+//     phase spans);
+//   - attempt spans agree 1:1 with the event log, including outcomes
+//     (kMapFail / kReduceFail <=> Outcome::kFail);
+//   - no reduce attempt starts before the rename-commit spans of ALL
+//     maps in its dependency set I_l (SIDR) or of every map (barrier);
+//   - a reduce's fetched annotation tally equals the sum of the commit
+//     annotations it depends on.
+// All checkers use EXPECT_* internally so a failing invariant reports
+// context without aborting the suite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "obs/trace.hpp"
+
+namespace sidr::testsupport {
+
+/// Event-log invariant: every start event pairs with exactly one end
+/// OR fail event of the same task and attempt, and no start repeats.
+void ExpectEventLogWellPaired(const mr::JobResult& result);
+
+/// Per-lane nesting: after sorting by (start asc, end desc), spans on
+/// each lane form a forest — a later-starting span either begins after
+/// the enclosing span ends or ends within it (with <= tolerance for
+/// zero-width and boundary-tied spans).
+void ExpectSpansWellNested(const obs::Trace& trace);
+
+/// Attempt spans <-> event log: each (side, task, attempt) appears as
+/// exactly one kTaskAttempt span AND one start/end-or-fail event pair,
+/// with Outcome::kFail exactly where the event log says kMapFail /
+/// kReduceFail.
+void ExpectAttemptSpansMatchEvents(const obs::Trace& trace,
+                                   const mr::JobResult& result);
+
+/// Scheduling gate: for every reduce attempt span R and every map m in
+/// deps[R.taskId], some rename-commit span (m -> R.taskId) ends at or
+/// before R starts. Covers re-attempts: EVERY reduce attempt (not just
+/// the last) must have been gated on committed map output.
+void ExpectCommitGating(const obs::Trace& trace,
+                        const std::vector<std::vector<std::uint32_t>>& deps);
+
+/// Count-annotation cross-check (engine traces): each reduce attempt's
+/// fetch-span `represents` tally equals the sum of the LAST committed
+/// annotation from each dependency map.
+void ExpectFetchTalliesMatchCommits(
+    const obs::Trace& trace,
+    const std::vector<std::vector<std::uint32_t>>& deps);
+
+/// The global barrier as a dependency set: every reduce depends on
+/// every map.
+std::vector<std::vector<std::uint32_t>> barrierDeps(std::uint32_t numMaps,
+                                                    std::uint32_t numReduces);
+
+/// Outcome sequence of each task's attempts in order, keyed by
+/// (side, taskId) — the schedule-independent skeleton two executions of
+/// the same plan must share (sim vs engine differential).
+using AttemptSummary =
+    std::map<std::pair<obs::TaskSide, std::uint32_t>,
+             std::vector<obs::Outcome>>;
+AttemptSummary summarizeAttempts(const obs::Trace& trace);
+
+/// One-line per-test check: event log well paired, and when the result
+/// carries a recorded trace, spans well nested and consistent with the
+/// event log.
+void CheckJobTrace(const mr::JobResult& result);
+
+}  // namespace sidr::testsupport

@@ -1,0 +1,324 @@
+// Property tests for the obs trace layer (DESIGN.md section 13): over
+// randomized geometries, modes, spill settings and fault plans, the
+// recorded spans must satisfy the paper's scheduling contract —
+//   - spans are well nested per lane and agree 1:1 with the event log;
+//   - SIDR: no reduce attempt starts before the rename-commit spans of
+//     ALL maps in its I_l (fault re-attempts included);
+//   - global barrier: no reduce attempt starts before the last map
+//     commit;
+//   - reduce-side fetch tallies equal the sum of the committed
+//     annotations they depend on;
+// plus targeted tests for the counter registry (SortStats surfaced in
+// JobResult), the Chrome trace exporter, and the disabled recorder.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <sstream>
+
+#include "mapreduce/engine.hpp"
+#include "obs/report.hpp"
+#include "scihadoop/datagen.hpp"
+#include "sidr/planner.hpp"
+#include "support/trace_check.hpp"
+
+namespace sidr::core {
+namespace {
+
+namespace ts = testsupport;
+
+class TraceInvariants : public ::testing::TestWithParam<int> {};
+
+TEST_P(TraceInvariants, RandomizedSchedulingContract) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 6151 + 3);
+  nd::Coord input{static_cast<nd::Index>(18 + rng() % 24),
+                  static_cast<nd::Index>(8 + rng() % 10)};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = (rng() % 2 == 0) ? sh::OperatorKind::kMean : sh::OperatorKind::kSum;
+  q.extractionShape = nd::Coord{static_cast<nd::Index>(2 + rng() % 3),
+                                static_cast<nd::Index>(2 + rng() % 3)};
+  sh::ValueFn fn =
+      sh::temperatureField(static_cast<std::uint64_t>(GetParam() + 900));
+
+  const bool stock = rng() % 3 == 0;
+  const bool spill = rng() % 2 == 0;
+  PlanOptions opts;
+  opts.system = stock ? SystemMode::kSciHadoop : SystemMode::kSidr;
+  opts.numReducers = static_cast<std::uint32_t>(2 + rng() % 5);
+  opts.desiredSplitCount = 4 + rng() % 8;
+  opts.numThreads = static_cast<std::uint32_t>(2 + rng() % 5);
+  opts.recovery = (rng() % 2 == 0) ? mr::RecoveryModel::kPersistAll
+                                   : mr::RecoveryModel::kRecomputeDeps;
+  opts.recordTrace = true;
+
+  QueryPlanner planner(q, input);
+  QueryPlan plan = planner.plan(fn, opts);
+  const auto numMaps = static_cast<std::uint32_t>(plan.spec.splits.size());
+
+  // Random injected faults, drawn against the actual split count. A
+  // re-attempt after a fault is STILL a gated reduce start: the
+  // invariants below quantify over every attempt, not just the last.
+  mr::FaultPlan& fp = plan.spec.faultPlan;
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 3); i < n;
+       ++i) {
+    std::uint32_t kb = static_cast<std::uint32_t>(rng()) % opts.numReducers;
+    if (!fp.shouldFail(mr::TaskKind::kReduce, kb, 1)) fp.failReduce(kb, 1);
+  }
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 3); i < n;
+       ++i) {
+    std::uint32_t m = static_cast<std::uint32_t>(rng()) % numMaps;
+    if (!fp.shouldFail(mr::TaskKind::kMap, m, 1)) fp.failMap(m, 1);
+  }
+
+  std::string dir;
+  if (spill) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("sidr_traceinv_" + std::to_string(GetParam())))
+              .string();
+    plan.spec.spillDirectory = dir;
+  }
+  SCOPED_TRACE(std::string(stock ? "stock" : "sidr") +
+               (spill ? " spill" : " mem") +
+               " faults=" + std::to_string(fp.faults.size()));
+
+  std::vector<std::vector<std::uint32_t>> deps =
+      stock ? ts::barrierDeps(numMaps, opts.numReducers)
+            : plan.spec.reduceDeps;
+
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  if (spill) std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(result.annotationViolations, 0u);
+  ASSERT_FALSE(result.trace.spans.empty());
+  ts::CheckJobTrace(result);
+  ts::ExpectCommitGating(result.trace, deps);
+  ts::ExpectFetchTalliesMatchCommits(result.trace, deps);
+
+  // The registry mirrors the scalar JobResult surface exactly.
+  EXPECT_EQ(result.trace.counterValue("shuffle.connections"),
+            result.shuffleConnections);
+  EXPECT_EQ(result.trace.counterValue("job.mapFailures"),
+            result.mapFailures);
+  EXPECT_EQ(result.trace.counterValue("job.reduceFailures"),
+            result.reduceFailures);
+  EXPECT_EQ(result.trace.counterValue("job.annotationViolations"), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceInvariants, ::testing::Range(0, 16));
+
+TEST(TraceInvariants, BothShuffleModesWithFaultsDeterministic) {
+  // The acceptance scenario pinned deterministically: SIDR mode, both
+  // shuffle modes, with map AND reduce fault injection (including a
+  // fail-on-attempt-2), every trace invariant holding.
+  nd::Coord input{30, 12};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{3, 4};
+  sh::ValueFn fn = sh::temperatureField(77);
+  QueryPlanner planner(q, input);
+  for (bool spill : {false, true}) {
+    SCOPED_TRACE(spill ? "spill" : "in-memory");
+    PlanOptions opts;
+    opts.system = SystemMode::kSidr;
+    opts.numReducers = 4;
+    opts.desiredSplitCount = 8;
+    opts.numThreads = 4;
+    opts.recordTrace = true;
+    opts.faultPlan.failMap(1).failReduce(2, 1).failReduce(2, 2);
+    QueryPlan plan = planner.plan(fn, opts);
+    std::vector<std::vector<std::uint32_t>> deps = plan.spec.reduceDeps;
+    std::string dir =
+        (std::filesystem::temp_directory_path() / "sidr_traceinv_det")
+            .string();
+    if (spill) plan.spec.spillDirectory = dir;
+    mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+    if (spill) std::filesystem::remove_all(dir);
+
+    ts::CheckJobTrace(result);
+    ts::ExpectCommitGating(result.trace, deps);
+    ts::ExpectFetchTalliesMatchCommits(result.trace, deps);
+
+    // The fault plan shows up as failed attempt spans: map 1 attempt 1
+    // and reduce 2 attempts 1 AND 2 failed, each followed by retries.
+    ts::AttemptSummary attempts = ts::summarizeAttempts(result.trace);
+    auto mapIt = attempts.find({obs::TaskSide::kMap, 1});
+    ASSERT_NE(mapIt, attempts.end());
+    EXPECT_EQ(mapIt->second,
+              (std::vector<obs::Outcome>{obs::Outcome::kFail,
+                                         obs::Outcome::kOk}));
+    auto redIt = attempts.find({obs::TaskSide::kReduce, 2});
+    ASSERT_NE(redIt, attempts.end());
+    EXPECT_EQ(redIt->second,
+              (std::vector<obs::Outcome>{obs::Outcome::kFail,
+                                         obs::Outcome::kFail,
+                                         obs::Outcome::kOk}));
+
+    // Spill mode must carry spill-phase spans; in-memory must not.
+    bool sawSpillWrite = false;
+    bool sawEncode = false;
+    for (const obs::Span& s : result.trace.spans) {
+      sawSpillWrite |= s.phase == obs::Phase::kSpillWrite;
+      sawEncode |= s.phase == obs::Phase::kSpillEncode;
+    }
+    EXPECT_EQ(sawSpillWrite, spill);
+    EXPECT_EQ(sawEncode, spill);
+  }
+}
+
+// Planner-built jobs emit in key order (the StructuralMapper flushes
+// its cell map at finish()), so the sorted-skip fast path elides every
+// sort call. To exercise real sorts the job must emit out of order: a
+// transposing identity mapper reads row-major but keys column-major.
+mr::JobSpec transposeJob(nd::Index side, std::uint32_t numReducers) {
+  class TransposeMapper final : public mr::Mapper {
+   public:
+    void map(const nd::Coord& key, double value,
+             mr::MapContext& ctx) override {
+      ctx.emit(nd::Coord{key[1], key[0]}, mr::Value::scalar(value), 1);
+    }
+  };
+  class FirstValueReducer final : public mr::Reducer {
+   public:
+    void reduce(const nd::Coord& key, std::span<const mr::Value* const> vs,
+                mr::ReduceContext& ctx) override {
+      ctx.emit(key, *vs.front());
+    }
+  };
+  const nd::Coord shape{side, side};
+  mr::JobSpec spec;
+  const nd::Index half = side / 2;
+  spec.splits.push_back(mr::InputSplit::single(
+      0, nd::Region(nd::Coord{0, 0}, nd::Coord{half, side})));
+  spec.splits.push_back(mr::InputSplit::single(
+      1, nd::Region(nd::Coord{half, 0}, nd::Coord{side - half, side})));
+  spec.readerFactory = sh::makeSyntheticReaderFactory(
+      [](const nd::Coord& c) { return static_cast<double>(c[0] * 100 + c[1]); });
+  spec.mapperFactory = [] { return std::make_unique<TransposeMapper>(); };
+  spec.reducerFactory = [] { return std::make_unique<FirstValueReducer>(); };
+  spec.partitioner = std::make_shared<const mr::ModuloPartitioner>(shape);
+  spec.numReducers = numReducers;
+  spec.mode = mr::ExecutionMode::kGlobalBarrier;
+  spec.keySpace = shape;  // linearized fast path: packed radix sorts
+  spec.numThreads = 2;
+  return spec;
+}
+
+TEST(TraceInvariants, SortTotalsSurfacedInJobResult) {
+  // The transposing mapper forces out-of-order emission, so packed
+  // sorts must run — and their formerly thread-local counters must
+  // surface in JobResult::sortTotals AND the counter registry.
+  mr::JobSpec spec = transposeJob(32, 2);
+  spec.recordTrace = true;
+  mr::JobResult result = mr::Engine(std::move(spec)).run();
+
+  const mr::SortStats& st = result.sortTotals;
+  EXPECT_GT(st.comparisonSorts + st.radixSorts, 0u)
+      << "no sort activity surfaced at all";
+  EXPECT_EQ(result.trace.counterValue("sort.sortedSkips"), st.sortedSkips);
+  EXPECT_EQ(result.trace.counterValue("sort.comparisonSorts"),
+            st.comparisonSorts);
+  EXPECT_EQ(result.trace.counterValue("sort.radixSorts"), st.radixSorts);
+  EXPECT_EQ(result.trace.counterValue("sort.radixPasses"), st.radixPasses);
+
+  // Sort spans accompany the counters.
+  bool sawSort = false;
+  for (const obs::Span& s : result.trace.spans) {
+    sawSort |= s.phase == obs::Phase::kSortPacked;
+  }
+  EXPECT_TRUE(sawSort);
+}
+
+TEST(TraceInvariants, PlannerJobsEmitInOrderAndSkipSorts) {
+  // The flip side of the test above, pinned so a pipeline regression
+  // cannot silently reintroduce sorting: planner-built jobs emit in
+  // key order, so NO sort of any kind runs and no sort span appears.
+  nd::Coord input{32, 32};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = sh::OperatorKind::kMedian;
+  q.extractionShape = nd::Coord{32, 1};
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 2;
+  opts.desiredSplitCount = 4;
+  opts.recordTrace = true;
+  QueryPlan plan = planner.plan(sh::temperatureField(19), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+
+  const mr::SortStats& st = result.sortTotals;
+  EXPECT_EQ(st.sortedSkips + st.comparisonSorts + st.radixSorts, 0u)
+      << "sorted-skip fast path stopped covering planner jobs";
+  for (const obs::Span& s : result.trace.spans) {
+    EXPECT_NE(s.phase, obs::Phase::kSortPacked);
+  }
+}
+
+TEST(TraceInvariants, DisabledRecorderStillFillsSortTotals) {
+  mr::JobSpec spec = transposeJob(24, 3);
+  ASSERT_FALSE(spec.recordTrace);  // the default: recording off
+  mr::JobResult result = mr::Engine(std::move(spec)).run();
+
+  EXPECT_TRUE(result.trace.spans.empty());
+  EXPECT_TRUE(result.trace.counters.empty());
+  // sortTotals is part of the always-on surface, not the trace.
+  const mr::SortStats& st = result.sortTotals;
+  EXPECT_GT(st.comparisonSorts + st.radixSorts, 0u);
+}
+
+TEST(TraceInvariants, ChromeExportMatchesDocumentedSchema) {
+  nd::Coord input{20, 10};
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{4, 5};
+  QueryPlanner planner(q, input);
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.numReducers = 3;
+  opts.desiredSplitCount = 5;
+  opts.recordTrace = true;
+  QueryPlan plan = planner.plan(sh::temperatureField(29), opts);
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  ASSERT_FALSE(result.trace.spans.empty());
+
+  std::ostringstream os;
+  obs::writeChromeTrace(os, result.trace);
+  const std::string json = os.str();
+
+  // One complete ("ph":"X") event per span, the displayTimeUnit, and
+  // the counter registry under otherData — the schema DESIGN.md
+  // section 13 documents for chrome://tracing / Perfetto.
+  std::size_t events = 0;
+  for (std::size_t pos = 0;
+       (pos = json.find("\"ph\":\"X\"", pos)) != std::string::npos;
+       pos += 8) {
+    ++events;
+  }
+  EXPECT_EQ(events, result.trace.spans.size());
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"shuffle.connections\":"), std::string::npos);
+  EXPECT_NE(json.find("\"map:attempt\""), std::string::npos);
+  EXPECT_NE(json.find("\"reduce:fetch\""), std::string::npos);
+  // Timestamps are microseconds with fixed-point formatting — no
+  // scientific notation or NaNs that would break JSON consumers.
+  EXPECT_EQ(json.find("e+"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+
+  // The per-phase rollup covers exactly the (side, phase) pairs present.
+  std::vector<obs::PhaseTotal> totals = obs::phaseTotals(result.trace);
+  ASSERT_FALSE(totals.empty());
+  std::uint64_t spansCovered = 0;
+  for (const obs::PhaseTotal& t : totals) {
+    EXPECT_GT(t.spans, 0u);
+    spansCovered += t.spans;
+  }
+  EXPECT_EQ(spansCovered, result.trace.spans.size());
+}
+
+}  // namespace
+}  // namespace sidr::core
