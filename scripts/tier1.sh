@@ -23,7 +23,7 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
   linear_fastpath_test sort_spill_parity_test trace_invariants_test \
-  trace_differential_test
+  trace_differential_test out_of_core_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
 # The fast-path parity suite under TSan exercises packed segments' lazy
@@ -38,6 +38,18 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sort_spill_parity_test
 # spill): sanitizes the per-thread chunk publication and the registry.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_invariants_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_differential_test
+# The out-of-core suite under TSan hammers the bounded-memory mode
+# (DESIGN.md section 14): pressure eviction handing cold keyblocks to
+# pool workers races recovery republication and lock-free reduce
+# fetches that stream evicted inputs through bounded windows.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/out_of_core_test
+
+# ASan pass over the same suite: the windowed SegmentStream decoder and
+# the compressed varint codec move buffer boundaries around under
+# pressure — exactly where an off-by-one would hide from TSan.
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)" --target out_of_core_test
+./build-asan/tests/out_of_core_test
 
 # Keep the perf tree building and the map-side benchmark runnable: a
 # --quick pass catches bit-rot in the frozen legacy arm and the JSON

@@ -134,50 +134,33 @@ class SpillWriterPool {
 std::vector<KeyValue> JobResult::collectAll() const {
   // Each reducer's output is already key-sorted (the merger iterates
   // keys ascending), so a k-way merge over the outputs suffices — no
-  // full re-sort of the concatenation.
-  struct Cursor {
-    const std::vector<KeyValue>* records;
-    std::size_t pos;
-    /// Cached linear keys of the output, or nullptr when any merged
-    /// output lacks them (every compare then falls back to Coord order,
-    /// which the u64 order matches exactly — see DESIGN.md section 11).
-    const std::uint64_t* lin;
-  };
+  // full re-sort of the concatenation, and no per-output staging
+  // copies: SegmentMerger streams straight out of the ReduceOutput
+  // vectors and the result is filled through one exact-size reserve.
   std::size_t total = 0;
   bool allLinear = true;
   for (const ReduceOutput& out : outputs) {
     total += out.records.size();
     if (!out.records.empty() && out.linearKeys.size() != out.records.size()) {
+      // Any merged output lacking cached linear keys drops every cursor
+      // to Coord order, which the u64 order matches exactly (DESIGN.md
+      // section 11).
       allLinear = false;
     }
   }
-  std::vector<Cursor> heap;
-  heap.reserve(outputs.size());
+  std::vector<SegmentMerger::Input> inputs;
+  inputs.reserve(outputs.size());
   for (const ReduceOutput& out : outputs) {
-    if (!out.records.empty()) {
-      heap.push_back(
-          Cursor{&out.records, 0, allLinear ? out.linearKeys.data() : nullptr});
-    }
+    SegmentMerger::Input in;
+    in.run = &out.records;
+    in.runLin = allLinear ? out.linearKeys.data() : nullptr;
+    inputs.push_back(in);
   }
-  // std::push_heap/pop_heap build a max-heap; invert the comparison to
-  // pop the smallest key first.
-  auto byKeyDesc = [](const Cursor& a, const Cursor& b) {
-    if (a.lin != nullptr && b.lin != nullptr) return b.lin[b.pos] < a.lin[a.pos];
-    return (*b.records)[b.pos].key < (*a.records)[a.pos].key;
-  };
-  std::make_heap(heap.begin(), heap.end(), byKeyDesc);
+  SegmentMerger merger{std::span<const SegmentMerger::Input>(inputs)};
   std::vector<KeyValue> all;
   all.reserve(total);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), byKeyDesc);
-    Cursor& c = heap.back();
-    all.push_back((*c.records)[c.pos]);
-    if (++c.pos < c.records->size()) {
-      std::push_heap(heap.begin(), heap.end(), byKeyDesc);
-    } else {
-      heap.pop_back();
-    }
-  }
+  merger.forEachRecord(
+      [&all](const KeyValue& rec, std::uint64_t /*lin*/) { all.push_back(rec); });
   return all;
 }
 
@@ -227,6 +210,37 @@ struct Engine::Impl {
   std::vector<std::vector<std::shared_ptr<const Segment>>> segments;
   std::vector<std::vector<bool>> segAvail;
 
+  // --- memory budget / hybrid out-of-core state (DESIGN.md §14) ---
+  // With spillDirectory set AND memoryBudgetBytes > 0 the engine runs in
+  // hybrid mode: maps publish in-memory handles exactly like the
+  // in-memory engine, every published segment's resident footprint is
+  // charged against `pagePool`, and when the pool crosses its high-water
+  // mark the coldest committed keyblocks are evicted — encoded through
+  // the same attempt-file + atomic-rename protocol eager spill uses —
+  // until the pool drops to its low-water mark. A reduce whose handle
+  // slot is null streams the evicted file back through a bounded
+  // SegmentStream window instead of materializing it.
+  std::unique_ptr<SegmentPagePool> pagePool;
+  /// Pages charged for the published segment in segments[m][kb] (bytes
+  /// after page rounding); 0 when nothing is charged for the slot.
+  std::vector<std::vector<std::uint64_t>> segCharge;
+  /// True while a pressure eviction of (m, kb) is writing its file.
+  std::vector<std::vector<bool>> segEvicting;
+  /// Per keyblock: number of in-flight evictions of its segments. A
+  /// reduce is never pushed runnable while this is non-zero — the
+  /// lock-free fetch must observe either the handle or the committed
+  /// file, never a half-evicted slot — so every runnable push site gates
+  /// on it and eviction finalize re-checks the push.
+  std::vector<std::uint32_t> evictingCount;
+  /// Attempt whose segments are currently published, per map: names the
+  /// attempt-suffixed temporary file an eviction writes.
+  std::vector<std::uint32_t> publishedAttempt;
+  /// Keyblock -> position in priorityOrder (larger = colder, evicted
+  /// first: it runs latest, so its pages are reclaimed longest).
+  std::vector<std::uint32_t> posOf;
+  std::atomic<std::uint64_t> pressureSpills{0};
+  std::atomic<std::uint64_t> compressedSpillBytes{0};
+
   // --- reduce state ---
   std::vector<std::vector<std::uint32_t>> deps;  // resolved I_l per keyblock
   std::vector<std::vector<std::uint32_t>> mapToReduces;
@@ -260,6 +274,12 @@ struct Engine::Impl {
   // ---- map-output segment store (in-memory or spilled to files) ----
 
   bool spillEnabled() const { return !spec.spillDirectory.empty(); }
+  bool budgetEnabled() const { return spec.memoryBudgetBytes > 0; }
+  /// Eager spill = the pre-budget spill mode: every map attempt encodes
+  /// all keyblocks to files and reduces always load from disk. With a
+  /// budget the spill directory is instead the eviction target and maps
+  /// publish in-memory handles.
+  bool eagerSpill() const { return spillEnabled() && !budgetEnabled(); }
 
   /// Spill-writer pool; null when spilling is off or spillWriters == 1
   /// (then encode+write runs inline on the map worker, as the seed did).
@@ -300,9 +320,20 @@ struct Engine::Impl {
   }
 
   /// Reads and decodes a spilled segment; adds the bytes moved to
-  /// `bytesFetched` (the shuffleBytes accounting).
+  /// `bytesFetched` (the shuffleBytes accounting). Compressed spill
+  /// files decode through the streaming reader (the only decoder that
+  /// understands the delta/varint wire form); the window is irrelevant
+  /// here since the whole segment materializes anyway.
   Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
                              std::uint64_t& bytesFetched) const {
+    if (spec.compressSpill) {
+      SegmentStream stream(segmentPath(m, kb),
+                           std::max<std::size_t>(spec.mergeWindowBytes, 1),
+                           /*compressed=*/true, spec.keySpace);
+      Segment seg = Segment::fromStream(stream);
+      bytesFetched += stream.bytesRead();
+      return seg;
+    }
     sci::FileStorage file(segmentPath(m, kb),
                           sci::FileStorage::Mode::kOpenReadOnly);
     std::vector<std::byte> bytes(file.size());
@@ -339,7 +370,8 @@ struct Engine::Impl {
       // Scheduling a reduce walks the task tree and marks its dependent
       // maps schedulable (paper section 3.3).
       for (std::uint32_t m : deps[kb]) markMapEligible(m);
-      if (remainingDeps[kb] == 0 && !reduceRunnableFlag[kb]) {
+      if (remainingDeps[kb] == 0 && !reduceRunnableFlag[kb] &&
+          evictingCount[kb] == 0) {
         reduceRunnableFlag[kb] = true;
         runnableReduces.push_back(kb);
       }
@@ -348,6 +380,7 @@ struct Engine::Impl {
 
   void runMap(std::uint32_t m);
   void runReduce(std::uint32_t kb);
+  void maybePressureSpill();
   void workerLoop();
   void workerTasks();
   JobResult run();
@@ -412,6 +445,32 @@ Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
   if (spec_.spillWriters == 0) {
     throw std::invalid_argument("Engine: spillWriters must be > 0");
   }
+  if (spec_.memoryBudgetBytes > 0) {
+    if (spec_.spillDirectory.empty()) {
+      throw std::invalid_argument(
+          "Engine: memoryBudgetBytes requires a spillDirectory to evict into");
+    }
+    if (spec_.memoryBudgetBytes < SegmentPagePool::kPageBytes) {
+      throw std::invalid_argument(
+          "Engine: memoryBudgetBytes must cover at least one page (" +
+          std::to_string(SegmentPagePool::kPageBytes) + " bytes)");
+    }
+    if (spec_.mergeWindowBytes == 0) {
+      throw std::invalid_argument(
+          "Engine: mergeWindowBytes must be > 0 when a memory budget is set");
+    }
+  }
+  if (spec_.compressSpill) {
+    if (spec_.spillDirectory.empty()) {
+      throw std::invalid_argument(
+          "Engine: compressSpill requires a spillDirectory");
+    }
+    if (spec_.keySpace.rank() == 0) {
+      throw std::invalid_argument(
+          "Engine: compressSpill requires a keySpace (the codec delta-encodes "
+          "linear keys)");
+    }
+  }
   for (const FaultSpec& f : spec_.faultPlan.faults) {
     if (f.attempt == 0) {
       throw std::invalid_argument("Engine: fault attempt ids are 1-based");
@@ -452,7 +511,7 @@ void Engine::Impl::runMap(std::uint32_t m) {
   std::vector<Segment> produced =
       runMapPipeline(spec.splits[m], m, spec.readerFactory, *mapper,
                      *spec.partitioner, numReduces, combiner.get(),
-                     spec.keySpace);
+                     spec.keySpace, pagePool.get());
 
   // Verify routing against the declared dependency sets (a record
   // landing in a keyblock that does not list this split is a
@@ -485,8 +544,9 @@ void Engine::Impl::runMap(std::uint32_t m) {
   attemptSpan.setRecords(producedRecords);
   attemptSpan.setRepresents(producedRepresents);
   std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
+  std::vector<std::uint64_t> localSegBytes;
   std::uint64_t bytesSpilled = 0;
-  if (spillEnabled() && spillPool != nullptr) {
+  if (eagerSpill() && spillPool != nullptr) {
     SpillWriterPool::Batch batch;
     std::atomic<std::uint64_t> batchBytes{0};
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
@@ -500,7 +560,13 @@ void Engine::Impl::runMap(std::uint32_t m) {
             {
               obs::SpanScope enc(obs::Phase::kSpillEncode,
                                  obs::TaskSide::kMap, m, attempt, kb);
-              seg->serializeInto(encodeBuf);
+              if (spec.compressSpill) {
+                seg->serializeCompressedInto(encodeBuf, spec.keySpace);
+                compressedSpillBytes.fetch_add(encodeBuf.size(),
+                                               std::memory_order_relaxed);
+              } else {
+                seg->serializeInto(encodeBuf);
+              }
               enc.setBytes(encodeBuf.size());
               enc.setRecords(seg->header().numRecords);
             }
@@ -513,7 +579,7 @@ void Engine::Impl::runMap(std::uint32_t m) {
     }
     batch.wait();  // rethrows the first encode/write failure
     bytesSpilled = batchBytes.load(std::memory_order_relaxed);
-  } else if (spillEnabled()) {
+  } else if (eagerSpill()) {
     std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
       // Persist map output to attempt-scoped temp files; nothing is
@@ -523,7 +589,13 @@ void Engine::Impl::runMap(std::uint32_t m) {
       {
         obs::SpanScope enc(obs::Phase::kSpillEncode, obs::TaskSide::kMap, m,
                            attempt, kb);
-        produced[kb].serializeInto(spillBuf);
+        if (spec.compressSpill) {
+          produced[kb].serializeCompressedInto(spillBuf, spec.keySpace);
+          compressedSpillBytes.fetch_add(spillBuf.size(),
+                                         std::memory_order_relaxed);
+        } else {
+          produced[kb].serializeInto(spillBuf);
+        }
         enc.setBytes(spillBuf.size());
         enc.setRecords(produced[kb].header().numRecords);
       }
@@ -534,9 +606,14 @@ void Engine::Impl::runMap(std::uint32_t m) {
       spillSegmentAttempt(m, kb, attempt, spillBuf);
     }
   } else {
+    // In-memory and hybrid modes publish handles. The resident
+    // footprints are measured here, outside the engine mutex — the
+    // locked commit section below only charges the precomputed sizes.
+    localSegBytes.assign(numReduces, 0);
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
       localSegments[kb] =
           std::make_shared<const Segment>(std::move(produced[kb]));
+      localSegBytes[kb] = localSegments[kb]->residentBytes();
     }
   }
 
@@ -546,7 +623,7 @@ void Engine::Impl::runMap(std::uint32_t m) {
   // spill writes) but dies before committing anything.
   if (spec.faultPlan.shouldFail(TaskKind::kMap, m, attempt)) {
     attemptSpan.fail();
-    if (spillEnabled()) {
+    if (eagerSpill()) {
       for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
         discardSegmentAttemptFile(spec.spillDirectory, m, kb, attempt);
       }
@@ -574,7 +651,7 @@ void Engine::Impl::runMap(std::uint32_t m) {
   // atomic rename FIRST: once segAvail flips below, any reduce may open
   // the committed path lock-free, and a reader still holding the
   // previous attempt's file (recovery races) keeps its old inode.
-  if (spillEnabled()) {
+  if (eagerSpill()) {
     for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
       // One commit span per keyblock, carrying the segment's count
       // annotation: the trace-side proof a reduce may start (the
@@ -588,46 +665,201 @@ void Engine::Impl::runMap(std::uint32_t m) {
   }
   double tEnd = now();
 
-  std::scoped_lock lock(mtx);
-  recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
-  recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd, attempt);
-  result.shuffleBytes += bytesSpilled;
-  if (!spillEnabled()) {
-    // Publication is a pointer flip per keyblock — no data copy runs
-    // under the engine mutex. The commit spans are near-zero-width but
-    // keep the schema uniform across shuffle modes: they end inside
-    // this critical section, and any gated reduce starts only after a
-    // later acquire of mtx, so commit-span end <= reduce-span start.
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
-                            attempt, kb);
-      commit.setRecords(localSegments[kb]->header().numRecords);
-      commit.setRepresents(localSegments[kb]->header().represents);
-      segments[m][kb] = std::move(localSegments[kb]);
+  {
+    std::scoped_lock lock(mtx);
+    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd, attempt);
+    result.shuffleBytes += bytesSpilled;
+    if (!eagerSpill()) {
+      // Publication is a pointer flip per keyblock — no data copy runs
+      // under the engine mutex. The commit spans are near-zero-width but
+      // keep the schema uniform across shuffle modes: they end inside
+      // this critical section, and any gated reduce starts only after a
+      // later acquire of mtx, so commit-span end <= reduce-span start.
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
+                              m, attempt, kb);
+        commit.setRecords(localSegments[kb]->header().numRecords);
+        commit.setRepresents(localSegments[kb]->header().represents);
+        // Charge the published segment's resident footprint; a recovery
+        // republish first releases whatever the replaced handle charged
+        // (an evicted slot has charge 0, so this is a no-op there).
+        if (segCharge[m][kb] != 0) {
+          pagePool->release(segCharge[m][kb]);
+          segCharge[m][kb] = 0;
+        }
+        if (localSegBytes[kb] > 0) {
+          segCharge[m][kb] = pagePool->charge(localSegBytes[kb]);
+        }
+        segments[m][kb] = std::move(localSegments[kb]);
+      }
+      publishedAttempt[m] = attempt;
     }
-  }
-  mapDone[m] = true;
-  // Dependency accounting: only a false->true availability transition
-  // satisfies a dependency, so a recovery re-run of this map cannot
-  // double-decrement a keyblock that already counted its first run.
-  for (std::uint32_t kb : mapToReduces[m]) {
-    if (segAvail[m][kb]) continue;
-    segAvail[m][kb] = true;
-    if (remainingDeps[kb] > 0) {
-      --remainingDeps[kb];
-      if (remainingDeps[kb] == 0 && reduceScheduled[kb] &&
-          !reduceRunnableFlag[kb] && !reduceDone[kb]) {
-        reduceRunnableFlag[kb] = true;
-        runnableReduces.push_back(kb);
+    mapDone[m] = true;
+    // Dependency accounting: only a false->true availability transition
+    // satisfies a dependency, so a recovery re-run of this map cannot
+    // double-decrement a keyblock that already counted its first run.
+    for (std::uint32_t kb : mapToReduces[m]) {
+      if (segAvail[m][kb]) continue;
+      segAvail[m][kb] = true;
+      if (remainingDeps[kb] > 0) {
+        --remainingDeps[kb];
+        if (remainingDeps[kb] == 0 && reduceScheduled[kb] &&
+            !reduceRunnableFlag[kb] && !reduceDone[kb] &&
+            evictingCount[kb] == 0) {
+          reduceRunnableFlag[kb] = true;
+          runnableReduces.push_back(kb);
+        }
       }
     }
+    // Segments for keyblocks outside this map's dependency sets exist too
+    // (they are empty in SIDR mode); mark them present for stock fetches.
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) segAvail[m][kb] = true;
+    runningMapSet[m] = false;
+    --runningMaps;
+    cv.notify_all();
   }
-  // Segments for keyblocks outside this map's dependency sets exist too
-  // (they are empty in SIDR mode); mark them present for stock fetches.
-  for (std::uint32_t kb = 0; kb < numReduces; ++kb) segAvail[m][kb] = true;
-  runningMapSet[m] = false;
-  --runningMaps;
-  cv.notify_all();
+
+  // With a budget, publication is the moment resident bytes grow; shed
+  // pressure before this worker picks up its next task. Runs with no
+  // locks held — selection and finalize take mtx internally.
+  if (budgetEnabled()) maybePressureSpill();
+}
+
+void Engine::Impl::maybePressureSpill() {
+  // Pressure-driven eviction (hybrid mode): when the page pool crosses
+  // its high-water mark, encode the coldest committed keyblocks to the
+  // spill directory — through the SAME attempt-file + atomic-rename
+  // protocol eager spill uses — then drop their in-memory handles and
+  // reclaim the pages. "Coldest" = largest priorityOrder position (its
+  // reduce runs last, so its pages stay reclaimed longest), ties broken
+  // toward the larger charge.
+  //
+  // Safety: a keyblock with an eviction in flight is never pushed
+  // runnable (every push site gates on evictingCount), and a keyblock
+  // that is already runnable/running/done is never selected — so no
+  // lock-free reduce fetch can race the handle reset. The finalize step
+  // re-checks the gated push under mtx.
+  while (pagePool->overHighWater()) {
+    struct Victim {
+      std::uint32_t m = 0;
+      std::uint32_t kb = 0;
+      std::uint32_t attempt = 0;
+      std::shared_ptr<const Segment> seg;
+      std::uint64_t charge = 0;
+    };
+    std::vector<Victim> victims;
+    {
+      std::scoped_lock lock(mtx);
+      std::vector<Victim> candidates;
+      for (std::uint32_t m = 0; m < numMaps; ++m) {
+        for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+          if (!segAvail[m][kb] || segEvicting[m][kb]) continue;
+          if (reduceRunnableFlag[kb] || reduceDone[kb]) continue;
+          const std::shared_ptr<const Segment>& seg = segments[m][kb];
+          if (seg == nullptr || seg->header().numRecords == 0) continue;
+          if (segCharge[m][kb] == 0) continue;  // nothing to reclaim
+          candidates.push_back(
+              Victim{m, kb, publishedAttempt[m], seg, segCharge[m][kb]});
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [this](const Victim& a, const Victim& b) {
+                  if (posOf[a.kb] != posOf[b.kb]) {
+                    return posOf[a.kb] > posOf[b.kb];
+                  }
+                  return a.charge > b.charge;
+                });
+      const std::uint64_t target = pagePool->lowWaterBytes();
+      std::uint64_t projected = pagePool->residentBytes();
+      for (Victim& v : candidates) {
+        if (projected <= target) break;
+        segEvicting[v.m][v.kb] = true;
+        ++evictingCount[v.kb];
+        projected -= std::min(projected, v.charge);
+        victims.push_back(std::move(v));
+      }
+    }
+    if (victims.empty()) return;  // over budget but nothing evictable
+
+    // Encode + write the attempt files outside the lock, overlapping
+    // keyblocks on the spill-writer pool when one exists. Renames run
+    // only after every write succeeded.
+    std::exception_ptr error;
+    auto writeOne = [this](const Victim& v, std::vector<std::byte>& buf) {
+      obs::SpanScope span(obs::Phase::kPressureSpill, obs::TaskSide::kMap, v.m,
+                          v.attempt, v.kb);
+      span.setRecords(v.seg->header().numRecords);
+      span.setRepresents(v.seg->header().represents);
+      if (spec.compressSpill) {
+        v.seg->serializeCompressedInto(buf, spec.keySpace);
+        compressedSpillBytes.fetch_add(buf.size(), std::memory_order_relaxed);
+      } else {
+        v.seg->serializeInto(buf);
+      }
+      span.setBytes(buf.size());
+      spillSegmentAttempt(v.m, v.kb, v.attempt, buf);
+    };
+    try {
+      if (spillPool != nullptr) {
+        SpillWriterPool::Batch batch;
+        for (const Victim& v : victims) {
+          spillPool->submit(batch,
+                            [this, &v, &writeOne](std::vector<std::byte>& buf) {
+                              obs::ScopedRecorder poolScope(recorder.get());
+                              writeOne(v, buf);
+                            });
+        }
+        batch.wait();
+      } else {
+        std::vector<std::byte> buf;
+        for (const Victim& v : victims) writeOne(v, buf);
+      }
+      for (const Victim& v : victims) {
+        // The eviction commit reuses the publication span schema; the
+        // gating checker takes the EARLIEST commit per (map, keyblock),
+        // so the original publication span keeps proving reduce starts,
+        // and the tally checker reads the same represents off this one.
+        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
+                              v.m, v.attempt, v.kb);
+        commit.setRecords(v.seg->header().numRecords);
+        commit.setRepresents(v.seg->header().represents);
+        commitSegmentFile(spec.spillDirectory, v.m, v.kb, v.attempt);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::scoped_lock lock(mtx);
+      for (const Victim& v : victims) {
+        segEvicting[v.m][v.kb] = false;
+        --evictingCount[v.kb];
+        // Pointer-equality guard: a recovery republish may have replaced
+        // the handle (and re-charged the slot) while the file was being
+        // written; then the slot's charge belongs to the NEW segment and
+        // must stay, and the stale file is simply never read (the fetch
+        // sees the fresh handle).
+        if (!error && segments[v.m][v.kb] == v.seg) {
+          segments[v.m][v.kb] = nullptr;
+          if (segCharge[v.m][v.kb] != 0) {
+            pagePool->release(segCharge[v.m][v.kb]);
+            segCharge[v.m][v.kb] = 0;
+          }
+          pressureSpills.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (evictingCount[v.kb] == 0 && remainingDeps[v.kb] == 0 &&
+            reduceScheduled[v.kb] && !reduceRunnableFlag[v.kb] &&
+            !reduceDone[v.kb]) {
+          reduceRunnableFlag[v.kb] = true;
+          runnableReduces.push_back(v.kb);
+        }
+      }
+      if (error && !firstError) firstError = error;
+      cv.notify_all();
+    }
+    if (error) return;
+  }
 }
 
 void Engine::Impl::runReduce(std::uint32_t kb) {
@@ -670,12 +902,17 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
         mapDone[m] = false;
         markMapEligible(m);
       }
-      if (remainingDeps[kb] == 0) {  // nothing was available yet
+      if (remainingDeps[kb] == 0 && evictingCount[kb] == 0) {
+        // nothing was available yet
         reduceRunnableFlag[kb] = true;
         runnableReduces.push_back(kb);
       }
-    } else {
+    } else if (evictingCount[kb] == 0) {
       // Persisted intermediate data: retry immediately, re-fetch all.
+      // (An in-flight eviction re-queues the keyblock when it
+      // finalizes; it cannot actually occur here — evictions never
+      // start on a runnable keyblock — but the gate keeps every push
+      // site uniform.)
       reduceRunnableFlag[kb] = true;
       runnableReduces.push_back(kb);
     }
@@ -697,8 +934,13 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   // segments are immutable once published, and this reduce only became
   // runnable after observing (under mtx) that every fetched dependency
   // committed, which ordered those publications before these reads.
-  std::vector<Segment> fetched;                             // spill mode
-  std::vector<std::shared_ptr<const Segment>> handles;     // in-memory
+  std::vector<Segment> fetched;                          // eager spill mode
+  std::vector<std::shared_ptr<const Segment>> handles;   // resident segments
+  std::vector<std::unique_ptr<SegmentStream>> streams;   // evicted (hybrid)
+  // Which source each non-empty input came from, in fetchSet order —
+  // the merger consumes one ordered input sequence regardless of kind,
+  // so resident and evicted inputs merge bit-identically.
+  std::vector<bool> sourceIsStream;
   std::uint64_t tally = 0;
   std::uint64_t connections = 0;
   std::uint64_t nonEmpty = 0;
@@ -712,7 +954,7 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   {
     obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    if (spillEnabled()) {
+    if (eagerSpill()) {
       // The header-only read suffices for the annotation tally; only
       // non-empty segments are fully read and decoded.
       for (std::uint32_t m : fetchSet) {
@@ -724,9 +966,10 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
         if (h.numRecords > 0) {
           ++nonEmpty;
           fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
-          // Linear keys never travel on the wire; rebuild the cache so
-          // spilled segments merge on u64s like in-memory ones.
-          if (spec.keySpace.rank() > 0) {
+          // Linear keys never travel on the uncompressed wire; rebuild
+          // the cache so spilled segments merge on u64s like in-memory
+          // ones (the compressed decoder already restored them).
+          if (spec.keySpace.rank() > 0 && !fetched.back().hasLinearKeys()) {
             fetched.back().computeLinearKeys(spec.keySpace);
           }
         }
@@ -734,19 +977,38 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     } else {
       // Zero-copy fetch: acquiring a published handle is a shared_ptr
       // copy; the header is read in-struct. No serialize/deserialize
-      // round trip, no data copy, no lock.
+      // round trip, no data copy, no lock. In hybrid mode a null slot
+      // means the segment was evicted under pressure: its committed
+      // file is streamed back through a bounded window during the
+      // merge, never fully materialized.
       handles.reserve(fetchSet.size());
       for (std::uint32_t m : fetchSet) {
         ++connections;
         std::shared_ptr<const Segment> seg = segments[m][kb];
-        if (seg == nullptr) {
+        if (seg != nullptr) {
+          tally += seg->header().represents;
+          recordsFetched += seg->header().numRecords;
+          if (seg->header().numRecords > 0) {
+            ++nonEmpty;
+            handles.push_back(std::move(seg));
+            sourceIsStream.push_back(false);
+          }
+        } else if (budgetEnabled()) {
+          auto stream = std::make_unique<SegmentStream>(
+              segmentPath(m, kb), spec.mergeWindowBytes, spec.compressSpill,
+              spec.keySpace);
+          const SegmentHeader& h = stream->header();
+          tally += h.represents;
+          recordsFetched += h.numRecords;
+          if (h.numRecords > 0) {
+            ++nonEmpty;
+            streams.push_back(std::move(stream));
+            sourceIsStream.push_back(true);
+          } else {
+            bytesFetched += stream->bytesRead();
+          }
+        } else {
           throw std::logic_error("Engine: reduce fetched unpublished segment");
-        }
-        tally += seg->header().represents;
-        recordsFetched += seg->header().numRecords;
-        if (seg->header().numRecords > 0) {
-          ++nonEmpty;
-          handles.push_back(std::move(seg));
         }
       }
     }
@@ -758,24 +1020,40 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
   }
   double tFetchEnd = now();
 
-  // Merge/group/reduce (outside the lock: pure local computation).
-  std::vector<const Segment*> ptrs;
-  ptrs.reserve(fetched.size() + handles.size());
-  std::uint64_t recordCount = 0;
+  // Merge/group/reduce (outside the lock: pure local computation). One
+  // ordered input sequence feeds the merger whatever the source kind —
+  // materialized spill loads, resident handles (merged straight from
+  // their packed form), or bounded streaming cursors — and the record
+  // tally comes off the headers, so no input is materialized just to be
+  // counted.
+  std::vector<SegmentMerger::Input> inputs;
+  inputs.reserve(fetched.size() + handles.size() + streams.size());
   std::unique_ptr<SegmentMerger> merger;
   {
     obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    for (const Segment& s : fetched) {
-      ptrs.push_back(&s);
-      recordCount += s.records().size();
+    if (eagerSpill()) {
+      for (const Segment& s : fetched) {
+        SegmentMerger::Input in;
+        in.segment = &s;
+        inputs.push_back(in);
+      }
+    } else {
+      std::size_t nextHandle = 0;
+      std::size_t nextStream = 0;
+      for (const bool isStream : sourceIsStream) {
+        SegmentMerger::Input in;
+        if (isStream) {
+          in.stream = streams[nextStream++].get();
+        } else {
+          in.segment = handles[nextHandle++].get();
+        }
+        inputs.push_back(in);
+      }
     }
-    for (const auto& s : handles) {
-      ptrs.push_back(s.get());
-      recordCount += s->records().size();
-    }
-    merger = std::make_unique<SegmentMerger>(ptrs);
-    mergeSpan.setRecords(recordCount);
+    merger = std::make_unique<SegmentMerger>(
+        std::span<const SegmentMerger::Input>(inputs));
+    mergeSpan.setRecords(recordsFetched);
   }
   auto reducer = spec.reducerFactory();
   VectorReduceContext out;
@@ -791,6 +1069,9 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
     outRecords = out.take();
     reduceSpan.setRecords(outRecords.size());
   }
+  // Streamed inputs read their windows lazily during the merge; fold
+  // their I/O into the shuffle accounting now that they are drained.
+  for (const auto& st : streams) bytesFetched += st->bytesRead();
 
   // Linearize the output keys OUTSIDE the lock (reducers usually emit
   // the group key, which lies inside keySpace; an out-of-space emission
@@ -837,8 +1118,21 @@ void Engine::Impl::runReduce(std::uint32_t kb) {
       tally != spec.expectedRepresents[kb]) {
     ++result.annotationViolations;
   }
-  result.recordsPerReducer[kb] = recordCount;
+  result.recordsPerReducer[kb] = recordsFetched;
   recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd, attempt);
+  if (budgetEnabled()) {
+    // This keyblock's inputs are consumed for good (reduceDone blocks
+    // any further fetch or eviction): drop the handles and give their
+    // pages back to the pool. The actual frees run when this frame's
+    // local references unwind, outside the mutex.
+    for (std::uint32_t m : fetchSet) {
+      if (segCharge[m][kb] != 0) {
+        pagePool->release(segCharge[m][kb]);
+        segCharge[m][kb] = 0;
+      }
+      segments[m][kb] = nullptr;
+    }
+  }
   reduceDone[kb] = true;
   ++completedReduces;
   --runningReduces;
@@ -938,6 +1232,13 @@ JobResult Engine::Impl::run() {
   segments.assign(numMaps,
                   std::vector<std::shared_ptr<const Segment>>(numReduces));
   segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
+  // The page pool exists in every mode (budget 0 = unlimited): it is
+  // also the job-wide peak-residency meter.
+  pagePool = std::make_unique<SegmentPagePool>(spec.memoryBudgetBytes);
+  segCharge.assign(numMaps, std::vector<std::uint64_t>(numReduces, 0));
+  segEvicting.assign(numMaps, std::vector<bool>(numReduces, false));
+  evictingCount.assign(numReduces, 0);
+  publishedAttempt.assign(numMaps, 0);
   reduceScheduled.assign(numReduces, false);
   reduceRunnableFlag.assign(numReduces, false);
   reduceDone.assign(numReduces, false);
@@ -969,6 +1270,8 @@ JobResult Engine::Impl::run() {
   } else {
     priorityOrder = spec.reducePriority;
   }
+  posOf.assign(numReduces, 0);
+  for (std::uint32_t i = 0; i < numReduces; ++i) posOf[priorityOrder[i]] = i;
 
   start = Clock::now();
   if (spec.recordTrace) {
@@ -1010,6 +1313,10 @@ JobResult Engine::Impl::run() {
   spillPool.reset();
   if (firstError) std::rethrow_exception(firstError);
 
+  result.peakResidentSegmentBytes = pagePool->peakResidentBytes();
+  result.pressureSpillEvents = pressureSpills.load(std::memory_order_relaxed);
+  result.spillCompressedBytes =
+      compressedSpillBytes.load(std::memory_order_relaxed);
   result.totalSeconds = now();
   result.firstResultSeconds = result.totalSeconds;
   for (const ReduceOutput& out : result.outputs) {
@@ -1036,6 +1343,10 @@ JobResult Engine::Impl::run() {
     t.addCounter("sort.radixPasses", result.sortTotals.radixPasses);
     t.addCounter("sort.radixPassesSkipped",
                  result.sortTotals.radixPassesSkipped);
+    t.addCounter("mem.peakResidentSegmentBytes",
+                 result.peakResidentSegmentBytes);
+    t.addCounter("mem.pressureSpillEvents", result.pressureSpillEvents);
+    t.addCounter("mem.spillCompressedBytes", result.spillCompressedBytes);
   }
   return std::move(result);
 }

@@ -217,6 +217,28 @@ struct JobSpec {
   /// the span scopes on the hot paths reduce to a thread-local load and
   /// a branch.
   bool recordTrace = false;
+
+  /// Global memory budget for resident intermediate data (DESIGN.md
+  /// section 14); 0 = unlimited. With a budget set, spillDirectory must
+  /// also be set: map output publishes in-memory handles as usual, but
+  /// when the SegmentPagePool crosses its high-water mark the engine
+  /// evicts the coldest committed keyblocks' segments to spill files
+  /// (same attempt-suffix + atomic-rename protocol) and reduces stream
+  /// the evicted inputs back through bounded windows. Must be at least
+  /// one page (SegmentPagePool::kPageBytes) when non-zero.
+  std::uint64_t memoryBudgetBytes = 0;
+
+  /// Per-input decode window for the streaming reduce merge: a reduce
+  /// task never holds more than about this many encoded bytes (plus one
+  /// decoded record) per spilled input. Must be non-zero when a budget
+  /// is set.
+  std::size_t mergeWindowBytes = 1 << 20;
+
+  /// Encode spill (and eviction) files with the varint/delta compressed
+  /// framing instead of the fixed-width one. Requires spillDirectory
+  /// and a non-empty keySpace (the compressed framing is keyed on
+  /// linear keys).
+  bool compressSpill = false;
 };
 
 struct TaskEvent {
@@ -279,6 +301,14 @@ struct JobResult {
   std::uint32_t mapFailures = 0;
   /// Reduce attempts that were injected failures.
   std::uint32_t reduceFailures = 0;
+  /// High-water mark of page-pool resident intermediate bytes
+  /// (page-rounded; tracked whether or not a budget was set).
+  std::uint64_t peakResidentSegmentBytes = 0;
+  /// Segments evicted to disk by memory pressure (tentpole (b)).
+  std::uint64_t pressureSpillEvents = 0;
+  /// Bytes written through the compressed spill framing (0 when
+  /// compressSpill is off).
+  std::uint64_t spillCompressedBytes = 0;
 
   /// Job-wide sort counters: every worker thread's thread-local
   /// SortStats delta, summed at worker exit. Always populated (trace

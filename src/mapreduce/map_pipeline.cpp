@@ -10,8 +10,9 @@ namespace sidr::mr {
 
 BufferingMapContext::BufferingMapContext(const Partitioner& partitioner,
                                          std::uint32_t numReducers,
-                                         nd::Coord keySpace)
-    : partitioner_(partitioner), keySpace_(std::move(keySpace)) {
+                                         nd::Coord keySpace,
+                                         SegmentPagePool* pool)
+    : partitioner_(partitioner), keySpace_(std::move(keySpace)), pool_(pool) {
   if (linearized()) {
     packed_.resize(numReducers);
     lists_.resize(numReducers);
@@ -20,6 +21,10 @@ BufferingMapContext::BufferingMapContext(const Partitioner& partitioner,
   } else {
     buffers_.resize(numReducers);
   }
+}
+
+BufferingMapContext::~BufferingMapContext() {
+  if (pool_ != nullptr && charged_ != 0) pool_->release(charged_);
 }
 
 std::uint64_t BufferingMapContext::linearizeChecked(
@@ -44,6 +49,20 @@ std::uint64_t BufferingMapContext::linearizeChecked(
 
 void BufferingMapContext::emit(const nd::Coord& key, Value value,
                                std::uint64_t represents) {
+  if (pool_ != nullptr) {
+    // Approximate footprint of this emission in its buffered form;
+    // charged in whole pages once enough accumulates, so the pool's
+    // atomic is touched once per ~kPageBytes, not once per record.
+    pending_ += linearized() ? sizeof(PackedRecord) : sizeof(KeyValue);
+    if (value.kind() == ValueKind::kList) {
+      pending_ += sizeof(std::vector<double>) +
+                  value.asList().size() * sizeof(double);
+    }
+    if (pending_ >= SegmentPagePool::kPageBytes) {
+      charged_ += pool_->charge(pending_);
+      pending_ = 0;
+    }
+  }
   if (!linearized()) {
     const auto numReducers = static_cast<std::uint32_t>(buffers_.size());
     std::uint32_t kb = partitioner_.partition(key, numReducers);
@@ -121,8 +140,9 @@ std::vector<Segment> runMapPipeline(const InputSplit& split,
                                     const Partitioner& partitioner,
                                     std::uint32_t numReducers,
                                     const Combiner* combiner,
-                                    const nd::Coord& keySpace) {
-  BufferingMapContext ctx(partitioner, numReducers, keySpace);
+                                    const nd::Coord& keySpace,
+                                    SegmentPagePool* pagePool) {
+  BufferingMapContext ctx(partitioner, numReducers, keySpace, pagePool);
   if (numReducers > 0) {
     ctx.reserveHint(static_cast<std::size_t>(split.volume()) / numReducers);
   }

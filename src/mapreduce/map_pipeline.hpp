@@ -32,8 +32,16 @@ namespace sidr::mr {
 /// buffers and attaches no cache.
 class BufferingMapContext final : public MapContext {
  public:
+  /// `pool` (optional) is the job's SegmentPagePool: emitted bytes are
+  /// charged against it in page-sized increments as buffers grow, so
+  /// the engine observes map-side pressure while the task is still
+  /// running. The context's whole charge is released when it is
+  /// destroyed (by then the engine has charged the published segments
+  /// themselves).
   BufferingMapContext(const Partitioner& partitioner, std::uint32_t numReducers,
-                      nd::Coord keySpace = nd::Coord());
+                      nd::Coord keySpace = nd::Coord(),
+                      SegmentPagePool* pool = nullptr);
+  ~BufferingMapContext() override;
 
   void emit(const nd::Coord& key, Value value,
             std::uint64_t represents = 1) override;
@@ -79,6 +87,11 @@ class BufferingMapContext final : public MapContext {
   std::uint64_t runBegin_ = 1;
   std::uint64_t runEnd_ = 0;
   std::uint32_t runKb_ = 0;
+  /// Page-pool accounting (null = no budget tracking): bytes emitted
+  /// since the last charge, and the total pages charged so far.
+  SegmentPagePool* pool_ = nullptr;
+  std::uint64_t pending_ = 0;
+  std::uint64_t charged_ = 0;
 };
 
 /// Executes one map task: reads every region of `split` in batches,
@@ -93,6 +106,7 @@ std::vector<Segment> runMapPipeline(const InputSplit& split,
                                     const Partitioner& partitioner,
                                     std::uint32_t numReducers,
                                     const Combiner* combiner,
-                                    const nd::Coord& keySpace);
+                                    const nd::Coord& keySpace,
+                                    SegmentPagePool* pagePool = nullptr);
 
 }  // namespace sidr::mr

@@ -2,6 +2,7 @@
 
 #include "mapreduce/interfaces.hpp"
 #include "obs/trace.hpp"
+#include "scifile/storage.hpp"
 
 #include <algorithm>
 #include <array>
@@ -420,6 +421,18 @@ class Writer {
     }
   }
 
+  void u8(std::uint8_t b) { *p_++ = static_cast<std::byte>(b); }
+
+  /// LEB128: 7 payload bits per byte, low bits first, high bit set on
+  /// every byte but the last (at most 10 bytes for a u64).
+  void varint(std::uint64_t x) {
+    while (x >= 0x80) {
+      u8(static_cast<std::uint8_t>((x & 0x7f) | 0x80));
+      x >>= 7;
+    }
+    u8(static_cast<std::uint8_t>(x));
+  }
+
   const std::byte* pos() const noexcept { return p_; }
 
  private:
@@ -494,11 +507,90 @@ class Reader {
 /// scalar payload. Used to validate numRecords before reserving.
 constexpr std::size_t kMinRecordBytes = 8 + 8 + 8 + 8;
 
+/// Compressed-framing floor: 1-byte delta + 1-byte represents + kind
+/// byte + smallest payload (an empty list's 1-byte length varint).
+constexpr std::size_t kMinCompressedRecordBytes = 1 + 1 + 1 + 1;
+
+inline std::size_t varintLen(std::uint64_t x) {
+  std::size_t n = 1;
+  while (x >= 0x80) {
+    x >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Decodes a LEB128 varint at *p without reading past `end`. Returns
+/// false WITHOUT moving *p when the encoding runs off the buffer (the
+/// streaming caller refills and retries); throws std::runtime_error on
+/// an encoding that cannot fit 64 bits.
+bool readVarint(const std::byte*& p, const std::byte* end,
+                std::uint64_t& out) {
+  std::uint64_t x = 0;
+  int shift = 0;
+  const std::byte* q = p;
+  while (true) {
+    if (q == end) return false;
+    const auto b = static_cast<std::uint8_t>(*q++);
+    if (shift == 63 && (b & 0x7f) > 1) {
+      throw std::runtime_error("SegmentStream: varint overflow");
+    }
+    x |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) break;
+    shift += 7;
+    if (shift >= 64) throw std::runtime_error("SegmentStream: varint overflow");
+  }
+  p = q;
+  out = x;
+  return true;
+}
+
+inline double loadF64(const std::byte* p) {
+  const std::uint64_t bits = loadU64(p);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Range-checked linearization for the compressed encode of segments
+/// without a linear-key cache (deserialize output, hand-built tests).
+std::uint64_t checkedLinearize(const nd::Coord& key,
+                               const nd::Coord& keySpace) {
+  if (key.rank() != keySpace.rank()) {
+    throw std::out_of_range("Segment::serializeCompressed: key rank mismatch");
+  }
+  for (std::size_t d = 0; d < keySpace.rank(); ++d) {
+    if (key[d] < 0 || key[d] >= keySpace[d]) {
+      throw std::out_of_range("Segment::serializeCompressed: key outside space");
+    }
+  }
+  return static_cast<std::uint64_t>(nd::linearize(key, keySpace));
+}
+
 }  // namespace
 
 std::size_t Segment::serializedSize() const {
-  if (packedMode_) materializeNow();  // the wire format is the KeyValue view
   std::size_t size = kHeaderBytes;
+  if (packedMode_) {
+    // Packed records all share the key space's rank; only list payloads
+    // vary in size.
+    const std::size_t rank = keySpace_.rank();
+    for (const PackedRecord& r : packed_) {
+      size += 8 + 8 * rank + 16;
+      switch (r.kind) {
+        case ValueKind::kScalar:
+          size += 8;
+          break;
+        case ValueKind::kPartial:
+          size += 4 * 8;
+          break;
+        case ValueKind::kList:
+          size += 8 + 8 * lists_[r.payload.listIndex].size();
+          break;
+      }
+    }
+    return size;
+  }
   for (const KeyValue& kv : records_) {
     size += 8 + 8 * kv.key.rank();  // rank word + coordinates
     size += 8 + 8;                  // represents + value kind
@@ -524,12 +616,58 @@ std::vector<std::byte> Segment::serialize() const {
 }
 
 void Segment::serializeInto(std::vector<std::byte>& out) const {
-  out.resize(serializedSize());  // materializes a packed segment
+  out.resize(serializedSize());
   Writer w(out.data());
   w.u64(header_.mapTask);
   w.u64(header_.keyblock);
   w.u64(header_.numRecords);
   w.u64(header_.represents);
+  if (packedMode_) {
+    // Encode straight from the packed form: delinearize each record
+    // with the same dense-run bump materializeNow uses, producing the
+    // exact bytes the materialized encode would — without ever building
+    // the ~160-byte-per-record KeyValue view (which matters most at
+    // eviction time, when memory is the thing being reclaimed).
+    const std::size_t rank = keySpace_.rank();
+    const std::size_t lastD = rank - 1;
+    nd::Coord cur;
+    std::uint64_t prevLin = 0;
+    bool havePrev = false;
+    for (const PackedRecord& r : packed_) {
+      if (havePrev && r.lin == prevLin + 1 &&
+          cur[lastD] + 1 < keySpace_[lastD]) {
+        ++cur[lastD];
+      } else if (!havePrev || r.lin != prevLin) {
+        cur = nd::delinearize(static_cast<nd::Index>(r.lin), keySpace_);
+      }
+      prevLin = r.lin;
+      havePrev = true;
+      w.u64(rank);
+      w.words(cur.begin(), rank);
+      w.u64(r.represents);
+      w.u64(static_cast<std::uint64_t>(r.kind));
+      switch (r.kind) {
+        case ValueKind::kScalar:
+          w.f64(r.payload.scalar);
+          break;
+        case ValueKind::kPartial: {
+          const Partial& p = r.payload.partial;
+          w.f64(p.sum);
+          w.f64(p.min);
+          w.f64(p.max);
+          w.u64(static_cast<std::uint64_t>(p.count));
+          break;
+        }
+        case ValueKind::kList: {
+          const auto& xs = lists_[r.payload.listIndex];
+          w.u64(xs.size());
+          w.words(xs.data(), xs.size());
+          break;
+        }
+      }
+    }
+    return;
+  }
   for (const KeyValue& kv : records_) {
     w.u64(kv.key.rank());
     w.words(kv.key.begin(), kv.key.rank());
@@ -555,6 +693,192 @@ void Segment::serializeInto(std::vector<std::byte>& out) const {
       }
     }
   }
+}
+
+std::uint64_t Segment::residentBytes() const noexcept {
+  std::uint64_t bytes = 0;
+  if (packedMode_) {
+    bytes += packed_.size() * sizeof(PackedRecord);
+    for (const auto& xs : lists_) {
+      bytes += sizeof(std::vector<double>) + xs.size() * sizeof(double);
+    }
+    return bytes;
+  }
+  bytes += records_.size() * sizeof(KeyValue);
+  for (const KeyValue& kv : records_) {
+    if (kv.value.kind() == ValueKind::kList) {
+      bytes += kv.value.asList().size() * sizeof(double);
+    }
+  }
+  bytes += linearKeys_.size() * sizeof(std::uint64_t);
+  return bytes;
+}
+
+std::size_t Segment::serializedCompressedSize(const nd::Coord& keySpace) const {
+  if (keySpace.rank() == 0 || !keySpace.isValidShape()) {
+    throw std::invalid_argument(
+        "Segment::serializeCompressed: needs a valid non-empty key space");
+  }
+  if (packedMode_ && !(keySpace == keySpace_)) {
+    throw std::invalid_argument(
+        "Segment::serializeCompressed: key space differs from the packed "
+        "segment's");
+  }
+  std::size_t size = kHeaderBytes + varintLen(keySpace.rank());
+  for (std::size_t d = 0; d < keySpace.rank(); ++d) {
+    size += varintLen(static_cast<std::uint64_t>(keySpace[d]));
+  }
+  std::uint64_t prev = 0;
+  bool have = false;
+  const auto recordFixed = [&](std::uint64_t lin, std::uint64_t represents) {
+    if (have && lin < prev) {
+      throw std::logic_error(
+          "Segment::serializeCompressed: records not sorted by linear key");
+    }
+    size += varintLen(have ? lin - prev : lin) + varintLen(represents) + 1;
+    prev = lin;
+    have = true;
+  };
+  if (packedMode_) {
+    for (const PackedRecord& r : packed_) {
+      recordFixed(r.lin, r.represents);
+      switch (r.kind) {
+        case ValueKind::kScalar:
+          size += 8;
+          break;
+        case ValueKind::kPartial:
+          size += 24 + varintLen(static_cast<std::uint64_t>(r.payload.partial.count));
+          break;
+        case ValueKind::kList: {
+          const auto& xs = lists_[r.payload.listIndex];
+          size += varintLen(xs.size()) + 8 * xs.size();
+          break;
+        }
+      }
+    }
+    return size;
+  }
+  const bool cached = linearKeys_.size() == records_.size();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const KeyValue& kv = records_[i];
+    recordFixed(cached ? linearKeys_[i] : checkedLinearize(kv.key, keySpace),
+                kv.represents);
+    switch (kv.value.kind()) {
+      case ValueKind::kScalar:
+        size += 8;
+        break;
+      case ValueKind::kPartial:
+        size +=
+            24 + varintLen(static_cast<std::uint64_t>(kv.value.asPartial().count));
+        break;
+      case ValueKind::kList: {
+        const auto& xs = kv.value.asList();
+        size += varintLen(xs.size()) + 8 * xs.size();
+        break;
+      }
+    }
+  }
+  return size;
+}
+
+void Segment::serializeCompressedInto(std::vector<std::byte>& out,
+                                      const nd::Coord& keySpace) const {
+  out.resize(serializedCompressedSize(keySpace));  // validates everything
+  Writer w(out.data());
+  w.u64(header_.mapTask);
+  w.u64(header_.keyblock);
+  w.u64(header_.numRecords);
+  w.u64(header_.represents);
+  w.varint(keySpace.rank());
+  for (std::size_t d = 0; d < keySpace.rank(); ++d) {
+    w.varint(static_cast<std::uint64_t>(keySpace[d]));
+  }
+  std::uint64_t prev = 0;
+  bool have = false;
+  const auto delta = [&](std::uint64_t lin) {
+    const std::uint64_t d = have ? lin - prev : lin;
+    prev = lin;
+    have = true;
+    return d;
+  };
+  if (packedMode_) {
+    for (const PackedRecord& r : packed_) {
+      w.varint(delta(r.lin));
+      w.varint(r.represents);
+      w.u8(static_cast<std::uint8_t>(r.kind));
+      switch (r.kind) {
+        case ValueKind::kScalar:
+          w.f64(r.payload.scalar);
+          break;
+        case ValueKind::kPartial: {
+          const Partial& p = r.payload.partial;
+          w.f64(p.sum);
+          w.f64(p.min);
+          w.f64(p.max);
+          w.varint(static_cast<std::uint64_t>(p.count));
+          break;
+        }
+        case ValueKind::kList: {
+          const auto& xs = lists_[r.payload.listIndex];
+          w.varint(xs.size());
+          w.words(xs.data(), xs.size());
+          break;
+        }
+      }
+    }
+    return;
+  }
+  const bool cached = linearKeys_.size() == records_.size();
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    const KeyValue& kv = records_[i];
+    w.varint(delta(cached ? linearKeys_[i]
+                          : checkedLinearize(kv.key, keySpace)));
+    w.varint(kv.represents);
+    w.u8(static_cast<std::uint8_t>(kv.value.kind()));
+    switch (kv.value.kind()) {
+      case ValueKind::kScalar:
+        w.f64(kv.value.asScalar());
+        break;
+      case ValueKind::kPartial: {
+        const Partial& p = kv.value.asPartial();
+        w.f64(p.sum);
+        w.f64(p.min);
+        w.f64(p.max);
+        w.varint(static_cast<std::uint64_t>(p.count));
+        break;
+      }
+      case ValueKind::kList: {
+        const auto& xs = kv.value.asList();
+        w.varint(xs.size());
+        w.words(xs.data(), xs.size());
+        break;
+      }
+    }
+  }
+}
+
+std::vector<std::byte> Segment::serializeCompressed(
+    const nd::Coord& keySpace) const {
+  std::vector<std::byte> out;
+  serializeCompressedInto(out, keySpace);
+  return out;
+}
+
+Segment Segment::fromStream(SegmentStream& stream) {
+  const SegmentHeader h = stream.header();
+  std::vector<KeyValue> records;
+  records.reserve(h.numRecords);  // bounded by the stream's count check
+  std::vector<std::uint64_t> lin;
+  const bool hasLin = stream.hasLin();
+  if (hasLin) lin.reserve(h.numRecords);
+  while (!stream.exhausted()) {
+    if (hasLin) lin.push_back(stream.currentLin());
+    records.push_back(stream.take());
+  }
+  if (hasLin) {
+    return Segment(h.mapTask, h.keyblock, std::move(records), std::move(lin));
+  }
+  return Segment(h.mapTask, h.keyblock, std::move(records));
 }
 
 Segment Segment::deserialize(std::span<const std::byte> bytes) {
@@ -638,31 +962,478 @@ SegmentHeader Segment::peekHeader(std::span<const std::byte> bytes) {
   return h;
 }
 
-SegmentMerger::SegmentMerger(std::span<const Segment* const> segments) {
-  // The u64 heap is only valid when EVERY participating segment carries
-  // the cache: a mixed heap would compare a u64 against a Coord.
-  bool allLinear = true;
-  for (const Segment* s : segments) {
-    if (s != nullptr && !s->empty() && !s->hasLinearKeys()) {
-      allLinear = false;
+// ---- SegmentStream: bounded-window decode of spilled segments ----
+
+SegmentStream::SegmentStream(const std::string& path, std::size_t windowBytes,
+                             bool compressed, const nd::Coord& keySpace)
+    : SegmentStream(
+          std::unique_ptr<sci::Storage>(std::make_unique<sci::FileStorage>(
+              path, sci::FileStorage::Mode::kOpenReadOnly)),
+          windowBytes, compressed, keySpace) {}
+
+SegmentStream::SegmentStream(std::unique_ptr<sci::Storage> storage,
+                             std::size_t windowBytes, bool compressed,
+                             const nd::Coord& keySpace)
+    : storage_(std::move(storage)),
+      windowBytes_(windowBytes),
+      compressed_(compressed),
+      keySpace_(keySpace) {
+  init();
+}
+
+SegmentStream::~SegmentStream() = default;
+
+void SegmentStream::init() {
+  if (windowBytes_ == 0) {
+    throw std::invalid_argument("SegmentStream: window must be non-zero");
+  }
+  fileSize_ = storage_->size();
+  if (fileSize_ < Segment::kHeaderBytes) {
+    throw std::out_of_range("SegmentStream: truncated");
+  }
+  std::array<std::byte, Segment::kHeaderBytes> hdr;
+  storage_->readAt(0, hdr);
+  header_ = Segment::peekHeader(hdr);
+  fileOffset_ = Segment::kHeaderBytes;
+  bytesRead_ = Segment::kHeaderBytes;
+  // Same guard as deserialize: a corrupt count must not drive a huge
+  // reserve downstream — every record costs at least the framing's
+  // per-record floor on the wire.
+  const std::uint64_t minRecord =
+      compressed_ ? kMinCompressedRecordBytes : kMinRecordBytes;
+  if (header_.numRecords > (fileSize_ - Segment::kHeaderBytes) / minRecord) {
+    throw std::out_of_range("SegmentStream: record count exceeds input");
+  }
+  if (compressed_) {
+    while (!tryDecodeKeySpace()) {
+      if (fileOffset_ >= fileSize_) {
+        throw std::out_of_range("SegmentStream: truncated");
+      }
+      refill();
+    }
+    hasLin_ = true;
+  } else {
+    hasLin_ = keySpace_.rank() > 0;
+  }
+  if (header_.numRecords == 0) {
+    finishChecks();
+    return;  // exhausted_ stays true
+  }
+  exhausted_ = false;
+  decodeNext();
+}
+
+bool SegmentStream::tryDecodeKeySpace() {
+  const std::byte* p = buf_.data() + bufPos_;
+  const std::byte* end = buf_.data() + buf_.size();
+  std::uint64_t rank = 0;
+  if (!readVarint(p, end, rank)) return false;
+  if (rank == 0 || rank > nd::kMaxRank) {
+    throw std::runtime_error("SegmentStream: bad key rank");
+  }
+  nd::Coord space = nd::Coord::zeros(rank);
+  std::uint64_t total = 1;
+  constexpr auto kMaxIndex =
+      static_cast<std::uint64_t>(std::numeric_limits<nd::Index>::max());
+  for (std::size_t d = 0; d < rank; ++d) {
+    std::uint64_t ext = 0;
+    if (!readVarint(p, end, ext)) return false;
+    if (ext == 0 || ext > kMaxIndex) {
+      throw std::runtime_error("SegmentStream: bad key space extent");
+    }
+    if (total > kMaxIndex / ext) {
+      throw std::runtime_error("SegmentStream: key space overflow");
+    }
+    total *= ext;
+    space[d] = static_cast<nd::Index>(ext);
+  }
+  if (keySpace_.rank() != 0 && !(space == keySpace_)) {
+    throw std::runtime_error("SegmentStream: key space mismatch");
+  }
+  fileKeySpace_ = std::move(space);
+  spaceSize_ = total;
+  bufPos_ = static_cast<std::size_t>(p - buf_.data());
+  return true;
+}
+
+void SegmentStream::refill() {
+  // Slide the consumed prefix out, then fetch up to one window of new
+  // bytes. A single record larger than the window keeps accumulating
+  // across calls (the buffer grows past windowBytes_ only then).
+  if (bufPos_ > 0) {
+    buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(bufPos_));
+    bufPos_ = 0;
+  }
+  const std::uint64_t want =
+      std::min<std::uint64_t>(windowBytes_, fileSize_ - fileOffset_);
+  const std::size_t old = buf_.size();
+  buf_.resize(old + static_cast<std::size_t>(want));
+  storage_->readAt(fileOffset_, std::span<std::byte>(buf_.data() + old,
+                                                     static_cast<std::size_t>(want)));
+  fileOffset_ += want;
+  bytesRead_ += want;
+  peakWindow_ = std::max(peakWindow_, buf_.size());
+}
+
+void SegmentStream::decodeNext() {
+  while (!(compressed_ ? tryDecodeCompressed() : tryDecodeUncompressed())) {
+    if (fileOffset_ >= fileSize_) {
+      throw std::out_of_range("SegmentStream: truncated");
+    }
+    refill();
+  }
+  ++decoded_;
+  repSum_ += cur_.represents;
+}
+
+bool SegmentStream::tryDecodeUncompressed() {
+  const std::byte* base = buf_.data();
+  const std::byte* p = base + bufPos_;
+  const std::byte* end = base + buf_.size();
+  if (end - p < 8) return false;
+  const std::uint64_t rank = loadU64(p);
+  if (rank > nd::kMaxRank) {
+    throw std::runtime_error("SegmentStream: bad key rank");
+  }
+  const std::size_t fixed = 8 + 8 * static_cast<std::size_t>(rank) + 16;
+  if (static_cast<std::size_t>(end - p) < fixed) return false;
+  p += 8;
+  nd::Coord key = nd::Coord::zeros(rank);
+  for (std::size_t d = 0; d < rank; ++d) {
+    key[d] = static_cast<nd::Index>(loadU64(p));
+    p += 8;
+  }
+  const std::uint64_t represents = loadU64(p);
+  p += 8;
+  const std::uint64_t kindWord = loadU64(p);
+  p += 8;
+  Value value;
+  switch (kindWord) {
+    case 0:
+      if (end - p < 8) return false;
+      value = Value::scalar(loadF64(p));
+      p += 8;
+      break;
+    case 1: {
+      if (end - p < 4 * 8) return false;
+      Partial pa;
+      pa.sum = loadF64(p);
+      pa.min = loadF64(p + 8);
+      pa.max = loadF64(p + 16);
+      pa.count = static_cast<std::int64_t>(loadU64(p + 24));
+      p += 4 * 8;
+      value = Value::partial(pa);
       break;
     }
-  }
-  for (const Segment* s : segments) {
-    if (s != nullptr && !s->empty()) {
-      heap_.push_back(
-          Cursor{s, 0, allLinear ? s->linearKeys().data() : nullptr});
+    case 2: {
+      if (end - p < 8) return false;
+      const std::uint64_t n = loadU64(p);
+      // Bound against ALL remaining file bytes (buffered + unfetched):
+      // a garbage length must throw, not refill forever.
+      const std::uint64_t rest = static_cast<std::uint64_t>(end - p) - 8 +
+                                 (fileSize_ - fileOffset_);
+      if (n > rest / 8) {
+        throw std::out_of_range("SegmentStream: list length exceeds input");
+      }
+      if (static_cast<std::uint64_t>(end - p) < 8 + 8 * n) return false;
+      p += 8;
+      std::vector<double> xs(n);
+      if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(xs.data(), p, static_cast<std::size_t>(n) * 8);
+      } else {
+        for (std::uint64_t i = 0; i < n; ++i) xs[i] = loadF64(p + 8 * i);
+      }
+      p += 8 * n;
+      value = Value::list(std::move(xs));
+      break;
     }
+    default:
+      throw std::runtime_error("SegmentStream: bad value kind");
+  }
+  // Commit: nothing above mutated stream state, so a false return (from
+  // any insufficient-bytes check) leaves the cursor untouched.
+  bufPos_ = static_cast<std::size_t>(p - base);
+  cur_.key = std::move(key);
+  cur_.represents = represents;
+  cur_.value = std::move(value);
+  if (hasLin_) {
+    curLin_ = checkedLinearize(cur_.key, keySpace_);
+  }
+  return true;
+}
+
+bool SegmentStream::tryDecodeCompressed() {
+  const std::byte* base = buf_.data();
+  const std::byte* p = base + bufPos_;
+  const std::byte* end = base + buf_.size();
+  std::uint64_t delta = 0;
+  std::uint64_t represents = 0;
+  if (!readVarint(p, end, delta)) return false;
+  if (!readVarint(p, end, represents)) return false;
+  if (p == end) return false;
+  const auto kindByte = static_cast<std::uint8_t>(*p++);
+  Value value;
+  switch (kindByte) {
+    case 0:
+      if (end - p < 8) return false;
+      value = Value::scalar(loadF64(p));
+      p += 8;
+      break;
+    case 1: {
+      if (end - p < 3 * 8) return false;
+      Partial pa;
+      pa.sum = loadF64(p);
+      pa.min = loadF64(p + 8);
+      pa.max = loadF64(p + 16);
+      p += 3 * 8;
+      std::uint64_t count = 0;
+      if (!readVarint(p, end, count)) return false;
+      pa.count = static_cast<std::int64_t>(count);
+      value = Value::partial(pa);
+      break;
+    }
+    case 2: {
+      std::uint64_t n = 0;
+      if (!readVarint(p, end, n)) return false;
+      const std::uint64_t rest =
+          static_cast<std::uint64_t>(end - p) + (fileSize_ - fileOffset_);
+      if (n > rest / 8) {
+        throw std::out_of_range("SegmentStream: list length exceeds input");
+      }
+      if (static_cast<std::uint64_t>(end - p) < 8 * n) return false;
+      std::vector<double> xs(n);
+      if constexpr (std::endian::native == std::endian::little) {
+        std::memcpy(xs.data(), p, static_cast<std::size_t>(n) * 8);
+      } else {
+        for (std::uint64_t i = 0; i < n; ++i) xs[i] = loadF64(p + 8 * i);
+      }
+      p += 8 * n;
+      value = Value::list(std::move(xs));
+      break;
+    }
+    default:
+      throw std::runtime_error("SegmentStream: bad value kind");
+  }
+  std::uint64_t lin;
+  if (!havePrev_) {
+    lin = delta;
+  } else {
+    if (delta > std::numeric_limits<std::uint64_t>::max() - prevLin_) {
+      throw std::out_of_range("SegmentStream: lin outside key space");
+    }
+    lin = prevLin_ + delta;
+  }
+  if (lin >= spaceSize_) {
+    throw std::out_of_range("SegmentStream: lin outside key space");
+  }
+  // Delinearize with the dense-run bump (sorted runs over row-major
+  // emission make lin == prev + 1 the common case).
+  const std::size_t lastD = fileKeySpace_.rank() - 1;
+  if (havePrev_ && lin == prevLin_ + 1 &&
+      prevKey_[lastD] + 1 < fileKeySpace_[lastD]) {
+    ++prevKey_[lastD];
+  } else if (!havePrev_ || lin != prevLin_) {
+    prevKey_ = nd::delinearize(static_cast<nd::Index>(lin), fileKeySpace_);
+  }
+  bufPos_ = static_cast<std::size_t>(p - base);
+  prevLin_ = lin;
+  havePrev_ = true;
+  cur_.key = prevKey_;
+  cur_.represents = represents;
+  cur_.value = std::move(value);
+  curLin_ = lin;
+  return true;
+}
+
+void SegmentStream::advance() {
+  if (exhausted_) {
+    throw std::logic_error("SegmentStream: advance past end");
+  }
+  if (decoded_ == header_.numRecords) {
+    finishChecks();
+    exhausted_ = true;
+    cur_ = KeyValue{};
+    return;
+  }
+  decodeNext();
+}
+
+KeyValue SegmentStream::take() {
+  KeyValue kv = std::move(cur_);
+  advance();
+  return kv;
+}
+
+void SegmentStream::finishChecks() {
+  // Unconsumed buffered bytes or unfetched file bytes after the last
+  // record are both trailing garbage.
+  if (bufPos_ < buf_.size() || fileOffset_ < fileSize_) {
+    throw std::runtime_error("SegmentStream: trailing bytes");
+  }
+  if (repSum_ != header_.represents) {
+    throw std::runtime_error("SegmentStream: annotation mismatch");
+  }
+}
+
+SegmentMerger::SegmentMerger(std::span<const Segment* const> segments) {
+  std::vector<Input> inputs(segments.size());
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    inputs[i].segment = segments[i];
+  }
+  init(inputs);
+}
+
+SegmentMerger::SegmentMerger(std::span<const Input> inputs) { init(inputs); }
+
+void SegmentMerger::init(std::span<const Input> inputs) {
+  // The u64 heap is only valid when EVERY participating input serves
+  // linear keys: a mixed heap would compare a u64 against a Coord.
+  for (const Input& in : inputs) {
+    if (in.segment != nullptr) {
+      if (!in.segment->empty() && !in.segment->hasLinearKeys()) {
+        allLinear_ = false;
+      }
+    } else if (in.stream != nullptr) {
+      if (!in.stream->exhausted() && !in.stream->hasLin()) {
+        allLinear_ = false;
+      }
+    } else if (in.run != nullptr) {
+      if (!in.run->empty() && in.runLin == nullptr) allLinear_ = false;
+    }
+  }
+  // Cursor creation order == input order: the heap's evolution depends
+  // only on key comparisons and this sequence, never on which KIND of
+  // source carries the records — the bit-identical-output property the
+  // out-of-core parity suite asserts.
+  for (const Input& in : inputs) {
+    Cursor c{};
+    if (in.segment != nullptr && !in.segment->empty()) {
+      c.segment = in.segment;
+      if (in.segment->packed() && allLinear_) {
+        // Iterate the packed form directly — merging never builds the
+        // segment's KeyValue view.
+        c.kind = Kind::kPacked;
+        c.packed = in.segment->packedRecords().data();
+        c.count = in.segment->packedRecords().size();
+      } else {
+        c.kind = Kind::kMaterialized;
+        c.recs = in.segment->records().data();
+        c.count = in.segment->records().size();
+        c.lin = allLinear_ ? in.segment->linearKeys().data() : nullptr;
+      }
+    } else if (in.stream != nullptr && !in.stream->exhausted()) {
+      c.kind = Kind::kStream;
+      c.stream = in.stream;
+    } else if (in.run != nullptr && !in.run->empty()) {
+      c.kind = Kind::kRun;
+      c.recs = in.run->data();
+      c.count = in.run->size();
+      c.lin = allLinear_ ? in.runLin : nullptr;
+    } else {
+      continue;  // empty or absent input
+    }
+    heap_.push_back(c);
   }
   // Build a binary min-heap on the cursors' current keys.
   for (std::size_t i = heap_.size(); i-- > 0;) siftDown(i);
 }
 
-bool SegmentMerger::cursorLess(const Cursor& a, const Cursor& b) const {
-  if (a.lin != nullptr && b.lin != nullptr) {
-    return a.lin[a.pos] < b.lin[b.pos];
+std::uint64_t SegmentMerger::linAt(const Cursor& c) const {
+  switch (c.kind) {
+    case Kind::kPacked:
+      return c.packed[c.pos].lin;
+    case Kind::kStream:
+      return c.stream->currentLin();
+    case Kind::kRun:
+    case Kind::kMaterialized:
+      break;
   }
-  return a.segment->records()[a.pos].key < b.segment->records()[b.pos].key;
+  return c.lin[c.pos];
+}
+
+const nd::Coord& SegmentMerger::keyAt(const Cursor& c) const {
+  // Never sees kPacked: packed cursors exist only on the allLinear_
+  // path, where every compare goes through linAt.
+  if (c.kind == Kind::kStream) return c.stream->current().key;
+  return c.recs[c.pos].key;
+}
+
+nd::Coord SegmentMerger::topKey() const {
+  const Cursor& c = heap_.front();
+  if (c.kind == Kind::kPacked) {
+    return nd::delinearize(static_cast<nd::Index>(c.packed[c.pos].lin),
+                           c.segment->keySpaceShape());
+  }
+  return keyAt(c);
+}
+
+std::uint64_t SegmentMerger::topLin() const { return linAt(heap_.front()); }
+
+bool SegmentMerger::topKeyEquals(const nd::Coord& key,
+                                 std::uint64_t keyLin) const {
+  const Cursor& c = heap_.front();
+  if (allLinear_) return linAt(c) == keyLin;
+  return keyAt(c) == key;
+}
+
+const KeyValue& SegmentMerger::topRecord() const {
+  return heap_.front().recs[heap_.front().pos];
+}
+
+void SegmentMerger::requireRunCursors() const {
+  for (const Cursor& c : heap_) {
+    if (c.kind != Kind::kRun && c.kind != Kind::kMaterialized) {
+      throw std::logic_error(
+          "SegmentMerger::forEachRecord: needs run or materialized inputs");
+    }
+  }
+}
+
+std::uint64_t SegmentMerger::takeTopValue() {
+  Cursor& c = heap_.front();
+  std::uint64_t represents = 0;
+  switch (c.kind) {
+    case Kind::kRun:
+    case Kind::kMaterialized: {
+      const KeyValue& kv = c.recs[c.pos];
+      groupValues_.push_back(&kv.value);
+      represents = kv.represents;
+      break;
+    }
+    case Kind::kPacked: {
+      const PackedRecord& r = c.packed[c.pos];
+      represents = r.represents;
+      switch (r.kind) {
+        case ValueKind::kScalar:
+          hold_.push_back(Value::scalar(r.payload.scalar));
+          break;
+        case ValueKind::kPartial:
+          hold_.push_back(Value::partial(r.payload.partial));
+          break;
+        case ValueKind::kList:
+          // Copy, not move: the segment stays intact (recovery may
+          // republish it).
+          hold_.push_back(
+              Value::list(c.segment->packedListAt(r.payload.listIndex)));
+          break;
+      }
+      groupValues_.push_back(&hold_.back());
+      break;
+    }
+    case Kind::kStream: {
+      represents = c.stream->current().represents;
+      hold_.push_back(c.stream->takeValue());
+      groupValues_.push_back(&hold_.back());
+      break;
+    }
+  }
+  pop();
+  return represents;
+}
+
+bool SegmentMerger::cursorLess(const Cursor& a, const Cursor& b) const {
+  if (allLinear_) return linAt(a) < linAt(b);
+  return keyAt(a) < keyAt(b);
 }
 
 void SegmentMerger::siftDown(std::size_t i) {
@@ -681,9 +1452,15 @@ void SegmentMerger::siftDown(std::size_t i) {
 
 void SegmentMerger::pop() {
   Cursor& c = heap_.front();
-  if (c.pos + 1 < c.segment->records().size()) {
-    ++c.pos;
+  bool more;
+  if (c.kind == Kind::kStream) {
+    c.stream->advance();
+    more = !c.stream->exhausted();
   } else {
+    more = c.pos + 1 < c.count;
+    if (more) ++c.pos;
+  }
+  if (!more) {
     heap_.front() = heap_.back();
     heap_.pop_back();
     if (heap_.empty()) return;

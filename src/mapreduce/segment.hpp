@@ -9,14 +9,94 @@
 // correctness.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <deque>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "mapreduce/kv.hpp"
 
+namespace sidr::sci {
+class Storage;
+}  // namespace sidr::sci
+
 namespace sidr::mr {
+
+// ---- memory-budget accounting: the segment page pool ----
+
+/// Job-wide ledger of resident intermediate-data bytes, accounted in
+/// fixed-size pages against JobSpec::memoryBudgetBytes (DESIGN.md
+/// section 14). The pool does not allocate memory itself: packed record
+/// buffers and published segments keep their own storage, and charge /
+/// release page-rounded footprints here so the engine can observe
+/// pressure. All operations are lock-free (a single atomic counter plus
+/// a CAS-maintained peak), so the map-side emit path can charge pages
+/// without taking any engine lock.
+///
+/// Watermarks: pressure eviction starts when resident bytes exceed the
+/// high-water mark (budget - budget/8) and stops once they drop to the
+/// low-water mark (budget - budget/4). A budget of 0 means unlimited —
+/// charges are still counted (for the peak statistic) but overHighWater
+/// never fires.
+class SegmentPagePool {
+ public:
+  /// Accounting granule. Budgets below one page are rejected by the
+  /// Engine constructor: they could never admit a single charge.
+  static constexpr std::uint64_t kPageBytes = 64 * 1024;
+
+  explicit SegmentPagePool(std::uint64_t budgetBytes) noexcept
+      : budget_(budgetBytes) {}
+
+  /// Rounds `bytes` up to whole pages, adds them to the resident total,
+  /// and returns the page-rounded amount (pass it back to release()).
+  std::uint64_t charge(std::uint64_t bytes) noexcept {
+    const std::uint64_t pages = pageRound(bytes);
+    const std::uint64_t now =
+        resident_.fetch_add(pages, std::memory_order_relaxed) + pages;
+    std::uint64_t peak = peak_.load(std::memory_order_relaxed);
+    while (now > peak &&
+           !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+    }
+    return pages;
+  }
+
+  /// Returns a charge obtained from charge() (already page-rounded).
+  void release(std::uint64_t chargedBytes) noexcept {
+    resident_.fetch_sub(chargedBytes, std::memory_order_relaxed);
+  }
+
+  std::uint64_t residentBytes() const noexcept {
+    return resident_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t peakResidentBytes() const noexcept {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t budgetBytes() const noexcept { return budget_; }
+  bool unlimited() const noexcept { return budget_ == 0; }
+
+  std::uint64_t highWaterBytes() const noexcept {
+    return budget_ - budget_ / 8;
+  }
+  std::uint64_t lowWaterBytes() const noexcept { return budget_ - budget_ / 4; }
+
+  /// True when a bounded pool is over its high-water mark (eviction
+  /// should run until residentBytes() <= lowWaterBytes()).
+  bool overHighWater() const noexcept {
+    return budget_ > 0 && residentBytes() > highWaterBytes();
+  }
+
+  static std::uint64_t pageRound(std::uint64_t bytes) noexcept {
+    return (bytes + kPageBytes - 1) / kPageBytes * kPageBytes;
+  }
+
+ private:
+  std::uint64_t budget_;
+  std::atomic<std::uint64_t> resident_{0};
+  std::atomic<std::uint64_t> peak_{0};
+};
 
 // ---- spilled map-output file naming and atomic attempt commit ----
 //
@@ -171,6 +251,30 @@ class Segment {
   /// True when the segment still holds the packed representation.
   bool packed() const noexcept { return packedMode_; }
 
+  /// Packed-form record view (empty span when not packed). Does NOT
+  /// materialize — this is how the merger iterates a packed segment
+  /// without ever building its KeyValue vector (DESIGN.md section 14).
+  std::span<const PackedRecord> packedRecords() const noexcept {
+    return packedMode_ ? std::span<const PackedRecord>(packed_)
+                       : std::span<const PackedRecord>();
+  }
+
+  /// Out-of-line list payload of a packed record (valid while packed).
+  const std::vector<double>& packedListAt(std::uint32_t idx) const {
+    return lists_[idx];
+  }
+
+  /// The keySpace a packed segment's linear keys were computed in
+  /// (rank 0 for segments built from full KeyValues).
+  const nd::Coord& keySpaceShape() const noexcept { return keySpace_; }
+
+  /// Approximate heap footprint of the record data in its CURRENT
+  /// representation — what a published in-memory segment costs against
+  /// the page pool. Packed form counts the packed array plus list
+  /// payloads; materialized form counts KeyValues, list payloads and
+  /// the linear-key cache.
+  std::uint64_t residentBytes() const noexcept;
+
   /// True when every record has a cached linear key (trivially true in
   /// packed form — the linear key IS the stored key).
   bool hasLinearKeys() const noexcept {
@@ -217,9 +321,8 @@ class Segment {
   static constexpr std::size_t kHeaderBytes = 32;
 
   /// Exact byte size of serialize()'s output, computed without
-  /// encoding anything. serialize() allocates once from this.
-  /// Materializes a packed segment first (the wire format is the
-  /// KeyValue encoding — packed form never travels).
+  /// encoding anything. serialize() allocates once from this. Works on
+  /// the packed form directly — sizing never materializes.
   std::size_t serializedSize() const;
 
   /// Flat binary encoding (header + records), as written to the local
@@ -230,7 +333,10 @@ class Segment {
 
   /// serialize() into a caller-owned buffer, reusing its capacity —
   /// the map side encodes one segment per keyblock and can amortize
-  /// one allocation across all of them.
+  /// one allocation across all of them. A packed segment encodes
+  /// straight from its packed form (delinearizing per record into the
+  /// exact bytes the materialized encode would produce), so spilling or
+  /// evicting one never builds its KeyValue view.
   void serializeInto(std::vector<std::byte>& out) const;
 
   /// Decodes serialize()'s output. Every length field (record count,
@@ -244,6 +350,41 @@ class Segment {
   /// "partially understand the data without reading and parsing it"
   /// access the paper describes for the annotation tally.
   static SegmentHeader peekHeader(std::span<const std::byte> bytes);
+
+  // ---- compressed spill framing (JobSpec::compressSpill) ----
+  //
+  // Same 32-byte uncompressed header (peekHeader and the annotation
+  // tally work unchanged), then a self-describing key space (varint
+  // rank + extents) and one record per entry as
+  //   varint(lin delta) varint(represents) kind-byte payload
+  // where scalar/partial/list payloads keep their raw 8-byte words
+  // (varint only the list length and partial count). Records are
+  // sorted by linear key, so deltas are small and the stream drops the
+  // dominant per-record cost: the 8-byte-per-coordinate key encoding.
+
+  /// Exact encoded size of serializeCompressedInto's output.
+  std::size_t serializedCompressedSize(const nd::Coord& keySpace) const;
+
+  /// Compressed encoding into a caller-owned buffer. Encodes STRAIGHT
+  /// from the packed form when present — eviction of a packed segment
+  /// never materializes its KeyValue view — and from the materialized
+  /// records otherwise (using the linear-key cache, or linearizing
+  /// against `keySpace` when the cache is absent). Throws
+  /// std::invalid_argument when keySpace is empty or (packed form)
+  /// differs from the segment's own, std::out_of_range when a key falls
+  /// outside it, and std::logic_error when records are not sorted by
+  /// linear key (deltas must be non-negative).
+  void serializeCompressedInto(std::vector<std::byte>& out,
+                               const nd::Coord& keySpace) const;
+
+  std::vector<std::byte> serializeCompressed(const nd::Coord& keySpace) const;
+
+  /// Drains a SegmentStream (either framing) into a fully materialized
+  /// segment — the non-windowed decode used where whole-segment access
+  /// is still wanted. Validates exactly what deserialize() validates
+  /// (the stream itself checks truncation, structure, trailing bytes
+  /// and the annotation sum).
+  static Segment fromStream(class SegmentStream& stream);
 
  private:
   void sortByLinearKey();
@@ -265,55 +406,203 @@ class Segment {
   nd::Coord keySpace_;
 };
 
-/// k-way merge of sorted segments into one key-grouped stream:
+/// Bounded-window streaming decoder over one encoded segment
+/// (DESIGN.md section 14). Reads the file through a sliding buffer of
+/// at most `windowBytes` (growing only for a single record larger than
+/// the window), decoding one record at a time, so a reduce task's
+/// resident cost per spilled input is the window — never the whole
+/// decoded segment. Handles both framings: the fixed-width uncompressed
+/// wire format and the varint/delta compressed one (compressed = true).
+///
+/// Validation matches Segment::deserialize: structural corruption
+/// (bad kind byte, over-long varint, rank/extent garbage, a linear key
+/// outside the key space) throws std::runtime_error /
+/// std::out_of_range; truncation mid-record throws std::out_of_range;
+/// after the last record, trailing bytes and a represents-sum mismatch
+/// with the header annotation are rejected. Short reads from storage
+/// propagate as the storage layer's own exceptions.
+class SegmentStream {
+ public:
+  /// Opens `path` read-only. `keySpace` lets the uncompressed framing
+  /// serve linear keys (currentLin); pass an empty Coord to skip that.
+  /// For the compressed framing the embedded key space is
+  /// authoritative; a non-empty `keySpace` must match it.
+  SegmentStream(const std::string& path, std::size_t windowBytes,
+                bool compressed, const nd::Coord& keySpace);
+
+  /// Same, over caller-provided storage (tests stream MemoryStorage).
+  SegmentStream(std::unique_ptr<sci::Storage> storage,
+                std::size_t windowBytes, bool compressed,
+                const nd::Coord& keySpace);
+
+  ~SegmentStream();
+  SegmentStream(const SegmentStream&) = delete;
+  SegmentStream& operator=(const SegmentStream&) = delete;
+
+  const SegmentHeader& header() const noexcept { return header_; }
+
+  /// True once every record has been consumed (end-of-stream checks
+  /// have run by then). A zero-record segment starts exhausted.
+  bool exhausted() const noexcept { return exhausted_; }
+
+  /// The record at the cursor; valid until advance()/take().
+  const KeyValue& current() const noexcept { return cur_; }
+
+  /// Row-major linear key of current(), when hasLin().
+  std::uint64_t currentLin() const noexcept { return curLin_; }
+  bool hasLin() const noexcept { return hasLin_; }
+
+  /// Decodes the next record (or runs end-of-stream validation).
+  void advance();
+
+  /// Moves the current record out, then advances.
+  KeyValue take();
+
+  /// Moves just the current value out. The cursor MUST be advanced
+  /// before the record is read again (the merger does exactly that).
+  Value takeValue() { return std::move(cur_.value); }
+
+  /// File bytes fetched so far (shuffle accounting).
+  std::uint64_t bytesRead() const noexcept { return bytesRead_; }
+
+  /// Largest number of encoded bytes ever resident in the window.
+  std::size_t peakWindowBytes() const noexcept { return peakWindow_; }
+
+ private:
+  void init();
+  bool tryDecodeKeySpace();
+  void decodeNext();
+  bool tryDecodeUncompressed();
+  bool tryDecodeCompressed();
+  void refill();
+  void finishChecks();
+
+  std::unique_ptr<sci::Storage> storage_;
+  std::size_t windowBytes_;
+  bool compressed_;
+  /// Job key space for uncompressed lin computation (may be empty).
+  nd::Coord keySpace_;
+  /// Compressed framing's embedded key space and its element count
+  /// (bounds every decoded linear key).
+  nd::Coord fileKeySpace_;
+  std::uint64_t spaceSize_ = 0;
+
+  SegmentHeader header_;
+  std::vector<std::byte> buf_;
+  std::size_t bufPos_ = 0;        ///< consumed prefix within buf_
+  std::uint64_t fileOffset_ = 0;  ///< next file byte to fetch
+  std::uint64_t fileSize_ = 0;
+
+  KeyValue cur_;
+  std::uint64_t curLin_ = 0;
+  bool hasLin_ = false;
+  bool exhausted_ = true;
+  std::uint64_t decoded_ = 0;  ///< records decoded so far
+  std::uint64_t repSum_ = 0;   ///< running represents sum (tally check)
+  std::uint64_t prevLin_ = 0;  ///< delta base / dense-run detection
+  bool havePrev_ = false;
+  nd::Coord prevKey_;  ///< dense-run coord cache (compressed decode)
+  std::uint64_t bytesRead_ = 0;
+  std::size_t peakWindow_ = 0;
+};
+
+/// k-way merge of sorted inputs into one key-grouped stream:
 /// for each distinct key (ascending), calls
 ///   fn(key, span<const Value*> values, totalRepresents).
 /// This is the sort/merge/group step that precedes the Reduce function.
-/// When every non-empty input segment carries a linear-key cache, the
-/// heap orders cursors and detects group boundaries by comparing u64s
-/// instead of lexicographic Coords; since linearization is an
-/// order-preserving injection the pop order is identical either way.
+///
+/// Inputs may be in-memory segments (iterated in packed form without
+/// materializing when possible), windowed SegmentStreams over spilled
+/// files, or plain sorted KeyValue runs (collectAll's reduce outputs).
+/// When every input serves linear keys, the heap orders cursors and
+/// detects group boundaries by comparing u64s instead of lexicographic
+/// Coords; since linearization is an order-preserving injection the pop
+/// order is identical either way. The heap's comparison sequence
+/// depends only on key order and input order, so a merge over the same
+/// records produces the same output no matter which source kinds carry
+/// them — the property the out-of-core parity suite pins down.
 class SegmentMerger {
  public:
-  explicit SegmentMerger(std::span<const Segment* const> segments);
+  /// One merge input: exactly one of segment / stream / run set.
+  /// `runLin` optionally parallels `*run` with cached linear keys.
+  struct Input {
+    const Segment* segment = nullptr;
+    SegmentStream* stream = nullptr;
+    const std::vector<KeyValue>* run = nullptr;
+    const std::uint64_t* runLin = nullptr;
+  };
 
-  /// Grouped iteration; see class comment.
+  explicit SegmentMerger(std::span<const Segment* const> segments);
+  explicit SegmentMerger(std::span<const Input> inputs);
+
+  /// True when every input serves linear keys (u64 compare path).
+  bool allLinear() const noexcept { return allLinear_; }
+
+  /// Grouped iteration; see class comment. Value pointers passed to
+  /// `fn` are valid only during that call (packed/stream sources hold
+  /// decoded values in a per-group buffer).
   template <typename Fn>
   void forEachGroup(Fn&& fn) {
     while (!heap_.empty()) {
-      const nd::Coord key = top().key;
-      const std::uint64_t keyLin =
-          heap_.front().lin ? heap_.front().lin[heap_.front().pos] : 0;
+      const nd::Coord key = topKey();
+      const std::uint64_t keyLin = allLinear_ ? topLin() : 0;
       groupValues_.clear();
+      hold_.clear();
       std::uint64_t represents = 0;
       while (!heap_.empty() && topKeyEquals(key, keyLin)) {
-        groupValues_.push_back(&top().value);
-        represents += top().represents;
-        pop();
+        represents += takeTopValue();
       }
       fn(key, std::span<const Value* const>(groupValues_), represents);
     }
   }
 
+  /// Flat merged-record iteration: fn(const KeyValue&, lin) per record
+  /// in merge order (lin meaningful only when allLinear()). Only valid
+  /// for run-backed inputs (collectAll); throws std::logic_error
+  /// otherwise.
+  template <typename Fn>
+  void forEachRecord(Fn&& fn) {
+    requireRunCursors();
+    while (!heap_.empty()) {
+      fn(topRecord(), allLinear_ ? topLin() : 0);
+      pop();
+    }
+  }
+
  private:
+  enum class Kind : std::uint8_t { kRun, kMaterialized, kPacked, kStream };
+
   struct Cursor {
+    Kind kind;
+    /// kMaterialized / kPacked: owning segment (list payloads, key
+    /// space for delinearization).
     const Segment* segment;
-    std::size_t pos;
-    /// Segment's cached linear keys; nullptr when any merged segment
-    /// lacks the cache (then every compare falls back to Coord order).
+    SegmentStream* stream;      ///< kStream
+    const KeyValue* recs;       ///< kRun / kMaterialized base pointer
+    const PackedRecord* packed; ///< kPacked base pointer
+    /// Cached linear keys parallel to recs (null on the Coord path).
     const std::uint64_t* lin;
+    std::size_t pos;
+    std::size_t count;
   };
 
-  const KeyValue& top() const {
-    const Cursor& c = heap_.front();
-    return c.segment->records()[c.pos];
-  }
+  void init(std::span<const Input> inputs);
 
-  bool topKeyEquals(const nd::Coord& key, std::uint64_t keyLin) const {
-    const Cursor& c = heap_.front();
-    if (c.lin != nullptr) return c.lin[c.pos] == keyLin;
-    return c.segment->records()[c.pos].key == key;
-  }
+  /// Current linear key / key of a cursor. linAt is only meaningful on
+  /// the allLinear_ path; keyAt never sees a kPacked cursor (packed
+  /// inputs materialize when any input lacks linear keys).
+  std::uint64_t linAt(const Cursor& c) const;
+  const nd::Coord& keyAt(const Cursor& c) const;
+
+  nd::Coord topKey() const;
+  std::uint64_t topLin() const;
+  bool topKeyEquals(const nd::Coord& key, std::uint64_t keyLin) const;
+  const KeyValue& topRecord() const;
+  /// Appends the top cursor's value to groupValues_ (holding a decoded
+  /// copy in hold_ for packed/stream sources), returns its represents
+  /// count, and advances past it.
+  std::uint64_t takeTopValue();
+  void requireRunCursors() const;
 
   void pop();
   void siftDown(std::size_t i);
@@ -321,6 +610,11 @@ class SegmentMerger {
 
   std::vector<Cursor> heap_;
   std::vector<const Value*> groupValues_;
+  /// Per-group storage for values that have no stable in-memory home
+  /// (packed list copies, stream-decoded records). A deque: growing it
+  /// never moves elements already pointed to by groupValues_.
+  std::deque<Value> hold_;
+  bool allLinear_ = true;
 };
 
 }  // namespace sidr::mr

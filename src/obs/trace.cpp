@@ -33,6 +33,8 @@ const char* phaseName(Phase phase) noexcept {
       return "reduce";
     case Phase::kOutputCommit:
       return "output-commit";
+    case Phase::kPressureSpill:
+      return "pressure-spill";
     case Phase::kNumPhases:
       break;
   }

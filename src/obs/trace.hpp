@@ -56,6 +56,7 @@ enum class Phase : std::uint8_t {
   kMerge,         ///< reduce: merge prep + heap construction
   kReduce,        ///< reduce: grouped reduce function
   kOutputCommit,  ///< reduce: committing the keyblock's output
+  kPressureSpill, ///< engine: evicting a resident segment under memory pressure
   kNumPhases,
 };
 

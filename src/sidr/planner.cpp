@@ -63,6 +63,11 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.recovery = options.recovery;
   spec.faultPlan = options.faultPlan;
   spec.recordTrace = options.recordTrace;
+  spec.spillDirectory = options.spillDirectory;
+  spec.spillWriters = options.spillWriters;
+  spec.memoryBudgetBytes = options.memoryBudgetBytes;
+  spec.mergeWindowBytes = options.mergeWindowBytes;
+  spec.compressSpill = options.compressSpill;
   // The extraction map bounds every intermediate key, so every planner
   // job runs the linearized-key fast path (DESIGN.md section 11). This
   // is the same space both partitioners linearize over: ModuloPartitioner

@@ -63,6 +63,16 @@ struct PlanOptions {
   /// Record a per-attempt / per-phase obs::Trace into JobResult::trace
   /// (forwarded to mr::JobSpec::recordTrace; DESIGN.md section 13).
   bool recordTrace = false;
+
+  /// Out-of-core knobs, forwarded verbatim to the matching
+  /// mr::JobSpec fields (DESIGN.md section 14). Empty spillDirectory =
+  /// in-memory shuffle; with it set, memoryBudgetBytes selects eager
+  /// spill (0) or the pressure-evicting hybrid mode (> 0).
+  std::string spillDirectory;
+  std::uint32_t spillWriters = 4;
+  std::uint64_t memoryBudgetBytes = 0;
+  std::size_t mergeWindowBytes = 1 << 20;
+  bool compressSpill = false;
 };
 
 /// A fully-assembled plan: the JobSpec plus the structural artifacts the

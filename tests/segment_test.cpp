@@ -5,6 +5,7 @@
 #include "mapreduce/combiners.hpp"
 #include "mapreduce/partitioners.hpp"
 #include "mapreduce/segment.hpp"
+#include "scifile/storage.hpp"
 
 namespace sidr::mr {
 namespace {
@@ -365,6 +366,301 @@ TEST(HashPartitioner, BreaksKeyPatterns) {
     }
   }
   for (int c : counts) EXPECT_GT(c, 0) << "hash must spread patterned keys";
+}
+
+// ---- streaming decoder + compressed spill framing ----
+
+std::unique_ptr<sci::Storage> memoryStorageOf(
+    std::span<const std::byte> bytes) {
+  auto storage = std::make_unique<sci::MemoryStorage>();
+  storage->writeAt(0, bytes);
+  return storage;
+}
+
+/// Random sorted segment whose keys all lie inside `keySpace`, covering
+/// every value kind (lists include empty and window-busting big ones).
+Segment randomSortedSegment(std::mt19937_64& rng, const nd::Coord& keySpace,
+                            std::size_t count) {
+  nd::Index space = 1;
+  for (std::size_t d = 0; d < keySpace.rank(); ++d) space *= keySpace[d];
+  std::vector<KeyValue> records;
+  for (std::size_t i = 0; i < count; ++i) {
+    KeyValue kv;
+    kv.key = nd::delinearize(static_cast<nd::Index>(
+                                 rng() % static_cast<std::uint64_t>(space)),
+                             keySpace);
+    kv.represents = rng() % 1000;
+    switch (rng() % 4) {
+      case 0:
+        kv.value = Value::scalar(static_cast<double>(rng() % 997) / 13.0);
+        break;
+      case 1: {
+        Partial p;
+        p.sum = static_cast<double>(rng() % 997) / 7.0;
+        p.min = -p.sum;
+        p.max = p.sum * 2;
+        p.count = static_cast<std::int64_t>(rng() % 100);
+        kv.value = Value::partial(p);
+        break;
+      }
+      case 2: {
+        std::vector<double> xs(rng() % 9);  // includes empty lists
+        for (auto& x : xs) x = static_cast<double>(rng() % 997) / 3.0;
+        kv.value = Value::list(std::move(xs));
+        break;
+      }
+      default: {
+        // Bigger than the smallest test window, so the stream's
+        // grow-for-one-record path is exercised.
+        std::vector<double> xs(40 + rng() % 30);
+        for (auto& x : xs) x = static_cast<double>(rng() % 997);
+        kv.value = Value::list(std::move(xs));
+        break;
+      }
+    }
+    records.push_back(std::move(kv));
+  }
+  Segment seg(1, 0, std::move(records));
+  seg.computeLinearKeys(keySpace);
+  seg.sortByKey();
+  return seg;
+}
+
+void expectStreamMatches(SegmentStream& stream, const Segment& want,
+                         bool wantLin, const nd::Coord& keySpace) {
+  EXPECT_EQ(stream.header(), want.header());
+  EXPECT_EQ(stream.hasLin(), wantLin);
+  for (std::size_t i = 0; i < want.records().size(); ++i) {
+    ASSERT_FALSE(stream.exhausted());
+    if (wantLin) {
+      EXPECT_EQ(stream.currentLin(),
+                static_cast<std::uint64_t>(
+                    nd::linearize(want.records()[i].key, keySpace)));
+    }
+    KeyValue got = stream.take();
+    EXPECT_EQ(got.key, want.records()[i].key);
+    EXPECT_EQ(got.value, want.records()[i].value);
+    EXPECT_EQ(got.represents, want.records()[i].represents);
+  }
+  EXPECT_TRUE(stream.exhausted());
+}
+
+TEST(SegmentStream, WindowedDecodeMatchesDeserialize) {
+  const nd::Coord keySpace{6, 7, 8};
+  std::mt19937_64 rng(99);
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{80}}) {
+    Segment seg = randomSortedSegment(rng, keySpace, count);
+    auto bytes = seg.serialize();
+    // Windows below one record, around a few records, and way past the
+    // whole encoding must all decode identically.
+    for (std::size_t window : {std::size_t{64}, std::size_t{4096},
+                               std::size_t{1} << 20}) {
+      SegmentStream stream(memoryStorageOf(bytes), window,
+                           /*compressed=*/false, keySpace);
+      expectStreamMatches(stream, seg, /*wantLin=*/true, keySpace);
+      EXPECT_EQ(stream.bytesRead(), bytes.size());
+      if (window == 64 && count == 80) {
+        EXPECT_LT(stream.peakWindowBytes(), bytes.size())
+            << "a small window must never buffer the whole file";
+      }
+    }
+    // Without a key space the stream serves no linear keys but the
+    // records are the same.
+    SegmentStream plain(memoryStorageOf(bytes), 512, false, nd::Coord());
+    expectStreamMatches(plain, seg, /*wantLin=*/false, keySpace);
+  }
+}
+
+TEST(SegmentStream, CompressedRoundTripMatches) {
+  const nd::Coord keySpace{6, 7, 8};
+  std::mt19937_64 rng(7);
+  for (std::size_t count : {std::size_t{0}, std::size_t{1}, std::size_t{80}}) {
+    Segment seg = randomSortedSegment(rng, keySpace, count);
+    auto bytes = seg.serializeCompressed(keySpace);
+    ASSERT_EQ(bytes.size(), seg.serializedCompressedSize(keySpace));
+    EXPECT_EQ(Segment::peekHeader(bytes), seg.header())
+        << "compressed framing keeps the raw header (annotation peek)";
+    for (std::size_t window : {std::size_t{64}, std::size_t{1} << 20}) {
+      SegmentStream stream(memoryStorageOf(bytes), window,
+                           /*compressed=*/true, keySpace);
+      expectStreamMatches(stream, seg, /*wantLin=*/true, keySpace);
+    }
+    // fromStream materializes the same segment (the eager-spill decode
+    // path for compressed files).
+    SegmentStream stream(memoryStorageOf(bytes), 256, true, keySpace);
+    Segment back = Segment::fromStream(stream);
+    EXPECT_EQ(back.header(), seg.header());
+    ASSERT_EQ(back.records().size(), seg.records().size());
+    for (std::size_t i = 0; i < seg.records().size(); ++i) {
+      EXPECT_EQ(back.records()[i].key, seg.records()[i].key);
+      EXPECT_EQ(back.records()[i].value, seg.records()[i].value);
+      EXPECT_EQ(back.records()[i].represents, seg.records()[i].represents);
+    }
+    EXPECT_TRUE(back.hasLinearKeys());
+  }
+}
+
+TEST(SegmentStream, CompressedPackedEncodeMatchesMaterialized) {
+  // The packed-direct compressed encoder must emit byte-identical
+  // output to encoding the materialized view of the same records.
+  const nd::Coord keySpace{4, 5};
+  std::vector<PackedRecord> packed;
+  std::vector<std::vector<double>> lists;
+  auto addPacked = [&](std::uint64_t lin, Value v, std::uint64_t rep) {
+    PackedRecord r;
+    r.lin = lin;
+    r.represents = rep;
+    r.kind = v.kind();
+    switch (v.kind()) {
+      case ValueKind::kScalar:
+        r.payload.scalar = v.asScalar();
+        break;
+      case ValueKind::kPartial:
+        r.payload.partial = v.asPartial();
+        break;
+      case ValueKind::kList:
+        r.payload.listIndex = static_cast<std::uint32_t>(lists.size());
+        lists.push_back(v.asList());
+        break;
+    }
+    packed.push_back(r);
+  };
+  addPacked(0, Value::scalar(1.0), 2);
+  addPacked(1, Value::list({5.0, 6.0}), 1);  // dense run 0,1,2
+  addPacked(2, Value::partial(Partial::ofValue(3.0)), 4);
+  addPacked(7, Value::list({}), 9);
+  addPacked(19, Value::scalar(-2.5), 1);
+  Segment lazy(0, 0, std::move(packed), std::move(lists), keySpace);
+  Segment eager = Segment::deserialize(lazy.serialize());
+  EXPECT_EQ(lazy.serializeCompressed(keySpace),
+            eager.serializeCompressed(keySpace));
+  EXPECT_TRUE(lazy.packed()) << "compressed encode must not materialize";
+}
+
+TEST(SegmentStream, RejectsEveryTruncationPoint) {
+  const nd::Coord keySpace{6, 7, 8};
+  std::mt19937_64 rng(31);
+  Segment seg = randomSortedSegment(rng, keySpace, 12);
+  for (bool compressed : {false, true}) {
+    auto bytes =
+        compressed ? seg.serializeCompressed(keySpace) : seg.serialize();
+    for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+      std::span<const std::byte> prefix(bytes.data(), cut);
+      EXPECT_THROW(
+          {
+            SegmentStream stream(memoryStorageOf(prefix), 64, compressed,
+                                 keySpace);
+            while (!stream.exhausted()) stream.advance();
+          },
+          std::exception)
+          << (compressed ? "compressed" : "uncompressed") << " prefix length "
+          << cut;
+    }
+  }
+}
+
+TEST(SegmentStream, RejectsStructuralCorruption) {
+  const nd::Coord keySpace{4, 4};
+  Segment seg(0, 0,
+              {{nd::Coord{1, 2}, Value::scalar(2.0), 1},
+               {nd::Coord{3, 0}, Value::list({1.0}), 2}});
+  auto drain = [&](std::span<const std::byte> bytes, bool compressed) {
+    SegmentStream stream(memoryStorageOf(bytes), 64, compressed, keySpace);
+    while (!stream.exhausted()) stream.advance();
+  };
+  {
+    // Uncompressed: bad value-kind word.
+    auto bytes = seg.serialize();
+    // header(32) + rank(8) + 2 coords(16) + represents(8) = kind at 64.
+    bytes[64] = std::byte{7};
+    EXPECT_THROW(drain(bytes, false), std::runtime_error);
+  }
+  {
+    // Uncompressed: trailing bytes after the last record.
+    auto bytes = seg.serialize();
+    bytes.push_back(std::byte{0});
+    EXPECT_THROW(drain(bytes, false), std::runtime_error);
+  }
+  {
+    // Uncompressed: header represents disagrees with the record sum.
+    auto bytes = seg.serialize();
+    bytes[24] = std::byte{0xff};  // represents word (little-endian)
+    EXPECT_THROW(drain(bytes, false), std::runtime_error);
+  }
+  {
+    // Compressed: bad kind byte in the first record.
+    auto bytes = seg.serializeCompressed(keySpace);
+    // header(32) + rank varint(1) + two extent varints(2) +
+    // lin varint(1) + represents varint(1) = kind byte at offset 37.
+    bytes[37] = std::byte{9};
+    EXPECT_THROW(drain(bytes, true), std::runtime_error);
+  }
+}
+
+TEST(SegmentStream, CompressedRejectsKeySpaceMismatch) {
+  const nd::Coord keySpace{4, 4};
+  Segment seg(0, 0, {{nd::Coord{1, 2}, Value::scalar(2.0), 1}});
+  auto bytes = seg.serializeCompressed(keySpace);
+  EXPECT_THROW(
+      {
+        SegmentStream stream(memoryStorageOf(bytes), 64, true,
+                             nd::Coord{5, 4});
+        while (!stream.exhausted()) stream.advance();
+      },
+      std::runtime_error);
+  // An empty caller key space defers to the embedded one.
+  SegmentStream ok(memoryStorageOf(bytes), 64, true, nd::Coord());
+  EXPECT_EQ(ok.take().key, (nd::Coord{1, 2}));
+}
+
+TEST(SegmentStream, MergerOverStreamsMatchesInMemory) {
+  // Mixed-source merge: one resident segment, one streamed — group
+  // sequence must be identical to merging both in memory.
+  const nd::Coord keySpace{8, 8};
+  std::mt19937_64 rng(5);
+  Segment a = randomSortedSegment(rng, keySpace, 30);
+  Segment b = randomSortedSegment(rng, keySpace, 45);
+  auto bytesB = b.serialize();
+
+  struct Group {
+    nd::Coord key;
+    std::vector<Value> values;
+    std::uint64_t represents;
+  };
+  auto collect = [](SegmentMerger& merger) {
+    std::vector<Group> groups;
+    merger.forEachGroup([&](const nd::Coord& key,
+                            std::span<const Value* const> values,
+                            std::uint64_t represents) {
+      Group g;
+      g.key = key;
+      for (const Value* v : values) g.values.push_back(*v);
+      g.represents = represents;
+      groups.push_back(std::move(g));
+    });
+    return groups;
+  };
+
+  std::vector<const Segment*> both{&a, &b};
+  SegmentMerger reference{std::span<const Segment* const>(both)};
+  auto want = collect(reference);
+
+  SegmentStream streamB(memoryStorageOf(bytesB), 128, false, keySpace);
+  std::vector<SegmentMerger::Input> inputs(2);
+  inputs[0].segment = &a;
+  inputs[1].stream = &streamB;
+  SegmentMerger mixed{std::span<const SegmentMerger::Input>(inputs)};
+  auto got = collect(mixed);
+
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].key, want[i].key);
+    EXPECT_EQ(got[i].represents, want[i].represents);
+    ASSERT_EQ(got[i].values.size(), want[i].values.size());
+    for (std::size_t j = 0; j < want[i].values.size(); ++j) {
+      EXPECT_EQ(got[i].values[j], want[i].values[j]);
+    }
+  }
 }
 
 }  // namespace
