@@ -1,0 +1,375 @@
+// Multi-job service driver (DESIGN.md section 15): submits a fleet of
+// 72 queued jobs to one EngineService — cycling every shuffle regime
+// (in-memory, eager spill, hybrid budget, compressed spill, injected
+// faults with recovery, barrier mode) plus terminally-failing and
+// cancelled jobs — over ONE shared spill directory, and verifies the
+// service is a correctness-preserving substrate:
+//
+//   * every successful job's collectAll() is bit-identical to a solo
+//     Engine::run of the same spec, and its sort / shuffle counters
+//     match the solo run exactly (no cross-job bleed);
+//   * failed and cancelled jobs leave ZERO files in their spill
+//     namespace;
+//   * partial results are observable before completion (a gated
+//     reducer pins one job mid-run while the driver reads its early
+//     exact reduces).
+//
+// Emits BENCH_engine_service.json: fleet wall seconds vs summed solo
+// seconds, jobs/sec, outcome counts, and the identical-output flag.
+// Exits non-zero on any correctness violation, so tier1.sh can run it
+// as a gate.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "mapreduce/engine.hpp"
+#include "mapreduce/engine_service.hpp"
+#include "scihadoop/datagen.hpp"
+#include "sidr/planner.hpp"
+
+namespace {
+
+using namespace sidr;
+namespace fs = std::filesystem;
+
+bool sameCollected(const std::vector<mr::KeyValue>& xs,
+                   const std::vector<mr::KeyValue>& ys) {
+  if (xs.size() != ys.size()) return false;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i].key != ys[i].key || xs[i].value != ys[i].value ||
+        xs[i].represents != ys[i].represents) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool sameSortTotals(const mr::SortStats& a, const mr::SortStats& b) {
+  return a.sortedSkips == b.sortedSkips &&
+         a.comparisonSorts == b.comparisonSorts &&
+         a.radixSorts == b.radixSorts && a.radixPasses == b.radixPasses &&
+         a.radixPassesSkipped == b.radixPassesSkipped;
+}
+
+std::size_t filesUnder(const std::string& dir) {
+  if (!fs::exists(dir)) return 0;
+  std::size_t n = 0;
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (entry.is_regular_file()) ++n;
+  }
+  return n;
+}
+
+/// Six successful job shapes covering every shuffle regime.
+core::QueryPlan makePlan(int variant, const std::string& spillDir,
+                         bool quick) {
+  const int v = variant % 6;
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = (variant % 2 == 0) ? sh::OperatorKind::kMean
+                            : sh::OperatorKind::kMedian;
+  q.extractionShape = nd::Coord{static_cast<nd::Index>(2 + v % 3), 2, 2};
+  const nd::Index rows = quick ? 12 : 24;
+  const nd::Coord input{static_cast<nd::Index>(rows + 2 * (variant % 5)), 12,
+                        8};
+  core::PlanOptions opts;
+  opts.system =
+      (v == 5) ? core::SystemMode::kSciHadoop : core::SystemMode::kSidr;
+  opts.numReducers = static_cast<std::uint32_t>(3 + variant % 4);
+  opts.desiredSplitCount = quick ? 6 : 10;
+  opts.numThreads = 2;  // solo baselines only; the service has its own
+  if (v != 0) opts.spillDirectory = spillDir;
+  if (v == 2) {
+    opts.memoryBudgetBytes = 2 * mr::SegmentPagePool::kPageBytes;
+    opts.mergeWindowBytes = 4096;
+  }
+  if (v == 3) opts.compressSpill = true;
+  if (v == 4) {
+    opts.faultPlan.failMap(0, 1);
+    opts.faultPlan.failReduce(1, 1);
+  }
+  return core::QueryPlanner(q, input).plan(
+      sh::temperatureField(static_cast<std::uint64_t>(101 + variant)), opts);
+}
+
+/// A job whose keyblock 0 exhausts its retry budget: terminally failed.
+core::QueryPlan fatalPlan(const std::string& spillDir) {
+  sh::StructuralQuery q;
+  q.variable = "v";
+  q.op = sh::OperatorKind::kMean;
+  q.extractionShape = nd::Coord{2, 2, 2};
+  core::PlanOptions opts;
+  opts.system = core::SystemMode::kSidr;
+  opts.numReducers = 3;
+  opts.desiredSplitCount = 5;
+  opts.numThreads = 2;
+  opts.spillDirectory = spillDir;
+  opts.faultPlan.maxAttempts = 2;
+  opts.faultPlan.failReduce(0, 1).failReduce(0, 2);
+  return core::QueryPlanner(q, nd::Coord{16, 10, 8})
+      .plan(sh::temperatureField(7), opts);
+}
+
+// Rendezvous pinning one job mid-run so partial results are provably
+// observable before completion (same shape as the test suite's gate).
+struct ReduceGate {
+  std::mutex m;
+  std::condition_variable cv;
+  bool blocked = false;
+  bool open = false;
+  void arriveAndWait() {
+    std::unique_lock lk(m);
+    blocked = true;
+    cv.notify_all();
+    cv.wait(lk, [this] { return open; });
+  }
+  bool waitUntilBlocked() {
+    std::unique_lock lk(m);
+    return cv.wait_for(lk, std::chrono::seconds(60),
+                       [this] { return blocked; });
+  }
+  void release() {
+    std::scoped_lock lk(m);
+    open = true;
+    cv.notify_all();
+  }
+};
+
+class GatedReducer : public mr::Reducer {
+ public:
+  GatedReducer(std::unique_ptr<mr::Reducer> inner,
+               std::shared_ptr<ReduceGate> gate)
+      : inner_(std::move(inner)), gate_(std::move(gate)) {}
+  void reduce(const nd::Coord& key, std::span<const mr::Value* const> values,
+              mr::ReduceContext& ctx) override {
+    if (gate_ != nullptr) {
+      gate_->arriveAndWait();
+      gate_ = nullptr;
+    }
+    inner_->reduce(key, values, ctx);
+  }
+
+ private:
+  std::unique_ptr<mr::Reducer> inner_;
+  std::shared_ptr<ReduceGate> gate_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) quick = true;
+  }
+
+  bench::header(
+      "EngineService fleet - 72 queued jobs, one shared spill directory",
+      "multi-job serving substrate, DESIGN.md section 15; every job must "
+      "be bit-identical to its solo Engine::run baseline");
+
+  constexpr std::size_t kSuccessJobs = 64;
+  constexpr std::size_t kFatalJobs = 4;
+  constexpr std::size_t kCancelJobs = 4;
+
+  const std::string dir =
+      (fs::temp_directory_path() / "sidr_bench_engine_service").string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  // Solo baselines (namespaced alongside the service jobs: isolation is
+  // part of what the fleet exercises).
+  std::vector<core::QueryPlan> plans;
+  std::vector<mr::JobResult> solos;
+  double soloSecs = 0;
+  for (std::size_t i = 0; i < kSuccessJobs; ++i) {
+    plans.push_back(makePlan(static_cast<int>(i), dir, quick));
+    mr::JobSpec spec = plans.back().spec;
+    spec.jobId = 1000 + i;
+    const auto t0 = std::chrono::steady_clock::now();
+    solos.push_back(mr::Engine(std::move(spec)).run());
+    soloSecs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  }
+  core::QueryPlan fatal = fatalPlan(dir);
+
+  mr::ServiceConfig config;
+  config.numThreads = 8;
+  config.maxConcurrentJobs = 6;
+  config.policy = mr::SchedulingPolicy::kReduceFirst;
+  mr::EngineService service(config);
+
+  // The gated job goes in first so it holds an admission slot while the
+  // driver observes its early exact reduces mid-run.
+  auto gate = std::make_shared<ReduceGate>();
+  core::QueryPlan gatedPlan = makePlan(1, dir, quick);
+  {
+    mr::ReducerFactory inner = std::move(gatedPlan.spec.reducerFactory);
+    auto counter = std::make_shared<std::atomic<std::uint32_t>>(0);
+    gatedPlan.spec.reducerFactory =
+        [inner = std::move(inner), gate,
+         counter]() -> std::unique_ptr<mr::Reducer> {
+      std::unique_ptr<mr::Reducer> r = inner();
+      if (counter->fetch_add(1) == 1) {
+        return std::make_unique<GatedReducer>(std::move(r), gate);
+      }
+      return r;
+    };
+  }
+  gatedPlan.spec.reduceSlots = 1;  // one reduce commits, the next parks
+  const mr::JobResult gatedSolo = [&] {
+    mr::JobSpec spec = makePlan(1, dir, quick).spec;
+    spec.jobId = 999;
+    spec.reduceSlots = 1;
+    return mr::Engine(std::move(spec)).run();
+  }();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  mr::JobHandle gated = service.submit(std::move(gatedPlan.spec));
+
+  std::vector<mr::JobHandle> handles;
+  std::vector<mr::JobHandle> fatals;
+  std::vector<mr::JobHandle> cancels;
+  for (std::size_t i = 0; i < kSuccessJobs; ++i) {
+    handles.push_back(service.submit(mr::JobSpec(plans[i].spec)));
+    if (i % (kSuccessJobs / kFatalJobs) == 3) {
+      fatals.push_back(service.submit(mr::JobSpec(fatal.spec)));
+    }
+    if (i % (kSuccessJobs / kCancelJobs) == 9) {
+      cancels.push_back(service.submit(mr::JobSpec(plans[i].spec)));
+    }
+  }
+
+  // --- partial results BEFORE completion, exact against solo ---
+  int violations = 0;
+  if (!gate->waitUntilBlocked()) {
+    std::fprintf(stderr, "FAIL: gated job never reached its reducer\n");
+    return 1;
+  }
+  const std::vector<mr::ReduceOutput> early = gated.partialResults();
+  const bool earlyObserved = !gated.done() && !early.empty();
+  for (const mr::ReduceOutput& out : early) {
+    const mr::ReduceOutput& want = gatedSolo.outputs[out.keyblock];
+    if (out.records.size() != want.records.size()) ++violations;
+  }
+  gate->release();
+
+  // Cancels race the fleet: queued ones die instantly, admitted ones
+  // drain — either way their namespace must end up empty.
+  std::size_t cancelLanded = 0;
+  for (mr::JobHandle& handle : cancels) {
+    if (handle.cancel()) ++cancelLanded;
+  }
+
+  std::size_t identical = 0;
+  std::size_t countersIsolated = 0;
+  for (std::size_t i = 0; i < kSuccessJobs; ++i) {
+    const mr::JobResult& result = handles[i].wait();
+    if (sameCollected(result.collectAll(), solos[i].collectAll())) {
+      ++identical;
+    } else {
+      ++violations;
+      std::fprintf(stderr, "FAIL: job %zu output differs from solo run\n", i);
+    }
+    if (sameSortTotals(result.sortTotals, solos[i].sortTotals) &&
+        result.shuffleConnections == solos[i].shuffleConnections &&
+        result.recordsPerReducer == solos[i].recordsPerReducer) {
+      ++countersIsolated;
+    } else {
+      ++violations;
+      std::fprintf(stderr, "FAIL: job %zu counters bled across jobs\n", i);
+    }
+  }
+  if (!sameCollected(gated.wait().collectAll(), gatedSolo.collectAll())) {
+    ++violations;
+    std::fprintf(stderr, "FAIL: gated job output differs from solo run\n");
+  }
+  for (mr::JobHandle& handle : fatals) {
+    bool failed = false;
+    try {
+      handle.wait();
+    } catch (const mr::JobError&) {
+      failed = true;
+    }
+    const std::size_t leftover =
+        filesUnder(dir + "/" + mr::jobSpillDirName(handle.id()));
+    if (!failed || leftover != 0) {
+      ++violations;
+      std::fprintf(stderr, "FAIL: failed job %llu left %zu files\n",
+                   static_cast<unsigned long long>(handle.id()), leftover);
+    }
+  }
+  for (mr::JobHandle& handle : cancels) {
+    try {
+      handle.wait();
+    } catch (const mr::JobCancelled&) {
+    }
+    const std::size_t leftover =
+        handle.status() == mr::JobState::kCancelled
+            ? filesUnder(dir + "/" + mr::jobSpillDirName(handle.id()))
+            : 0;
+    if (leftover != 0) {
+      ++violations;
+      std::fprintf(stderr, "FAIL: cancelled job %llu left %zu files\n",
+                   static_cast<unsigned long long>(handle.id()), leftover);
+    }
+  }
+  const double fleetSecs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const mr::ServiceStats stats = service.stats();
+  const std::size_t submitted = kSuccessJobs + kFatalJobs + kCancelJobs + 1;
+  std::printf(
+      "fleet: %zu jobs (%zu success shapes, %zu fatal, %zu cancel-raced, "
+      "1 gated)\n",
+      submitted, kSuccessJobs, kFatalJobs, kCancelJobs);
+  std::printf("  %-28s %llu\n", "succeeded",
+              static_cast<unsigned long long>(stats.succeeded));
+  std::printf("  %-28s %llu\n", "failed",
+              static_cast<unsigned long long>(stats.failed));
+  std::printf("  %-28s %llu (of %zu cancel attempts, %zu landed)\n",
+              "cancelled", static_cast<unsigned long long>(stats.cancelled),
+              kCancelJobs, cancelLanded);
+  std::printf("  %-28s %u\n", "peak concurrent jobs",
+              stats.peakConcurrentJobs);
+  std::printf("  %-28s %zu/%zu\n", "bit-identical to solo", identical,
+              kSuccessJobs);
+  std::printf("  %-28s %zu/%zu\n", "counters isolated", countersIsolated,
+              kSuccessJobs);
+  std::printf("  %-28s %s\n", "partials before completion",
+              earlyObserved ? "yes" : "NO");
+  std::printf("  %-28s %.2fs service vs %.2fs summed solo (%.2fx)\n",
+              "wall time", fleetSecs, soloSecs, soloSecs / fleetSecs);
+
+  bench::BenchJson json("engine_service");
+  json.metric("jobs_submitted", static_cast<double>(stats.submitted));
+  json.metric("jobs_succeeded", static_cast<double>(stats.succeeded));
+  json.metric("jobs_failed", static_cast<double>(stats.failed));
+  json.metric("jobs_cancelled", static_cast<double>(stats.cancelled));
+  json.metric("peak_concurrent_jobs",
+              static_cast<double>(stats.peakConcurrentJobs));
+  json.metric("identical_outputs", static_cast<double>(identical));
+  json.metric("counters_isolated", static_cast<double>(countersIsolated));
+  json.metric("partials_before_completion", earlyObserved ? 1 : 0);
+  json.metric("fleet_seconds", fleetSecs, "s");
+  json.metric("solo_seconds_summed", soloSecs, "s");
+  json.metric("jobs_per_sec", static_cast<double>(submitted) / fleetSecs);
+  json.write();
+  std::printf("\nwrote BENCH_engine_service.json\n");
+
+  if (!earlyObserved) {
+    std::fprintf(stderr, "FAIL: no partial results observed mid-run\n");
+    ++violations;
+  }
+  fs::remove_all(dir);
+  return violations == 0 ? 0 : 1;
+}

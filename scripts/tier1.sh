@@ -23,7 +23,7 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
   linear_fastpath_test sort_spill_parity_test trace_invariants_test \
-  trace_differential_test out_of_core_test
+  trace_differential_test out_of_core_test engine_service_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
 # The fast-path parity suite under TSan exercises packed segments' lazy
@@ -43,13 +43,22 @@ TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_differential_test
 # pool workers races recovery republication and lock-free reduce
 # fetches that stream evicted inputs through bounded windows.
 TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/out_of_core_test
+# The multi-job service suite under TSan: N jobs share worker threads,
+# one spill-writer pool and one spill directory, with cancellation and
+# finalize racing task completion — the service->job lock order and the
+# per-task recorder/sort-sink installs are exactly what TSan checks.
+TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_service_test
 
-# ASan pass over the same suite: the windowed SegmentStream decoder and
+# ASan pass over the same suites: the windowed SegmentStream decoder and
 # the compressed varint codec move buffer boundaries around under
-# pressure — exactly where an off-by-one would hide from TSan.
+# pressure — exactly where an off-by-one would hide from TSan — and the
+# service's job teardown (namespace removal, handle-outlives-service
+# results) is where a use-after-free would.
 cmake --preset asan
-cmake --build --preset asan -j"$(nproc)" --target out_of_core_test
+cmake --build --preset asan -j"$(nproc)" --target out_of_core_test \
+  engine_service_test
 ./build-asan/tests/out_of_core_test
+./build-asan/tests/engine_service_test
 
 # Keep the perf tree building and the map-side benchmark runnable: a
 # --quick pass catches bit-rot in the frozen legacy arm and the JSON
@@ -57,5 +66,11 @@ cmake --build --preset asan -j"$(nproc)" --target out_of_core_test
 # emits BENCH_trace_phases.json (per-phase totals from a traced run)
 # and checks the disabled-recorder arm stays within its overhead gate.
 cmake --preset bench
-cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline
+cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
+  bench_engine_service
 ./build-bench/bench/bench_map_pipeline --quick
+# The multi-job fleet driver is a correctness gate, not just a timing:
+# 72 queued jobs against one EngineService, every success bit-identical
+# to its solo baseline, failed/cancelled namespaces left empty, partial
+# results observed mid-run (exits non-zero on any violation).
+./build-bench/bench/bench_engine_service --quick

@@ -1,135 +1,13 @@
 #include "mapreduce/engine.hpp"
 
-#include "mapreduce/map_pipeline.hpp"
-
 #include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <deque>
-#include <filesystem>
-#include <functional>
-#include <memory>
-#include <mutex>
+#include <span>
 #include <thread>
+#include <vector>
 
-#include "obs/trace.hpp"
-#include "scifile/storage.hpp"
+#include "mapreduce/job_context.hpp"
 
 namespace sidr::mr {
-
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-/// Small shared pool of threads that encode and write map attempts'
-/// per-keyblock spill files, so keyblocks overlap instead of running
-/// sequentially on the map worker (DESIGN.md section 12). Only the
-/// attempt-suffixed TEMPORARY files are written here: the submitting
-/// map worker waits for its whole batch, and only then commits each
-/// keyblock with the atomic rename itself — so the per-(map, keyblock)
-/// publication order the lock-free reduce fetch relies on, and PR 2's
-/// crash/recovery guarantees, are exactly the sequential path's.
-class SpillWriterPool {
- public:
-  /// One work item: encode one segment into the worker's reusable
-  /// buffer and write one attempt file.
-  using Job = std::function<void(std::vector<std::byte>& encodeBuf)>;
-
-  /// Completion handle for one map attempt's group of writes.
-  class Batch {
-   public:
-    /// Blocks until every job submitted against this batch finished;
-    /// rethrows the first encode/write failure. Must be called before
-    /// the batch (or anything its jobs reference) is destroyed.
-    void wait() {
-      std::unique_lock lock(mtx_);
-      cv_.wait(lock, [this] { return pending_ == 0; });
-      if (error_) std::rethrow_exception(error_);
-    }
-
-   private:
-    friend class SpillWriterPool;
-    std::mutex mtx_;
-    std::condition_variable cv_;
-    std::size_t pending_ = 0;
-    std::exception_ptr error_;
-  };
-
-  explicit SpillWriterPool(std::uint32_t numThreads) {
-    workers_.reserve(numThreads);
-    for (std::uint32_t i = 0; i < numThreads; ++i) {
-      workers_.emplace_back([this] { workerLoop(); });
-    }
-  }
-
-  /// Drains any queued jobs, then joins the workers (jthread dtors).
-  ~SpillWriterPool() {
-    {
-      std::scoped_lock lock(mtx_);
-      stop_ = true;
-    }
-    cv_.notify_all();
-  }
-
-  void submit(Batch& batch, Job job) {
-    {
-      std::scoped_lock lock(batch.mtx_);
-      ++batch.pending_;
-    }
-    {
-      std::scoped_lock lock(mtx_);
-      queue_.push_back(Item{&batch, std::move(job)});
-    }
-    cv_.notify_one();
-  }
-
- private:
-  struct Item {
-    Batch* batch;
-    Job job;
-  };
-
-  void workerLoop() {
-    // One encode buffer per worker, reused across jobs — the same
-    // allocation amortization the sequential path got from its single
-    // spillBuf.
-    std::vector<std::byte> encodeBuf;
-    std::unique_lock lock(mtx_);
-    while (true) {
-      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ set and everything drained
-      Item item = std::move(queue_.front());
-      queue_.pop_front();
-      lock.unlock();
-      std::exception_ptr error;
-      try {
-        item.job(encodeBuf);
-      } catch (...) {
-        error = std::current_exception();
-      }
-      {
-        std::scoped_lock batchLock(item.batch->mtx_);
-        if (error && !item.batch->error_) item.batch->error_ = error;
-        --item.batch->pending_;
-        // Notify under the batch mutex: the submitter destroys the
-        // stack-allocated Batch right after wait() returns, so the
-        // last touch of the cv must happen-before the waiter can
-        // observe pending_ == 0.
-        item.batch->cv_.notify_all();
-      }
-      lock.lock();
-    }
-  }
-
-  std::mutex mtx_;
-  std::condition_variable cv_;
-  std::deque<Item> queue_;
-  bool stop_ = false;
-  std::vector<std::jthread> workers_;
-};
-
-}  // namespace
 
 std::vector<KeyValue> JobResult::collectAll() const {
   // Each reducer's output is already key-sorted (the merger iterates
@@ -164,1196 +42,29 @@ std::vector<KeyValue> JobResult::collectAll() const {
   return all;
 }
 
-/// Collects a reduce task's output records (arrive in key order because
-/// the merger iterates ascending).
-class VectorReduceContext final : public ReduceContext {
- public:
-  void emit(const nd::Coord& key, Value value) override {
-    records_.push_back(KeyValue{key, std::move(value), 1});
-  }
-
-  std::vector<KeyValue> take() { return std::move(records_); }
-
- private:
-  std::vector<KeyValue> records_;
-};
-
-struct Engine::Impl {
-  explicit Impl(const JobSpec& s) : spec(s) {}
-
-  const JobSpec& spec;
-  std::uint32_t numMaps = 0;
-  std::uint32_t numReduces = 0;
-
-  std::mutex mtx;
-  std::condition_variable cv;
-
-  // --- map state ---
-  std::deque<std::uint32_t> eligibleMaps;  // schedulable, not yet running
-  std::vector<bool> mapQueued;             // present in eligibleMaps
-  std::vector<bool> mapEverEligible;
-  std::vector<bool> mapDone;
-  std::uint32_t runningMaps = 0;
-
-  // --- segment store: map output per (map, keyblock) ---
-  // In-memory mode publishes one immutable, shared segment handle per
-  // (map, keyblock): runMap builds the Segment outside the lock and the
-  // commit section only moves the pointer into its slot (an
-  // availability flip, not a data copy). A reduce fetch is then a plain
-  // pointer read with NO lock held: the reduce only runs after
-  // observing (under mtx) that every dependency flipped segAvail, and
-  // that same critical section published the handles, so the mutex
-  // release/acquire pair establishes the happens-before edge. Segments
-  // are never mutated after publication; a recovery re-run republishes
-  // a fresh handle under mtx before re-flipping segAvail, while any
-  // still-referenced old handle stays alive through shared ownership.
-  std::vector<std::vector<std::shared_ptr<const Segment>>> segments;
-  std::vector<std::vector<bool>> segAvail;
-
-  // --- memory budget / hybrid out-of-core state (DESIGN.md §14) ---
-  // With spillDirectory set AND memoryBudgetBytes > 0 the engine runs in
-  // hybrid mode: maps publish in-memory handles exactly like the
-  // in-memory engine, every published segment's resident footprint is
-  // charged against `pagePool`, and when the pool crosses its high-water
-  // mark the coldest committed keyblocks are evicted — encoded through
-  // the same attempt-file + atomic-rename protocol eager spill uses —
-  // until the pool drops to its low-water mark. A reduce whose handle
-  // slot is null streams the evicted file back through a bounded
-  // SegmentStream window instead of materializing it.
-  std::unique_ptr<SegmentPagePool> pagePool;
-  /// Pages charged for the published segment in segments[m][kb] (bytes
-  /// after page rounding); 0 when nothing is charged for the slot.
-  std::vector<std::vector<std::uint64_t>> segCharge;
-  /// True while a pressure eviction of (m, kb) is writing its file.
-  std::vector<std::vector<bool>> segEvicting;
-  /// Per keyblock: number of in-flight evictions of its segments. A
-  /// reduce is never pushed runnable while this is non-zero — the
-  /// lock-free fetch must observe either the handle or the committed
-  /// file, never a half-evicted slot — so every runnable push site gates
-  /// on it and eviction finalize re-checks the push.
-  std::vector<std::uint32_t> evictingCount;
-  /// Attempt whose segments are currently published, per map: names the
-  /// attempt-suffixed temporary file an eviction writes.
-  std::vector<std::uint32_t> publishedAttempt;
-  /// Keyblock -> position in priorityOrder (larger = colder, evicted
-  /// first: it runs latest, so its pages are reclaimed longest).
-  std::vector<std::uint32_t> posOf;
-  std::atomic<std::uint64_t> pressureSpills{0};
-  std::atomic<std::uint64_t> compressedSpillBytes{0};
-
-  // --- reduce state ---
-  std::vector<std::vector<std::uint32_t>> deps;  // resolved I_l per keyblock
-  std::vector<std::vector<std::uint32_t>> mapToReduces;
-  std::vector<std::uint32_t> remainingDeps;
-  std::vector<bool> reduceScheduled;
-  std::vector<bool> reduceRunnableFlag;
-  std::deque<std::uint32_t> runnableReduces;
-  std::vector<bool> reduceDone;
-  std::uint32_t scheduledActive = 0;  // scheduled && !done (slot holders)
-  std::uint32_t nextPriorityPos = 0;
-  std::uint32_t runningReduces = 0;
-  std::uint32_t completedReduces = 0;
-
-  std::vector<std::uint32_t> priorityOrder;
-
-  Clock::time_point start;
-  JobResult result;
-  std::exception_ptr firstError;
-
-  double now() const {
-    return std::chrono::duration<double>(Clock::now() - start).count();
-  }
-
-  void recordEvent(TaskEvent::Kind kind, std::uint32_t id, double t,
-                   std::uint32_t attempt) {
-    result.events.push_back(TaskEvent{kind, id, t, attempt});
-  }
-
-  bool isSidr() const { return spec.mode == ExecutionMode::kSidr; }
-
-  // ---- map-output segment store (in-memory or spilled to files) ----
-
-  bool spillEnabled() const { return !spec.spillDirectory.empty(); }
-  bool budgetEnabled() const { return spec.memoryBudgetBytes > 0; }
-  /// Eager spill = the pre-budget spill mode: every map attempt encodes
-  /// all keyblocks to files and reduces always load from disk. With a
-  /// budget the spill directory is instead the eviction target and maps
-  /// publish in-memory handles.
-  bool eagerSpill() const { return spillEnabled() && !budgetEnabled(); }
-
-  /// Spill-writer pool; null when spilling is off or spillWriters == 1
-  /// (then encode+write runs inline on the map worker, as the seed did).
-  std::unique_ptr<SpillWriterPool> spillPool;
-
-  /// Span/counter recorder; null unless spec.recordTrace. Shares the
-  /// event log's epoch (`start`), so span times and event times are on
-  /// one timebase.
-  std::unique_ptr<obs::TraceRecorder> recorder;
-
-  std::string segmentPath(std::uint32_t m, std::uint32_t kb) const {
-    return spec.spillDirectory + "/" + segmentFileName(m, kb);
-  }
-
-  /// Writes one serialized segment to the attempt's TEMPORARY file.
-  /// Nothing becomes visible under the committed name until the whole
-  /// attempt commits via commitSegmentFile (atomic rename), so a
-  /// recovery re-run never truncates a file a concurrent lock-free
-  /// reduce fetch may be mid-read on.
-  void spillSegmentAttempt(std::uint32_t m, std::uint32_t kb,
-                           std::uint32_t attempt,
-                           std::span<const std::byte> bytes) const {
-    sci::FileStorage file(
-        spec.spillDirectory + "/" + segmentAttemptFileName(m, kb, attempt),
-        sci::FileStorage::Mode::kCreate);
-    file.writeAt(0, bytes);
-    file.flush();
-  }
-
-  /// Reads ONLY the header of a spilled segment — the cheap
-  /// annotation-tally access of paper section 3.2.1.
-  SegmentHeader peekSpilledHeader(std::uint32_t m, std::uint32_t kb) const {
-    sci::FileStorage file(segmentPath(m, kb),
-                          sci::FileStorage::Mode::kOpenReadOnly);
-    std::array<std::byte, Segment::kHeaderBytes> head{};
-    file.readAt(0, head);
-    return Segment::peekHeader(head);
-  }
-
-  /// Reads and decodes a spilled segment; adds the bytes moved to
-  /// `bytesFetched` (the shuffleBytes accounting). Compressed spill
-  /// files decode through the streaming reader (the only decoder that
-  /// understands the delta/varint wire form); the window is irrelevant
-  /// here since the whole segment materializes anyway.
-  Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
-                             std::uint64_t& bytesFetched) const {
-    if (spec.compressSpill) {
-      SegmentStream stream(segmentPath(m, kb),
-                           std::max<std::size_t>(spec.mergeWindowBytes, 1),
-                           /*compressed=*/true, spec.keySpace);
-      Segment seg = Segment::fromStream(stream);
-      bytesFetched += stream.bytesRead();
-      return seg;
-    }
-    sci::FileStorage file(segmentPath(m, kb),
-                          sci::FileStorage::Mode::kOpenReadOnly);
-    std::vector<std::byte> bytes(file.size());
-    file.readAt(0, bytes);
-    bytesFetched += bytes.size();
-    return Segment::deserialize(bytes);
-  }
-
-  // Marks a map schedulable (SIDR: because a scheduled reduce depends on
-  // it; stock: at job start). Caller holds mtx.
-  void markMapEligible(std::uint32_t m) {
-    if (mapDone[m] || mapQueued[m] || runningMapSet[m]) return;
-    eligibleMaps.push_back(m);
-    mapQueued[m] = true;
-    mapEverEligible[m] = true;
-  }
-
-  std::vector<bool> runningMapSet;
-  // Attempts STARTED per task (1-based attempt ids). Incremented when
-  // an execution begins, so injected faults and events name the attempt
-  // they belong to; compared against spec.faultPlan.maxAttempts when an
-  // attempt fails.
-  std::vector<std::uint32_t> mapAttempts;
-  std::vector<std::uint32_t> reduceAttempts;
-
-  // Schedules reduce tasks into free slots, in priority order; SIDR only.
-  // Caller holds mtx.
-  void scheduleReducesLocked() {
-    while (scheduledActive < spec.reduceSlots &&
-           nextPriorityPos < numReduces) {
-      std::uint32_t kb = priorityOrder[nextPriorityPos++];
-      reduceScheduled[kb] = true;
-      ++scheduledActive;
-      // Scheduling a reduce walks the task tree and marks its dependent
-      // maps schedulable (paper section 3.3).
-      for (std::uint32_t m : deps[kb]) markMapEligible(m);
-      if (remainingDeps[kb] == 0 && !reduceRunnableFlag[kb] &&
-          evictingCount[kb] == 0) {
-        reduceRunnableFlag[kb] = true;
-        runnableReduces.push_back(kb);
-      }
-    }
-  }
-
-  void runMap(std::uint32_t m);
-  void runReduce(std::uint32_t kb);
-  void maybePressureSpill();
-  void workerLoop();
-  void workerTasks();
-  JobResult run();
-};
-
 Engine::Engine(JobSpec spec) : spec_(std::move(spec)) {
-  if (!spec_.readerFactory || !spec_.mapperFactory || !spec_.reducerFactory) {
-    throw std::invalid_argument("Engine: missing task factory");
-  }
-  if (spec_.partitioner == nullptr) {
-    throw std::invalid_argument("Engine: missing partitioner");
-  }
-  if (spec_.numReducers == 0) {
-    throw std::invalid_argument("Engine: numReducers must be > 0");
-  }
-  if (spec_.keySpace.rank() > 0 && !spec_.keySpace.isValidShape()) {
-    throw std::invalid_argument(
-        "Engine: keySpace must be a valid shape (all extents > 0) or empty");
-  }
-  if (spec_.mode == ExecutionMode::kSidr &&
-      spec_.reduceDeps.size() != spec_.numReducers) {
-    throw std::invalid_argument(
-        "Engine: SIDR mode requires one dependency set per keyblock");
-  }
-  for (const auto& ds : spec_.reduceDeps) {
-    for (std::uint32_t s : ds) {
-      if (s >= spec_.splits.size()) {
-        throw std::invalid_argument("Engine: dependency references bad split");
-      }
-    }
-  }
-  if (!spec_.reducePriority.empty()) {
-    if (spec_.reducePriority.size() != spec_.numReducers) {
-      throw std::invalid_argument(
-          "Engine: priority list must cover all reduces");
-    }
-    // An out-of-range or duplicate keyblock id would corrupt the slot
-    // accounting in scheduleReducesLocked (out-of-bounds write /
-    // double-counted scheduledActive).
-    std::vector<bool> seen(spec_.numReducers, false);
-    for (std::uint32_t kb : spec_.reducePriority) {
-      if (kb >= spec_.numReducers) {
-        throw std::invalid_argument(
-            "Engine: priority list names keyblock " + std::to_string(kb) +
-            " but job has " + std::to_string(spec_.numReducers) + " reduces");
-      }
-      if (seen[kb]) {
-        throw std::invalid_argument(
-            "Engine: priority list repeats keyblock " + std::to_string(kb));
-      }
-      seen[kb] = true;
-    }
-  }
-  if (!spec_.expectedRepresents.empty() &&
-      spec_.expectedRepresents.size() != spec_.numReducers) {
-    throw std::invalid_argument(
-        "Engine: expectedRepresents must cover all reduces when non-empty");
-  }
-  if (spec_.faultPlan.maxAttempts == 0) {
-    throw std::invalid_argument("Engine: FaultPlan::maxAttempts must be > 0");
-  }
-  if (spec_.spillWriters == 0) {
-    throw std::invalid_argument("Engine: spillWriters must be > 0");
-  }
-  if (spec_.memoryBudgetBytes > 0) {
-    if (spec_.spillDirectory.empty()) {
-      throw std::invalid_argument(
-          "Engine: memoryBudgetBytes requires a spillDirectory to evict into");
-    }
-    if (spec_.memoryBudgetBytes < SegmentPagePool::kPageBytes) {
-      throw std::invalid_argument(
-          "Engine: memoryBudgetBytes must cover at least one page (" +
-          std::to_string(SegmentPagePool::kPageBytes) + " bytes)");
-    }
-    if (spec_.mergeWindowBytes == 0) {
-      throw std::invalid_argument(
-          "Engine: mergeWindowBytes must be > 0 when a memory budget is set");
-    }
-  }
-  if (spec_.compressSpill) {
-    if (spec_.spillDirectory.empty()) {
-      throw std::invalid_argument(
-          "Engine: compressSpill requires a spillDirectory");
-    }
-    if (spec_.keySpace.rank() == 0) {
-      throw std::invalid_argument(
-          "Engine: compressSpill requires a keySpace (the codec delta-encodes "
-          "linear keys)");
-    }
-  }
-  for (const FaultSpec& f : spec_.faultPlan.faults) {
-    if (f.attempt == 0) {
-      throw std::invalid_argument("Engine: fault attempt ids are 1-based");
-    }
-    const std::size_t bound = f.kind == TaskKind::kMap
-                                  ? spec_.splits.size()
-                                  : spec_.numReducers;
-    if (f.id >= bound) {
-      throw std::invalid_argument(
-          std::string("Engine: fault plan names ") + taskKindName(f.kind) +
-          " task " + std::to_string(f.id) + " out of range");
-    }
-  }
+  validateJobSpec(spec_);
 }
 
-void Engine::Impl::runMap(std::uint32_t m) {
-  std::uint32_t attempt;
-  {
-    std::scoped_lock lock(mtx);
-    attempt = ++mapAttempts[m];
-    // Any execution beyond the first attempt is recovery cost, whether
-    // it re-runs after a recovery reset or retries a failed attempt.
-    if (attempt > 1) ++result.mapsReExecuted;
-  }
-  // The attempt span brackets the whole execution; being the first
-  // local, it is destroyed last and therefore contains every phase span
-  // below — including the publication spans recorded under the mutex
-  // after tEnd (well-nestedness is structural, not bookkept).
-  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m,
-                             attempt);
-  double tStart = now();
-  auto mapper = spec.mapperFactory();
-  std::unique_ptr<Combiner> combiner =
-      spec.combinerFactory ? spec.combinerFactory() : nullptr;
-  // Batched read → map → route → sort/combine lives in the shared map
-  // pipeline (map_pipeline.cpp); with spec.keySpace set it runs the
-  // linearized fast path, otherwise the per-record lexicographic one.
-  std::vector<Segment> produced =
-      runMapPipeline(spec.splits[m], m, spec.readerFactory, *mapper,
-                     *spec.partitioner, numReduces, combiner.get(),
-                     spec.keySpace, pagePool.get());
-
-  // Verify routing against the declared dependency sets (a record
-  // landing in a keyblock that does not list this split is a
-  // partitioner/dependency bug). Validated for ALL keyblocks before any
-  // spill job is queued, so a violation can never throw while pool jobs
-  // still reference this frame's segments.
-  for (std::uint32_t kb = 0; isSidr() && kb < numReduces; ++kb) {
-    if (produced[kb].empty()) continue;
-    const auto& dl = deps[kb];
-    if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
-      throw std::logic_error(
-          "SIDR routing violation: map " + std::to_string(m) +
-          " produced data for undeclared keyblock " + std::to_string(kb));
-    }
-  }
-  // In-memory mode never serializes: the segment itself becomes the
-  // published immutable handle. Spill mode encodes with the bulk codec
-  // and writes a map-output file per keyblock — on the spill-writer
-  // pool when one is configured, so keyblocks overlap; each pool job
-  // owns its keyblock's segment exclusively (lazy materialization
-  // included), and the batch barrier below orders every write before
-  // the fault check and the commit phase, exactly as the sequential
-  // path does.
-  std::uint64_t producedRecords = 0;
-  std::uint64_t producedRepresents = 0;
-  for (const Segment& seg : produced) {
-    producedRecords += seg.header().numRecords;
-    producedRepresents += seg.header().represents;
-  }
-  attemptSpan.setRecords(producedRecords);
-  attemptSpan.setRepresents(producedRepresents);
-  std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
-  std::vector<std::uint64_t> localSegBytes;
-  std::uint64_t bytesSpilled = 0;
-  if (eagerSpill() && spillPool != nullptr) {
-    SpillWriterPool::Batch batch;
-    std::atomic<std::uint64_t> batchBytes{0};
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      Segment* seg = &produced[kb];
-      spillPool->submit(
-          batch, [this, seg, m, kb, attempt,
-                  &batchBytes](std::vector<std::byte>& encodeBuf) {
-            // Pool threads are not workers: install the recorder per
-            // job so encode/write spans land on the pool thread's lane.
-            obs::ScopedRecorder poolScope(recorder.get());
-            {
-              obs::SpanScope enc(obs::Phase::kSpillEncode,
-                                 obs::TaskSide::kMap, m, attempt, kb);
-              if (spec.compressSpill) {
-                seg->serializeCompressedInto(encodeBuf, spec.keySpace);
-                compressedSpillBytes.fetch_add(encodeBuf.size(),
-                                               std::memory_order_relaxed);
-              } else {
-                seg->serializeInto(encodeBuf);
-              }
-              enc.setBytes(encodeBuf.size());
-              enc.setRecords(seg->header().numRecords);
-            }
-            batchBytes.fetch_add(encodeBuf.size(), std::memory_order_relaxed);
-            obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap,
-                                 m, attempt, kb);
-            write.setBytes(encodeBuf.size());
-            spillSegmentAttempt(m, kb, attempt, encodeBuf);
-          });
-    }
-    batch.wait();  // rethrows the first encode/write failure
-    bytesSpilled = batchBytes.load(std::memory_order_relaxed);
-  } else if (eagerSpill()) {
-    std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      // Persist map output to attempt-scoped temp files; nothing is
-      // visible under the committed names until the attempt commits
-      // below (Hadoop commits map output files atomically with the
-      // task).
-      {
-        obs::SpanScope enc(obs::Phase::kSpillEncode, obs::TaskSide::kMap, m,
-                           attempt, kb);
-        if (spec.compressSpill) {
-          produced[kb].serializeCompressedInto(spillBuf, spec.keySpace);
-          compressedSpillBytes.fetch_add(spillBuf.size(),
-                                         std::memory_order_relaxed);
-        } else {
-          produced[kb].serializeInto(spillBuf);
-        }
-        enc.setBytes(spillBuf.size());
-        enc.setRecords(produced[kb].header().numRecords);
-      }
-      bytesSpilled += spillBuf.size();
-      obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap, m,
-                           attempt, kb);
-      write.setBytes(spillBuf.size());
-      spillSegmentAttempt(m, kb, attempt, spillBuf);
-    }
-  } else {
-    // In-memory and hybrid modes publish handles. The resident
-    // footprints are measured here, outside the engine mutex — the
-    // locked commit section below only charges the precomputed sizes.
-    localSegBytes.assign(numReduces, 0);
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      localSegments[kb] =
-          std::make_shared<const Segment>(std::move(produced[kb]));
-      localSegBytes[kb] = localSegments[kb]->residentBytes();
-    }
-  }
-
-  attemptSpan.setBytes(bytesSpilled);
-
-  // Injected failure: the attempt did its work (including any temp
-  // spill writes) but dies before committing anything.
-  if (spec.faultPlan.shouldFail(TaskKind::kMap, m, attempt)) {
-    attemptSpan.fail();
-    if (eagerSpill()) {
-      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-        discardSegmentAttemptFile(spec.spillDirectory, m, kb, attempt);
-      }
-    }
-    double tFail = now();
-    std::scoped_lock lock(mtx);
-    ++result.mapFailures;
-    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
-    recordEvent(TaskEvent::Kind::kMapFail, m, tFail, attempt);
-    runningMapSet[m] = false;
-    --runningMaps;
-    if (attempt >= spec.faultPlan.maxAttempts) {
-      if (!firstError) {
-        firstError = std::make_exception_ptr(
-            JobError(TaskKind::kMap, m, attempt, spec.faultPlan.maxAttempts));
-      }
-    } else {
-      markMapEligible(m);  // retry as the next attempt
-    }
-    cv.notify_all();
-    return;
-  }
-
-  // Commit phase. Spill mode publishes every keyblock file with an
-  // atomic rename FIRST: once segAvail flips below, any reduce may open
-  // the committed path lock-free, and a reader still holding the
-  // previous attempt's file (recovery races) keeps its old inode.
-  if (eagerSpill()) {
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-      // One commit span per keyblock, carrying the segment's count
-      // annotation: the trace-side proof a reduce may start (the
-      // gating invariant compares reduce-attempt starts against these).
-      obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
-                            attempt, kb);
-      commit.setRecords(produced[kb].header().numRecords);
-      commit.setRepresents(produced[kb].header().represents);
-      commitSegmentFile(spec.spillDirectory, m, kb, attempt);
-    }
-  }
-  double tEnd = now();
-
-  {
-    std::scoped_lock lock(mtx);
-    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
-    recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd, attempt);
-    result.shuffleBytes += bytesSpilled;
-    if (!eagerSpill()) {
-      // Publication is a pointer flip per keyblock — no data copy runs
-      // under the engine mutex. The commit spans are near-zero-width but
-      // keep the schema uniform across shuffle modes: they end inside
-      // this critical section, and any gated reduce starts only after a
-      // later acquire of mtx, so commit-span end <= reduce-span start.
-      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
-                              m, attempt, kb);
-        commit.setRecords(localSegments[kb]->header().numRecords);
-        commit.setRepresents(localSegments[kb]->header().represents);
-        // Charge the published segment's resident footprint; a recovery
-        // republish first releases whatever the replaced handle charged
-        // (an evicted slot has charge 0, so this is a no-op there).
-        if (segCharge[m][kb] != 0) {
-          pagePool->release(segCharge[m][kb]);
-          segCharge[m][kb] = 0;
-        }
-        if (localSegBytes[kb] > 0) {
-          segCharge[m][kb] = pagePool->charge(localSegBytes[kb]);
-        }
-        segments[m][kb] = std::move(localSegments[kb]);
-      }
-      publishedAttempt[m] = attempt;
-    }
-    mapDone[m] = true;
-    // Dependency accounting: only a false->true availability transition
-    // satisfies a dependency, so a recovery re-run of this map cannot
-    // double-decrement a keyblock that already counted its first run.
-    for (std::uint32_t kb : mapToReduces[m]) {
-      if (segAvail[m][kb]) continue;
-      segAvail[m][kb] = true;
-      if (remainingDeps[kb] > 0) {
-        --remainingDeps[kb];
-        if (remainingDeps[kb] == 0 && reduceScheduled[kb] &&
-            !reduceRunnableFlag[kb] && !reduceDone[kb] &&
-            evictingCount[kb] == 0) {
-          reduceRunnableFlag[kb] = true;
-          runnableReduces.push_back(kb);
-        }
-      }
-    }
-    // Segments for keyblocks outside this map's dependency sets exist too
-    // (they are empty in SIDR mode); mark them present for stock fetches.
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) segAvail[m][kb] = true;
-    runningMapSet[m] = false;
-    --runningMaps;
-    cv.notify_all();
-  }
-
-  // With a budget, publication is the moment resident bytes grow; shed
-  // pressure before this worker picks up its next task. Runs with no
-  // locks held — selection and finalize take mtx internally.
-  if (budgetEnabled()) maybePressureSpill();
-}
-
-void Engine::Impl::maybePressureSpill() {
-  // Pressure-driven eviction (hybrid mode): when the page pool crosses
-  // its high-water mark, encode the coldest committed keyblocks to the
-  // spill directory — through the SAME attempt-file + atomic-rename
-  // protocol eager spill uses — then drop their in-memory handles and
-  // reclaim the pages. "Coldest" = largest priorityOrder position (its
-  // reduce runs last, so its pages stay reclaimed longest), ties broken
-  // toward the larger charge.
-  //
-  // Safety: a keyblock with an eviction in flight is never pushed
-  // runnable (every push site gates on evictingCount), and a keyblock
-  // that is already runnable/running/done is never selected — so no
-  // lock-free reduce fetch can race the handle reset. The finalize step
-  // re-checks the gated push under mtx.
-  while (pagePool->overHighWater()) {
-    struct Victim {
-      std::uint32_t m = 0;
-      std::uint32_t kb = 0;
-      std::uint32_t attempt = 0;
-      std::shared_ptr<const Segment> seg;
-      std::uint64_t charge = 0;
-    };
-    std::vector<Victim> victims;
-    {
-      std::scoped_lock lock(mtx);
-      std::vector<Victim> candidates;
-      for (std::uint32_t m = 0; m < numMaps; ++m) {
-        for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-          if (!segAvail[m][kb] || segEvicting[m][kb]) continue;
-          if (reduceRunnableFlag[kb] || reduceDone[kb]) continue;
-          const std::shared_ptr<const Segment>& seg = segments[m][kb];
-          if (seg == nullptr || seg->header().numRecords == 0) continue;
-          if (segCharge[m][kb] == 0) continue;  // nothing to reclaim
-          candidates.push_back(
-              Victim{m, kb, publishedAttempt[m], seg, segCharge[m][kb]});
-        }
-      }
-      std::sort(candidates.begin(), candidates.end(),
-                [this](const Victim& a, const Victim& b) {
-                  if (posOf[a.kb] != posOf[b.kb]) {
-                    return posOf[a.kb] > posOf[b.kb];
-                  }
-                  return a.charge > b.charge;
-                });
-      const std::uint64_t target = pagePool->lowWaterBytes();
-      std::uint64_t projected = pagePool->residentBytes();
-      for (Victim& v : candidates) {
-        if (projected <= target) break;
-        segEvicting[v.m][v.kb] = true;
-        ++evictingCount[v.kb];
-        projected -= std::min(projected, v.charge);
-        victims.push_back(std::move(v));
-      }
-    }
-    if (victims.empty()) return;  // over budget but nothing evictable
-
-    // Encode + write the attempt files outside the lock, overlapping
-    // keyblocks on the spill-writer pool when one exists. Renames run
-    // only after every write succeeded.
-    std::exception_ptr error;
-    auto writeOne = [this](const Victim& v, std::vector<std::byte>& buf) {
-      obs::SpanScope span(obs::Phase::kPressureSpill, obs::TaskSide::kMap, v.m,
-                          v.attempt, v.kb);
-      span.setRecords(v.seg->header().numRecords);
-      span.setRepresents(v.seg->header().represents);
-      if (spec.compressSpill) {
-        v.seg->serializeCompressedInto(buf, spec.keySpace);
-        compressedSpillBytes.fetch_add(buf.size(), std::memory_order_relaxed);
-      } else {
-        v.seg->serializeInto(buf);
-      }
-      span.setBytes(buf.size());
-      spillSegmentAttempt(v.m, v.kb, v.attempt, buf);
-    };
-    try {
-      if (spillPool != nullptr) {
-        SpillWriterPool::Batch batch;
-        for (const Victim& v : victims) {
-          spillPool->submit(batch,
-                            [this, &v, &writeOne](std::vector<std::byte>& buf) {
-                              obs::ScopedRecorder poolScope(recorder.get());
-                              writeOne(v, buf);
-                            });
-        }
-        batch.wait();
-      } else {
-        std::vector<std::byte> buf;
-        for (const Victim& v : victims) writeOne(v, buf);
-      }
-      for (const Victim& v : victims) {
-        // The eviction commit reuses the publication span schema; the
-        // gating checker takes the EARLIEST commit per (map, keyblock),
-        // so the original publication span keeps proving reduce starts,
-        // and the tally checker reads the same represents off this one.
-        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
-                              v.m, v.attempt, v.kb);
-        commit.setRecords(v.seg->header().numRecords);
-        commit.setRepresents(v.seg->header().represents);
-        commitSegmentFile(spec.spillDirectory, v.m, v.kb, v.attempt);
-      }
-    } catch (...) {
-      error = std::current_exception();
-    }
-
-    {
-      std::scoped_lock lock(mtx);
-      for (const Victim& v : victims) {
-        segEvicting[v.m][v.kb] = false;
-        --evictingCount[v.kb];
-        // Pointer-equality guard: a recovery republish may have replaced
-        // the handle (and re-charged the slot) while the file was being
-        // written; then the slot's charge belongs to the NEW segment and
-        // must stay, and the stale file is simply never read (the fetch
-        // sees the fresh handle).
-        if (!error && segments[v.m][v.kb] == v.seg) {
-          segments[v.m][v.kb] = nullptr;
-          if (segCharge[v.m][v.kb] != 0) {
-            pagePool->release(segCharge[v.m][v.kb]);
-            segCharge[v.m][v.kb] = 0;
-          }
-          pressureSpills.fetch_add(1, std::memory_order_relaxed);
-        }
-        if (evictingCount[v.kb] == 0 && remainingDeps[v.kb] == 0 &&
-            reduceScheduled[v.kb] && !reduceRunnableFlag[v.kb] &&
-            !reduceDone[v.kb]) {
-          reduceRunnableFlag[v.kb] = true;
-          runnableReduces.push_back(v.kb);
-        }
-      }
-      if (error && !firstError) firstError = error;
-      cv.notify_all();
-    }
-    if (error) return;
-  }
-}
-
-void Engine::Impl::runReduce(std::uint32_t kb) {
-  std::uint32_t attempt;
-  {
-    std::scoped_lock lock(mtx);
-    attempt = ++reduceAttempts[kb];
-  }
-  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kReduce,
-                             kb, attempt, kb);
-  double tStart = now();
-
-  // Injected failure: simulate this reduce attempt dying after starting
-  // but before committing output.
-  if (spec.faultPlan.shouldFail(TaskKind::kReduce, kb, attempt)) {
-    attemptSpan.fail();
-    double tFail = now();
-    std::scoped_lock lock(mtx);
-    ++result.reduceFailures;
-    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
-    recordEvent(TaskEvent::Kind::kReduceFail, kb, tFail, attempt);
-    reduceRunnableFlag[kb] = false;
-    --runningReduces;
-    if (attempt >= spec.faultPlan.maxAttempts) {
-      if (!firstError) {
-        firstError = std::make_exception_ptr(JobError(
-            TaskKind::kReduce, kb, attempt, spec.faultPlan.maxAttempts));
-      }
-      cv.notify_all();
-      return;
-    }
-    if (spec.recovery == RecoveryModel::kRecomputeDeps) {
-      // Intermediate data was volatile: drop this keyblock's segments
-      // and re-execute exactly the I_l map subset (paper section 6).
-      for (std::uint32_t m : deps[kb]) {
-        if (segAvail[m][kb]) {
-          segAvail[m][kb] = false;
-          ++remainingDeps[kb];
-        }
-        mapDone[m] = false;
-        markMapEligible(m);
-      }
-      if (remainingDeps[kb] == 0 && evictingCount[kb] == 0) {
-        // nothing was available yet
-        reduceRunnableFlag[kb] = true;
-        runnableReduces.push_back(kb);
-      }
-    } else if (evictingCount[kb] == 0) {
-      // Persisted intermediate data: retry immediately, re-fetch all.
-      // (An in-flight eviction re-queues the keyblock when it
-      // finalizes; it cannot actually occur here — evictions never
-      // start on a runnable keyblock — but the gate keeps every push
-      // site uniform.)
-      reduceRunnableFlag[kb] = true;
-      runnableReduces.push_back(kb);
-    }
-    cv.notify_all();
-    return;
-  }
-
-  // Fetch phase. Stock Hadoop contacts every map task; SIDR contacts
-  // only the maps in I_l (Table 3's connection asymmetry).
-  std::vector<std::uint32_t> fetchSet;
-  if (isSidr()) {
-    fetchSet = deps[kb];
-  } else {
-    fetchSet.resize(numMaps);
-    for (std::uint32_t m = 0; m < numMaps; ++m) fetchSet[m] = m;
-  }
-
-  // The entire fetch runs WITHOUT the engine mutex, in both modes:
-  // segments are immutable once published, and this reduce only became
-  // runnable after observing (under mtx) that every fetched dependency
-  // committed, which ordered those publications before these reads.
-  std::vector<Segment> fetched;                          // eager spill mode
-  std::vector<std::shared_ptr<const Segment>> handles;   // resident segments
-  std::vector<std::unique_ptr<SegmentStream>> streams;   // evicted (hybrid)
-  // Which source each non-empty input came from, in fetchSet order —
-  // the merger consumes one ordered input sequence regardless of kind,
-  // so resident and evicted inputs merge bit-identically.
-  std::vector<bool> sourceIsStream;
-  std::uint64_t tally = 0;
-  std::uint64_t connections = 0;
-  std::uint64_t nonEmpty = 0;
-  std::uint64_t bytesFetched = 0;
-  {
-    std::scoped_lock lock(mtx);
-    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
-  }
-  double tFetchStart = now();
-  std::uint64_t recordsFetched = 0;
-  {
-    obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
-                             attempt, kb);
-    if (eagerSpill()) {
-      // The header-only read suffices for the annotation tally; only
-      // non-empty segments are fully read and decoded.
-      for (std::uint32_t m : fetchSet) {
-        ++connections;
-        SegmentHeader h = peekSpilledHeader(m, kb);
-        bytesFetched += Segment::kHeaderBytes;
-        tally += h.represents;
-        recordsFetched += h.numRecords;
-        if (h.numRecords > 0) {
-          ++nonEmpty;
-          fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
-          // Linear keys never travel on the uncompressed wire; rebuild
-          // the cache so spilled segments merge on u64s like in-memory
-          // ones (the compressed decoder already restored them).
-          if (spec.keySpace.rank() > 0 && !fetched.back().hasLinearKeys()) {
-            fetched.back().computeLinearKeys(spec.keySpace);
-          }
-        }
-      }
-    } else {
-      // Zero-copy fetch: acquiring a published handle is a shared_ptr
-      // copy; the header is read in-struct. No serialize/deserialize
-      // round trip, no data copy, no lock. In hybrid mode a null slot
-      // means the segment was evicted under pressure: its committed
-      // file is streamed back through a bounded window during the
-      // merge, never fully materialized.
-      handles.reserve(fetchSet.size());
-      for (std::uint32_t m : fetchSet) {
-        ++connections;
-        std::shared_ptr<const Segment> seg = segments[m][kb];
-        if (seg != nullptr) {
-          tally += seg->header().represents;
-          recordsFetched += seg->header().numRecords;
-          if (seg->header().numRecords > 0) {
-            ++nonEmpty;
-            handles.push_back(std::move(seg));
-            sourceIsStream.push_back(false);
-          }
-        } else if (budgetEnabled()) {
-          auto stream = std::make_unique<SegmentStream>(
-              segmentPath(m, kb), spec.mergeWindowBytes, spec.compressSpill,
-              spec.keySpace);
-          const SegmentHeader& h = stream->header();
-          tally += h.represents;
-          recordsFetched += h.numRecords;
-          if (h.numRecords > 0) {
-            ++nonEmpty;
-            streams.push_back(std::move(stream));
-            sourceIsStream.push_back(true);
-          } else {
-            bytesFetched += stream->bytesRead();
-          }
-        } else {
-          throw std::logic_error("Engine: reduce fetched unpublished segment");
-        }
-      }
-    }
-    fetchSpan.setBytes(bytesFetched);
-    fetchSpan.setRecords(recordsFetched);
-    // The reduce-side annotation tally rides on the fetch span, so the
-    // trace alone can cross-check it against the commit spans' sums.
-    fetchSpan.setRepresents(tally);
-  }
-  double tFetchEnd = now();
-
-  // Merge/group/reduce (outside the lock: pure local computation). One
-  // ordered input sequence feeds the merger whatever the source kind —
-  // materialized spill loads, resident handles (merged straight from
-  // their packed form), or bounded streaming cursors — and the record
-  // tally comes off the headers, so no input is materialized just to be
-  // counted.
-  std::vector<SegmentMerger::Input> inputs;
-  inputs.reserve(fetched.size() + handles.size() + streams.size());
-  std::unique_ptr<SegmentMerger> merger;
-  {
-    obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
-                             attempt, kb);
-    if (eagerSpill()) {
-      for (const Segment& s : fetched) {
-        SegmentMerger::Input in;
-        in.segment = &s;
-        inputs.push_back(in);
-      }
-    } else {
-      std::size_t nextHandle = 0;
-      std::size_t nextStream = 0;
-      for (const bool isStream : sourceIsStream) {
-        SegmentMerger::Input in;
-        if (isStream) {
-          in.stream = streams[nextStream++].get();
-        } else {
-          in.segment = handles[nextHandle++].get();
-        }
-        inputs.push_back(in);
-      }
-    }
-    merger = std::make_unique<SegmentMerger>(
-        std::span<const SegmentMerger::Input>(inputs));
-    mergeSpan.setRecords(recordsFetched);
-  }
-  auto reducer = spec.reducerFactory();
-  VectorReduceContext out;
-  std::vector<KeyValue> outRecords;
-  {
-    obs::SpanScope reduceSpan(obs::Phase::kReduce, obs::TaskSide::kReduce, kb,
-                              attempt, kb);
-    merger->forEachGroup([&](const nd::Coord& key,
-                             std::span<const Value* const> values,
-                             std::uint64_t /*groupRepresents*/) {
-      reducer->reduce(key, values, out);
-    });
-    outRecords = out.take();
-    reduceSpan.setRecords(outRecords.size());
-  }
-  // Streamed inputs read their windows lazily during the merge; fold
-  // their I/O into the shuffle accounting now that they are drained.
-  for (const auto& st : streams) bytesFetched += st->bytesRead();
-
-  // Linearize the output keys OUTSIDE the lock (reducers usually emit
-  // the group key, which lies inside keySpace; an out-of-space emission
-  // just forfeits the collectAll fast merge rather than failing).
-  std::vector<std::uint64_t> outLinear;
-  if (spec.keySpace.rank() > 0) {
-    outLinear.reserve(outRecords.size());
-    for (const KeyValue& kv : outRecords) {
-      bool inSpace = kv.key.rank() == spec.keySpace.rank();
-      for (std::size_t d = 0; inSpace && d < spec.keySpace.rank(); ++d) {
-        inSpace = kv.key[d] >= 0 && kv.key[d] < spec.keySpace[d];
-      }
-      if (!inSpace) {
-        outLinear.clear();
-        break;
-      }
-      outLinear.push_back(
-          static_cast<std::uint64_t>(nd::linearize(kv.key, spec.keySpace)));
-    }
-  }
-
-  attemptSpan.setBytes(bytesFetched);
-  attemptSpan.setRecords(outRecords.size());
-  attemptSpan.setRepresents(tally);
-
-  double tEnd = now();
-  // Declared before the lock so the commit span covers the whole locked
-  // publication and its end still falls inside the attempt span.
-  obs::SpanScope commitSpan(obs::Phase::kOutputCommit, obs::TaskSide::kReduce,
-                            kb, attempt, kb);
-  std::scoped_lock lock(mtx);
-  result.shuffleConnections += connections;
-  result.nonEmptyConnections += nonEmpty;
-  result.shuffleBytes += bytesFetched;
-  result.shuffleFetchSeconds += tFetchEnd - tFetchStart;
-  ReduceOutput& ro = result.outputs[kb];
-  ro.keyblock = kb;
-  ro.records = std::move(outRecords);
-  ro.linearKeys = std::move(outLinear);
-  ro.availableAt = tEnd;
-  ro.annotationTally = tally;
-  commitSpan.setRecords(ro.records.size());
-  if (!spec.expectedRepresents.empty() &&
-      tally != spec.expectedRepresents[kb]) {
-    ++result.annotationViolations;
-  }
-  result.recordsPerReducer[kb] = recordsFetched;
-  recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd, attempt);
-  if (budgetEnabled()) {
-    // This keyblock's inputs are consumed for good (reduceDone blocks
-    // any further fetch or eviction): drop the handles and give their
-    // pages back to the pool. The actual frees run when this frame's
-    // local references unwind, outside the mutex.
-    for (std::uint32_t m : fetchSet) {
-      if (segCharge[m][kb] != 0) {
-        pagePool->release(segCharge[m][kb]);
-        segCharge[m][kb] = 0;
-      }
-      segments[m][kb] = nullptr;
-    }
-  }
-  reduceDone[kb] = true;
-  ++completedReduces;
-  --runningReduces;
-  if (isSidr()) {
-    --scheduledActive;
-    scheduleReducesLocked();
-  }
-  cv.notify_all();
-}
-
-void Engine::Impl::workerLoop() {
-  // Install the job's recorder for every span recorded on this thread,
-  // and fold this thread's SortStats delta into the job-wide totals on
-  // the way out — workers are the only threads that sort segments (the
-  // spill pool only encodes and writes), so summing per-worker deltas
-  // surfaces the formerly thread-local counters in JobResult.
-  obs::ScopedRecorder scoped(recorder.get());
-  const SortStats sortBaseline = sortStats();
-  workerTasks();
-  const SortStats delta = sortStats().minus(sortBaseline);
-  std::scoped_lock lock(mtx);
-  result.sortTotals.add(delta);
-}
-
-void Engine::Impl::workerTasks() {
-  std::unique_lock lock(mtx);
-  while (true) {
-    if (firstError) return;
-    if (completedReduces == numReduces) return;
-    // Reduce-first: a runnable reduce has its data dependencies met and
-    // holds a slot already.
-    if (!runnableReduces.empty() && runningReduces < spec.reduceSlots) {
-      std::uint32_t kb = runnableReduces.front();
-      runnableReduces.pop_front();
-      ++runningReduces;
-      lock.unlock();
-      try {
-        runReduce(kb);
-      } catch (...) {
-        std::scoped_lock elock(mtx);
-        if (!firstError) firstError = std::current_exception();
-        --runningReduces;
-        // Release the SIDR slot this reduce held; without this a failed
-        // reduce counts against scheduledActive forever and wedges slot
-        // accounting.
-        if (isSidr() && reduceScheduled[kb] && !reduceDone[kb]) {
-          reduceScheduled[kb] = false;
-          --scheduledActive;
-          scheduleReducesLocked();
-        }
-        cv.notify_all();
-      }
-      lock.lock();
-      continue;
-    }
-    if (!eligibleMaps.empty() && runningMaps < spec.mapSlots) {
-      std::uint32_t m = eligibleMaps.front();
-      eligibleMaps.pop_front();
-      mapQueued[m] = false;
-      runningMapSet[m] = true;
-      ++runningMaps;
-      lock.unlock();
-      try {
-        runMap(m);
-      } catch (...) {
-        std::scoped_lock elock(mtx);
-        if (!firstError) firstError = std::current_exception();
-        runningMapSet[m] = false;
-        --runningMaps;
-        cv.notify_all();
-      }
-      lock.lock();
-      continue;
-    }
-    cv.wait(lock);
-  }
-}
-
-JobResult Engine::Impl::run() {
-  numMaps = static_cast<std::uint32_t>(spec.splits.size());
-  numReduces = spec.numReducers;
-  if (spillEnabled()) {
-    std::filesystem::create_directories(spec.spillDirectory);
-    if (spec.spillWriters > 1 && numReduces > 0) {
-      // No point running more writers than keyblocks: each job covers
-      // one (map, keyblock) file and a map attempt submits numReduces
-      // of them at once.
-      spillPool = std::make_unique<SpillWriterPool>(
-          std::min(spec.spillWriters, numReduces));
-    }
-  }
-  mapQueued.assign(numMaps, false);
-  mapEverEligible.assign(numMaps, false);
-  mapDone.assign(numMaps, false);
-  runningMapSet.assign(numMaps, false);
-  mapAttempts.assign(numMaps, 0);
-  segments.assign(numMaps,
-                  std::vector<std::shared_ptr<const Segment>>(numReduces));
-  segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
-  // The page pool exists in every mode (budget 0 = unlimited): it is
-  // also the job-wide peak-residency meter.
-  pagePool = std::make_unique<SegmentPagePool>(spec.memoryBudgetBytes);
-  segCharge.assign(numMaps, std::vector<std::uint64_t>(numReduces, 0));
-  segEvicting.assign(numMaps, std::vector<bool>(numReduces, false));
-  evictingCount.assign(numReduces, 0);
-  publishedAttempt.assign(numMaps, 0);
-  reduceScheduled.assign(numReduces, false);
-  reduceRunnableFlag.assign(numReduces, false);
-  reduceDone.assign(numReduces, false);
-  reduceAttempts.assign(numReduces, 0);
-  result.outputs.resize(numReduces);
-  result.recordsPerReducer.assign(numReduces, 0);
-
-  // Resolve dependency sets: stock mode depends on every split (the
-  // global barrier); SIDR uses the provided I_l sets.
-  deps.resize(numReduces);
-  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-    if (isSidr()) {
-      deps[kb] = spec.reduceDeps[kb];
-    } else {
-      deps[kb].resize(numMaps);
-      for (std::uint32_t m = 0; m < numMaps; ++m) deps[kb][m] = m;
-    }
-  }
-  mapToReduces.assign(numMaps, {});
-  remainingDeps.assign(numReduces, 0);
-  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-    remainingDeps[kb] = static_cast<std::uint32_t>(deps[kb].size());
-    for (std::uint32_t m : deps[kb]) mapToReduces[m].push_back(kb);
-  }
-
-  priorityOrder.resize(numReduces);
-  if (spec.reducePriority.empty()) {
-    for (std::uint32_t kb = 0; kb < numReduces; ++kb) priorityOrder[kb] = kb;
-  } else {
-    priorityOrder = spec.reducePriority;
-  }
-  posOf.assign(numReduces, 0);
-  for (std::uint32_t i = 0; i < numReduces; ++i) posOf[priorityOrder[i]] = i;
-
-  start = Clock::now();
-  if (spec.recordTrace) {
-    // Shares the event-log epoch, so span timestamps and TaskEvent
-    // seconds are directly comparable.
-    recorder = std::make_unique<obs::TraceRecorder>(start);
-  }
-  {
-    std::scoped_lock lock(mtx);
-    if (isSidr()) {
-      // SIDR inverts scheduling: reduces first, maps become eligible as
-      // a side effect.
-      scheduleReducesLocked();
-    } else {
-      // Stock: all maps schedulable at once; reduces are all "scheduled"
-      // (they hold slots and wait at the barrier).
-      for (std::uint32_t m = 0; m < numMaps; ++m) markMapEligible(m);
-      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
-        reduceScheduled[kb] = true;
-        if (remainingDeps[kb] == 0) {  // degenerate zero-split job
-          reduceRunnableFlag[kb] = true;
-          runnableReduces.push_back(kb);
-        }
-      }
-    }
-  }
-
-  std::uint32_t nThreads = std::max(1u, spec.numThreads);
+JobResult Engine::run() {
+  // The solo driver is now a thin shell over JobContext: one context,
+  // numThreads workers spinning its claim loop, one finalize. The
+  // multi-job EngineService drives the same context through the
+  // external claim API instead.
+  const std::uint32_t nThreads = std::max(1u, spec_.numThreads);
+  JobContext ctx(std::move(spec_), /*sharedPool=*/nullptr);
+  ctx.start();
   {
     std::vector<std::jthread> workers;
     workers.reserve(nThreads);
     for (std::uint32_t i = 0; i < nThreads; ++i) {
-      workers.emplace_back([this] { workerLoop(); });
+      workers.emplace_back([&ctx] { ctx.workerLoop(); });
     }
     // joined by jthread destructors
   }
-  // Join the spill pool before collecting: pool threads record spans
-  // too, and destruction guarantees their logs are final.
-  spillPool.reset();
-  if (firstError) std::rethrow_exception(firstError);
-
-  result.peakResidentSegmentBytes = pagePool->peakResidentBytes();
-  result.pressureSpillEvents = pressureSpills.load(std::memory_order_relaxed);
-  result.spillCompressedBytes =
-      compressedSpillBytes.load(std::memory_order_relaxed);
-  result.totalSeconds = now();
-  result.firstResultSeconds = result.totalSeconds;
-  for (const ReduceOutput& out : result.outputs) {
-    result.firstResultSeconds =
-        std::min(result.firstResultSeconds, out.availableAt);
-  }
-  if (recorder != nullptr) {
-    result.trace = recorder->collect();
-    // Absorb the scattered JobResult scalars and the sort totals into
-    // the counter registry so consumers read one uniform surface.
-    obs::Trace& t = result.trace;
-    t.addCounter("shuffle.connections", result.shuffleConnections);
-    t.addCounter("shuffle.nonEmptyConnections", result.nonEmptyConnections);
-    t.addCounter("shuffle.bytes", result.shuffleBytes);
-    t.addCounter("shuffle.fetchMicros",
-                 static_cast<std::uint64_t>(result.shuffleFetchSeconds * 1e6));
-    t.addCounter("job.annotationViolations", result.annotationViolations);
-    t.addCounter("job.mapsReExecuted", result.mapsReExecuted);
-    t.addCounter("job.mapFailures", result.mapFailures);
-    t.addCounter("job.reduceFailures", result.reduceFailures);
-    t.addCounter("sort.sortedSkips", result.sortTotals.sortedSkips);
-    t.addCounter("sort.comparisonSorts", result.sortTotals.comparisonSorts);
-    t.addCounter("sort.radixSorts", result.sortTotals.radixSorts);
-    t.addCounter("sort.radixPasses", result.sortTotals.radixPasses);
-    t.addCounter("sort.radixPassesSkipped",
-                 result.sortTotals.radixPassesSkipped);
-    t.addCounter("mem.peakResidentSegmentBytes",
-                 result.peakResidentSegmentBytes);
-    t.addCounter("mem.pressureSpillEvents", result.pressureSpillEvents);
-    t.addCounter("mem.spillCompressedBytes", result.spillCompressedBytes);
-  }
-  return std::move(result);
-}
-
-JobResult Engine::run() {
-  Impl impl(spec_);
-  return impl.run();
+  JobOutcome outcome = ctx.finalize();
+  if (outcome.error) std::rethrow_exception(outcome.error);
+  return std::move(outcome.result);
 }
 
 }  // namespace sidr::mr

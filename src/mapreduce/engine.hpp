@@ -31,11 +31,12 @@ class Engine {
 
   /// Runs the job to completion and returns outputs, events and metrics.
   /// Thread-safe against concurrent runs of other engines; a single
-  /// Engine instance is single-use.
+  /// Engine instance is single-use. Implemented as one JobContext
+  /// driven by numThreads workers (job_context.hpp); submit to an
+  /// EngineService instead to multiplex many jobs over shared pools.
   JobResult run();
 
  private:
-  struct Impl;
   JobSpec spec_;
 };
 

@@ -145,6 +145,21 @@ struct InputSplit {
 };
 
 struct JobSpec {
+  /// Identity of this job inside a shared spill directory: every spill
+  /// artifact lands under `spillDirectory/job<jobId>/`, so two jobs
+  /// sharing a spillDirectory can never clobber each other's committed
+  /// segments. EngineService assigns a service-unique id at submission
+  /// (overwriting this field); solo Engine::run uses the value as given
+  /// (default 0). Within the namespace the attempt-suffix/atomic-rename
+  /// protocol is byte-identical to the historical flat layout.
+  std::uint64_t jobId = 0;
+
+  /// Share weight for EngineService's weighted-fair scheduling policy:
+  /// a job receives task slots in proportion to its weight. Must be
+  /// finite and > 0. Ignored by solo Engine::run and by the FIFO /
+  /// reduce-first policies.
+  double weight = 1.0;
+
   std::vector<InputSplit> splits;
   RecordReaderFactory readerFactory;
   MapperFactory mapperFactory;
@@ -239,6 +254,16 @@ struct JobSpec {
   /// and a non-empty keySpace (the compressed framing is keyed on
   /// linear keys).
   bool compressSpill = false;
+
+  /// Keep the job's spill namespace (committed .seg files and any
+  /// orphaned attempt temporaries) on disk when the job fails or is
+  /// cancelled, for post-mortem debugging. By default the whole
+  /// `spillDirectory/job<jobId>/` subtree is removed on any non-success
+  /// outcome — a failed job no longer strands every segment it already
+  /// committed. Successful jobs always leave their committed files (the
+  /// caller may want to read them; remove the namespace yourself when
+  /// done).
+  bool keepSpillOnFailure = false;
 };
 
 struct TaskEvent {
@@ -310,10 +335,12 @@ struct JobResult {
   /// compressSpill is off).
   std::uint64_t spillCompressedBytes = 0;
 
-  /// Job-wide sort counters: every worker thread's thread-local
-  /// SortStats delta, summed at worker exit. Always populated (trace
-  /// recording on or off) — the uniform surface for what used to be
-  /// visible only to unit tests running on the sorting thread.
+  /// Job-wide sort counters: each map attempt's sorts are captured into
+  /// a per-attempt ScopedSortStatsSink and folded in under the job lock,
+  /// so concurrent jobs sharing worker threads never bleed counts into
+  /// each other. Always populated (trace recording on or off) — the
+  /// uniform surface for what used to be visible only to unit tests
+  /// running on the sorting thread.
   SortStats sortTotals;
 
   /// Per-attempt / per-phase spans plus the counter registry, populated

@@ -1,0 +1,1187 @@
+#include "mapreduce/job_context.hpp"
+
+#include "mapreduce/map_pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <filesystem>
+#include <stdexcept>
+
+#include "scifile/storage.hpp"
+
+namespace sidr::mr {
+
+void validateJobSpec(const JobSpec& spec) {
+  if (!spec.readerFactory || !spec.mapperFactory || !spec.reducerFactory) {
+    throw std::invalid_argument("Engine: missing task factory");
+  }
+  if (spec.partitioner == nullptr) {
+    throw std::invalid_argument("Engine: missing partitioner");
+  }
+  if (spec.numReducers == 0) {
+    throw std::invalid_argument("Engine: numReducers must be > 0");
+  }
+  if (!std::isfinite(spec.weight) || spec.weight <= 0.0) {
+    throw std::invalid_argument("Engine: weight must be finite and > 0");
+  }
+  if (spec.keySpace.rank() > 0 && !spec.keySpace.isValidShape()) {
+    throw std::invalid_argument(
+        "Engine: keySpace must be a valid shape (all extents > 0) or empty");
+  }
+  if (spec.mode == ExecutionMode::kSidr &&
+      spec.reduceDeps.size() != spec.numReducers) {
+    throw std::invalid_argument(
+        "Engine: SIDR mode requires one dependency set per keyblock");
+  }
+  for (const auto& ds : spec.reduceDeps) {
+    for (std::uint32_t s : ds) {
+      if (s >= spec.splits.size()) {
+        throw std::invalid_argument("Engine: dependency references bad split");
+      }
+    }
+  }
+  if (!spec.reducePriority.empty()) {
+    if (spec.reducePriority.size() != spec.numReducers) {
+      throw std::invalid_argument(
+          "Engine: priority list must cover all reduces");
+    }
+    // An out-of-range or duplicate keyblock id would corrupt the slot
+    // accounting in scheduleReducesLocked (out-of-bounds write /
+    // double-counted scheduledActive).
+    std::vector<bool> seen(spec.numReducers, false);
+    for (std::uint32_t kb : spec.reducePriority) {
+      if (kb >= spec.numReducers) {
+        throw std::invalid_argument(
+            "Engine: priority list names keyblock " + std::to_string(kb) +
+            " but job has " + std::to_string(spec.numReducers) + " reduces");
+      }
+      if (seen[kb]) {
+        throw std::invalid_argument(
+            "Engine: priority list repeats keyblock " + std::to_string(kb));
+      }
+      seen[kb] = true;
+    }
+  }
+  if (!spec.expectedRepresents.empty() &&
+      spec.expectedRepresents.size() != spec.numReducers) {
+    throw std::invalid_argument(
+        "Engine: expectedRepresents must cover all reduces when non-empty");
+  }
+  if (spec.faultPlan.maxAttempts == 0) {
+    throw std::invalid_argument("Engine: FaultPlan::maxAttempts must be > 0");
+  }
+  if (spec.spillWriters == 0) {
+    throw std::invalid_argument("Engine: spillWriters must be > 0");
+  }
+  if (spec.memoryBudgetBytes > 0) {
+    if (spec.spillDirectory.empty()) {
+      throw std::invalid_argument(
+          "Engine: memoryBudgetBytes requires a spillDirectory to evict into");
+    }
+    if (spec.memoryBudgetBytes < SegmentPagePool::kPageBytes) {
+      throw std::invalid_argument(
+          "Engine: memoryBudgetBytes must cover at least one page (" +
+          std::to_string(SegmentPagePool::kPageBytes) + " bytes)");
+    }
+    if (spec.mergeWindowBytes == 0) {
+      throw std::invalid_argument(
+          "Engine: mergeWindowBytes must be > 0 when a memory budget is set");
+    }
+  }
+  if (spec.compressSpill) {
+    if (spec.spillDirectory.empty()) {
+      throw std::invalid_argument(
+          "Engine: compressSpill requires a spillDirectory");
+    }
+    if (spec.keySpace.rank() == 0) {
+      throw std::invalid_argument(
+          "Engine: compressSpill requires a keySpace (the codec delta-encodes "
+          "linear keys)");
+    }
+  }
+  for (const FaultSpec& f : spec.faultPlan.faults) {
+    if (f.attempt == 0) {
+      throw std::invalid_argument("Engine: fault attempt ids are 1-based");
+    }
+    const std::size_t bound =
+        f.kind == TaskKind::kMap ? spec.splits.size() : spec.numReducers;
+    if (f.id >= bound) {
+      throw std::invalid_argument(
+          std::string("Engine: fault plan names ") + taskKindName(f.kind) +
+          " task " + std::to_string(f.id) + " out of range");
+    }
+  }
+}
+
+namespace {
+
+/// Collects a reduce task's output records (arrive in key order because
+/// the merger iterates ascending).
+class VectorReduceContext final : public ReduceContext {
+ public:
+  void emit(const nd::Coord& key, Value value) override {
+    records_.push_back(KeyValue{key, std::move(value), 1});
+  }
+
+  std::vector<KeyValue> take() { return std::move(records_); }
+
+ private:
+  std::vector<KeyValue> records_;
+};
+
+}  // namespace
+
+JobContext::JobContext(JobSpec s, SpillWriterPool* sharedPool)
+    : spec(std::move(s)), sharedSpillPool(sharedPool) {}
+
+std::string JobContext::segmentPath(std::uint32_t m, std::uint32_t kb) const {
+  return jobDir + "/" + segmentFileName(m, kb);
+}
+
+/// Writes one serialized segment to the attempt's TEMPORARY file.
+/// Nothing becomes visible under the committed name until the whole
+/// attempt commits via commitSegmentFile (atomic rename), so a
+/// recovery re-run never truncates a file a concurrent lock-free
+/// reduce fetch may be mid-read on.
+void JobContext::spillSegmentAttempt(std::uint32_t m, std::uint32_t kb,
+                                     std::uint32_t attempt,
+                                     std::span<const std::byte> bytes) const {
+  sci::FileStorage file(jobDir + "/" + segmentAttemptFileName(m, kb, attempt),
+                        sci::FileStorage::Mode::kCreate);
+  file.writeAt(0, bytes);
+  file.flush();
+}
+
+/// Reads ONLY the header of a spilled segment — the cheap
+/// annotation-tally access of paper section 3.2.1.
+SegmentHeader JobContext::peekSpilledHeader(std::uint32_t m,
+                                            std::uint32_t kb) const {
+  sci::FileStorage file(segmentPath(m, kb),
+                        sci::FileStorage::Mode::kOpenReadOnly);
+  std::array<std::byte, Segment::kHeaderBytes> head{};
+  file.readAt(0, head);
+  return Segment::peekHeader(head);
+}
+
+/// Reads and decodes a spilled segment; adds the bytes moved to
+/// `bytesFetched` (the shuffleBytes accounting). Compressed spill
+/// files decode through the streaming reader (the only decoder that
+/// understands the delta/varint wire form); the window is irrelevant
+/// here since the whole segment materializes anyway.
+Segment JobContext::loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
+                                       std::uint64_t& bytesFetched) const {
+  if (spec.compressSpill) {
+    SegmentStream stream(segmentPath(m, kb),
+                         std::max<std::size_t>(spec.mergeWindowBytes, 1),
+                         /*compressed=*/true, spec.keySpace);
+    Segment seg = Segment::fromStream(stream);
+    bytesFetched += stream.bytesRead();
+    return seg;
+  }
+  sci::FileStorage file(segmentPath(m, kb),
+                        sci::FileStorage::Mode::kOpenReadOnly);
+  std::vector<std::byte> bytes(file.size());
+  file.readAt(0, bytes);
+  bytesFetched += bytes.size();
+  return Segment::deserialize(bytes);
+}
+
+// Marks a map schedulable (SIDR: because a scheduled reduce depends on
+// it; stock: at job start). Caller holds mtx.
+void JobContext::markMapEligible(std::uint32_t m) {
+  if (mapDone[m] || mapQueued[m] || runningMapSet[m]) return;
+  eligibleMaps.push_back(m);
+  mapQueued[m] = true;
+  mapEverEligible[m] = true;
+}
+
+// Schedules reduce tasks into free slots, in priority order; SIDR only.
+// Caller holds mtx.
+void JobContext::scheduleReducesLocked() {
+  while (scheduledActive < spec.reduceSlots && nextPriorityPos < numReduces) {
+    std::uint32_t kb = priorityOrder[nextPriorityPos++];
+    reduceScheduled[kb] = true;
+    ++scheduledActive;
+    // Scheduling a reduce walks the task tree and marks its dependent
+    // maps schedulable (paper section 3.3).
+    for (std::uint32_t m : deps[kb]) markMapEligible(m);
+    if (remainingDeps[kb] == 0 && !reduceRunnableFlag[kb] &&
+        evictingCount[kb] == 0) {
+      reduceRunnableFlag[kb] = true;
+      runnableReduces.push_back(kb);
+    }
+  }
+}
+
+void JobContext::start() {
+  numMaps = static_cast<std::uint32_t>(spec.splits.size());
+  numReduces = spec.numReducers;
+  if (spillEnabled()) {
+    jobDir = spec.spillDirectory + "/" + jobSpillDirName(spec.jobId);
+    std::filesystem::create_directories(jobDir);
+    if (sharedSpillPool != nullptr) {
+      spillPool = sharedSpillPool;
+    } else if (spec.spillWriters > 1 && numReduces > 0) {
+      // No point running more writers than keyblocks: each item covers
+      // one (map, keyblock) file and a map attempt submits numReduces
+      // of them at once.
+      ownedSpillPool = std::make_unique<SpillWriterPool>(
+          std::min(spec.spillWriters, numReduces));
+      spillPool = ownedSpillPool.get();
+    }
+  }
+  mapQueued.assign(numMaps, false);
+  mapEverEligible.assign(numMaps, false);
+  mapDone.assign(numMaps, false);
+  runningMapSet.assign(numMaps, false);
+  mapAttempts.assign(numMaps, 0);
+  segments.assign(numMaps,
+                  std::vector<std::shared_ptr<const Segment>>(numReduces));
+  segAvail.assign(numMaps, std::vector<bool>(numReduces, false));
+  // The page pool exists in every mode (budget 0 = unlimited): it is
+  // also the job-wide peak-residency meter.
+  pagePool = std::make_unique<SegmentPagePool>(spec.memoryBudgetBytes);
+  segCharge.assign(numMaps, std::vector<std::uint64_t>(numReduces, 0));
+  segEvicting.assign(numMaps, std::vector<bool>(numReduces, false));
+  evictingCount.assign(numReduces, 0);
+  publishedAttempt.assign(numMaps, 0);
+  reduceScheduled.assign(numReduces, false);
+  reduceRunnableFlag.assign(numReduces, false);
+  reduceDone.assign(numReduces, false);
+  reduceAttempts.assign(numReduces, 0);
+  result.outputs.resize(numReduces);
+  result.recordsPerReducer.assign(numReduces, 0);
+
+  // Resolve dependency sets: stock mode depends on every split (the
+  // global barrier); SIDR uses the provided I_l sets.
+  deps.resize(numReduces);
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    if (isSidr()) {
+      deps[kb] = spec.reduceDeps[kb];
+    } else {
+      deps[kb].resize(numMaps);
+      for (std::uint32_t m = 0; m < numMaps; ++m) deps[kb][m] = m;
+    }
+  }
+  mapToReduces.assign(numMaps, {});
+  remainingDeps.assign(numReduces, 0);
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    remainingDeps[kb] = static_cast<std::uint32_t>(deps[kb].size());
+    for (std::uint32_t m : deps[kb]) mapToReduces[m].push_back(kb);
+  }
+
+  priorityOrder.resize(numReduces);
+  if (spec.reducePriority.empty()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) priorityOrder[kb] = kb;
+  } else {
+    priorityOrder = spec.reducePriority;
+  }
+  posOf.assign(numReduces, 0);
+  for (std::uint32_t i = 0; i < numReduces; ++i) posOf[priorityOrder[i]] = i;
+
+  startTime = Clock::now();
+  if (spec.recordTrace) {
+    // Shares the event-log epoch, so span timestamps and TaskEvent
+    // seconds are directly comparable.
+    recorder = std::make_unique<obs::TraceRecorder>(startTime);
+  }
+  {
+    std::scoped_lock lock(mtx);
+    if (isSidr()) {
+      // SIDR inverts scheduling: reduces first, maps become eligible as
+      // a side effect.
+      scheduleReducesLocked();
+    } else {
+      // Stock: all maps schedulable at once; reduces are all "scheduled"
+      // (they hold slots and wait at the barrier).
+      for (std::uint32_t m = 0; m < numMaps; ++m) markMapEligible(m);
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        reduceScheduled[kb] = true;
+        if (remainingDeps[kb] == 0) {  // degenerate zero-split job
+          reduceRunnableFlag[kb] = true;
+          runnableReduces.push_back(kb);
+        }
+      }
+    }
+  }
+}
+
+std::optional<ClaimedTask> JobContext::tryClaimLocked(bool reduceOnly) {
+  if (terminalLocked()) return std::nullopt;
+  // Reduce-first: a runnable reduce has its data dependencies met and
+  // holds a slot already.
+  if (!runnableReduces.empty() && runningReduces < spec.reduceSlots) {
+    std::uint32_t kb = runnableReduces.front();
+    runnableReduces.pop_front();
+    ++runningReduces;
+    ++activeClaims;
+    return ClaimedTask{TaskKind::kReduce, kb};
+  }
+  if (reduceOnly) return std::nullopt;
+  if (!eligibleMaps.empty() && runningMaps < spec.mapSlots) {
+    std::uint32_t m = eligibleMaps.front();
+    eligibleMaps.pop_front();
+    mapQueued[m] = false;
+    runningMapSet[m] = true;
+    ++runningMaps;
+    ++activeClaims;
+    return ClaimedTask{TaskKind::kMap, m};
+  }
+  return std::nullopt;
+}
+
+std::optional<ClaimedTask> JobContext::tryClaimTask() {
+  std::scoped_lock lock(mtx);
+  return tryClaimLocked(/*reduceOnly=*/false);
+}
+
+std::optional<ClaimedTask> JobContext::tryClaimReduce() {
+  std::scoped_lock lock(mtx);
+  return tryClaimLocked(/*reduceOnly=*/true);
+}
+
+bool JobContext::hasClaimableTask() {
+  std::scoped_lock lock(mtx);
+  if (terminalLocked()) return false;
+  return (!runnableReduces.empty() && runningReduces < spec.reduceSlots) ||
+         (!eligibleMaps.empty() && runningMaps < spec.mapSlots);
+}
+
+void JobContext::runClaimedTask(const ClaimedTask& task) {
+  // Install this JOB's recorder for the task's duration: service worker
+  // threads interleave tasks from many jobs, so the recorder travels
+  // with the claim, not the thread. Scoped so the recorder uninstalls
+  // before the claim is released below — the claim is what keeps this
+  // context alive in a service, and task bodies run job-owned code (the
+  // trailing pressure-spill pass, recorder flushes) after their slot
+  // counters already dropped.
+  {
+    obs::ScopedRecorder scoped(recorder.get());
+    if (task.kind == TaskKind::kReduce) {
+      const std::uint32_t kb = task.id;
+      try {
+        runReduce(kb);
+      } catch (...) {
+        std::scoped_lock elock(mtx);
+        if (!firstError) firstError = std::current_exception();
+        --runningReduces;
+        // Release the SIDR slot this reduce held; without this a failed
+        // reduce counts against scheduledActive forever and wedges slot
+        // accounting.
+        if (isSidr() && reduceScheduled[kb] && !reduceDone[kb]) {
+          reduceScheduled[kb] = false;
+          --scheduledActive;
+          scheduleReducesLocked();
+        }
+        cv.notify_all();
+      }
+    } else {
+      const std::uint32_t m = task.id;
+      try {
+        runMap(m);
+      } catch (...) {
+        std::scoped_lock elock(mtx);
+        if (!firstError) firstError = std::current_exception();
+        runningMapSet[m] = false;
+        --runningMaps;
+        cv.notify_all();
+      }
+    }
+  }
+  // Claim released: only now may the service observe this context as
+  // quiescent and destroy it. Everything the task touches — page pool,
+  // recorder, segments — must be reached before this point.
+  std::scoped_lock lock(mtx);
+  --activeClaims;
+  cv.notify_all();
+}
+
+bool JobContext::quiescentTerminal() {
+  std::scoped_lock lock(mtx);
+  // activeClaims (not just the slot counters) gates quiescence: a task
+  // body decrements its slot counter under mtx before running trailing
+  // job-owned work (pressure spill, recorder uninstall), and the claim
+  // is only released after ALL of it — so a context with a live claim
+  // must never be destroyed.
+  return terminalLocked() && runningMaps == 0 && runningReduces == 0 &&
+         activeClaims == 0;
+}
+
+void JobContext::requestCancel() {
+  std::scoped_lock lock(mtx);
+  cancelRequested = true;
+  cv.notify_all();
+}
+
+std::vector<ReduceOutput> JobContext::partialOutputs() {
+  std::scoped_lock lock(mtx);
+  std::vector<ReduceOutput> done;
+  for (std::uint32_t kb = 0;
+       kb < reduceDone.size() && kb < result.outputs.size(); ++kb) {
+    if (reduceDone[kb]) done.push_back(result.outputs[kb]);
+  }
+  return done;
+}
+
+void JobContext::workerLoop() {
+  std::unique_lock lock(mtx);
+  while (true) {
+    if (terminalLocked()) return;
+    std::optional<ClaimedTask> task = tryClaimLocked(/*reduceOnly=*/false);
+    if (task.has_value()) {
+      lock.unlock();
+      runClaimedTask(*task);
+      lock.lock();
+      continue;
+    }
+    cv.wait(lock);
+  }
+}
+
+JobOutcome JobContext::finalize() {
+  // Join the owned spill pool before collecting: pool threads record
+  // spans too, and destruction guarantees their logs are final. (A
+  // shared pool needs no join here: every item this job submitted
+  // completed before its map attempt did — the batch barrier — and the
+  // job is quiescent.)
+  ownedSpillPool.reset();
+  spillPool = nullptr;
+
+  // The job is quiescent, but partialOutputs() snapshots may still
+  // arrive from JobHandle readers; holding mtx serializes them against
+  // the result move below.
+  std::scoped_lock lock(mtx);
+  JobOutcome outcome;
+  const bool succeeded = completedReduces == numReduces && !firstError;
+  outcome.error = firstError;
+  outcome.cancelled = !succeeded && !firstError && cancelRequested;
+  outcome.completedKeyblocks.assign(reduceDone.begin(), reduceDone.end());
+
+  result.peakResidentSegmentBytes = pagePool->peakResidentBytes();
+  result.pressureSpillEvents = pressureSpills.load(std::memory_order_relaxed);
+  result.spillCompressedBytes =
+      compressedSpillBytes.load(std::memory_order_relaxed);
+  result.totalSeconds = now();
+  result.firstResultSeconds = result.totalSeconds;
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+    if (!reduceDone[kb]) continue;
+    result.firstResultSeconds =
+        std::min(result.firstResultSeconds, result.outputs[kb].availableAt);
+  }
+  if (recorder != nullptr) {
+    result.trace = recorder->collect();
+    // Absorb the scattered JobResult scalars and the sort totals into
+    // the counter registry so consumers read one uniform surface.
+    obs::Trace& t = result.trace;
+    t.addCounter("shuffle.connections", result.shuffleConnections);
+    t.addCounter("shuffle.nonEmptyConnections", result.nonEmptyConnections);
+    t.addCounter("shuffle.bytes", result.shuffleBytes);
+    t.addCounter("shuffle.fetchMicros",
+                 static_cast<std::uint64_t>(result.shuffleFetchSeconds * 1e6));
+    t.addCounter("job.annotationViolations", result.annotationViolations);
+    t.addCounter("job.mapsReExecuted", result.mapsReExecuted);
+    t.addCounter("job.mapFailures", result.mapFailures);
+    t.addCounter("job.reduceFailures", result.reduceFailures);
+    t.addCounter("sort.sortedSkips", result.sortTotals.sortedSkips);
+    t.addCounter("sort.comparisonSorts", result.sortTotals.comparisonSorts);
+    t.addCounter("sort.radixSorts", result.sortTotals.radixSorts);
+    t.addCounter("sort.radixPasses", result.sortTotals.radixPasses);
+    t.addCounter("sort.radixPassesSkipped",
+                 result.sortTotals.radixPassesSkipped);
+    t.addCounter("mem.peakResidentSegmentBytes",
+                 result.peakResidentSegmentBytes);
+    t.addCounter("mem.pressureSpillEvents", result.pressureSpillEvents);
+    t.addCounter("mem.spillCompressedBytes", result.spillCompressedBytes);
+  }
+  result.trace.jobId = spec.jobId;
+
+  // Non-success cleanup: remove the whole spill namespace — committed
+  // segments AND any orphaned attempt temporaries — so a failed or
+  // cancelled job strands nothing. keepSpillOnFailure opts out for
+  // post-mortem debugging; successful jobs always keep their committed
+  // files (callers may read them).
+  if (!succeeded && spillEnabled() && !spec.keepSpillOnFailure) {
+    std::error_code ec;  // swallowed: cleanup is advisory
+    std::filesystem::remove_all(jobDir, ec);
+  }
+
+  outcome.result = std::move(result);
+  return outcome;
+}
+
+void JobContext::runMap(std::uint32_t m) {
+  std::uint32_t attempt;
+  {
+    std::scoped_lock lock(mtx);
+    attempt = ++mapAttempts[m];
+    // Any execution beyond the first attempt is recovery cost, whether
+    // it re-runs after a recovery reset or retries a failed attempt.
+    if (attempt > 1) ++result.mapsReExecuted;
+  }
+  // The attempt span brackets the whole execution; being the first
+  // local, it is destroyed last and therefore contains every phase span
+  // below — including the publication spans recorded under the mutex
+  // after tEnd (well-nestedness is structural, not bookkept).
+  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m,
+                             attempt);
+  double tStart = now();
+  auto mapper = spec.mapperFactory();
+  std::unique_ptr<Combiner> combiner =
+      spec.combinerFactory ? spec.combinerFactory() : nullptr;
+  // Batched read → map → route → sort/combine lives in the shared map
+  // pipeline (map_pipeline.cpp); with spec.keySpace set it runs the
+  // linearized fast path, otherwise the per-record lexicographic one.
+  // The sink scopes every sort counter the pipeline touches to THIS
+  // attempt, so the counts fold into the owning job's totals below no
+  // matter which jobs share the worker thread.
+  SortStats taskSort;
+  std::vector<Segment> produced;
+  {
+    ScopedSortStatsSink statsSink(&taskSort);
+    produced = runMapPipeline(spec.splits[m], m, spec.readerFactory, *mapper,
+                              *spec.partitioner, numReduces, combiner.get(),
+                              spec.keySpace, pagePool.get());
+  }
+
+  // Verify routing against the declared dependency sets (a record
+  // landing in a keyblock that does not list this split is a
+  // partitioner/dependency bug). Validated for ALL keyblocks before any
+  // spill job is queued, so a violation can never throw while pool jobs
+  // still reference this frame's segments.
+  for (std::uint32_t kb = 0; isSidr() && kb < numReduces; ++kb) {
+    if (produced[kb].empty()) continue;
+    const auto& dl = deps[kb];
+    if (std::find(dl.begin(), dl.end(), m) == dl.end()) {
+      throw std::logic_error(
+          "SIDR routing violation: map " + std::to_string(m) +
+          " produced data for undeclared keyblock " + std::to_string(kb));
+    }
+  }
+  // In-memory mode never serializes: the segment itself becomes the
+  // published immutable handle. Spill mode encodes with the bulk codec
+  // and writes a map-output file per keyblock — on the spill-writer
+  // pool when one is configured, so keyblocks overlap; each pool job
+  // owns its keyblock's segment exclusively (lazy materialization
+  // included), and the batch barrier below orders every write before
+  // the fault check and the commit phase, exactly as the sequential
+  // path does.
+  std::uint64_t producedRecords = 0;
+  std::uint64_t producedRepresents = 0;
+  for (const Segment& seg : produced) {
+    producedRecords += seg.header().numRecords;
+    producedRepresents += seg.header().represents;
+  }
+  attemptSpan.setRecords(producedRecords);
+  attemptSpan.setRepresents(producedRepresents);
+  std::vector<std::shared_ptr<const Segment>> localSegments(numReduces);
+  std::vector<std::uint64_t> localSegBytes;
+  std::uint64_t bytesSpilled = 0;
+  if (eagerSpill() && spillPool != nullptr) {
+    SpillWriterPool::Batch batch;
+    std::atomic<std::uint64_t> batchBytes{0};
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      Segment* seg = &produced[kb];
+      spillPool->submit(
+          batch, [this, seg, m, kb, attempt,
+                  &batchBytes](std::vector<std::byte>& encodeBuf) {
+            // Pool threads are not workers: install the recorder per
+            // item so encode/write spans land on the owning job's trace
+            // (a shared pool interleaves items from many jobs).
+            obs::ScopedRecorder poolScope(recorder.get());
+            {
+              obs::SpanScope enc(obs::Phase::kSpillEncode,
+                                 obs::TaskSide::kMap, m, attempt, kb);
+              if (spec.compressSpill) {
+                seg->serializeCompressedInto(encodeBuf, spec.keySpace);
+                compressedSpillBytes.fetch_add(encodeBuf.size(),
+                                               std::memory_order_relaxed);
+              } else {
+                seg->serializeInto(encodeBuf);
+              }
+              enc.setBytes(encodeBuf.size());
+              enc.setRecords(seg->header().numRecords);
+            }
+            batchBytes.fetch_add(encodeBuf.size(), std::memory_order_relaxed);
+            obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap,
+                                 m, attempt, kb);
+            write.setBytes(encodeBuf.size());
+            spillSegmentAttempt(m, kb, attempt, encodeBuf);
+          });
+    }
+    batch.wait();  // rethrows the first encode/write failure
+    bytesSpilled = batchBytes.load(std::memory_order_relaxed);
+  } else if (eagerSpill()) {
+    std::vector<std::byte> spillBuf;  // one encode buffer for all keyblocks
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      // Persist map output to attempt-scoped temp files; nothing is
+      // visible under the committed names until the attempt commits
+      // below (Hadoop commits map output files atomically with the
+      // task).
+      {
+        obs::SpanScope enc(obs::Phase::kSpillEncode, obs::TaskSide::kMap, m,
+                           attempt, kb);
+        if (spec.compressSpill) {
+          produced[kb].serializeCompressedInto(spillBuf, spec.keySpace);
+          compressedSpillBytes.fetch_add(spillBuf.size(),
+                                         std::memory_order_relaxed);
+        } else {
+          produced[kb].serializeInto(spillBuf);
+        }
+        enc.setBytes(spillBuf.size());
+        enc.setRecords(produced[kb].header().numRecords);
+      }
+      bytesSpilled += spillBuf.size();
+      obs::SpanScope write(obs::Phase::kSpillWrite, obs::TaskSide::kMap, m,
+                           attempt, kb);
+      write.setBytes(spillBuf.size());
+      spillSegmentAttempt(m, kb, attempt, spillBuf);
+    }
+  } else {
+    // In-memory and hybrid modes publish handles. The resident
+    // footprints are measured here, outside the engine mutex — the
+    // locked commit section below only charges the precomputed sizes.
+    localSegBytes.assign(numReduces, 0);
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      localSegments[kb] =
+          std::make_shared<const Segment>(std::move(produced[kb]));
+      localSegBytes[kb] = localSegments[kb]->residentBytes();
+    }
+  }
+
+  attemptSpan.setBytes(bytesSpilled);
+
+  // Injected failure: the attempt did its work (including any temp
+  // spill writes) but dies before committing anything.
+  if (spec.faultPlan.shouldFail(TaskKind::kMap, m, attempt)) {
+    attemptSpan.fail();
+    if (eagerSpill()) {
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        discardSegmentAttemptFile(jobDir, m, kb, attempt);
+      }
+    }
+    double tFail = now();
+    std::scoped_lock lock(mtx);
+    result.sortTotals.add(taskSort);
+    ++result.mapFailures;
+    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kMapFail, m, tFail, attempt);
+    runningMapSet[m] = false;
+    --runningMaps;
+    if (attempt >= spec.faultPlan.maxAttempts) {
+      if (!firstError) {
+        firstError = std::make_exception_ptr(
+            JobError(TaskKind::kMap, m, attempt, spec.faultPlan.maxAttempts));
+      }
+    } else {
+      markMapEligible(m);  // retry as the next attempt
+    }
+    cv.notify_all();
+    return;
+  }
+
+  // Commit phase. Spill mode publishes every keyblock file with an
+  // atomic rename FIRST: once segAvail flips below, any reduce may open
+  // the committed path lock-free, and a reader still holding the
+  // previous attempt's file (recovery races) keeps its old inode.
+  if (eagerSpill()) {
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      // One commit span per keyblock, carrying the segment's count
+      // annotation: the trace-side proof a reduce may start (the
+      // gating invariant compares reduce-attempt starts against these).
+      obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap, m,
+                            attempt, kb);
+      commit.setRecords(produced[kb].header().numRecords);
+      commit.setRepresents(produced[kb].header().represents);
+      commitSegmentFile(jobDir, m, kb, attempt);
+    }
+  }
+  double tEnd = now();
+
+  {
+    std::scoped_lock lock(mtx);
+    result.sortTotals.add(taskSort);
+    recordEvent(TaskEvent::Kind::kMapStart, m, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kMapEnd, m, tEnd, attempt);
+    result.shuffleBytes += bytesSpilled;
+    if (!eagerSpill()) {
+      // Publication is a pointer flip per keyblock — no data copy runs
+      // under the engine mutex. The commit spans are near-zero-width but
+      // keep the schema uniform across shuffle modes: they end inside
+      // this critical section, and any gated reduce starts only after a
+      // later acquire of mtx, so commit-span end <= reduce-span start.
+      for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
+                              m, attempt, kb);
+        commit.setRecords(localSegments[kb]->header().numRecords);
+        commit.setRepresents(localSegments[kb]->header().represents);
+        // Only slots whose availability was revoked take the new handle
+        // (first publication, or a recovery reset of this keyblock). A
+        // slot still marked available keeps its original — identical —
+        // segment: map execution is deterministic, and the slot's reduce
+        // may be runnable or mid-fetch reading the slot WITHOUT mtx, so
+        // a recovery re-run overwriting it here would race that read.
+        // (A pressure-evicted slot also stays untouched: its handle is
+        // null but its committed spill file serves the streaming path.)
+        if (segAvail[m][kb]) continue;
+        // Charge the published segment's resident footprint; a recovery
+        // republish first releases whatever the replaced handle charged.
+        if (segCharge[m][kb] != 0) {
+          pagePool->release(segCharge[m][kb]);
+          segCharge[m][kb] = 0;
+        }
+        if (localSegBytes[kb] > 0) {
+          segCharge[m][kb] = pagePool->charge(localSegBytes[kb]);
+        }
+        segments[m][kb] = std::move(localSegments[kb]);
+      }
+      publishedAttempt[m] = attempt;
+    }
+    mapDone[m] = true;
+    // Dependency accounting: only a false->true availability transition
+    // satisfies a dependency, so a recovery re-run of this map cannot
+    // double-decrement a keyblock that already counted its first run.
+    for (std::uint32_t kb : mapToReduces[m]) {
+      if (segAvail[m][kb]) continue;
+      segAvail[m][kb] = true;
+      if (remainingDeps[kb] > 0) {
+        --remainingDeps[kb];
+        if (remainingDeps[kb] == 0 && reduceScheduled[kb] &&
+            !reduceRunnableFlag[kb] && !reduceDone[kb] &&
+            evictingCount[kb] == 0) {
+          reduceRunnableFlag[kb] = true;
+          runnableReduces.push_back(kb);
+        }
+      }
+    }
+    // Segments for keyblocks outside this map's dependency sets exist too
+    // (they are empty in SIDR mode); mark them present for stock fetches.
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) segAvail[m][kb] = true;
+    runningMapSet[m] = false;
+    --runningMaps;
+    cv.notify_all();
+  }
+
+  // With a budget, publication is the moment resident bytes grow; shed
+  // pressure before this worker picks up its next task. Runs with no
+  // locks held — selection and finalize take mtx internally.
+  if (budgetEnabled()) maybePressureSpill();
+}
+
+void JobContext::maybePressureSpill() {
+  // Pressure-driven eviction (hybrid mode): when the page pool crosses
+  // its high-water mark, encode the coldest committed keyblocks to the
+  // spill directory — through the SAME attempt-file + atomic-rename
+  // protocol eager spill uses — then drop their in-memory handles and
+  // reclaim the pages. "Coldest" = largest priorityOrder position (its
+  // reduce runs last, so its pages stay reclaimed longest), ties broken
+  // toward the larger charge.
+  //
+  // Safety: a keyblock with an eviction in flight is never pushed
+  // runnable (every push site gates on evictingCount), and a keyblock
+  // that is already runnable/running/done is never selected — so no
+  // lock-free reduce fetch can race the handle reset. The finalize step
+  // re-checks the gated push under mtx.
+  while (pagePool->overHighWater()) {
+    struct Victim {
+      std::uint32_t m = 0;
+      std::uint32_t kb = 0;
+      std::uint32_t attempt = 0;
+      std::shared_ptr<const Segment> seg;
+      std::uint64_t charge = 0;
+    };
+    std::vector<Victim> victims;
+    {
+      std::scoped_lock lock(mtx);
+      std::vector<Victim> candidates;
+      for (std::uint32_t m = 0; m < numMaps; ++m) {
+        for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+          if (!segAvail[m][kb] || segEvicting[m][kb]) continue;
+          if (reduceRunnableFlag[kb] || reduceDone[kb]) continue;
+          const std::shared_ptr<const Segment>& seg = segments[m][kb];
+          if (seg == nullptr || seg->header().numRecords == 0) continue;
+          if (segCharge[m][kb] == 0) continue;  // nothing to reclaim
+          candidates.push_back(
+              Victim{m, kb, publishedAttempt[m], seg, segCharge[m][kb]});
+        }
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [this](const Victim& a, const Victim& b) {
+                  if (posOf[a.kb] != posOf[b.kb]) {
+                    return posOf[a.kb] > posOf[b.kb];
+                  }
+                  return a.charge > b.charge;
+                });
+      const std::uint64_t target = pagePool->lowWaterBytes();
+      std::uint64_t projected = pagePool->residentBytes();
+      for (Victim& v : candidates) {
+        if (projected <= target) break;
+        segEvicting[v.m][v.kb] = true;
+        ++evictingCount[v.kb];
+        projected -= std::min(projected, v.charge);
+        victims.push_back(std::move(v));
+      }
+    }
+    if (victims.empty()) return;  // over budget but nothing evictable
+
+    // Encode + write the attempt files outside the lock, overlapping
+    // keyblocks on the spill-writer pool when one exists. Renames run
+    // only after every write succeeded.
+    std::exception_ptr error;
+    auto writeOne = [this](const Victim& v, std::vector<std::byte>& buf) {
+      obs::SpanScope span(obs::Phase::kPressureSpill, obs::TaskSide::kMap, v.m,
+                          v.attempt, v.kb);
+      span.setRecords(v.seg->header().numRecords);
+      span.setRepresents(v.seg->header().represents);
+      if (spec.compressSpill) {
+        v.seg->serializeCompressedInto(buf, spec.keySpace);
+        compressedSpillBytes.fetch_add(buf.size(), std::memory_order_relaxed);
+      } else {
+        v.seg->serializeInto(buf);
+      }
+      span.setBytes(buf.size());
+      spillSegmentAttempt(v.m, v.kb, v.attempt, buf);
+    };
+    try {
+      if (spillPool != nullptr) {
+        SpillWriterPool::Batch batch;
+        for (const Victim& v : victims) {
+          spillPool->submit(batch,
+                            [this, &v, &writeOne](std::vector<std::byte>& buf) {
+                              obs::ScopedRecorder poolScope(recorder.get());
+                              writeOne(v, buf);
+                            });
+        }
+        batch.wait();
+      } else {
+        std::vector<std::byte> buf;
+        for (const Victim& v : victims) writeOne(v, buf);
+      }
+      for (const Victim& v : victims) {
+        // The eviction commit reuses the publication span schema; the
+        // gating checker takes the EARLIEST commit per (map, keyblock),
+        // so the original publication span keeps proving reduce starts,
+        // and the tally checker reads the same represents off this one.
+        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
+                              v.m, v.attempt, v.kb);
+        commit.setRecords(v.seg->header().numRecords);
+        commit.setRepresents(v.seg->header().represents);
+        commitSegmentFile(jobDir, v.m, v.kb, v.attempt);
+      }
+    } catch (...) {
+      error = std::current_exception();
+    }
+
+    {
+      std::scoped_lock lock(mtx);
+      for (const Victim& v : victims) {
+        segEvicting[v.m][v.kb] = false;
+        --evictingCount[v.kb];
+        // Pointer-equality guard: a recovery republish may have replaced
+        // the handle (and re-charged the slot) while the file was being
+        // written; then the slot's charge belongs to the NEW segment and
+        // must stay, and the stale file is simply never read (the fetch
+        // sees the fresh handle).
+        if (!error && segments[v.m][v.kb] == v.seg) {
+          segments[v.m][v.kb] = nullptr;
+          if (segCharge[v.m][v.kb] != 0) {
+            pagePool->release(segCharge[v.m][v.kb]);
+            segCharge[v.m][v.kb] = 0;
+          }
+          pressureSpills.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (evictingCount[v.kb] == 0 && remainingDeps[v.kb] == 0 &&
+            reduceScheduled[v.kb] && !reduceRunnableFlag[v.kb] &&
+            !reduceDone[v.kb]) {
+          reduceRunnableFlag[v.kb] = true;
+          runnableReduces.push_back(v.kb);
+        }
+      }
+      if (error && !firstError) firstError = error;
+      cv.notify_all();
+    }
+    if (error) return;
+  }
+}
+
+void JobContext::runReduce(std::uint32_t kb) {
+  std::uint32_t attempt;
+  {
+    std::scoped_lock lock(mtx);
+    attempt = ++reduceAttempts[kb];
+  }
+  obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kReduce,
+                             kb, attempt, kb);
+  double tStart = now();
+
+  // Injected failure: simulate this reduce attempt dying after starting
+  // but before committing output.
+  if (spec.faultPlan.shouldFail(TaskKind::kReduce, kb, attempt)) {
+    attemptSpan.fail();
+    double tFail = now();
+    std::scoped_lock lock(mtx);
+    ++result.reduceFailures;
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
+    recordEvent(TaskEvent::Kind::kReduceFail, kb, tFail, attempt);
+    reduceRunnableFlag[kb] = false;
+    --runningReduces;
+    if (attempt >= spec.faultPlan.maxAttempts) {
+      if (!firstError) {
+        firstError = std::make_exception_ptr(JobError(
+            TaskKind::kReduce, kb, attempt, spec.faultPlan.maxAttempts));
+      }
+      cv.notify_all();
+      return;
+    }
+    if (spec.recovery == RecoveryModel::kRecomputeDeps) {
+      // Intermediate data was volatile: drop this keyblock's segments
+      // and re-execute exactly the I_l map subset (paper section 6).
+      for (std::uint32_t m : deps[kb]) {
+        if (segAvail[m][kb]) {
+          segAvail[m][kb] = false;
+          ++remainingDeps[kb];
+        }
+        mapDone[m] = false;
+        markMapEligible(m);
+      }
+      if (remainingDeps[kb] == 0 && evictingCount[kb] == 0) {
+        // nothing was available yet
+        reduceRunnableFlag[kb] = true;
+        runnableReduces.push_back(kb);
+      }
+    } else if (evictingCount[kb] == 0) {
+      // Persisted intermediate data: retry immediately, re-fetch all.
+      // (An in-flight eviction re-queues the keyblock when it
+      // finalizes; it cannot actually occur here — evictions never
+      // start on a runnable keyblock — but the gate keeps every push
+      // site uniform.)
+      reduceRunnableFlag[kb] = true;
+      runnableReduces.push_back(kb);
+    }
+    cv.notify_all();
+    return;
+  }
+
+  // Fetch phase. Stock Hadoop contacts every map task; SIDR contacts
+  // only the maps in I_l (Table 3's connection asymmetry).
+  std::vector<std::uint32_t> fetchSet;
+  if (isSidr()) {
+    fetchSet = deps[kb];
+  } else {
+    fetchSet.resize(numMaps);
+    for (std::uint32_t m = 0; m < numMaps; ++m) fetchSet[m] = m;
+  }
+
+  // The entire fetch runs WITHOUT the engine mutex, in both modes:
+  // segments are immutable once published, and this reduce only became
+  // runnable after observing (under mtx) that every fetched dependency
+  // committed, which ordered those publications before these reads.
+  std::vector<Segment> fetched;                          // eager spill mode
+  std::vector<std::shared_ptr<const Segment>> handles;   // resident segments
+  std::vector<std::unique_ptr<SegmentStream>> streams;   // evicted (hybrid)
+  // Which source each non-empty input came from, in fetchSet order —
+  // the merger consumes one ordered input sequence regardless of kind,
+  // so resident and evicted inputs merge bit-identically.
+  std::vector<bool> sourceIsStream;
+  std::uint64_t tally = 0;
+  std::uint64_t connections = 0;
+  std::uint64_t nonEmpty = 0;
+  std::uint64_t bytesFetched = 0;
+  {
+    std::scoped_lock lock(mtx);
+    recordEvent(TaskEvent::Kind::kReduceStart, kb, tStart, attempt);
+  }
+  double tFetchStart = now();
+  std::uint64_t recordsFetched = 0;
+  {
+    obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
+                             attempt, kb);
+    if (eagerSpill()) {
+      // The header-only read suffices for the annotation tally; only
+      // non-empty segments are fully read and decoded.
+      for (std::uint32_t m : fetchSet) {
+        ++connections;
+        SegmentHeader h = peekSpilledHeader(m, kb);
+        bytesFetched += Segment::kHeaderBytes;
+        tally += h.represents;
+        recordsFetched += h.numRecords;
+        if (h.numRecords > 0) {
+          ++nonEmpty;
+          fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
+          // Linear keys never travel on the uncompressed wire; rebuild
+          // the cache so spilled segments merge on u64s like in-memory
+          // ones (the compressed decoder already restored them).
+          if (spec.keySpace.rank() > 0 && !fetched.back().hasLinearKeys()) {
+            fetched.back().computeLinearKeys(spec.keySpace);
+          }
+        }
+      }
+    } else {
+      // Zero-copy fetch: acquiring a published handle is a shared_ptr
+      // copy; the header is read in-struct. No serialize/deserialize
+      // round trip, no data copy, no lock. In hybrid mode a null slot
+      // means the segment was evicted under pressure: its committed
+      // file is streamed back through a bounded window during the
+      // merge, never fully materialized.
+      handles.reserve(fetchSet.size());
+      for (std::uint32_t m : fetchSet) {
+        ++connections;
+        std::shared_ptr<const Segment> seg = segments[m][kb];
+        if (seg != nullptr) {
+          tally += seg->header().represents;
+          recordsFetched += seg->header().numRecords;
+          if (seg->header().numRecords > 0) {
+            ++nonEmpty;
+            handles.push_back(std::move(seg));
+            sourceIsStream.push_back(false);
+          }
+        } else if (budgetEnabled()) {
+          auto stream = std::make_unique<SegmentStream>(
+              segmentPath(m, kb), spec.mergeWindowBytes, spec.compressSpill,
+              spec.keySpace);
+          const SegmentHeader& h = stream->header();
+          tally += h.represents;
+          recordsFetched += h.numRecords;
+          if (h.numRecords > 0) {
+            ++nonEmpty;
+            streams.push_back(std::move(stream));
+            sourceIsStream.push_back(true);
+          } else {
+            bytesFetched += stream->bytesRead();
+          }
+        } else {
+          throw std::logic_error("Engine: reduce fetched unpublished segment");
+        }
+      }
+    }
+    fetchSpan.setBytes(bytesFetched);
+    fetchSpan.setRecords(recordsFetched);
+    // The reduce-side annotation tally rides on the fetch span, so the
+    // trace alone can cross-check it against the commit spans' sums.
+    fetchSpan.setRepresents(tally);
+  }
+  double tFetchEnd = now();
+
+  // Merge/group/reduce (outside the lock: pure local computation). One
+  // ordered input sequence feeds the merger whatever the source kind —
+  // materialized spill loads, resident handles (merged straight from
+  // their packed form), or bounded streaming cursors — and the record
+  // tally comes off the headers, so no input is materialized just to be
+  // counted.
+  std::vector<SegmentMerger::Input> inputs;
+  inputs.reserve(fetched.size() + handles.size() + streams.size());
+  std::unique_ptr<SegmentMerger> merger;
+  {
+    obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
+                             attempt, kb);
+    if (eagerSpill()) {
+      for (const Segment& s : fetched) {
+        SegmentMerger::Input in;
+        in.segment = &s;
+        inputs.push_back(in);
+      }
+    } else {
+      std::size_t nextHandle = 0;
+      std::size_t nextStream = 0;
+      for (const bool isStream : sourceIsStream) {
+        SegmentMerger::Input in;
+        if (isStream) {
+          in.stream = streams[nextStream++].get();
+        } else {
+          in.segment = handles[nextHandle++].get();
+        }
+        inputs.push_back(in);
+      }
+    }
+    merger = std::make_unique<SegmentMerger>(
+        std::span<const SegmentMerger::Input>(inputs));
+    mergeSpan.setRecords(recordsFetched);
+  }
+  auto reducer = spec.reducerFactory();
+  VectorReduceContext out;
+  std::vector<KeyValue> outRecords;
+  {
+    obs::SpanScope reduceSpan(obs::Phase::kReduce, obs::TaskSide::kReduce, kb,
+                              attempt, kb);
+    merger->forEachGroup([&](const nd::Coord& key,
+                             std::span<const Value* const> values,
+                             std::uint64_t /*groupRepresents*/) {
+      reducer->reduce(key, values, out);
+    });
+    outRecords = out.take();
+    reduceSpan.setRecords(outRecords.size());
+  }
+  // Streamed inputs read their windows lazily during the merge; fold
+  // their I/O into the shuffle accounting now that they are drained.
+  for (const auto& st : streams) bytesFetched += st->bytesRead();
+
+  // Linearize the output keys OUTSIDE the lock (reducers usually emit
+  // the group key, which lies inside keySpace; an out-of-space emission
+  // just forfeits the collectAll fast merge rather than failing).
+  std::vector<std::uint64_t> outLinear;
+  if (spec.keySpace.rank() > 0) {
+    outLinear.reserve(outRecords.size());
+    for (const KeyValue& kv : outRecords) {
+      bool inSpace = kv.key.rank() == spec.keySpace.rank();
+      for (std::size_t d = 0; inSpace && d < spec.keySpace.rank(); ++d) {
+        inSpace = kv.key[d] >= 0 && kv.key[d] < spec.keySpace[d];
+      }
+      if (!inSpace) {
+        outLinear.clear();
+        break;
+      }
+      outLinear.push_back(
+          static_cast<std::uint64_t>(nd::linearize(kv.key, spec.keySpace)));
+    }
+  }
+
+  attemptSpan.setBytes(bytesFetched);
+  attemptSpan.setRecords(outRecords.size());
+  attemptSpan.setRepresents(tally);
+
+  double tEnd = now();
+  // Declared before the lock so the commit span covers the whole locked
+  // publication and its end still falls inside the attempt span.
+  obs::SpanScope commitSpan(obs::Phase::kOutputCommit, obs::TaskSide::kReduce,
+                            kb, attempt, kb);
+  std::scoped_lock lock(mtx);
+  result.shuffleConnections += connections;
+  result.nonEmptyConnections += nonEmpty;
+  result.shuffleBytes += bytesFetched;
+  result.shuffleFetchSeconds += tFetchEnd - tFetchStart;
+  ReduceOutput& ro = result.outputs[kb];
+  ro.keyblock = kb;
+  ro.records = std::move(outRecords);
+  ro.linearKeys = std::move(outLinear);
+  ro.availableAt = tEnd;
+  ro.annotationTally = tally;
+  commitSpan.setRecords(ro.records.size());
+  if (!spec.expectedRepresents.empty() &&
+      tally != spec.expectedRepresents[kb]) {
+    ++result.annotationViolations;
+  }
+  result.recordsPerReducer[kb] = recordsFetched;
+  recordEvent(TaskEvent::Kind::kReduceEnd, kb, tEnd, attempt);
+  if (budgetEnabled()) {
+    // This keyblock's inputs are consumed for good (reduceDone blocks
+    // any further fetch or eviction): drop the handles and give their
+    // pages back to the pool. The actual frees run when this frame's
+    // local references unwind, outside the mutex.
+    for (std::uint32_t m : fetchSet) {
+      if (segCharge[m][kb] != 0) {
+        pagePool->release(segCharge[m][kb]);
+        segCharge[m][kb] = 0;
+      }
+      segments[m][kb] = nullptr;
+    }
+  }
+  reduceDone[kb] = true;
+  ++completedReduces;
+  --runningReduces;
+  if (isSidr()) {
+    --scheduledActive;
+    scheduleReducesLocked();
+  }
+  cv.notify_all();
+}
+
+}  // namespace sidr::mr

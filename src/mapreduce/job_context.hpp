@@ -1,0 +1,315 @@
+// One job's complete execution state — the former Engine::Impl, pulled
+// out so a long-lived EngineService can multiplex many in-flight jobs
+// over shared worker threads while the one-shot Engine keeps its exact
+// historical behavior.
+//
+// A JobContext scopes everything that used to be global-ish per run:
+//  - the spill namespace: every artifact lands under
+//    `spillDirectory/job<jobId>/` (jobSpillDirName), so jobs sharing a
+//    spill directory can never clobber each other's committed segments;
+//    within the namespace the attempt-suffix + atomic-rename protocol
+//    is byte-identical to the historical flat layout;
+//  - the trace recorder: installed per claimed task (and per spill-pool
+//    item), so spans land on the owning job's trace no matter which
+//    jobs share the thread;
+//  - sort counters: each map attempt redirects the thread's SortStats
+//    into a task-local sink (ScopedSortStatsSink) and folds it into
+//    JobResult::sortTotals under the job mutex — replacing the old
+//    per-thread baseline/delta fold that miscounted the moment pool
+//    threads interleaved work from two jobs;
+//  - end-of-job cleanup: finalize() removes the job's spill namespace
+//    on any non-success outcome (opt out with
+//    JobSpec::keepSpillOnFailure), so a failed or cancelled job leaves
+//    zero files behind.
+//
+// Two driving modes share one claim path:
+//  - solo (Engine::run): N threads call workerLoop(), which claims and
+//    runs tasks until the job is terminal, blocking on the job's cv;
+//  - service (EngineService): external workers call tryClaimTask() /
+//    tryClaimReduce() under their own scheduling policy and run each
+//    claim via runClaimedTask(); they never block inside the job.
+//
+// Lock discipline: JobContext only ever takes its own mutex and never
+// calls out while holding it, so a service may take job mutexes while
+// holding its service mutex (service -> job order) without deadlock.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mapreduce/job.hpp"
+#include "mapreduce/spill_pool.hpp"
+#include "obs/trace.hpp"
+
+namespace sidr::mr {
+
+/// Validates a JobSpec's structural invariants (missing factories, bad
+/// dependency ids, inconsistent out-of-core knobs, non-positive share
+/// weight, ...), throwing std::invalid_argument. Called by the Engine
+/// constructor and by EngineService::submit, so both fronts reject the
+/// same specs with the same messages.
+void validateJobSpec(const JobSpec& spec);
+
+/// One claimed unit of work: the claim already did the scheduling
+/// bookkeeping (slot counts, queue pops), so it MUST be handed to
+/// runClaimedTask exactly once.
+struct ClaimedTask {
+  TaskKind kind = TaskKind::kMap;
+  std::uint32_t id = 0;  ///< map task id or keyblock id (by `kind`)
+};
+
+/// Terminal summary of one job, produced exactly once by finalize().
+struct JobOutcome {
+  /// Fully populated result — metrics, trace and the outputs of every
+  /// reduce that committed — even for failed/cancelled jobs, so early
+  /// exact partial results survive a non-success outcome.
+  JobResult result;
+  /// Non-null: the job failed with this error (retry budget exhausted,
+  /// spill I/O failure, ...). Solo Engine::run rethrows it.
+  std::exception_ptr error;
+  /// True: requestCancel() arrived before the job could complete (and
+  /// no error claimed precedence). A job whose last reduce committed
+  /// before the cancel landed still counts as succeeded.
+  bool cancelled = false;
+  /// Per keyblock: whether its reduce committed output — the mask that
+  /// distinguishes real partial results from default-constructed slots
+  /// in `result.outputs` after a failure or cancel.
+  std::vector<bool> completedKeyblocks;
+};
+
+class JobContext {
+ public:
+  /// `sharedPool`: spill-writer pool owned by the caller (the service
+  /// mode); null makes the context own a pool per the solo Engine rule
+  /// (spillWriters > 1, capped at the keyblock count).
+  /// The spec's jobId must already be final: it names the on-disk
+  /// namespace.
+  JobContext(JobSpec spec, SpillWriterPool* sharedPool);
+
+  JobContext(const JobContext&) = delete;
+  JobContext& operator=(const JobContext&) = delete;
+
+  /// Resolves dependencies, sizes all state, creates the spill
+  /// namespace directory and performs initial scheduling. Call once,
+  /// before any claim.
+  void start();
+
+  /// Claims the next task under the job's internal reduce-first order
+  /// (a runnable reduce beats an eligible map), or nullopt when nothing
+  /// is claimable right now (slots full, dependencies pending, job
+  /// terminal or cancel requested).
+  std::optional<ClaimedTask> tryClaimTask();
+
+  /// Like tryClaimTask but only ever claims a reduce — the probe the
+  /// service's SIDR-style reduce-first policy uses across jobs.
+  std::optional<ClaimedTask> tryClaimReduce();
+
+  /// True when tryClaimTask would succeed (advisory: another claimer
+  /// may win the race).
+  bool hasClaimableTask();
+
+  /// Executes one claimed task, installing the job's trace recorder for
+  /// the duration and absorbing any task failure into the job's retry /
+  /// error bookkeeping. Never throws.
+  void runClaimedTask(const ClaimedTask& task);
+
+  /// True when the job is terminal (failed, cancel requested, or all
+  /// reduces done) AND no claimed task is still executing — the gate
+  /// for finalize().
+  bool quiescentTerminal();
+
+  /// Requests cooperative cancellation: no further task is claimable;
+  /// in-flight tasks finish normally. The job becomes terminal once
+  /// running tasks drain.
+  void requestCancel();
+
+  /// Snapshot of every committed reduce output so far — SIDR's early
+  /// exact partial results, observable while the job still runs.
+  std::vector<ReduceOutput> partialOutputs();
+
+  /// Joins the owned spill pool, computes final metrics and the trace,
+  /// removes the spill namespace on non-success (unless
+  /// keepSpillOnFailure) and returns the outcome. Call exactly once,
+  /// after quiescentTerminal() (or after joining solo workers).
+  JobOutcome finalize();
+
+  /// Solo driving mode: claim-and-run until the job is terminal,
+  /// blocking on the job's cv while nothing is claimable. Run from as
+  /// many threads as the spec's numThreads.
+  void workerLoop();
+
+  const JobSpec& jobSpec() const noexcept { return spec; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const JobSpec spec;
+  std::uint32_t numMaps = 0;
+  std::uint32_t numReduces = 0;
+
+  std::mutex mtx;
+  std::condition_variable cv;
+
+  /// Cooperative cancel flag (requestCancel). Blocks further claims;
+  /// checked under mtx.
+  bool cancelRequested = false;
+
+  /// Claims handed out by tryClaim*() whose runClaimedTask() has not
+  /// yet fully returned. Distinct from runningMaps/runningReduces: a
+  /// task body decrements its slot counter before its trailing
+  /// job-owned work (pressure spill, recorder uninstall) finishes.
+  /// quiescentTerminal() requires this to reach zero, so a service
+  /// never destroys a context a worker is still executing on.
+  std::uint32_t activeClaims = 0;
+
+  // --- map state ---
+  std::deque<std::uint32_t> eligibleMaps;  // schedulable, not yet running
+  std::vector<bool> mapQueued;             // present in eligibleMaps
+  std::vector<bool> mapEverEligible;
+  std::vector<bool> mapDone;
+  std::uint32_t runningMaps = 0;
+
+  // --- segment store: map output per (map, keyblock) ---
+  // In-memory mode publishes one immutable, shared segment handle per
+  // (map, keyblock): runMap builds the Segment outside the lock and the
+  // commit section only moves the pointer into its slot (an
+  // availability flip, not a data copy). A reduce fetch is then a plain
+  // pointer read with NO lock held: the reduce only runs after
+  // observing (under mtx) that every dependency flipped segAvail, and
+  // that same critical section published the handles, so the mutex
+  // release/acquire pair establishes the happens-before edge. Segments
+  // are never mutated after publication; a recovery re-run republishes
+  // a fresh handle under mtx ONLY into slots whose segAvail was revoked
+  // — a still-available slot's reduce may be mid-fetch, so its handle
+  // (identical content: map execution is deterministic) is never
+  // overwritten, and any still-referenced old handle stays alive
+  // through shared ownership.
+  std::vector<std::vector<std::shared_ptr<const Segment>>> segments;
+  std::vector<std::vector<bool>> segAvail;
+
+  // --- memory budget / hybrid out-of-core state (DESIGN.md §14) ---
+  // With spillDirectory set AND memoryBudgetBytes > 0 the engine runs in
+  // hybrid mode: maps publish in-memory handles exactly like the
+  // in-memory engine, every published segment's resident footprint is
+  // charged against `pagePool`, and when the pool crosses its high-water
+  // mark the coldest committed keyblocks are evicted — encoded through
+  // the same attempt-file + atomic-rename protocol eager spill uses —
+  // until the pool drops to its low-water mark. A reduce whose handle
+  // slot is null streams the evicted file back through a bounded
+  // SegmentStream window instead of materializing it.
+  std::unique_ptr<SegmentPagePool> pagePool;
+  /// Pages charged for the published segment in segments[m][kb] (bytes
+  /// after page rounding); 0 when nothing is charged for the slot.
+  std::vector<std::vector<std::uint64_t>> segCharge;
+  /// True while a pressure eviction of (m, kb) is writing its file.
+  std::vector<std::vector<bool>> segEvicting;
+  /// Per keyblock: number of in-flight evictions of its segments. A
+  /// reduce is never pushed runnable while this is non-zero — the
+  /// lock-free fetch must observe either the handle or the committed
+  /// file, never a half-evicted slot — so every runnable push site gates
+  /// on it and eviction finalize re-checks the push.
+  std::vector<std::uint32_t> evictingCount;
+  /// Attempt whose segments are currently published, per map: names the
+  /// attempt-suffixed temporary file an eviction writes.
+  std::vector<std::uint32_t> publishedAttempt;
+  /// Keyblock -> position in priorityOrder (larger = colder, evicted
+  /// first: it runs latest, so its pages are reclaimed longest).
+  std::vector<std::uint32_t> posOf;
+  std::atomic<std::uint64_t> pressureSpills{0};
+  std::atomic<std::uint64_t> compressedSpillBytes{0};
+
+  // --- reduce state ---
+  std::vector<std::vector<std::uint32_t>> deps;  // resolved I_l per keyblock
+  std::vector<std::vector<std::uint32_t>> mapToReduces;
+  std::vector<std::uint32_t> remainingDeps;
+  std::vector<bool> reduceScheduled;
+  std::vector<bool> reduceRunnableFlag;
+  std::deque<std::uint32_t> runnableReduces;
+  std::vector<bool> reduceDone;
+  std::uint32_t scheduledActive = 0;  // scheduled && !done (slot holders)
+  std::uint32_t nextPriorityPos = 0;
+  std::uint32_t runningReduces = 0;
+  std::uint32_t completedReduces = 0;
+
+  std::vector<std::uint32_t> priorityOrder;
+
+  std::vector<bool> runningMapSet;
+  // Attempts STARTED per task (1-based attempt ids). Incremented when
+  // an execution begins, so injected faults and events name the attempt
+  // they belong to; compared against spec.faultPlan.maxAttempts when an
+  // attempt fails.
+  std::vector<std::uint32_t> mapAttempts;
+  std::vector<std::uint32_t> reduceAttempts;
+
+  Clock::time_point startTime;
+  JobResult result;
+  std::exception_ptr firstError;
+
+  /// This job's spill namespace: spillDirectory + "/" + job<jobId>.
+  /// Every spill artifact (attempt temporaries, committed segments,
+  /// pressure evictions) lives under it; cleanup removes the whole
+  /// subtree.
+  std::string jobDir;
+
+  /// Spill writers executing this job's encode+write items: the
+  /// caller's shared pool, the owned pool, or null (spillWriters == 1:
+  /// encode+write runs inline on the claiming worker, as the seed did).
+  SpillWriterPool* spillPool = nullptr;
+  SpillWriterPool* sharedSpillPool = nullptr;
+  std::unique_ptr<SpillWriterPool> ownedSpillPool;
+
+  /// Span/counter recorder; null unless spec.recordTrace. Shares the
+  /// event log's epoch (`startTime`), so span times and event times are
+  /// on one timebase.
+  std::unique_ptr<obs::TraceRecorder> recorder;
+
+  double now() const {
+    return std::chrono::duration<double>(Clock::now() - startTime).count();
+  }
+
+  void recordEvent(TaskEvent::Kind kind, std::uint32_t id, double t,
+                   std::uint32_t attempt) {
+    result.events.push_back(TaskEvent{kind, id, t, attempt});
+  }
+
+  bool isSidr() const { return spec.mode == ExecutionMode::kSidr; }
+
+  // ---- map-output segment store (in-memory or spilled to files) ----
+
+  bool spillEnabled() const { return !spec.spillDirectory.empty(); }
+  bool budgetEnabled() const { return spec.memoryBudgetBytes > 0; }
+  /// Eager spill = the pre-budget spill mode: every map attempt encodes
+  /// all keyblocks to files and reduces always load from disk. With a
+  /// budget the spill directory is instead the eviction target and maps
+  /// publish in-memory handles.
+  bool eagerSpill() const { return spillEnabled() && !budgetEnabled(); }
+
+  std::string segmentPath(std::uint32_t m, std::uint32_t kb) const;
+  void spillSegmentAttempt(std::uint32_t m, std::uint32_t kb,
+                           std::uint32_t attempt,
+                           std::span<const std::byte> bytes) const;
+  SegmentHeader peekSpilledHeader(std::uint32_t m, std::uint32_t kb) const;
+  Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
+                             std::uint64_t& bytesFetched) const;
+
+  void markMapEligible(std::uint32_t m);
+  void scheduleReducesLocked();
+  std::optional<ClaimedTask> tryClaimLocked(bool reduceOnly);
+  bool terminalLocked() const {
+    return firstError != nullptr || cancelRequested ||
+           completedReduces == numReduces;
+  }
+
+  void runMap(std::uint32_t m);
+  void runReduce(std::uint32_t kb);
+  void maybePressureSpill();
+};
+
+}  // namespace sidr::mr

@@ -19,8 +19,25 @@ SortStats& sortStats() noexcept {
   return stats;
 }
 
+namespace {
+/// Innermost ScopedSortStatsSink on this thread; null = fall back to
+/// the thread-local sortStats().
+thread_local SortStats* tSortSink = nullptr;
+}  // namespace
+
+SortStats& activeSortStats() noexcept {
+  return tSortSink != nullptr ? *tSortSink : sortStats();
+}
+
+ScopedSortStatsSink::ScopedSortStatsSink(SortStats* sink) noexcept
+    : prev_(tSortSink) {
+  tSortSink = sink;
+}
+
+ScopedSortStatsSink::~ScopedSortStatsSink() { tSortSink = prev_; }
+
 void radixSortPacked(std::vector<PackedRecord>& records) {
-  SortStats& stats = sortStats();
+  SortStats& stats = activeSortStats();
   const std::size_t n = records.size();
   if (n > std::numeric_limits<std::uint32_t>::max()) {
     // The pair buffer indexes with u32 (as the comparison path does);
@@ -82,6 +99,15 @@ void radixSortPacked(std::vector<PackedRecord>& records) {
 std::string segmentFileName(std::uint32_t mapTask, std::uint32_t keyblock) {
   return "map" + std::to_string(mapTask) + "_kb" + std::to_string(keyblock) +
          ".seg";
+}
+
+std::string jobSpillDirName(std::uint64_t jobId) {
+  return "job" + std::to_string(jobId);
+}
+
+std::string segmentFileName(std::uint64_t jobId, std::uint32_t mapTask,
+                            std::uint32_t keyblock) {
+  return jobSpillDirName(jobId) + "/" + segmentFileName(mapTask, keyblock);
 }
 
 std::string segmentAttemptFileName(std::uint32_t mapTask,
@@ -230,21 +256,21 @@ void Segment::sortByKey() {
     return a.key < b.key;
   };
   if (std::is_sorted(records_.begin(), records_.end(), lexLess)) {
-    ++sortStats().sortedSkips;
+    ++activeSortStats().sortedSkips;
     return;
   }
   // stable_sort, not sort: duplicate keys must keep emission order so the
   // fallback and linearized paths build byte-identical segments.
-  ++sortStats().comparisonSorts;
+  ++activeSortStats().comparisonSorts;
   std::stable_sort(records_.begin(), records_.end(), lexLess);
 }
 
 void Segment::sortByLinearKey() {
   if (std::is_sorted(linearKeys_.begin(), linearKeys_.end())) {
-    ++sortStats().sortedSkips;
+    ++activeSortStats().sortedSkips;
     return;
   }
-  ++sortStats().comparisonSorts;
+  ++activeSortStats().comparisonSorts;
   // Sort compact (u64 key, u32 index) pairs and permute the ~130-byte
   // KeyValues once, instead of swapping them under Coord compares. The
   // index tie-break makes the sort stable. Segments beyond u32 indexing
@@ -286,7 +312,7 @@ void Segment::sortPacked() {
     return a.lin < b.lin;
   };
   if (std::is_sorted(packed_.begin(), packed_.end(), linLess)) {
-    ++sortStats().sortedSkips;
+    ++activeSortStats().sortedSkips;
     return;
   }
   if (packed_.size() >= kRadixSortMinRecords) {
@@ -299,7 +325,7 @@ void Segment::sortPacked() {
   // the radix threshold. Buffer order is emission order, so the index
   // tie-break keeps the sort stable — the same record order
   // std::stable_sort produces in the lexicographic fallback.
-  ++sortStats().comparisonSorts;
+  ++activeSortStats().comparisonSorts;
   struct LinIdx {
     std::uint64_t lin;
     std::uint32_t idx;

@@ -106,9 +106,25 @@ class SegmentPagePool {
 // that already opened the committed file keeps reading the old inode;
 // a reader opening the path sees either the old or the new complete
 // file — never a truncated in-place rewrite.
+//
+// Every job owns a NAMESPACE under its spill directory: spill files
+// live at `spillDirectory/job<J>/map<M>_kb<K>.seg`, never flat in the
+// shared directory. Two jobs pointed at the same spillDirectory (the
+// normal EngineService configuration) therefore cannot clobber each
+// other's committed segments, and end-of-job cleanup can remove one
+// job's artifacts without touching its neighbours'.
 
-/// Committed map-output file name for (map, keyblock).
+/// Per-job spill namespace directory name ("job<J>").
+std::string jobSpillDirName(std::uint64_t jobId);
+
+/// Committed map-output file name for (map, keyblock), relative to the
+/// job's spill namespace directory.
 std::string segmentFileName(std::uint32_t mapTask, std::uint32_t keyblock);
+
+/// Committed map-output path for (job, map, keyblock), relative to the
+/// shared spill directory: "job<J>/map<M>_kb<K>.seg".
+std::string segmentFileName(std::uint64_t jobId, std::uint32_t mapTask,
+                            std::uint32_t keyblock);
 
 /// Attempt-scoped temporary name a map attempt writes before commit.
 std::string segmentAttemptFileName(std::uint32_t mapTask,
@@ -128,11 +144,15 @@ void discardSegmentAttemptFile(const std::string& dir, std::uint32_t mapTask,
 
 // ---- packed-sort instrumentation and the radix sort itself ----
 
-/// Counters describing what Segment's key sort actually did. The
-/// differential sort suite and the sorted-skip regression test assert
-/// on these; production code never reads them. Thread-local (each map
-/// worker sorts its own segments), so tests must drive the sort on the
-/// thread that reads the counters.
+/// Counters describing what Segment's key sort actually did. The sort
+/// code increments whatever sink is installed on the calling thread
+/// (ScopedSortStatsSink); with none installed the counts land in the
+/// thread-local sortStats(), so tests that drive sorts directly read
+/// them on the sorting thread. The engine installs a per-task sink for
+/// the duration of each map attempt and folds it into the owning job's
+/// JobResult::sortTotals — counters can never bleed between jobs that
+/// share worker threads (the old thread_local baseline/delta fold
+/// miscounted exactly there).
 struct SortStats {
   std::uint64_t sortedSkips = 0;      ///< sorts skipped by the O(n) sorted check
   std::uint64_t comparisonSorts = 0;  ///< comparison-sorted segments (fallbacks)
@@ -162,8 +182,29 @@ struct SortStats {
   }
 };
 
-/// This thread's sort counters.
+/// This thread's fallback sort counters (used when no sink is
+/// installed).
 SortStats& sortStats() noexcept;
+
+/// The counters the sort code on this thread currently increments: the
+/// innermost installed ScopedSortStatsSink, or sortStats() when none.
+SortStats& activeSortStats() noexcept;
+
+/// Redirects this thread's sort counters into `sink` for the enclosing
+/// scope (restoring the previous sink on exit). The engine wraps each
+/// map attempt in one of these pointing at a task-local SortStats, so
+/// the attempt's counts are attributed to the job that ran it, no
+/// matter which jobs share the worker thread.
+class ScopedSortStatsSink {
+ public:
+  explicit ScopedSortStatsSink(SortStats* sink) noexcept;
+  ~ScopedSortStatsSink();
+  ScopedSortStatsSink(const ScopedSortStatsSink&) = delete;
+  ScopedSortStatsSink& operator=(const ScopedSortStatsSink&) = delete;
+
+ private:
+  SortStats* prev_;
+};
 
 /// Below this record count Segment::sortPacked keeps the comparison
 /// sort: the radix pass's 256-bucket histograms and scratch buffers do

@@ -17,14 +17,14 @@ void writeFixed(std::ostream& os, double value) {
   os << buf.data();
 }
 
-void writeSpanEvent(std::ostream& os, const Span& span) {
+void writeSpanEvent(std::ostream& os, const Span& span, std::uint64_t pid) {
   os << "{\"name\":\"" << taskSideName(span.side) << ':'
      << phaseName(span.phase) << "\",\"cat\":\"" << taskSideName(span.side)
      << "\",\"ph\":\"X\",\"ts\":";
   writeFixed(os, span.start * 1e6);
   os << ",\"dur\":";
   writeFixed(os, (span.end - span.start) * 1e6);
-  os << ",\"pid\":1,\"tid\":" << span.tid << ",\"args\":{";
+  os << ",\"pid\":" << pid << ",\"tid\":" << span.tid << ",\"args\":{";
   if (span.taskId != kNoId) os << "\"task\":" << span.taskId << ',';
   if (span.attempt != 0) os << "\"attempt\":" << span.attempt << ',';
   if (span.keyblock != kNoId) os << "\"keyblock\":" << span.keyblock << ',';
@@ -37,11 +37,14 @@ void writeSpanEvent(std::ostream& os, const Span& span) {
 
 void writeChromeTrace(std::ostream& os, const Trace& trace) {
   os << "{\"traceEvents\":[";
+  // pid groups one job's lanes together; jobId 0 (non-job traces) keeps
+  // the historical pid 1.
+  const std::uint64_t pid = trace.jobId != 0 ? trace.jobId : 1;
   bool first = true;
   for (const Span& span : trace.spans) {
     if (!first) os << ",\n";
     first = false;
-    writeSpanEvent(os, span);
+    writeSpanEvent(os, span, pid);
   }
   os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"counters\":{";
   first = true;

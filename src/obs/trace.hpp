@@ -101,6 +101,11 @@ struct Counter {
 /// registry — the uniform home for metrics that used to live scattered
 /// across JobResult fields and thread-local SortStats.
 struct Trace {
+  /// Identity of the job that produced this trace (JobSpec::jobId,
+  /// stamped at finalize); 0 when the trace did not come from a job
+  /// run. The Chrome export uses it as the pid, so traces from
+  /// concurrent jobs render as separate process groups.
+  std::uint64_t jobId = 0;
   std::vector<Span> spans;
   std::vector<Counter> counters;
 

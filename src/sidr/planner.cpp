@@ -68,6 +68,8 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.memoryBudgetBytes = options.memoryBudgetBytes;
   spec.mergeWindowBytes = options.mergeWindowBytes;
   spec.compressSpill = options.compressSpill;
+  spec.weight = options.jobWeight;
+  spec.keepSpillOnFailure = options.keepSpillOnFailure;
   // The extraction map bounds every intermediate key, so every planner
   // job runs the linearized-key fast path (DESIGN.md section 11). This
   // is the same space both partitioners linearize over: ModuloPartitioner
@@ -87,10 +89,12 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
       spec.expectedRepresents = plan.dependencies.expectedRepresents;
     }
     spec.reducePriority = options.reducePriority;
+    plan.servicePolicy = mr::SchedulingPolicy::kReduceFirst;
   } else {
     spec.partitioner = std::make_shared<const mr::ModuloPartitioner>(
         extraction->intermediateSpaceShape());
     spec.mode = mr::ExecutionMode::kGlobalBarrier;
+    plan.servicePolicy = mr::SchedulingPolicy::kFifo;
   }
 
   plan.spec = std::move(spec);

@@ -14,6 +14,7 @@
 #pragma once
 
 #include "mapreduce/engine.hpp"
+#include "mapreduce/engine_service.hpp"
 #include "mapreduce/partitioners.hpp"
 #include "scihadoop/datagen.hpp"
 #include "scihadoop/operators.hpp"
@@ -73,6 +74,18 @@ struct PlanOptions {
   std::uint64_t memoryBudgetBytes = 0;
   std::size_t mergeWindowBytes = 1 << 20;
   bool compressSpill = false;
+
+  /// Multi-job service knobs (DESIGN.md section 15), forwarded to the
+  /// matching mr::JobSpec fields / QueryPlan::servicePolicy. jobWeight
+  /// is the job's share under mr::SchedulingPolicy::kWeightedFair;
+  /// keepSpillOnFailure preserves the job's spill namespace on a
+  /// non-success outcome for post-mortem debugging; servicePolicy is
+  /// the planner's recommendation for how an EngineService should
+  /// schedule this query's tasks against its peers — kSidr plans
+  /// recommend the dependency-aware reduce-first policy, the barrier
+  /// systems plain FIFO.
+  double jobWeight = 1.0;
+  bool keepSpillOnFailure = false;
 };
 
 /// A fully-assembled plan: the JobSpec plus the structural artifacts the
@@ -82,6 +95,11 @@ struct QueryPlan {
   std::shared_ptr<const sh::ExtractionMap> extraction;
   std::shared_ptr<const PartitionPlus> partitionPlus;  ///< kSidr only
   DependencyInfo dependencies;                         ///< kSidr only
+  /// Recommended EngineService scheduling policy for this plan: kSidr
+  /// plans carry kReduceFirst (the paper's dependency-aware ordering
+  /// lifted to the service level), barrier plans kFifo. Callers
+  /// submitting to a service can seed ServiceConfig::policy from it.
+  mr::SchedulingPolicy servicePolicy = mr::SchedulingPolicy::kFifo;
 };
 
 class QueryPlanner {

@@ -118,9 +118,8 @@ TEST_F(IntegrationTest, FileDatasetThroughEngineToChunksAndBack) {
 
   // Spill files were really created (one per map x keyblock).
   std::size_t segFiles = 0;
-  for (const auto& entry : fs::directory_iterator(path("spill"))) {
-    (void)entry;
-    ++segFiles;
+  for (const auto& entry : fs::recursive_directory_iterator(path("spill"))) {
+    if (entry.is_regular_file()) ++segFiles;
   }
   EXPECT_EQ(segFiles, 7u * 3u);
 }

@@ -45,7 +45,8 @@ void expectSameCollected(const std::vector<mr::KeyValue>& xs,
 
 /// Walks a spill directory; fails on any surviving attempt-temporary.
 void expectNoDanglingAttempts(const std::string& dir) {
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
     const std::string name = entry.path().filename().string();
     EXPECT_EQ(name.find(".tmp"), std::string::npos)
         << "dangling attempt file: " << name;

@@ -370,8 +370,11 @@ void expectSameCollected(const std::vector<mr::KeyValue>& xs,
 std::map<std::string, std::vector<char>> readSpillDir(
     const std::string& dir) {
   std::map<std::string, std::vector<char>> files;
-  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
-    const std::string name = entry.path().filename().string();
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name =
+        entry.path().lexically_relative(dir).generic_string();
     EXPECT_EQ(name.find(".tmp"), std::string::npos)
         << "dangling attempt file: " << name;
     std::ifstream in(entry.path(), std::ios::binary);
