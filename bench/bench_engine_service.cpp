@@ -14,8 +14,17 @@
 //     reducer pins one job mid-run while the driver reads its early
 //     exact reduces).
 //
+// A second arm benchmarks the service's segment cache (DESIGN.md §16):
+// the SAME fig10-style structural query submitted K times to a
+// cache-enabled service. The first run is cold; every resubmission must
+// hit the cache, run ZERO map tasks (pinned by trace span counts) and
+// produce bit-identical output, with the measured warm speedup emitted
+// as a metric. The fleet arm above runs with the cache OFF, so its
+// numbers stay comparable across versions.
+//
 // Emits BENCH_engine_service.json: fleet wall seconds vs summed solo
-// seconds, jobs/sec, outcome counts, and the identical-output flag.
+// seconds, jobs/sec, outcome counts, the identical-output flag, plus
+// cache_hit_rate / warm_speedup / warm_identical from the cache arm.
 // Exits non-zero on any correctness violation, so tier1.sh can run it
 // as a gate.
 #include <atomic>
@@ -326,6 +335,94 @@ int main(int argc, char** argv) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
 
+  // --- warm-resubmission arm: the segment cache (DESIGN.md §16) ---
+  //
+  // One fig10-style mean query (in-memory shuffle: the zero-copy warm
+  // path), submitted 1 cold + K warm times to a cache-enabled service.
+  // Gates: every warm run bit-identical to the cold one, zero map
+  // attempt spans, one cache-fetch span per skipped map.
+  const std::size_t kWarmRuns = quick ? 4 : 8;
+  double coldSecs = 0;
+  double warmSecsTotal = 0;
+  std::size_t warmIdentical = 0;
+  std::size_t warmZeroMaps = 0;
+  mr::ServiceStats cacheStats;
+  {
+    sh::StructuralQuery q;
+    q.variable = "v";
+    q.op = sh::OperatorKind::kMean;
+    q.extractionShape = nd::Coord{2, 2, 2};
+    core::PlanOptions opts;
+    opts.system = core::SystemMode::kSidr;
+    opts.numReducers = 4;
+    opts.desiredSplitCount = quick ? 8 : 12;
+    opts.recordTrace = true;
+    opts.datasetId = "bench/fig10-warm";
+    const nd::Coord input = quick ? nd::Coord{32, 16, 8} : nd::Coord{64, 24, 16};
+    core::QueryPlan warmPlan =
+        core::QueryPlanner(q, input).plan(sh::temperatureField(211), opts);
+    const auto numMaps = static_cast<std::uint32_t>(warmPlan.spec.splits.size());
+
+    mr::ServiceConfig warmConfig;
+    warmConfig.numThreads = 4;
+    warmConfig.segmentCacheEnabled = true;
+    mr::EngineService warmService(warmConfig);
+
+    const auto tc0 = std::chrono::steady_clock::now();
+    mr::JobHandle coldHandle = warmService.submit(mr::JobSpec(warmPlan.spec));
+    const mr::JobResult& cold = coldHandle.wait();
+    coldSecs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - tc0)
+            .count();
+    const std::vector<mr::KeyValue> coldCollected = cold.collectAll();
+    if (cold.cacheServedMaps != 0) {
+      ++violations;
+      std::fprintf(stderr, "FAIL: cold run claims cache-served maps\n");
+    }
+
+    for (std::size_t k = 0; k < kWarmRuns; ++k) {
+      const auto tw0 = std::chrono::steady_clock::now();
+      mr::JobHandle warmHandle = warmService.submit(mr::JobSpec(warmPlan.spec));
+      const mr::JobResult& warm = warmHandle.wait();
+      warmSecsTotal +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - tw0)
+              .count();
+      if (sameCollected(warm.collectAll(), coldCollected)) {
+        ++warmIdentical;
+      } else {
+        ++violations;
+        std::fprintf(stderr, "FAIL: warm run %zu differs from cold\n", k);
+      }
+      std::size_t mapAttempts = 0;
+      std::size_t cacheFetches = 0;
+      for (const obs::Span& s : warm.trace.spans) {
+        if (s.side != obs::TaskSide::kMap) continue;
+        if (s.phase == obs::Phase::kTaskAttempt) ++mapAttempts;
+        if (s.phase == obs::Phase::kCacheFetch) ++cacheFetches;
+      }
+      if (warm.cacheServedMaps == numMaps && mapAttempts == 0 &&
+          cacheFetches == numMaps) {
+        ++warmZeroMaps;
+      } else {
+        ++violations;
+        std::fprintf(stderr,
+                     "FAIL: warm run %zu executed maps (served=%u/%u, "
+                     "attempts=%zu, fetches=%zu)\n",
+                     k, warm.cacheServedMaps, numMaps, mapAttempts,
+                     cacheFetches);
+      }
+    }
+    cacheStats = warmService.stats();
+  }
+  const double warmSecsAvg = warmSecsTotal / static_cast<double>(kWarmRuns);
+  const double warmSpeedup = warmSecsAvg > 0 ? coldSecs / warmSecsAvg : 0;
+  const double cacheHitRate =
+      cacheStats.cacheHits + cacheStats.cacheMisses > 0
+          ? static_cast<double>(cacheStats.cacheHits) /
+                static_cast<double>(cacheStats.cacheHits +
+                                    cacheStats.cacheMisses)
+          : 0;
+
   const mr::ServiceStats stats = service.stats();
   const std::size_t submitted = kSuccessJobs + kFatalJobs + kCancelJobs + 1;
   std::printf(
@@ -350,6 +447,19 @@ int main(int argc, char** argv) {
   std::printf("  %-28s %.2fs service vs %.2fs summed solo (%.2fx)\n",
               "wall time", fleetSecs, soloSecs, soloSecs / fleetSecs);
 
+  std::printf("\nwarm resubmission: 1 cold + %zu warm of one fig10-style "
+              "query (cache-enabled service)\n",
+              kWarmRuns);
+  std::printf("  %-28s %zu/%zu\n", "warm bit-identical", warmIdentical,
+              kWarmRuns);
+  std::printf("  %-28s %zu/%zu\n", "warm ran zero map tasks", warmZeroMaps,
+              kWarmRuns);
+  std::printf("  %-28s %.2f\n", "cache hit rate", cacheHitRate);
+  std::printf("  %-28s %llu\n", "cache bytes served",
+              static_cast<unsigned long long>(cacheStats.cacheBytesServed));
+  std::printf("  %-28s %.2fms cold vs %.2fms warm avg (%.2fx)\n",
+              "warm speedup", coldSecs * 1e3, warmSecsAvg * 1e3, warmSpeedup);
+
   bench::BenchJson json("engine_service");
   json.metric("jobs_submitted", static_cast<double>(stats.submitted));
   json.metric("jobs_succeeded", static_cast<double>(stats.succeeded));
@@ -363,6 +473,15 @@ int main(int argc, char** argv) {
   json.metric("fleet_seconds", fleetSecs, "s");
   json.metric("solo_seconds_summed", soloSecs, "s");
   json.metric("jobs_per_sec", static_cast<double>(submitted) / fleetSecs);
+  json.metric("cache_hit_rate", cacheHitRate);
+  json.metric("cache_bytes_served",
+              static_cast<double>(cacheStats.cacheBytesServed), "B");
+  json.metric("warm_runs", static_cast<double>(kWarmRuns));
+  json.metric("warm_identical", static_cast<double>(warmIdentical));
+  json.metric("warm_zero_map_runs", static_cast<double>(warmZeroMaps));
+  json.metric("cold_seconds", coldSecs, "s");
+  json.metric("warm_seconds_avg", warmSecsAvg, "s");
+  json.metric("warm_speedup", warmSpeedup, "x");
   json.write();
   std::printf("\nwrote BENCH_engine_service.json\n");
 

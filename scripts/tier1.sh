@@ -20,45 +20,56 @@ cmake --build --preset default -j"$(nproc)"
 ctest --test-dir build --output-on-failure -j"$(nproc)" -LE slow
 ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 
-cmake --preset tsan
-cmake --build --preset tsan -j"$(nproc)" --target engine_test randomized_test \
-  linear_fastpath_test sort_spill_parity_test trace_invariants_test \
-  trace_differential_test out_of_core_test engine_service_test
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_test
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/randomized_test
-# The fast-path parity suite under TSan exercises packed segments' lazy
-# materialization on concurrently running reduce tasks.
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/linear_fastpath_test
-# The sort/spill parity suite under TSan hammers the spill-writer pool:
-# SpillPoolHammer re-runs failed maps (pool workers re-encoding attempt
-# files) while other reduces' lock-free fetches read committed segments,
-# and SpillWriterParity crosses pool sizes {1,2,8} with fault injection.
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/sort_spill_parity_test
-# Trace recording ON across randomized geometries/faults (in-memory AND
-# spill): sanitizes the per-thread chunk publication and the registry.
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_invariants_test
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/trace_differential_test
-# The out-of-core suite under TSan hammers the bounded-memory mode
-# (DESIGN.md section 14): pressure eviction handing cold keyblocks to
-# pool workers races recovery republication and lock-free reduce
-# fetches that stream evicted inputs through bounded windows.
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/out_of_core_test
-# The multi-job service suite under TSan: N jobs share worker threads,
-# one spill-writer pool and one spill directory, with cancellation and
-# finalize racing task completion — the service->job lock order and the
-# per-task recorder/sort-sink installs are exactly what TSan checks.
-TSAN_OPTIONS=halt_on_error=1 ./build-tsan/tests/engine_service_test
-
-# ASan pass over the same suites: the windowed SegmentStream decoder and
-# the compressed varint codec move buffer boundaries around under
-# pressure — exactly where an off-by-one would hide from TSan — and the
-# service's job teardown (namespace removal, handle-outlives-service
-# results) is where a use-after-free would.
-cmake --preset asan
-cmake --build --preset asan -j"$(nproc)" --target out_of_core_test \
+# The TSan sweep, one suite per line. Why each is here:
+#   engine_test / randomized_test    both shuffle paths + recovery races
+#   linear_fastpath_test             packed segments' lazy materialization
+#                                    on concurrently running reduces
+#   sort_spill_parity_test           spill-writer pool re-encoding failed
+#                                    attempts while lock-free fetches read
+#                                    committed segments
+#   trace_invariants_test            per-thread span-chunk publication
+#   trace_differential_test          engine-vs-sim traces, recorder on
+#   out_of_core_test                 pressure eviction vs recovery vs
+#                                    streaming fetch (DESIGN.md section 14)
+#   engine_service_test              N jobs sharing workers, one pool, one
+#                                    spill dir; cancel/finalize races
+#   segment_cache_test               warm claims racing donation, eviction
+#                                    under pressure, cancel-mid-donation
+#                                    (DESIGN.md section 16)
+TSAN_SUITES=(
+  engine_test
+  randomized_test
+  linear_fastpath_test
+  sort_spill_parity_test
+  trace_invariants_test
+  trace_differential_test
+  out_of_core_test
   engine_service_test
-./build-asan/tests/out_of_core_test
-./build-asan/tests/engine_service_test
+  segment_cache_test
+)
+cmake --preset tsan
+cmake --build --preset tsan -j"$(nproc)" --target "${TSAN_SUITES[@]}"
+for suite in "${TSAN_SUITES[@]}"; do
+  TSAN_OPTIONS=halt_on_error=1 "./build-tsan/tests/${suite}"
+done
+
+# ASan pass over the memory-motion-heavy suites: the windowed
+# SegmentStream decoder and the compressed varint codec move buffer
+# boundaries around under pressure — exactly where an off-by-one would
+# hide from TSan — the service's job teardown (namespace removal,
+# handle-outlives-service results) is where a use-after-free would, and
+# the segment cache hands shared_ptr segment handles across job
+# lifetimes (donation after finalize, claims from later jobs).
+ASAN_SUITES=(
+  out_of_core_test
+  engine_service_test
+  segment_cache_test
+)
+cmake --preset asan
+cmake --build --preset asan -j"$(nproc)" --target "${ASAN_SUITES[@]}"
+for suite in "${ASAN_SUITES[@]}"; do
+  "./build-asan/tests/${suite}"
+done
 
 # Keep the perf tree building and the map-side benchmark runnable: a
 # --quick pass catches bit-rot in the frozen legacy arm and the JSON
@@ -72,5 +83,6 @@ cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
 # The multi-job fleet driver is a correctness gate, not just a timing:
 # 72 queued jobs against one EngineService, every success bit-identical
 # to its solo baseline, failed/cancelled namespaces left empty, partial
-# results observed mid-run (exits non-zero on any violation).
+# results observed mid-run, and the warm-resubmission arm hitting the
+# segment cache with zero map tasks (exits non-zero on any violation).
 ./build-bench/bench/bench_engine_service --quick

@@ -6,6 +6,7 @@
 #include <mutex>
 
 #include "mapreduce/job_context.hpp"
+#include "mapreduce/segment_cache.hpp"
 #include "mapreduce/spill_pool.hpp"
 
 namespace sidr::mr {
@@ -72,6 +73,10 @@ struct ServiceState {
   /// spillWriters == 1: encode+write runs inline on workers).
   std::unique_ptr<SpillWriterPool> spillPool;
   std::uint64_t admittedBytes = 0;  ///< ledger: reserved admission bytes
+  /// Warm map-output cache (DESIGN.md §16); null unless
+  /// ServiceConfig::segmentCacheEnabled. Accessed ONLY under `mtx` —
+  /// the cache itself is externally synchronized.
+  std::unique_ptr<SegmentCache> cache;
   std::uint64_t nextJobId = 1;
   std::uint64_t nextSeq = 0;
   bool stopping = false;
@@ -90,6 +95,18 @@ bool isTerminal(JobState state) noexcept {
          state == JobState::kCancelled;
 }
 
+/// Whether a job may interact with the segment cache at all, as donor
+/// or claimant. Requires a planner-computed MapFingerprint (the caller
+/// asserted input identity) and an EMPTY FaultPlan: fault injection
+/// triggers retries and recovery republication, and keeping faulted
+/// jobs out of the cache entirely makes "recovery never republishes
+/// over a cache-served slot" true by construction — a cache-served job
+/// has no faults, so no recovery path ever runs in it.
+bool cacheEligible(const JobSpec& spec) noexcept {
+  return spec.mapFingerprint.has_value() && spec.faultPlan.empty() &&
+         !spec.splits.empty();
+}
+
 /// Admits queued jobs in FIFO order while slots and ledger allow.
 /// Head-of-line blocking is deliberate: a large job at the front waits
 /// for reservations to free rather than being starved by smaller jobs
@@ -103,6 +120,17 @@ void admitLocked(ServiceState& s) {
     std::shared_ptr<ServiceJob>& head = s.queued.front();
     const std::uint64_t cost =
         s.config.memoryBudgetBytes > 0 ? head->spec.memoryBudgetBytes : 0;
+    if (cost > 0 && s.cache != nullptr) {
+      // Admission pressure sheds the cache FIRST: jobs always win the
+      // ledger over cache residency. LRU-by-fingerprint; spill-backed
+      // entries demote to their committed files instead of dropping.
+      const std::uint64_t need = s.admittedBytes + cost;
+      if (need + s.cache->residentBytes() > s.config.memoryBudgetBytes) {
+        s.cache->shedTo(s.config.memoryBudgetBytes > need
+                            ? s.config.memoryBudgetBytes - need
+                            : 0);
+      }
+    }
     if (cost > 0 && !s.admitted.empty() &&
         s.admittedBytes + cost > s.config.memoryBudgetBytes) {
       return;  // wait for a running job's reservation to free
@@ -115,6 +143,22 @@ void admitLocked(ServiceState& s) {
         std::max(s.stats.peakAdmittedBytes, s.admittedBytes);
     job->ctx =
         std::make_unique<JobContext>(std::move(job->spec), s.spillPool.get());
+    if (s.cache != nullptr && cacheEligible(job->ctx->jobSpec())) {
+      // Claim-or-donate, decided at admission under s.mtx (the claim's
+      // file reloads run I/O under the lock, like start()'s namespace
+      // creation below — admission is rare and a hit deletes a whole
+      // map phase). A miss marks the job a donor; its committed output
+      // is inserted at finalize ONLY on success.
+      const JobSpec& jspec = job->ctx->jobSpec();
+      if (std::optional<SegmentCache::Claimed> warm = s.cache->claim(
+              *jspec.mapFingerprint,
+              static_cast<std::uint32_t>(jspec.splits.size()),
+              jspec.numReducers)) {
+        job->ctx->attachCachedSegments(std::move(warm->segments));
+      } else {
+        job->ctx->enableCacheDonation();
+      }
+    }
     try {
       job->ctx->start();
       job->state = JobState::kRunning;
@@ -167,6 +211,18 @@ void finalizeReadyLocked(ServiceState& s, std::unique_lock<std::mutex>& lock) {
       ++s.stats.succeeded;
     }
     s.admittedBytes -= job->admissionCharge;
+    if (s.cache != nullptr && outcome.donation.present &&
+        job->state == JobState::kSucceeded) {
+      s.cache->insert(std::move(outcome.donation));
+      // Keep cache residency inside the service ledger's slack.
+      if (s.config.memoryBudgetBytes > 0 &&
+          s.admittedBytes + s.cache->residentBytes() >
+              s.config.memoryBudgetBytes) {
+        s.cache->shedTo(s.config.memoryBudgetBytes -
+                        std::min(s.admittedBytes,
+                                 s.config.memoryBudgetBytes));
+      }
+    }
     std::erase(s.admitted, job);
     job->ctx.reset();
     s.cv.notify_all();
@@ -323,6 +379,9 @@ EngineService::EngineService(ServiceConfig config) : config_(config) {
   if (config_.spillWriters > 1) {
     state_->spillPool = std::make_unique<SpillWriterPool>(config_.spillWriters);
   }
+  if (config_.segmentCacheEnabled) {
+    state_->cache = std::make_unique<SegmentCache>(config_.segmentCacheBytes);
+  }
   workers_.reserve(config_.numThreads);
   for (std::uint32_t i = 0; i < config_.numThreads; ++i) {
     workers_.emplace_back([s = state_] { serviceWorkerLoop(s); });
@@ -371,7 +430,18 @@ void EngineService::drain() {
 
 ServiceStats EngineService::stats() const {
   std::scoped_lock lock(state_->mtx);
-  return state_->stats;
+  ServiceStats out = state_->stats;
+  if (state_->cache != nullptr) {
+    const SegmentCacheStats& cs = state_->cache->stats();
+    out.cacheHits = cs.hits;
+    out.cacheMisses = cs.misses;
+    out.cacheBytesServed = cs.bytesServed;
+    out.cacheEvictions = cs.evictions;
+    out.cacheDemotions = cs.demotions;
+    out.cacheInsertions = cs.insertions;
+    out.cacheResidentBytes = cs.residentBytes;
+  }
+  return out;
 }
 
 }  // namespace sidr::mr

@@ -79,6 +79,19 @@ struct ServiceConfig {
   /// budget reserve nothing.
   std::uint64_t memoryBudgetBytes = 0;
   SchedulingPolicy policy = SchedulingPolicy::kFifo;
+  /// Service-owned cache of committed immutable map-output segments
+  /// keyed by JobSpec::mapFingerprint (DESIGN.md §16): a resubmitted
+  /// structural query with a byte-identical fingerprint skips map
+  /// execution entirely and shuffles the cached segments warm. Default
+  /// OFF — with the cache disabled, behavior is exactly PR 7's. Only
+  /// fingerprinted jobs with an empty FaultPlan participate (as donor
+  /// or claimant); everything else runs cold, untouched.
+  bool segmentCacheEnabled = false;
+  /// Resident-byte cap for cached segments; 0 = no dedicated cap (the
+  /// admission ledger still sheds the cache under pressure: jobs always
+  /// win memory over cache residency). Spill-backed entries demote to
+  /// their committed files instead of being dropped.
+  std::uint64_t segmentCacheBytes = 0;
 };
 
 /// Monotonic service-lifetime counters (stats() returns a snapshot).
@@ -91,6 +104,15 @@ struct ServiceStats {
   std::uint32_t peakConcurrentJobs = 0;
   /// High-water mark of reserved admission bytes.
   std::uint64_t peakAdmittedBytes = 0;
+  // Segment-cache counters (all zero with the cache disabled).
+  std::uint64_t cacheHits = 0;
+  std::uint64_t cacheMisses = 0;
+  std::uint64_t cacheBytesServed = 0;
+  std::uint64_t cacheEvictions = 0;
+  std::uint64_t cacheDemotions = 0;
+  std::uint64_t cacheInsertions = 0;
+  /// Gauge: resident cached segment bytes right now.
+  std::uint64_t cacheResidentBytes = 0;
 };
 
 enum class JobState : std::uint8_t {

@@ -10,6 +10,7 @@
 #include "mapreduce/interfaces.hpp"
 #include "mapreduce/segment.hpp"
 #include "obs/trace.hpp"
+#include "sidr/fingerprint.hpp"
 
 namespace sidr::mr {
 
@@ -255,6 +256,17 @@ struct JobSpec {
   /// linear keys).
   bool compressSpill = false;
 
+  /// Canonical MapFingerprint of everything that determines this job's
+  /// committed map-output bytes — (dataset identity, split geometry,
+  /// extraction/filter spec, keySpace, partition plan). Set by the
+  /// planner when PlanOptions::datasetId names the input; unset jobs
+  /// never interact with the service segment cache. Two specs with
+  /// equal fingerprints MUST produce byte-identical map output: the
+  /// cache serves one job's committed segments to the other
+  /// (DESIGN.md §16). Only the inline Fingerprint128 value type is
+  /// used here; the builder stays in the planner library.
+  std::optional<core::Fingerprint128> mapFingerprint;
+
   /// Keep the job's spill namespace (committed .seg files and any
   /// orphaned attempt temporaries) on disk when the job fails or is
   /// cancelled, for post-mortem debugging. By default the whole
@@ -334,6 +346,13 @@ struct JobResult {
   /// Bytes written through the compressed spill framing (0 when
   /// compressSpill is off).
   std::uint64_t spillCompressedBytes = 0;
+  /// Map tasks this job never executed because the service segment
+  /// cache served their committed output warm (DESIGN.md §16). Either 0
+  /// (cold run) or the job's full map count: a fingerprint hit serves
+  /// every map or none.
+  std::uint32_t cacheServedMaps = 0;
+  /// Resident segment bytes served from the cache (0 on a cold run).
+  std::uint64_t cacheBytesServed = 0;
 
   /// Job-wide sort counters: each map attempt's sorts are captured into
   /// a per-attempt ScopedSortStatsSink and folded in under the job lock,

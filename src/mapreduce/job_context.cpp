@@ -134,6 +134,14 @@ class VectorReduceContext final : public ReduceContext {
 JobContext::JobContext(JobSpec s, SpillWriterPool* sharedPool)
     : spec(std::move(s)), sharedSpillPool(sharedPool) {}
 
+void JobContext::attachCachedSegments(
+    std::vector<std::vector<std::shared_ptr<const Segment>>> warm) {
+  cachedWarm = std::move(warm);
+  cacheServed = true;
+}
+
+void JobContext::enableCacheDonation() { donateToCache = true; }
+
 std::string JobContext::segmentPath(std::uint32_t m, std::uint32_t kb) const {
   return jobDir + "/" + segmentFileName(m, kb);
 }
@@ -285,8 +293,16 @@ void JobContext::start() {
     // seconds are directly comparable.
     recorder = std::make_unique<obs::TraceRecorder>(startTime);
   }
+  if (donateToCache) {
+    stagedDonation.assign(
+        numMaps, std::vector<std::shared_ptr<const Segment>>(numReduces));
+  }
   {
     std::scoped_lock lock(mtx);
+    // Warm start: publish the attached cache handles BEFORE scheduling,
+    // so both modes' scheduling code below observes every dependency
+    // already satisfied and pushes reduces runnable immediately.
+    if (cacheServed) publishCachedSegmentsLocked();
     if (isSidr()) {
       // SIDR inverts scheduling: reduces first, maps become eligible as
       // a side effect.
@@ -304,6 +320,56 @@ void JobContext::start() {
       }
     }
   }
+  // Warm publication is the moment resident bytes grow for a budgeted
+  // job — shed pressure exactly as a committing map would (no locks
+  // held; selection and finalize take mtx internally).
+  if (cacheServed && budgetEnabled()) maybePressureSpill();
+}
+
+/// Publishes the full warm segment matrix as this job's committed map
+/// output: one kCacheFetch span per map and the SAME per-keyblock
+/// kRenameCommit spans (with count annotations) a real map attempt
+/// emits, so the trace invariants — commit-before-reduce gating, fetch
+/// tallies vs commits — hold verbatim while the attempt-span count pins
+/// "zero map tasks ran". publishedAttempt is 1: a budget eviction of a
+/// warm slot names its file exactly like a first-attempt commit.
+/// Caller holds mtx.
+void JobContext::publishCachedSegmentsLocked() {
+  obs::ScopedRecorder scoped(recorder.get());
+  for (std::uint32_t m = 0; m < numMaps; ++m) {
+    obs::SpanScope fetchSpan(obs::Phase::kCacheFetch, obs::TaskSide::kMap, m,
+                             1);
+    std::uint64_t mapRecords = 0;
+    std::uint64_t mapRepresents = 0;
+    std::uint64_t mapBytes = 0;
+    for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+      std::shared_ptr<const Segment>& seg = cachedWarm[m][kb];
+      const SegmentHeader& h = seg->header();
+      mapRecords += h.numRecords;
+      mapRepresents += h.represents;
+      const std::uint64_t bytes = seg->residentBytes();
+      mapBytes += bytes;
+      {
+        obs::SpanScope commit(obs::Phase::kRenameCommit, obs::TaskSide::kMap,
+                              m, 1, kb);
+        commit.setRecords(h.numRecords);
+        commit.setRepresents(h.represents);
+        if (bytes > 0) segCharge[m][kb] = pagePool->charge(bytes);
+        segments[m][kb] = std::move(seg);
+        segAvail[m][kb] = true;
+      }
+    }
+    fetchSpan.setBytes(mapBytes);
+    fetchSpan.setRecords(mapRecords);
+    fetchSpan.setRepresents(mapRepresents);
+    cacheBytesServed += mapBytes;
+    publishedAttempt[m] = 1;
+    mapDone[m] = true;
+  }
+  cachedWarm.clear();
+  for (std::uint32_t kb = 0; kb < numReduces; ++kb) remainingDeps[kb] = 0;
+  result.cacheServedMaps = numMaps;
+  result.cacheBytesServed = cacheBytesServed;
 }
 
 std::optional<ClaimedTask> JobContext::tryClaimLocked(bool reduceOnly) {
@@ -492,8 +558,47 @@ JobOutcome JobContext::finalize() {
                  result.peakResidentSegmentBytes);
     t.addCounter("mem.pressureSpillEvents", result.pressureSpillEvents);
     t.addCounter("mem.spillCompressedBytes", result.spillCompressedBytes);
+    t.addCounter("cache.servedMaps", result.cacheServedMaps);
+    t.addCounter("cache.bytesServed", result.cacheBytesServed);
   }
   result.trace.jobId = spec.jobId;
+
+  // Cache donation: decided HERE, after the outcome is known, so a
+  // cancelled or failed job can never donate partially-committed output
+  // — the race is impossible by construction, not guarded against.
+  if (donateToCache && succeeded && !cacheServed && numMaps > 0 &&
+      spec.mapFingerprint.has_value()) {
+    SegmentCacheDonation d;
+    d.present = true;
+    d.key = *spec.mapFingerprint;
+    d.numMaps = numMaps;
+    d.numReduces = numReduces;
+    d.keySpace = spec.keySpace;
+    if (eagerSpill()) {
+      // File-backed donation: the committed `job<id>/` files ARE the
+      // entry (successful jobs always keep their namespace); the cache
+      // reloads them through the same codec path a reduce fetch uses.
+      d.compressed = spec.compressSpill;
+      d.paths.assign(numMaps, std::vector<std::string>(numReduces));
+      for (std::uint32_t m = 0; m < numMaps; ++m) {
+        for (std::uint32_t kb = 0; kb < numReduces; ++kb) {
+          d.paths[m][kb] = segmentPath(m, kb);
+        }
+      }
+    } else {
+      d.segments = std::move(stagedDonation);
+      // Every slot must have been staged exactly once (fault-free donor
+      // jobs run each map once). A hole means the donation contract was
+      // violated somewhere — withhold rather than cache a partial run.
+      for (const auto& row : d.segments) {
+        for (const auto& seg : row) {
+          if (seg == nullptr) d.present = false;
+        }
+      }
+    }
+    if (d.present) outcome.donation = std::move(d);
+  }
+  stagedDonation.clear();
 
   // Non-success cleanup: remove the whole spill namespace — committed
   // segments AND any orphaned attempt temporaries — so a failed or
@@ -732,6 +837,11 @@ void JobContext::runMap(std::uint32_t m) {
         if (localSegBytes[kb] > 0) {
           segCharge[m][kb] = pagePool->charge(localSegBytes[kb]);
         }
+        // Donor staging is a pointer copy of the very handle published
+        // below — byte-identity of the cached entry is structural. (It
+        // also pins a hybrid-mode segment across pressure eviction; the
+        // eviction's pointer-equality finalize is unaffected.)
+        if (donateToCache) stagedDonation[m][kb] = localSegments[kb];
         segments[m][kb] = std::move(localSegments[kb]);
       }
       publishedAttempt[m] = attempt;
@@ -995,7 +1105,10 @@ void JobContext::runReduce(std::uint32_t kb) {
   {
     obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    if (eagerSpill()) {
+    // A cache-served job has no spill files even under an eager-spill
+    // spec — its warm segments are resident handles, so it always takes
+    // the handle path below (budget evictions of warm slots included).
+    if (eagerSpill() && !cacheServed) {
       // The header-only read suffices for the annotation tally; only
       // non-empty segments are fully read and decoded.
       for (std::uint32_t m : fetchSet) {
@@ -1073,7 +1186,9 @@ void JobContext::runReduce(std::uint32_t kb) {
   {
     obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    if (eagerSpill()) {
+    // Same discriminator as the fetch above: a cache-served job's
+    // inputs arrived as handles even under an eager-spill spec.
+    if (eagerSpill() && !cacheServed) {
       for (const Segment& s : fetched) {
         SegmentMerger::Input in;
         in.segment = &s;

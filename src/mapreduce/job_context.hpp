@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "mapreduce/job.hpp"
+#include "mapreduce/segment_cache.hpp"
 #include "mapreduce/spill_pool.hpp"
 #include "obs/trace.hpp"
 
@@ -82,6 +83,12 @@ struct JobOutcome {
   /// distinguishes real partial results from default-constructed slots
   /// in `result.outputs` after a failure or cancel.
   std::vector<bool> completedKeyblocks;
+  /// Committed map output staged for the service segment cache
+  /// (DESIGN.md §16). `present` only when donation was enabled AND the
+  /// job SUCCEEDED — a failed or cancelled job can never donate
+  /// partially-committed output, by construction of where this is
+  /// filled (finalize, after the outcome is known).
+  SegmentCacheDonation donation;
 };
 
 class JobContext {
@@ -95,6 +102,26 @@ class JobContext {
 
   JobContext(const JobContext&) = delete;
   JobContext& operator=(const JobContext&) = delete;
+
+  /// Hands this job the full [numMaps][numReduces] matrix of warm
+  /// segment handles a previous byte-identical job committed (a service
+  /// segment-cache hit on spec.mapFingerprint). Call before start():
+  /// start() then publishes every handle wholesale — per-keyblock
+  /// commit + count annotations, zero map tasks — and reduces shuffle
+  /// the warm segments exactly as if this job's own maps had committed
+  /// them. Mutually exclusive with enableCacheDonation.
+  void attachCachedSegments(
+      std::vector<std::vector<std::shared_ptr<const Segment>>> warm);
+
+  /// Marks this job a cache donor: committed map output is staged
+  /// during the run and, ONLY if the job succeeds, surfaced through
+  /// JobOutcome::donation at finalize. Call before start(). The caller
+  /// (EngineService) must only enable donation for jobs with a
+  /// mapFingerprint and an empty FaultPlan — fault-free jobs run every
+  /// map exactly once, so the staged handles are exactly the committed
+  /// first-attempt output and recovery republication can never race a
+  /// cache-origin segment.
+  void enableCacheDonation();
 
   /// Resolves dependencies, sizes all state, creates the spill
   /// namespace directory and performs initial scheduling. Call once,
@@ -193,6 +220,28 @@ class JobContext {
   // through shared ownership.
   std::vector<std::vector<std::shared_ptr<const Segment>>> segments;
   std::vector<std::vector<bool>> segAvail;
+
+  // --- service segment cache interaction (DESIGN.md §16) ---
+  /// Warm handles attached before start(); moved into `segments` during
+  /// start()'s cache publication, then cleared.
+  std::vector<std::vector<std::shared_ptr<const Segment>>> cachedWarm;
+  /// True when this job's map output was served from the cache: zero
+  /// map tasks run, and reduces fetch handles even in eager-spill specs
+  /// (there are no spill files to read).
+  bool cacheServed = false;
+  /// True when committed map output should be staged for donation.
+  bool donateToCache = false;
+  /// Donor staging: per (map, keyblock) copies of the published
+  /// handles, taken at commit time (in-memory / hybrid modes). These
+  /// are pointer copies of the SAME immutable segments the job
+  /// publishes, so staging changes no donor behavior — but it does keep
+  /// hybrid-mode segments alive past their pressure eviction until the
+  /// donation lands in the cache (the cache then owns the residency).
+  /// Eager-spill donors stage nothing: their donation references the
+  /// committed files in `jobDir` instead (built at finalize).
+  std::vector<std::vector<std::shared_ptr<const Segment>>> stagedDonation;
+  /// Resident bytes published from the cache (result.cacheBytesServed).
+  std::uint64_t cacheBytesServed = 0;
 
   // --- memory budget / hybrid out-of-core state (DESIGN.md §14) ---
   // With spillDirectory set AND memoryBudgetBytes > 0 the engine runs in
@@ -310,6 +359,7 @@ class JobContext {
   void runMap(std::uint32_t m);
   void runReduce(std::uint32_t kb);
   void maybePressureSpill();
+  void publishCachedSegmentsLocked();
 };
 
 }  // namespace sidr::mr

@@ -35,6 +35,8 @@ const char* phaseName(Phase phase) noexcept {
       return "output-commit";
     case Phase::kPressureSpill:
       return "pressure-spill";
+    case Phase::kCacheFetch:
+      return "cache-fetch";
     case Phase::kNumPhases:
       break;
   }

@@ -57,6 +57,7 @@ enum class Phase : std::uint8_t {
   kReduce,        ///< reduce: grouped reduce function
   kOutputCommit,  ///< reduce: committing the keyblock's output
   kPressureSpill, ///< engine: evicting a resident segment under memory pressure
+  kCacheFetch,    ///< service: publishing one map's warm cached segments
   kNumPhases,
 };
 

@@ -1,0 +1,152 @@
+#include "sidr/fingerprint.hpp"
+
+#include <cstring>
+
+namespace sidr::core {
+
+namespace {
+
+// Fixed mixing constants (MurmurHash3 x64 lineage). These, the block
+// scheme and the finalizer are part of the frozen key format — the
+// digest-pinning unit tests exist to keep them from drifting.
+constexpr std::uint64_t kC1 = 0x87c37b91114253d5ULL;
+constexpr std::uint64_t kC2 = 0x4cf5ad432745937fULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint64_t fmix64(std::uint64_t k) noexcept {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Assembles a u64 from up to 8 little-endian bytes (missing bytes are
+/// zero) — the explicit byte math is what makes the digest identical
+/// across host endiannesses.
+std::uint64_t loadLE(const std::byte* p, std::size_t n) noexcept {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string toHex(const Fingerprint128& f) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t half = i < 8 ? f.hi : f.lo;
+    const int shift = 8 * (7 - (i % 8));
+    const auto byte = static_cast<std::uint8_t>(half >> shift);
+    out[static_cast<std::size_t>(2 * i)] = kDigits[byte >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = kDigits[byte & 0xf];
+  }
+  return out;
+}
+
+FingerprintBuilder& FingerprintBuilder::addBytes(
+    std::span<const std::byte> bytes) {
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::addString(std::string_view s) {
+  addU64(s.size());
+  const auto* p = reinterpret_cast<const std::byte*>(s.data());
+  buf_.insert(buf_.end(), p, p + s.size());
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::addU64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+  }
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::addI64(std::int64_t v) {
+  return addU64(static_cast<std::uint64_t>(v));
+}
+
+FingerprintBuilder& FingerprintBuilder::addU32(std::uint32_t v) {
+  return addU64(v);
+}
+
+FingerprintBuilder& FingerprintBuilder::addBool(bool v) {
+  buf_.push_back(static_cast<std::byte>(v ? 1 : 0));
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::addDouble(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  return addU64(bits);
+}
+
+FingerprintBuilder& FingerprintBuilder::addCoord(const nd::Coord& c) {
+  addU64(c.rank());
+  for (std::size_t d = 0; d < c.rank(); ++d) addI64(c[d]);
+  return *this;
+}
+
+FingerprintBuilder& FingerprintBuilder::addRegion(const nd::Region& r) {
+  addCoord(r.corner());
+  addCoord(r.shape());
+  return *this;
+}
+
+Fingerprint128 FingerprintBuilder::digest() const {
+  const std::size_t len = buf_.size();
+  // Length participates in the seed AND the finalizer, so zero-padded
+  // tails of different lengths cannot collide.
+  std::uint64_t h1 = 0x6a09e667f3bcc908ULL ^ (len * kC1);
+  std::uint64_t h2 = 0xbb67ae8584caa73bULL ^ (len * kC2);
+
+  const std::byte* p = buf_.data();
+  std::size_t remaining = len;
+  while (remaining > 0) {
+    const std::size_t n1 = remaining < 8 ? remaining : 8;
+    std::uint64_t k1 = loadLE(p, n1);
+    p += n1;
+    remaining -= n1;
+    const std::size_t n2 = remaining < 8 ? remaining : 8;
+    std::uint64_t k2 = loadLE(p, n2);
+    p += n2;
+    remaining -= n2;
+
+    k1 *= kC1;
+    k1 = rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+    h1 = rotl64(h1, 27) + h2;
+    h1 = h1 * 5 + 0x52dce729ULL;
+
+    k2 *= kC2;
+    k2 = rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    h2 = rotl64(h2, 31) + h1;
+    h2 = h2 * 5 + 0x38495ab5ULL;
+  }
+
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = fmix64(h1);
+  h2 = fmix64(h2);
+  h1 += h2;
+  h2 += h1;
+  return Fingerprint128{h1, h2};
+}
+
+}  // namespace sidr::core

@@ -1,0 +1,85 @@
+// Stable 128-bit fingerprints for cache keying.
+//
+// The service-level segment cache (DESIGN.md §16) keys committed map
+// output by a canonical MapFingerprint of everything that determines
+// the bytes a map phase produces. `Coord::hash`-style 64-bit mixes are
+// fine for hash tables but not for content addressing: a silent
+// collision would serve one query's segments to a different query. The
+// builder here produces a 128-bit digest over a canonical byte
+// serialization, with these guarantees:
+//
+//  * endian-independent: every value is serialized to explicit
+//    little-endian bytes before mixing, so the digest is identical on
+//    big- and little-endian hosts;
+//  * unambiguous: strings and byte runs are length-prefixed and every
+//    scalar has a fixed width, so no two distinct absorb sequences
+//    produce the same input stream ("ab"+"c" != "a"+"bc");
+//  * frozen: the algorithm is part of the cache key format. Unit tests
+//    pin exact digests; any change to the mixing or the serialization
+//    is a key-format break and must fail those tests loudly.
+//
+// Only the Fingerprint128 value type (comparison + hashing) is defined
+// inline: the mapreduce layer stores fingerprints in JobSpec and keys
+// the cache on them without linking the planner library. The builder
+// implementation lives in fingerprint.cpp (sidr_core).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ndarray/region.hpp"
+
+namespace sidr::core {
+
+/// A 128-bit content fingerprint. Value type: compare, hash, print.
+struct Fingerprint128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint128&,
+                         const Fingerprint128&) = default;
+};
+
+/// Hash functor for unordered containers keyed by fingerprint. The
+/// fingerprint is already uniformly mixed; folding the halves suffices.
+struct Fingerprint128Hash {
+  std::size_t operator()(const Fingerprint128& f) const noexcept {
+    return static_cast<std::size_t>(f.hi ^
+                                    (f.lo * 0x9e3779b97f4a7c15ULL));
+  }
+};
+
+/// 32 lowercase hex digits, hi half first.
+std::string toHex(const Fingerprint128& f);
+
+/// Accumulates a canonical byte stream and digests it. Every absorb
+/// method appends a fixed-width or length-prefixed little-endian
+/// encoding; digest() may be called repeatedly (it does not consume).
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder& addBytes(std::span<const std::byte> bytes);
+  /// Length-prefixed, so adjacent strings cannot alias each other.
+  FingerprintBuilder& addString(std::string_view s);
+  FingerprintBuilder& addU64(std::uint64_t v);
+  FingerprintBuilder& addI64(std::int64_t v);
+  FingerprintBuilder& addU32(std::uint32_t v);
+  FingerprintBuilder& addBool(bool v);
+  /// IEEE-754 bit pattern (not locale/printf text), so -0.0 != 0.0 and
+  /// every NaN payload is distinct but deterministic.
+  FingerprintBuilder& addDouble(double v);
+  /// Rank-prefixed component list.
+  FingerprintBuilder& addCoord(const nd::Coord& c);
+  /// Corner then shape.
+  FingerprintBuilder& addRegion(const nd::Region& r);
+
+  Fingerprint128 digest() const;
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+}  // namespace sidr::core

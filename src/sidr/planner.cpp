@@ -19,6 +19,52 @@ std::string systemModeName(SystemMode mode) {
 QueryPlanner::QueryPlanner(sh::StructuralQuery query, nd::Coord inputShape)
     : query_(std::move(query)), inputShape_(inputShape) {}
 
+std::optional<Fingerprint128> computeMapFingerprint(
+    const sh::StructuralQuery& query, const nd::Coord& inputShape,
+    const std::string& datasetId, const mr::JobSpec& spec) {
+  if (datasetId.empty()) return std::nullopt;
+  FingerprintBuilder fb;
+  // Version tag: bumping it invalidates every cached entry at once if
+  // the canonicalization below ever has to change shape.
+  fb.addString("sidr.mapfp.v1");
+
+  // Dataset identity: what the splits' regions address.
+  fb.addString(datasetId);
+  fb.addCoord(inputShape);
+
+  // Extraction / filter spec: every query field can change which values
+  // a map emits, which key it emits them under, or how they combine.
+  fb.addString(query.variable);
+  fb.addBool(query.subset.has_value());
+  if (query.subset) fb.addRegion(*query.subset);
+  fb.addU32(static_cast<std::uint32_t>(query.op));
+  fb.addCoord(query.extractionShape);
+  fb.addBool(query.stride.has_value());
+  if (query.stride) fb.addCoord(*query.stride);
+  fb.addU32(static_cast<std::uint32_t>(query.edgeMode));
+  fb.addU32(static_cast<std::uint32_t>(query.keyMode));
+  fb.addDouble(query.filterThreshold);
+  fb.addI64(query.skewBound);
+
+  // Split geometry: per (map, keyblock) segment content is a function
+  // of which input regions each split covers, in order.
+  fb.addU64(spec.splits.size());
+  for (const mr::InputSplit& split : spec.splits) {
+    fb.addU32(split.id);
+    fb.addU64(split.regions.size());
+    for (const nd::Region& r : split.regions) fb.addRegion(r);
+  }
+
+  // Key space + partition plan: where each intermediate key routes.
+  // Mode distinguishes partition+ from the modulo partitioner; both are
+  // fully determined by (extraction, numReducers, skewBound), all
+  // absorbed above, and numReducers here.
+  fb.addCoord(spec.keySpace);
+  fb.addU32(static_cast<std::uint32_t>(spec.mode));
+  fb.addU32(spec.numReducers);
+  return fb.digest();
+}
+
 QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
                                  const PlanOptions& options) const {
   if (options.system == SystemMode::kSailfish) {
@@ -96,6 +142,9 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
     spec.mode = mr::ExecutionMode::kGlobalBarrier;
     plan.servicePolicy = mr::SchedulingPolicy::kFifo;
   }
+
+  spec.mapFingerprint =
+      computeMapFingerprint(query_, inputShape_, options.datasetId, spec);
 
   plan.spec = std::move(spec);
   return plan;

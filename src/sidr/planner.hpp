@@ -16,6 +16,7 @@
 #include "mapreduce/engine.hpp"
 #include "mapreduce/engine_service.hpp"
 #include "mapreduce/partitioners.hpp"
+#include "sidr/fingerprint.hpp"
 #include "scihadoop/datagen.hpp"
 #include "scihadoop/operators.hpp"
 #include "scihadoop/split_gen.hpp"
@@ -86,6 +87,17 @@ struct PlanOptions {
   /// systems plain FIFO.
   double jobWeight = 1.0;
   bool keepSpillOnFailure = false;
+
+  /// Stable identity of the input data, e.g. a dataset path + version
+  /// or a content digest. When non-empty the planner computes the
+  /// plan's MapFingerprint (JobSpec::mapFingerprint) — the key under
+  /// which an EngineService's segment cache shares committed map output
+  /// between byte-identical resubmissions (DESIGN.md §16). Empty (the
+  /// default) leaves the fingerprint unset and the job outside the
+  /// cache entirely: the planner cannot know that two synthetic reader
+  /// factories produce the same bytes, so the CALLER asserts input
+  /// identity by naming it.
+  std::string datasetId;
 };
 
 /// A fully-assembled plan: the JobSpec plus the structural artifacts the
@@ -101,6 +113,21 @@ struct QueryPlan {
   /// submitting to a service can seed ServiceConfig::policy from it.
   mr::SchedulingPolicy servicePolicy = mr::SchedulingPolicy::kFifo;
 };
+
+/// Canonical MapFingerprint: digests exactly the fields that determine
+/// the BYTES of a job's committed map output — dataset identity, the
+/// structural query (extraction/filter spec), split geometry, the
+/// intermediate keySpace and the partition plan (mode + reducer count;
+/// skew bound and extraction are already absorbed via the query).
+/// Execution knobs that cannot change map-output bytes (threads, slots,
+/// spill/budget/compression settings, tracing, fault plans, weights,
+/// priorities) MUST NOT leak into the key: a spilling resubmission of
+/// an in-memory query is a cache HIT. Returns nullopt when datasetId is
+/// empty. The digest is part of the cache key format — pinned by unit
+/// tests, frozen like the builder itself.
+std::optional<Fingerprint128> computeMapFingerprint(
+    const sh::StructuralQuery& query, const nd::Coord& inputShape,
+    const std::string& datasetId, const mr::JobSpec& spec);
 
 class QueryPlanner {
  public:
