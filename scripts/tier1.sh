@@ -36,6 +36,10 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 #   segment_cache_test               warm claims racing donation, eviction
 #                                    under pressure, cancel-mid-donation
 #                                    (DESIGN.md section 16)
+#   shuffle_transport_test           socket server threads serializing
+#                                    segments concurrently with recovery
+#                                    republication and mid-fetch cancels
+#                                    (DESIGN.md section 17)
 TSAN_SUITES=(
   engine_test
   randomized_test
@@ -46,6 +50,7 @@ TSAN_SUITES=(
   out_of_core_test
   engine_service_test
   segment_cache_test
+  shuffle_transport_test
 )
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target "${TSAN_SUITES[@]}"
@@ -59,11 +64,14 @@ done
 # hide from TSan — the service's job teardown (namespace removal,
 # handle-outlives-service results) is where a use-after-free would, and
 # the segment cache hands shared_ptr segment handles across job
-# lifetimes (donation after finalize, claims from later jobs).
+# lifetimes (donation after finalize, claims from later jobs). The
+# transport suite's framed-decode fuzzing and chunked file serving are
+# classic heap-overflow territory, so it rides in the ASan pass too.
 ASAN_SUITES=(
   out_of_core_test
   engine_service_test
   segment_cache_test
+  shuffle_transport_test
 )
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)" --target "${ASAN_SUITES[@]}"
@@ -78,7 +86,7 @@ done
 # and checks the disabled-recorder arm stays within its overhead gate.
 cmake --preset bench
 cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
-  bench_engine_service
+  bench_engine_service bench_shuffle_transport
 ./build-bench/bench/bench_map_pipeline --quick
 # The multi-job fleet driver is a correctness gate, not just a timing:
 # 72 queued jobs against one EngineService, every success bit-identical
@@ -86,3 +94,6 @@ cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
 # results observed mid-run, and the warm-resubmission arm hitting the
 # segment cache with zero map tasks (exits non-zero on any violation).
 ./build-bench/bench/bench_engine_service --quick
+# Transport sweep: socket and file-served data planes must reproduce
+# the in-process run bit-identically (exits non-zero on divergence).
+./build-bench/bench/bench_shuffle_transport --quick

@@ -401,6 +401,12 @@ EngineService::~EngineService() {
 }
 
 JobHandle EngineService::submit(JobSpec spec) {
+  // Resolve the service-wide transport default before validation so an
+  // invalid combination (file-served without eager spill) is rejected
+  // at submit time, whichever side chose the transport.
+  if (!spec.transport.has_value()) {
+    spec.transport = config_.defaultTransport;
+  }
   validateJobSpec(spec);
   auto job = std::make_shared<ServiceJob>();
   {

@@ -43,6 +43,30 @@ inline const char* taskKindName(TaskKind kind) {
   return kind == TaskKind::kMap ? "map" : "reduce";
 }
 
+/// How reduce tasks acquire their dependency segments (DESIGN.md §17).
+/// Every backend preserves the commit-rename publication protocol, the
+/// count-annotation tallies and the attempt-suffix recovery rules, and
+/// each fetch attempt emits one obs::Phase::kTransportFetch span inside
+/// the reduce's kFetch span — so the trace invariants hold identically
+/// whichever data plane moves the bytes.
+enum class ShuffleTransportKind : std::uint8_t {
+  /// Same-address-space handoff: resident `shared_ptr<const Segment>`
+  /// handles (or direct spill-file reads in eager mode). The default;
+  /// byte-identical to the historical fetch path, zero new copies.
+  kInProcess = 0,
+  /// Localhost TCP: a per-job server thread serves segments over
+  /// length-prefixed frames (the exact-size bulk codec is the wire
+  /// format); clients batch multiple maps per request across a pooled
+  /// set of connections.
+  kSocket,
+  /// Localhost TCP serving ONLY committed `job<id>/` spill files,
+  /// streamed through bounded windows server-side and decoded through
+  /// SegmentStream windows client-side. Requires eager spill.
+  kFileServed,
+};
+
+const char* shuffleTransportName(ShuffleTransportKind kind) noexcept;
+
 /// One injected failure: task `id` dies on its `attempt`-th execution
 /// (1-based) after doing its work but before committing any output —
 /// a failed map attempt leaves no committed map-output files and
@@ -56,6 +80,21 @@ struct FaultSpec {
   friend bool operator==(const FaultSpec&, const FaultSpec&) = default;
 };
 
+/// One injected shuffle-transport failure: keyblock `keyblock`'s reduce
+/// loses its `fetchAttempt`-th transport fetch (1-based, counted per
+/// reduce attempt) — the socket backends drop the connections mid-read,
+/// the in-process backend fails before returning any segment. The
+/// engine retries with bounded backoff up to FaultPlan::maxFetchAttempts
+/// per reduce attempt; a failed fetch's bytes count toward
+/// TransportStats::wastedWireBytes, never JobResult::shuffleBytes.
+struct FetchFaultSpec {
+  std::uint32_t keyblock = 0;
+  std::uint32_t fetchAttempt = 1;  ///< which fetch attempt drops (1-based)
+
+  friend bool operator==(const FetchFaultSpec&, const FetchFaultSpec&) =
+      default;
+};
+
 /// Failure-injection plan plus the engine's retry bound. Generalizes
 /// the old fail-once-reduce list: faults may hit map AND reduce tasks,
 /// on any attempt number, so multi-failure and repeated-failure
@@ -67,6 +106,14 @@ struct FaultPlan {
   /// fails raises JobError from Engine::run() instead of retrying.
   std::uint32_t maxAttempts = 4;
 
+  /// Injected transport-fetch drops (connection failures on the shuffle
+  /// data plane), retried independently of task attempts.
+  std::vector<FetchFaultSpec> fetchFaults;
+
+  /// Maximum transport fetch attempts per reduce attempt. Exhaustion
+  /// raises a JobError naming the reduce task and attempt.
+  std::uint32_t maxFetchAttempts = 4;
+
   FaultPlan& failMap(std::uint32_t id, std::uint32_t attempt = 1) {
     faults.push_back(FaultSpec{TaskKind::kMap, id, attempt});
     return *this;
@@ -75,13 +122,25 @@ struct FaultPlan {
     faults.push_back(FaultSpec{TaskKind::kReduce, id, attempt});
     return *this;
   }
+  FaultPlan& dropFetch(std::uint32_t keyblock, std::uint32_t fetchAttempt = 1) {
+    fetchFaults.push_back(FetchFaultSpec{keyblock, fetchAttempt});
+    return *this;
+  }
 
-  bool empty() const noexcept { return faults.empty(); }
+  bool empty() const noexcept { return faults.empty() && fetchFaults.empty(); }
 
   bool shouldFail(TaskKind kind, std::uint32_t id,
                   std::uint32_t attempt) const noexcept {
     for (const FaultSpec& f : faults) {
       if (f.kind == kind && f.id == id && f.attempt == attempt) return true;
+    }
+    return false;
+  }
+
+  bool shouldDropFetch(std::uint32_t keyblock,
+                       std::uint32_t fetchAttempt) const noexcept {
+    for (const FetchFaultSpec& f : fetchFaults) {
+      if (f.keyblock == keyblock && f.fetchAttempt == fetchAttempt) return true;
     }
     return false;
   }
@@ -101,12 +160,13 @@ struct FaultPlan {
 class JobError : public std::runtime_error {
  public:
   JobError(TaskKind kind, std::uint32_t taskId, std::uint32_t attempt,
-           std::uint32_t maxAttempts)
+           std::uint32_t maxAttempts, const std::string& detail = "")
       : std::runtime_error(std::string("JobError: ") + taskKindName(kind) +
                            " task " + std::to_string(taskId) +
                            " failed on attempt " + std::to_string(attempt) +
                            " of " + std::to_string(maxAttempts) +
-                           " (retry limit exhausted)"),
+                           " (retry limit exhausted)" +
+                           (detail.empty() ? std::string() : ": " + detail)),
         kind_(kind),
         taskId_(taskId),
         attempt_(attempt) {}
@@ -276,6 +336,24 @@ struct JobSpec {
   /// caller may want to read them; remove the namespace yourself when
   /// done).
   bool keepSpillOnFailure = false;
+
+  /// Shuffle data plane (DESIGN.md §17). Unset = kInProcess, which is
+  /// byte-identical to the historical fetch path. EngineService fills an
+  /// unset value from ServiceConfig::defaultTransport at submission.
+  /// kFileServed requires eager spill (spillDirectory set, no memory
+  /// budget); cache-served runs always use kInProcess regardless of this
+  /// field (warm handles have no spill files to serve).
+  std::optional<ShuffleTransportKind> transport;
+
+  /// Connection-pool size per reduce fetch for the socket-backed
+  /// transports: a fetch splits its dependency set across up to this
+  /// many pooled connections. Must be > 0. Ignored by kInProcess.
+  std::uint32_t transportConnections = 2;
+
+  /// Per-read timeout for socket transports; a peer that stalls longer
+  /// than this fails the fetch attempt (typed timeout error, retried
+  /// under FaultPlan::maxFetchAttempts). Must be > 0.
+  std::uint32_t transportTimeoutMillis = 10000;
 };
 
 struct TaskEvent {
@@ -306,6 +384,28 @@ struct ReduceOutput {
   std::vector<std::uint64_t> linearKeys;
   double availableAt = 0.0;         ///< commit time (seconds from start)
   std::uint64_t annotationTally = 0;  ///< sum of fetched segment headers
+};
+
+/// Shuffle-transport data-plane counters (DESIGN.md §17). All zero for
+/// kInProcess runs except fetchRetries/wastedWireBytes, which count
+/// injected in-process drops too. Mirrored into the trace counter
+/// registry under `net.*` names at job end.
+struct TransportStats {
+  /// Framed bytes that crossed the wire (payload + frame headers),
+  /// successful fetch attempts only.
+  std::uint64_t wireBytes = 0;
+  std::uint64_t framesSent = 0;
+  std::uint64_t framesReceived = 0;
+  /// Sockets newly connected vs. taken from the per-reduce-fetch pool.
+  std::uint64_t connectionsOpened = 0;
+  std::uint64_t connectionsReused = 0;
+  /// Transport fetch attempts that failed and were retried (or
+  /// exhausted). A retried fetch re-transfers its segments; the retry's
+  /// bytes count once in shuffleBytes and the failed attempt's partial
+  /// bytes land in wastedWireBytes, never both.
+  std::uint64_t fetchRetries = 0;
+  /// Partial wire bytes of failed fetch attempts (discarded, re-fetched).
+  std::uint64_t wastedWireBytes = 0;
 };
 
 struct JobResult {
@@ -353,6 +453,9 @@ struct JobResult {
   std::uint32_t cacheServedMaps = 0;
   /// Resident segment bytes served from the cache (0 on a cold run).
   std::uint64_t cacheBytesServed = 0;
+  /// Shuffle data-plane counters for the transport that ran the job
+  /// (all-zero wire fields under kInProcess).
+  TransportStats transportTotals;
 
   /// Job-wide sort counters: each map attempt's sorts are captured into
   /// a per-attempt ScopedSortStatsSink and folded in under the job lock,

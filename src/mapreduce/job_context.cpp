@@ -3,9 +3,11 @@
 #include "mapreduce/map_pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <filesystem>
 #include <stdexcept>
+#include <thread>
 
 #include "scifile/storage.hpp"
 
@@ -110,6 +112,33 @@ void validateJobSpec(const JobSpec& spec) {
           std::string("Engine: fault plan names ") + taskKindName(f.kind) +
           " task " + std::to_string(f.id) + " out of range");
     }
+  }
+  if (spec.faultPlan.maxFetchAttempts == 0) {
+    throw std::invalid_argument(
+        "Engine: FaultPlan::maxFetchAttempts must be > 0");
+  }
+  for (const FetchFaultSpec& f : spec.faultPlan.fetchFaults) {
+    if (f.fetchAttempt == 0) {
+      throw std::invalid_argument("Engine: fetch fault attempt ids are 1-based");
+    }
+    if (f.keyblock >= spec.numReducers) {
+      throw std::invalid_argument(
+          "Engine: fetch fault names keyblock " + std::to_string(f.keyblock) +
+          " out of range");
+    }
+  }
+  if (spec.transportConnections == 0) {
+    throw std::invalid_argument("Engine: transportConnections must be > 0");
+  }
+  if (spec.transportTimeoutMillis == 0) {
+    throw std::invalid_argument("Engine: transportTimeoutMillis must be > 0");
+  }
+  if (spec.transport == ShuffleTransportKind::kFileServed &&
+      (spec.spillDirectory.empty() || spec.memoryBudgetBytes > 0)) {
+    throw std::invalid_argument(
+        "Engine: the file-served transport requires eager spill "
+        "(spillDirectory set, no memory budget) — it serves committed "
+        "job<id>/ segment files");
   }
 }
 
@@ -324,6 +353,19 @@ void JobContext::start() {
   // job — shed pressure exactly as a committing map would (no locks
   // held; selection and finalize take mtx internally).
   if (cacheServed && budgetEnabled()) maybePressureSpill();
+
+  // Shuffle data plane, last: start() completes before any claim, so
+  // the (possible) server threads never observe half-sized state. A
+  // cache-served run always shuffles in-process — its warm segments
+  // are resident handles with no committed files behind them.
+  transportKind = cacheServed
+                      ? ShuffleTransportKind::kInProcess
+                      : spec.transport.value_or(ShuffleTransportKind::kInProcess);
+  TransportOptions topts;
+  topts.connections = spec.transportConnections;
+  topts.timeoutMillis = spec.transportTimeoutMillis;
+  topts.faultPlan = &spec.faultPlan;
+  transport = makeShuffleTransport(transportKind, *this, topts);
 }
 
 /// Publishes the full warm segment matrix as this job's committed map
@@ -505,6 +547,13 @@ void JobContext::workerLoop() {
 }
 
 JobOutcome JobContext::finalize() {
+  // Tear down the shuffle data plane first: the job is quiescent (no
+  // fetch in flight), and joining any transport server threads here
+  // means nothing can call back into the segment store below.
+  if (transport != nullptr) {
+    transport->stop();
+    transport.reset();
+  }
   // Join the owned spill pool before collecting: pool threads record
   // spans too, and destruction guarantees their logs are final. (A
   // shared pool needs no join here: every item this job submitted
@@ -560,6 +609,16 @@ JobOutcome JobContext::finalize() {
     t.addCounter("mem.spillCompressedBytes", result.spillCompressedBytes);
     t.addCounter("cache.servedMaps", result.cacheServedMaps);
     t.addCounter("cache.bytesServed", result.cacheBytesServed);
+    t.addCounter("net.wireBytes", result.transportTotals.wireBytes);
+    t.addCounter("net.framesSent", result.transportTotals.framesSent);
+    t.addCounter("net.framesReceived", result.transportTotals.framesReceived);
+    t.addCounter("net.connectionsOpened",
+                 result.transportTotals.connectionsOpened);
+    t.addCounter("net.connectionsReused",
+                 result.transportTotals.connectionsReused);
+    t.addCounter("net.fetchRetries", result.transportTotals.fetchRetries);
+    t.addCounter("net.wastedWireBytes",
+                 result.transportTotals.wastedWireBytes);
   }
   result.trace.jobId = spec.jobId;
 
@@ -1085,13 +1144,11 @@ void JobContext::runReduce(std::uint32_t kb) {
   // segments are immutable once published, and this reduce only became
   // runnable after observing (under mtx) that every fetched dependency
   // committed, which ordered those publications before these reads.
-  std::vector<Segment> fetched;                          // eager spill mode
-  std::vector<std::shared_ptr<const Segment>> handles;   // resident segments
-  std::vector<std::unique_ptr<SegmentStream>> streams;   // evicted (hybrid)
-  // Which source each non-empty input came from, in fetchSet order —
-  // the merger consumes one ordered input sequence regardless of kind,
-  // so resident and evicted inputs merge bit-identically.
-  std::vector<bool> sourceIsStream;
+  // The transport turns that observation into segments however its
+  // data plane works — handles, spill-file reads, or framed sockets —
+  // one FetchedSegment per dependency, in fetchSet order, so the
+  // accounting and the merge below are transport-agnostic.
+  std::vector<FetchedSegment> fetchedInputs;
   std::uint64_t tally = 0;
   std::uint64_t connections = 0;
   std::uint64_t nonEmpty = 0;
@@ -1105,65 +1162,67 @@ void JobContext::runReduce(std::uint32_t kb) {
   {
     obs::SpanScope fetchSpan(obs::Phase::kFetch, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    // A cache-served job has no spill files even under an eager-spill
-    // spec — its warm segments are resident handles, so it always takes
-    // the handle path below (budget evictions of warm slots included).
-    if (eagerSpill() && !cacheServed) {
-      // The header-only read suffices for the annotation tally; only
-      // non-empty segments are fully read and decoded.
-      for (std::uint32_t m : fetchSet) {
-        ++connections;
-        SegmentHeader h = peekSpilledHeader(m, kb);
-        bytesFetched += Segment::kHeaderBytes;
-        tally += h.represents;
-        recordsFetched += h.numRecords;
-        if (h.numRecords > 0) {
-          ++nonEmpty;
-          fetched.push_back(loadSpilledSegment(m, kb, bytesFetched));
-          // Linear keys never travel on the uncompressed wire; rebuild
-          // the cache so spilled segments merge on u64s like in-memory
-          // ones (the compressed decoder already restored them).
-          if (spec.keySpace.rank() > 0 && !fetched.back().hasLinearKeys()) {
-            fetched.back().computeLinearKeys(spec.keySpace);
-          }
+    // Bounded retry loop: each attempt is one kTransportFetch span
+    // NESTED inside this single kFetch span, so a retried fetch never
+    // emits unpaired fetch spans and the kFetch tallies (checked
+    // against the commit spans) are written exactly once, from the
+    // attempt that succeeded — retries can never double-count
+    // shuffleBytes or the annotation tally.
+    for (std::uint32_t fetchAttempt = 1;; ++fetchAttempt) {
+      FetchStats stats;
+      obs::SpanScope transportSpan(obs::Phase::kTransportFetch,
+                                   obs::TaskSide::kReduce, kb, fetchAttempt,
+                                   kb);
+      transportSpan.setConnections(fetchSet.size());
+      try {
+        TransportFetchRequest freq;
+        freq.keyblock = kb;
+        freq.maps = std::span<const std::uint32_t>(fetchSet);
+        freq.fetchAttempt = fetchAttempt;
+        fetchedInputs = transport->fetch(freq, stats);
+        for (const FetchedSegment& fs : fetchedInputs) {
+          ++connections;
+          tally += fs.header.represents;
+          recordsFetched += fs.header.numRecords;
+          if (fs.header.numRecords > 0) ++nonEmpty;
         }
-      }
-    } else {
-      // Zero-copy fetch: acquiring a published handle is a shared_ptr
-      // copy; the header is read in-struct. No serialize/deserialize
-      // round trip, no data copy, no lock. In hybrid mode a null slot
-      // means the segment was evicted under pressure: its committed
-      // file is streamed back through a bounded window during the
-      // merge, never fully materialized.
-      handles.reserve(fetchSet.size());
-      for (std::uint32_t m : fetchSet) {
-        ++connections;
-        std::shared_ptr<const Segment> seg = segments[m][kb];
-        if (seg != nullptr) {
-          tally += seg->header().represents;
-          recordsFetched += seg->header().numRecords;
-          if (seg->header().numRecords > 0) {
-            ++nonEmpty;
-            handles.push_back(std::move(seg));
-            sourceIsStream.push_back(false);
-          }
-        } else if (budgetEnabled()) {
-          auto stream = std::make_unique<SegmentStream>(
-              segmentPath(m, kb), spec.mergeWindowBytes, spec.compressSpill,
-              spec.keySpace);
-          const SegmentHeader& h = stream->header();
-          tally += h.represents;
-          recordsFetched += h.numRecords;
-          if (h.numRecords > 0) {
-            ++nonEmpty;
-            streams.push_back(std::move(stream));
-            sourceIsStream.push_back(true);
-          } else {
-            bytesFetched += stream->bytesRead();
-          }
-        } else {
-          throw std::logic_error("Engine: reduce fetched unpublished segment");
+        bytesFetched = stats.bytesFetched;
+        transportSpan.setBytes(stats.bytesFetched);
+        transportSpan.setRecords(recordsFetched);
+        transportSpan.setRepresents(tally);
+        std::scoped_lock lock(mtx);
+        result.transportTotals.wireBytes += stats.wireBytes;
+        result.transportTotals.framesSent += stats.framesSent;
+        result.transportTotals.framesReceived += stats.framesReceived;
+        result.transportTotals.connectionsOpened += stats.connectionsOpened;
+        result.transportTotals.connectionsReused += stats.connectionsReused;
+        break;
+      } catch (const TransportError& e) {
+        transportSpan.fail();
+        transportSpan.setBytes(stats.wireBytes);
+        {
+          // A failed attempt's partial bytes are WASTED wire traffic,
+          // never shuffleBytes — the retry re-transfers them.
+          std::scoped_lock lock(mtx);
+          ++result.transportTotals.fetchRetries;
+          result.transportTotals.wastedWireBytes += stats.wireBytes;
+          result.transportTotals.framesSent += stats.framesSent;
+          result.transportTotals.framesReceived += stats.framesReceived;
+          result.transportTotals.connectionsOpened += stats.connectionsOpened;
+          result.transportTotals.connectionsReused += stats.connectionsReused;
         }
+        if (fetchAttempt >= spec.faultPlan.maxFetchAttempts) {
+          // Exhaustion is a job failure naming the reduce task and
+          // attempt (runClaimedTask routes it into firstError).
+          throw JobError(
+              TaskKind::kReduce, kb, attempt, spec.faultPlan.maxAttempts,
+              "shuffle fetch gave up after " + std::to_string(fetchAttempt) +
+                  " attempts (" + transportFaultName(e.fault()) + " on the " +
+                  shuffleTransportName(transportKind) + " transport)");
+        }
+        // Bounded exponential backoff before the next attempt.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            1u << std::min<std::uint32_t>(fetchAttempt, 5)));
       }
     }
     fetchSpan.setBytes(bytesFetched);
@@ -1171,6 +1230,7 @@ void JobContext::runReduce(std::uint32_t kb) {
     // The reduce-side annotation tally rides on the fetch span, so the
     // trace alone can cross-check it against the commit spans' sums.
     fetchSpan.setRepresents(tally);
+    fetchSpan.setConnections(connections);
   }
   double tFetchEnd = now();
 
@@ -1181,31 +1241,24 @@ void JobContext::runReduce(std::uint32_t kb) {
   // tally comes off the headers, so no input is materialized just to be
   // counted.
   std::vector<SegmentMerger::Input> inputs;
-  inputs.reserve(fetched.size() + handles.size() + streams.size());
+  inputs.reserve(fetchedInputs.size());
   std::unique_ptr<SegmentMerger> merger;
   {
     obs::SpanScope mergeSpan(obs::Phase::kMerge, obs::TaskSide::kReduce, kb,
                              attempt, kb);
-    // Same discriminator as the fetch above: a cache-served job's
-    // inputs arrived as handles even under an eager-spill spec.
-    if (eagerSpill() && !cacheServed) {
-      for (const Segment& s : fetched) {
-        SegmentMerger::Input in;
-        in.segment = &s;
-        inputs.push_back(in);
+    // Empty inputs contributed their header tallies above but carry no
+    // records — the merger never sees them, whatever the transport.
+    for (const FetchedSegment& fs : fetchedInputs) {
+      if (fs.header.numRecords == 0) continue;
+      SegmentMerger::Input in;
+      if (fs.stream != nullptr) {
+        in.stream = fs.stream.get();
+      } else if (fs.owned != nullptr) {
+        in.segment = fs.owned.get();
+      } else {
+        in.segment = fs.handle.get();
       }
-    } else {
-      std::size_t nextHandle = 0;
-      std::size_t nextStream = 0;
-      for (const bool isStream : sourceIsStream) {
-        SegmentMerger::Input in;
-        if (isStream) {
-          in.stream = streams[nextStream++].get();
-        } else {
-          in.segment = handles[nextHandle++].get();
-        }
-        inputs.push_back(in);
-      }
+      inputs.push_back(in);
     }
     merger = std::make_unique<SegmentMerger>(
         std::span<const SegmentMerger::Input>(inputs));
@@ -1225,9 +1278,16 @@ void JobContext::runReduce(std::uint32_t kb) {
     outRecords = out.take();
     reduceSpan.setRecords(outRecords.size());
   }
-  // Streamed inputs read their windows lazily during the merge; fold
-  // their I/O into the shuffle accounting now that they are drained.
-  for (const auto& st : streams) bytesFetched += st->bytesRead();
+  // Hybrid-mode streams over committed files read their windows lazily
+  // during the merge; fold their I/O into the shuffle accounting now
+  // that they are drained. Transports that already counted the full
+  // payload at fetch time (file-served over a resident buffer) leave
+  // countStreamBytes false so nothing is double-counted.
+  for (const FetchedSegment& fs : fetchedInputs) {
+    if (fs.stream != nullptr && fs.countStreamBytes) {
+      bytesFetched += fs.stream->bytesRead();
+    }
+  }
 
   // Linearize the output keys OUTSIDE the lock (reducers usually emit
   // the group key, which lies inside keySpace; an out-of-space emission

@@ -46,6 +46,7 @@
 
 #include "mapreduce/job.hpp"
 #include "mapreduce/segment_cache.hpp"
+#include "mapreduce/shuffle_transport.hpp"
 #include "mapreduce/spill_pool.hpp"
 #include "obs/trace.hpp"
 
@@ -91,7 +92,7 @@ struct JobOutcome {
   SegmentCacheDonation donation;
 };
 
-class JobContext {
+class JobContext : private TransportSource {
  public:
   /// `sharedPool`: spill-writer pool owned by the caller (the service
   /// mode); null makes the context own a pool per the solo Engine rule
@@ -181,7 +182,10 @@ class JobContext {
   std::uint32_t numMaps = 0;
   std::uint32_t numReduces = 0;
 
-  std::mutex mtx;
+  /// Mutable: TransportSource::residentSegmentLocked is a const
+  /// interface method but must take the engine lock for its snapshot
+  /// (transport server threads never observed the publication order).
+  mutable std::mutex mtx;
   std::condition_variable cv;
 
   /// Cooperative cancel flag (requestCancel). Blocks further claims;
@@ -347,6 +351,45 @@ class JobContext {
   SegmentHeader peekSpilledHeader(std::uint32_t m, std::uint32_t kb) const;
   Segment loadSpilledSegment(std::uint32_t m, std::uint32_t kb,
                              std::uint64_t& bytesFetched) const;
+
+  // ---- shuffle data plane (DESIGN.md §17) ----
+  // The resolved backend: spec.transport, forced to kInProcess for
+  // cache-served runs (warm handles have no spill files to serve).
+  // Constructed at the end of start(), stopped first in finalize().
+  ShuffleTransportKind transportKind = ShuffleTransportKind::kInProcess;
+  std::unique_ptr<ShuffleTransport> transport;
+
+  // TransportSource: the data plane's view of the segment store.
+  std::shared_ptr<const Segment> residentSegment(
+      std::uint32_t m, std::uint32_t kb) const override {
+    return segments[m][kb];
+  }
+  std::shared_ptr<const Segment> residentSegmentLocked(
+      std::uint32_t m, std::uint32_t kb) const override {
+    std::scoped_lock lock(mtx);
+    return segments[m][kb];
+  }
+  std::string committedSegmentPath(std::uint32_t m,
+                                   std::uint32_t kb) const override {
+    return segmentPath(m, kb);
+  }
+  SegmentHeader peekCommittedHeader(std::uint32_t m,
+                                    std::uint32_t kb) const override {
+    return peekSpilledHeader(m, kb);
+  }
+  Segment loadCommittedSegment(std::uint32_t m, std::uint32_t kb,
+                               std::uint64_t& bytesFetched) const override {
+    return loadSpilledSegment(m, kb, bytesFetched);
+  }
+  bool servesFromFiles() const noexcept override {
+    return eagerSpill() && !cacheServed;
+  }
+  bool streamsEvicted() const noexcept override { return budgetEnabled(); }
+  bool compressedFiles() const noexcept override { return spec.compressSpill; }
+  const nd::Coord& keySpace() const override { return spec.keySpace; }
+  std::size_t mergeWindowBytes() const override {
+    return spec.mergeWindowBytes;
+  }
 
   void markMapEligible(std::uint32_t m);
   void scheduleReducesLocked();

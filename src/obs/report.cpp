@@ -28,6 +28,9 @@ void writeSpanEvent(std::ostream& os, const Span& span, std::uint64_t pid) {
   if (span.taskId != kNoId) os << "\"task\":" << span.taskId << ',';
   if (span.attempt != 0) os << "\"attempt\":" << span.attempt << ',';
   if (span.keyblock != kNoId) os << "\"keyblock\":" << span.keyblock << ',';
+  if (span.connections != 0) {
+    os << "\"connections\":" << span.connections << ',';
+  }
   os << "\"bytes\":" << span.bytes << ",\"records\":" << span.records
      << ",\"represents\":" << span.represents << ",\"outcome\":\""
      << outcomeName(span.outcome) << "\"}}";

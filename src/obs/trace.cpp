@@ -37,6 +37,8 @@ const char* phaseName(Phase phase) noexcept {
       return "pressure-spill";
     case Phase::kCacheFetch:
       return "cache-fetch";
+    case Phase::kTransportFetch:
+      return "transport-fetch";
     case Phase::kNumPhases:
       break;
   }

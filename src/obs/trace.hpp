@@ -58,6 +58,7 @@ enum class Phase : std::uint8_t {
   kOutputCommit,  ///< reduce: committing the keyblock's output
   kPressureSpill, ///< engine: evicting a resident segment under memory pressure
   kCacheFetch,    ///< service: publishing one map's warm cached segments
+  kTransportFetch,///< reduce: one ShuffleTransport fetch attempt (inside kFetch)
   kNumPhases,
 };
 
@@ -81,6 +82,9 @@ struct Span {
   /// represents (paper section 3.2.1). Commit spans carry the
   /// segment's annotation; fetch spans the reduce-side tally.
   std::uint64_t represents = 0;
+  /// Shuffle connections this span covered (kFetch / kTransportFetch:
+  /// the per-(map, reduce) fetch count of Table 3); 0 elsewhere.
+  std::uint64_t connections = 0;
   std::uint32_t taskId = kNoId;  ///< map id or keyblock id (by `side`)
   std::uint32_t attempt = 0;     ///< 1-based; 0 = not attempt-scoped
   std::uint32_t keyblock = kNoId;
@@ -222,6 +226,9 @@ class SpanScope {
   }
   void setRepresents(std::uint64_t represents) noexcept {
     if (rec_ != nullptr) span_.represents = represents;
+  }
+  void setConnections(std::uint64_t connections) noexcept {
+    if (rec_ != nullptr) span_.connections = connections;
   }
   void fail() noexcept {
     if (rec_ != nullptr) span_.outcome = Outcome::kFail;

@@ -114,6 +114,21 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.memoryBudgetBytes = options.memoryBudgetBytes;
   spec.mergeWindowBytes = options.mergeWindowBytes;
   spec.compressSpill = options.compressSpill;
+  // Transport selection (DESIGN.md section 17): kFileServed only makes
+  // sense when map output commits to files eagerly — reject the
+  // combination here with the same rule validateJobSpec enforces, so a
+  // planner caller learns at plan time rather than submit time.
+  const bool eagerSpillPlan =
+      !options.spillDirectory.empty() && options.memoryBudgetBytes == 0;
+  if (options.transport == mr::ShuffleTransportKind::kFileServed &&
+      !eagerSpillPlan) {
+    throw std::invalid_argument(
+        "QueryPlanner: the file-served transport requires an eager-spill "
+        "plan (spillDirectory set, memoryBudgetBytes == 0)");
+  }
+  spec.transport = options.transport;
+  spec.transportConnections = options.transportConnections;
+  spec.transportTimeoutMillis = options.transportTimeoutMillis;
   spec.weight = options.jobWeight;
   spec.keepSpillOnFailure = options.keepSpillOnFailure;
   // The extraction map bounds every intermediate key, so every planner
@@ -145,6 +160,13 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
 
   spec.mapFingerprint =
       computeMapFingerprint(query_, inputShape_, options.datasetId, spec);
+
+  // Advisory transport recommendation: an eager-spill plan's map output
+  // is already committed files, so file-serving it adds no residency;
+  // anything else is best served by the zero-copy in-process handoff.
+  plan.recommendedTransport = eagerSpillPlan
+                                  ? mr::ShuffleTransportKind::kFileServed
+                                  : mr::ShuffleTransportKind::kInProcess;
 
   plan.spec = std::move(spec);
   return plan;

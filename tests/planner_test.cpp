@@ -125,6 +125,80 @@ TEST(QueryPlanner, ValidateAnnotationsOptional) {
   EXPECT_TRUE(plan.spec.expectedRepresents.empty());
 }
 
+TEST(QueryPlanner, TransportRecommendationFollowsSpillMode) {
+  QueryPlanner planner(weeklyQuery(), nd::Coord{70, 25, 10});
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+
+  // No spill: zero-copy in-process handoff, transport left unset.
+  QueryPlan inMemory = planner.plan(sh::temperatureField(), opts);
+  EXPECT_EQ(inMemory.recommendedTransport,
+            mr::ShuffleTransportKind::kInProcess);
+  EXPECT_FALSE(inMemory.spec.transport.has_value());
+
+  // Eager spill: map output is committed files, so serve the files.
+  opts.spillDirectory = "/tmp/sidr_planner_transport";
+  QueryPlan eager = planner.plan(sh::temperatureField(), opts);
+  EXPECT_EQ(eager.recommendedTransport,
+            mr::ShuffleTransportKind::kFileServed);
+
+  // Hybrid budget: segments are (mostly) resident; back to in-process.
+  opts.memoryBudgetBytes = 1 << 20;
+  QueryPlan hybrid = planner.plan(sh::temperatureField(), opts);
+  EXPECT_EQ(hybrid.recommendedTransport,
+            mr::ShuffleTransportKind::kInProcess);
+}
+
+TEST(QueryPlanner, TransportKnobsForwardToSpec) {
+  QueryPlanner planner(weeklyQuery(), nd::Coord{70, 25, 10});
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.transport = mr::ShuffleTransportKind::kSocket;
+  opts.transportConnections = 5;
+  opts.transportTimeoutMillis = 250;
+  QueryPlan plan = planner.plan(sh::temperatureField(), opts);
+  ASSERT_TRUE(plan.spec.transport.has_value());
+  EXPECT_EQ(*plan.spec.transport, mr::ShuffleTransportKind::kSocket);
+  EXPECT_EQ(plan.spec.transportConnections, 5u);
+  EXPECT_EQ(plan.spec.transportTimeoutMillis, 250u);
+}
+
+TEST(QueryPlanner, FileServedWithoutEagerSpillRejectedAtPlanTime) {
+  QueryPlanner planner(weeklyQuery(), nd::Coord{70, 25, 10});
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.transport = mr::ShuffleTransportKind::kFileServed;
+  // No spill directory at all.
+  EXPECT_THROW(planner.plan(sh::temperatureField(), opts),
+               std::invalid_argument);
+  // Hybrid budget is equally invalid: evicted-or-resident slots are not
+  // a committed-file store.
+  opts.spillDirectory = "/tmp/sidr_planner_transport";
+  opts.memoryBudgetBytes = 1 << 20;
+  EXPECT_THROW(planner.plan(sh::temperatureField(), opts),
+               std::invalid_argument);
+  opts.memoryBudgetBytes = 0;
+  EXPECT_NO_THROW(planner.plan(sh::temperatureField(), opts));
+}
+
+TEST(QueryPlanner, TransportDoesNotLeakIntoMapFingerprint) {
+  // The transport moves bytes; it cannot change them. A resubmission
+  // that switches data planes must still hit the segment cache.
+  QueryPlanner planner(weeklyQuery(), nd::Coord{70, 25, 10});
+  PlanOptions opts;
+  opts.system = SystemMode::kSidr;
+  opts.datasetId = "weekly-v1";
+  QueryPlan base = planner.plan(sh::temperatureField(), opts);
+  ASSERT_TRUE(base.spec.mapFingerprint.has_value());
+
+  opts.transport = mr::ShuffleTransportKind::kSocket;
+  opts.transportConnections = 9;
+  opts.transportTimeoutMillis = 123;
+  QueryPlan socketed = planner.plan(sh::temperatureField(), opts);
+  ASSERT_TRUE(socketed.spec.mapFingerprint.has_value());
+  EXPECT_EQ(*base.spec.mapFingerprint, *socketed.spec.mapFingerprint);
+}
+
 TEST(Engine, AnnotationValidatorDetectsWrongExpectations) {
   // Mutation check: feed the engine deliberately wrong expected tallies
   // and confirm the validator flags every reduce.
