@@ -40,6 +40,10 @@ ctest --test-dir build --output-on-failure -j"$(nproc)" -L slow
 #                                    segments concurrently with recovery
 #                                    republication and mid-fetch cancels
 #                                    (DESIGN.md section 17)
+#   skew_join_test                   two-input maps feeding one shuffle,
+#                                    refined-deal routing under every
+#                                    regime/transport, join reduces over
+#                                    dual-side segments (DESIGN.md §18)
 TSAN_SUITES=(
   engine_test
   randomized_test
@@ -51,6 +55,7 @@ TSAN_SUITES=(
   engine_service_test
   segment_cache_test
   shuffle_transport_test
+  skew_join_test
 )
 cmake --preset tsan
 cmake --build --preset tsan -j"$(nproc)" --target "${TSAN_SUITES[@]}"
@@ -67,11 +72,15 @@ done
 # lifetimes (donation after finalize, claims from later jobs). The
 # transport suite's framed-decode fuzzing and chunked file serving are
 # classic heap-overflow territory, so it rides in the ASan pass too.
+# skew_join_test joins two value streams inside one reduce (side-tagged
+# list payloads, sorted in place) across every spill regime — buffer
+# reuse across sides is where a stale-pointer bug would live.
 ASAN_SUITES=(
   out_of_core_test
   engine_service_test
   segment_cache_test
   shuffle_transport_test
+  skew_join_test
 )
 cmake --preset asan
 cmake --build --preset asan -j"$(nproc)" --target "${ASAN_SUITES[@]}"
@@ -86,7 +95,7 @@ done
 # and checks the disabled-recorder arm stays within its overhead gate.
 cmake --preset bench
 cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
-  bench_engine_service bench_shuffle_transport
+  bench_engine_service bench_shuffle_transport bench_join_skew
 ./build-bench/bench/bench_map_pipeline --quick
 # The multi-job fleet driver is a correctness gate, not just a timing:
 # 72 queued jobs against one EngineService, every success bit-identical
@@ -97,3 +106,7 @@ cmake --build --preset bench -j"$(nproc)" --target bench_map_pipeline \
 # Transport sweep: socket and file-served data planes must reproduce
 # the in-process run bit-identically (exits non-zero on divergence).
 ./build-bench/bench/bench_shuffle_transport --quick
+# Skew-adaptive join gate: refined plan bit-identical to uniform, both
+# matching the nested-loop oracle, p99 keyblock load improved >= 1.5x
+# (exits non-zero on any violation).
+./build-bench/bench/bench_join_skew --quick

@@ -190,6 +190,13 @@ struct InputSplit {
   std::uint32_t id = 0;
   std::vector<nd::Region> regions;
 
+  /// Which input array this split reads: 0 = the primary input (always),
+  /// 1 = the secondary input of a two-input job (structural join). Splits
+  /// with input == 1 run through JobSpec::secondaryReaderFactory /
+  /// secondaryMapperFactory; split ids stay globally unique across both
+  /// inputs (dependency sets and recovery address splits by id alone).
+  std::uint8_t input = 0;
+
   static InputSplit single(std::uint32_t id, nd::Region region) {
     InputSplit s;
     s.id = id;
@@ -203,6 +210,17 @@ struct InputSplit {
     for (const nd::Region& r : regions) v += r.volume();
     return v;
   }
+};
+
+/// What the skew-adaptive planning stage did (DESIGN.md §18): filled by
+/// QueryPlanner when PlanOptions::skewAdapt is on, mirrored into the
+/// trace counter registry under `skew.*` at job end. All-zero when the
+/// stage did not run or refinement was a no-op.
+struct SkewAdaptStats {
+  std::uint64_t sampledRecords = 0;  ///< input records the sampler read
+  std::uint32_t splitKeyblocks = 0;  ///< hot uniform blocks split apart
+  std::uint32_t coalescedKeyblocks = 0;  ///< cold blocks merged away
+  bool refined = false;  ///< a non-trivial refined partition is active
 };
 
 struct JobSpec {
@@ -225,6 +243,12 @@ struct JobSpec {
   RecordReaderFactory readerFactory;
   MapperFactory mapperFactory;
   ReducerFactory reducerFactory;
+  /// Second input of a two-input job (structural join, DESIGN.md §18):
+  /// splits with InputSplit::input == 1 read through this reader and run
+  /// this mapper. Both must be set together (and only when some split
+  /// references input 1); single-input jobs leave both empty.
+  RecordReaderFactory secondaryReaderFactory;
+  MapperFactory secondaryMapperFactory;
   /// Optional map-side combiner applied per (map, keyblock) segment
   /// after the sort; merges equal-key records, preserving the count
   /// annotation totals.
@@ -344,6 +368,10 @@ struct JobSpec {
   /// budget); cache-served runs always use kInProcess regardless of this
   /// field (warm handles have no spill files to serve).
   std::optional<ShuffleTransportKind> transport;
+
+  /// What skew-adaptive planning did for this job (informational; the
+  /// engine only mirrors it into trace counters). Filled by the planner.
+  SkewAdaptStats skewStats;
 
   /// Connection-pool size per reduce fetch for the socket-backed
   /// transports: a fetch splits its dependency set across up to this

@@ -127,6 +127,32 @@ void validateJobSpec(const JobSpec& spec) {
           " out of range");
     }
   }
+  bool hasSecondaryFactories =
+      static_cast<bool>(spec.secondaryReaderFactory) &&
+      static_cast<bool>(spec.secondaryMapperFactory);
+  if (static_cast<bool>(spec.secondaryReaderFactory) !=
+      static_cast<bool>(spec.secondaryMapperFactory)) {
+    throw std::invalid_argument(
+        "Engine: secondaryReaderFactory and secondaryMapperFactory must be "
+        "set together");
+  }
+  bool hasSecondarySplits = false;
+  for (const InputSplit& s : spec.splits) {
+    if (s.input > 1) {
+      throw std::invalid_argument(
+          "Engine: InputSplit::input must be 0 or 1 (split " +
+          std::to_string(s.id) + ")");
+    }
+    if (s.input == 1) hasSecondarySplits = true;
+  }
+  if (hasSecondarySplits && !hasSecondaryFactories) {
+    throw std::invalid_argument(
+        "Engine: splits reference input 1 but no secondary factories are set");
+  }
+  if (hasSecondaryFactories && !hasSecondarySplits) {
+    throw std::invalid_argument(
+        "Engine: secondary factories set but no split references input 1");
+  }
   if (spec.transportConnections == 0) {
     throw std::invalid_argument("Engine: transportConnections must be > 0");
   }
@@ -619,6 +645,11 @@ JobOutcome JobContext::finalize() {
     t.addCounter("net.fetchRetries", result.transportTotals.fetchRetries);
     t.addCounter("net.wastedWireBytes",
                  result.transportTotals.wastedWireBytes);
+    t.addCounter("skew.sampledRecords", spec.skewStats.sampledRecords);
+    t.addCounter("skew.splitKeyblocks", spec.skewStats.splitKeyblocks);
+    t.addCounter("skew.coalescedKeyblocks",
+                 spec.skewStats.coalescedKeyblocks);
+    t.addCounter("skew.refined", spec.skewStats.refined ? 1 : 0);
   }
   result.trace.jobId = spec.jobId;
 
@@ -689,7 +720,14 @@ void JobContext::runMap(std::uint32_t m) {
   obs::SpanScope attemptSpan(obs::Phase::kTaskAttempt, obs::TaskSide::kMap, m,
                              attempt);
   double tStart = now();
-  auto mapper = spec.mapperFactory();
+  // Two-input jobs (structural join) route secondary-input splits
+  // through their own reader and mapper; split ids, routing validation
+  // and recovery below are input-agnostic.
+  const bool secondary = spec.splits[m].input == 1;
+  auto mapper =
+      secondary ? spec.secondaryMapperFactory() : spec.mapperFactory();
+  const RecordReaderFactory& readerFactory =
+      secondary ? spec.secondaryReaderFactory : spec.readerFactory;
   std::unique_ptr<Combiner> combiner =
       spec.combinerFactory ? spec.combinerFactory() : nullptr;
   // Batched read → map → route → sort/combine lives in the shared map
@@ -702,7 +740,7 @@ void JobContext::runMap(std::uint32_t m) {
   std::vector<Segment> produced;
   {
     ScopedSortStatsSink statsSink(&taskSort);
-    produced = runMapPipeline(spec.splits[m], m, spec.readerFactory, *mapper,
+    produced = runMapPipeline(spec.splits[m], m, readerFactory, *mapper,
                               *spec.partitioner, numReduces, combiner.get(),
                               spec.keySpace, pagePool.get());
   }

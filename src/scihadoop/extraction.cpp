@@ -17,6 +17,7 @@ bool isDistributive(OperatorKind op) {
     case OperatorKind::kMedian:
     case OperatorKind::kFilter:
     case OperatorKind::kSort:
+    case OperatorKind::kJoin:
       return false;
   }
   throw std::invalid_argument("isDistributive: bad OperatorKind");
@@ -36,11 +37,19 @@ std::string describe(const StructuralQuery& q) {
     case OperatorKind::kFilter:
       os << "filter(>" << q.filterThreshold << ")";
       break;
+    case OperatorKind::kJoin:
+      os << "join";
+      break;
   }
   os << " over " << q.variable;
   if (q.subset) os << '[' << q.subset->toString() << ']';
   os << " eshape " << q.extractionShape.toString();
   if (q.stride) os << " stride " << q.stride->toString();
+  if (q.join) {
+    os << " with " << q.join->variable << " eshape "
+       << q.join->extractionShape.toString();
+    if (q.join->stride) os << " stride " << q.join->stride->toString();
+  }
   return os.str();
 }
 

@@ -40,6 +40,10 @@ void StructuralMapper::map(const nd::Coord& key, double value,
     case OperatorKind::kFilter:
       if (value > query_.filterThreshold) cell.list.push_back(value);
       break;
+    case OperatorKind::kJoin:
+      throw std::logic_error(
+          "StructuralMapper: kJoin needs the two-input JoinSideMapper "
+          "(QueryPlanner::planJoin)");
   }
 }
 
@@ -86,6 +90,9 @@ mr::Value finalizeCell(const StructuralQuery& query, const mr::Partial& p,
       std::sort(list.begin(), list.end());
       return mr::Value::list(std::move(list));
     }
+    case OperatorKind::kJoin:
+      throw std::logic_error(
+          "finalizeCell: kJoin pairs two sides (JoinReducer)");
   }
   throw std::invalid_argument("finalizeCell: bad OperatorKind");
 }
@@ -123,6 +130,10 @@ mr::ReducerFactory makeStructuralReducerFactory(const StructuralQuery& query) {
 std::vector<mr::KeyValue> runSerialOracle(const StructuralQuery& query,
                                           const ExtractionMap& extraction,
                                           const ValueFn& fn) {
+  if (query.op == OperatorKind::kJoin) {
+    throw std::invalid_argument(
+        "runSerialOracle: kJoin reads two inputs (use runJoinOracle)");
+  }
   std::vector<mr::KeyValue> out;
   nd::Region grid = nd::Region::wholeSpace(extraction.instanceGridShape());
   for (nd::RegionCursor g(grid); g.valid(); g.next()) {
@@ -144,6 +155,156 @@ std::vector<mr::KeyValue> runSerialOracle(const StructuralQuery& query,
     kv.key = extraction.keyForInstance(g.coord());
     kv.value = finalizeCell(query, partial, std::move(list));
     kv.represents = static_cast<std::uint64_t>(cell.volume());
+    out.push_back(std::move(kv));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const mr::KeyValue& a, const mr::KeyValue& b) {
+              return a.key < b.key;
+            });
+  return out;
+}
+
+JoinSideMapper::JoinSideMapper(
+    std::shared_ptr<const ExtractionMap> extraction, double keepAbove,
+    std::uint8_t side)
+    : extraction_(std::move(extraction)),
+      keepAbove_(keepAbove),
+      sideTag_(side == 0 ? 0.0 : 1.0) {
+  if (side > 1) {
+    throw std::invalid_argument("JoinSideMapper: side must be 0 or 1");
+  }
+}
+
+void JoinSideMapper::map(const nd::Coord& key, double value,
+                         mr::MapContext& /*ctx*/) {
+  auto kp = extraction_->keyFor(key);
+  if (!kp) return;  // stride gap or truncated edge: produces nothing
+  CellState* cellPtr;
+  if (lastKp_ != nullptr && *lastKp_ == *kp) {
+    cellPtr = lastCell_;
+  } else {
+    auto it = cells_.try_emplace(*kp).first;
+    lastKp_ = &it->first;
+    lastCell_ = cellPtr = &it->second;
+  }
+  ++cellPtr->consumed;
+  if (value > keepAbove_) cellPtr->values.push_back(value);
+}
+
+void JoinSideMapper::finish(mr::MapContext& ctx) {
+  for (auto& [kp, cell] : cells_) {
+    std::vector<double> tagged;
+    tagged.reserve(cell.values.size() + 1);
+    tagged.push_back(sideTag_);
+    tagged.insert(tagged.end(), cell.values.begin(), cell.values.end());
+    ctx.emit(kp, mr::Value::list(std::move(tagged)), cell.consumed);
+  }
+  cells_.clear();
+  lastKp_ = nullptr;
+  lastCell_ = nullptr;
+}
+
+void JoinReducer::reduce(const nd::Coord& key,
+                         std::span<const mr::Value* const> values,
+                         mr::ReduceContext& ctx) {
+  std::vector<double> left;
+  std::vector<double> right;
+  for (const mr::Value* v : values) {
+    if (v->kind() != mr::ValueKind::kList) {
+      throw std::logic_error("JoinReducer: expected side-tagged lists");
+    }
+    const auto& xs = v->asList();
+    if (xs.empty() || (xs.front() != 0.0 && xs.front() != 1.0)) {
+      throw std::logic_error("JoinReducer: malformed side tag");
+    }
+    auto& side = xs.front() == 0.0 ? left : right;
+    side.insert(side.end(), xs.begin() + 1, xs.end());
+  }
+  // Sorting each side makes the output a pure function of the two value
+  // MULTISETS: merge order (and with it shuffle regime, transport, and
+  // partition refinement) cannot show through.
+  std::sort(left.begin(), left.end());
+  std::sort(right.begin(), right.end());
+  std::vector<double> products;
+  products.reserve(left.size() * right.size());
+  for (double a : left) {
+    for (double b : right) products.push_back(a * b);
+  }
+  ctx.emit(key, mr::Value::list(std::move(products)));
+}
+
+StructuralQuery joinRightQuery(const StructuralQuery& query) {
+  if (!query.join) {
+    throw std::invalid_argument("joinRightQuery: query has no JoinSpec");
+  }
+  StructuralQuery rq;
+  rq.variable = query.join->variable;
+  rq.op = OperatorKind::kJoin;
+  rq.extractionShape = query.join->extractionShape;
+  rq.stride = query.join->stride;
+  rq.edgeMode = query.edgeMode;
+  rq.keyMode = KeyMode::kRenumber;
+  return rq;
+}
+
+mr::MapperFactory makeJoinMapperFactory(
+    const StructuralQuery& query,
+    std::shared_ptr<const ExtractionMap> extraction, std::uint8_t side) {
+  if (!query.join) {
+    throw std::invalid_argument("makeJoinMapperFactory: no JoinSpec");
+  }
+  const double keepAbove =
+      side == 0 ? query.join->leftThreshold : query.join->rightThreshold;
+  return [extraction = std::move(extraction), keepAbove, side] {
+    return std::make_unique<JoinSideMapper>(extraction, keepAbove, side);
+  };
+}
+
+mr::ReducerFactory makeJoinReducerFactory() {
+  return [] { return std::make_unique<JoinReducer>(); };
+}
+
+std::vector<mr::KeyValue> runJoinOracle(const StructuralQuery& query,
+                                        const ExtractionMap& left,
+                                        const ExtractionMap& right,
+                                        const ValueFn& leftFn,
+                                        const ValueFn& rightFn) {
+  if (query.op != OperatorKind::kJoin || !query.join) {
+    throw std::invalid_argument("runJoinOracle: query is not a join");
+  }
+  if (left.instanceGridShape() != right.instanceGridShape()) {
+    throw std::invalid_argument("runJoinOracle: instance grids differ");
+  }
+  std::vector<mr::KeyValue> out;
+  nd::Region grid = nd::Region::wholeSpace(left.instanceGridShape());
+  for (nd::RegionCursor g(grid); g.valid(); g.next()) {
+    auto survivors = [](const ExtractionMap& ex, const ValueFn& fn,
+                        const nd::Coord& inst, double keepAbove,
+                        std::uint64_t& consumed) {
+      std::vector<double> vs;
+      nd::Region cell = ex.cellOf(inst);
+      consumed += static_cast<std::uint64_t>(cell.volume());
+      for (nd::RegionCursor c(cell); c.valid(); c.next()) {
+        double v = fn(c.coord());
+        if (v > keepAbove) vs.push_back(v);
+      }
+      std::sort(vs.begin(), vs.end());
+      return vs;
+    };
+    std::uint64_t consumed = 0;
+    std::vector<double> ls = survivors(left, leftFn, g.coord(),
+                                       query.join->leftThreshold, consumed);
+    std::vector<double> rs = survivors(right, rightFn, g.coord(),
+                                       query.join->rightThreshold, consumed);
+    std::vector<double> products;
+    products.reserve(ls.size() * rs.size());
+    for (double a : ls) {
+      for (double b : rs) products.push_back(a * b);
+    }
+    mr::KeyValue kv;
+    kv.key = left.keyForInstance(g.coord());
+    kv.value = mr::Value::list(std::move(products));
+    kv.represents = consumed;
     out.push_back(std::move(kv));
   }
   std::sort(out.begin(), out.end(),

@@ -71,9 +71,71 @@ mr::ReducerFactory makeStructuralReducerFactory(const StructuralQuery& query);
 
 /// Evaluates the query serially over the whole input (values supplied by
 /// `fn`) — the ground-truth oracle for engine tests. Returns key-sorted
-/// results.
+/// results. Rejects kJoin (use runJoinOracle).
 std::vector<mr::KeyValue> runSerialOracle(const StructuralQuery& query,
                                           const ExtractionMap& extraction,
                                           const ValueFn& fn);
+
+// --- two-array structural join (OperatorKind::kJoin, DESIGN.md §18) ---
+
+/// Map-side operator for ONE side of the join: buffers each cell's
+/// surviving values (strictly greater than the side's threshold),
+/// then emits one list per cell with the side tag prepended —
+/// list[0] is 0.0 (left) or 1.0 (right), the rest the surviving
+/// values — so the reducer can pair the two sides of a shared key.
+/// A cell whose values all fail the threshold still emits (an empty
+/// tagged list): `represents` counts consumed inputs pre-filter, so
+/// count-annotation gating stays exact.
+class JoinSideMapper final : public mr::Mapper {
+ public:
+  JoinSideMapper(std::shared_ptr<const ExtractionMap> extraction,
+                 double keepAbove, std::uint8_t side);
+
+  void map(const nd::Coord& key, double value, mr::MapContext& ctx) override;
+  void finish(mr::MapContext& ctx) override;
+
+ private:
+  struct CellState {
+    std::vector<double> values;
+    std::uint64_t consumed = 0;
+  };
+
+  std::shared_ptr<const ExtractionMap> extraction_;
+  double keepAbove_;
+  double sideTag_;
+  std::map<nd::Coord, CellState> cells_;
+  const nd::Coord* lastKp_ = nullptr;
+  CellState* lastCell_ = nullptr;
+};
+
+/// Reduce-side join: splits the fetched lists by side tag, sorts each
+/// side ascending (making the output independent of merge order, hence
+/// of shuffle regime, transport and partition refinement), and emits
+/// the nested-loop products left[i]*right[j], j fastest.
+class JoinReducer final : public mr::Reducer {
+ public:
+  void reduce(const nd::Coord& key, std::span<const mr::Value* const> values,
+              mr::ReduceContext& ctx) override;
+};
+
+/// The synthesized right-side query of a join: the JoinSpec's geometry
+/// under the left query's edge mode, renumbered keys. Single source of
+/// truth for planner, oracle and tests building the right ExtractionMap.
+StructuralQuery joinRightQuery(const StructuralQuery& query);
+
+mr::MapperFactory makeJoinMapperFactory(
+    const StructuralQuery& query,
+    std::shared_ptr<const ExtractionMap> extraction, std::uint8_t side);
+mr::ReducerFactory makeJoinReducerFactory();
+
+/// Serial nested-loop evaluation of a kJoin query over both inputs —
+/// the join analogue of runSerialOracle. `left`/`right` must share an
+/// instance grid; `represents` of each record is the total inputs
+/// consumed from BOTH cells.
+std::vector<mr::KeyValue> runJoinOracle(const StructuralQuery& query,
+                                        const ExtractionMap& left,
+                                        const ExtractionMap& right,
+                                        const ValueFn& leftFn,
+                                        const ValueFn& rightFn);
 
 }  // namespace sidr::sh

@@ -7,6 +7,7 @@
 // stride lengths space the instances apart (strided access).
 #pragma once
 
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -27,6 +28,9 @@ enum class OperatorKind : std::uint8_t {
   kFilter,  ///< list-valued: values above a threshold (paper Query 2)
   kSort,    ///< holistic, list-valued: the cell's values in ascending
             ///< order (section 2.2: "sort the data points for each day")
+  kJoin,    ///< holistic, two-input: structural equi-join of two arrays
+            ///< on their shared instance grid (SharesSkew-style); needs
+            ///< StructuralQuery::join and QueryPlanner::planJoin
 };
 
 /// True for operators whose per-cell partials are constant-size
@@ -57,6 +61,29 @@ enum class KeyMode : std::uint8_t {
   kPreserveCoords,
 };
 
+/// The right side of a two-array structural join (OperatorKind::kJoin).
+/// Both arrays are tiled by their own extraction shapes; the two
+/// instance GRIDS must be identical — instance g of the left array
+/// joins instance g of the right, so the grid is the shared keyspace
+/// both map sides route into. Join semantics (frozen, pinned by
+/// tests/skew_join_test.cpp): per instance, the surviving left values
+/// (ascending) pair with the surviving right values (ascending) in
+/// nested-loop order, emitting the products a*b; either side empty
+/// yields an empty list but the instance's record still exists, so
+/// count annotations stay exact.
+struct JoinSpec {
+  std::string variable;        ///< right-side input variable name
+  nd::Coord inputShape;        ///< right-side input extents
+  nd::Coord extractionShape;   ///< right-side cell shape (grids must match)
+  std::optional<nd::Coord> stride;  ///< right-side spacing (>= eshape)
+
+  /// Per-side survival filters: a value joins only when strictly
+  /// greater. -infinity (the default) keeps everything — 0.0 would
+  /// silently drop negative data.
+  double leftThreshold = -std::numeric_limits<double>::infinity();
+  double rightThreshold = -std::numeric_limits<double>::infinity();
+};
+
 struct StructuralQuery {
   std::string variable;            ///< input variable name
 
@@ -75,6 +102,10 @@ struct StructuralQuery {
   /// Upper bound on permissible intermediate-key skew, in keys per
   /// keyblock granule (paper section 3.1). 0 = let the system choose.
   nd::Index skewBound = 0;
+
+  /// Second input array for OperatorKind::kJoin; must be set exactly
+  /// when op == kJoin. The left side is described by the fields above.
+  std::optional<JoinSpec> join;
 };
 
 /// Human-readable one-line description (for logs and bench output).

@@ -162,6 +162,9 @@ class Parser {
     if (name == "median") return OperatorKind::kMedian;
     if (name == "filter") return OperatorKind::kFilter;
     if (name == "sort") return OperatorKind::kSort;
+    // kJoin is deliberately NOT parseable: a join needs the full
+    // JoinSpec (second variable, shapes), which the one-line query
+    // language has no syntax for. Build join queries programmatically.
     fail("unknown operator '" + name + "'");
   }
 
@@ -188,6 +191,7 @@ std::string toQueryString(const StructuralQuery& q) {
     case OperatorKind::kMedian: os << "median"; break;
     case OperatorKind::kFilter: os << "filter"; break;
     case OperatorKind::kSort: os << "sort"; break;
+    case OperatorKind::kJoin: os << "join"; break;
   }
   os << '(' << q.variable;
   if (q.subset) {

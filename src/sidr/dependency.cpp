@@ -1,6 +1,7 @@
 #include "sidr/dependency.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace sidr::core {
 
@@ -8,14 +9,41 @@ DependencyCalculator::DependencyCalculator(
     std::shared_ptr<const PartitionPlus> plan)
     : plan_(std::move(plan)) {}
 
+DependencyCalculator::DependencyCalculator(
+    std::shared_ptr<const PartitionPlus> plan,
+    std::shared_ptr<const sh::ExtractionMap> secondary)
+    : plan_(std::move(plan)), secondary_(std::move(secondary)) {
+  if (secondary_ == nullptr) {
+    throw std::invalid_argument(
+        "DependencyCalculator: secondary extraction is null");
+  }
+  if (secondary_->instanceGridShape() !=
+      plan_->extraction().instanceGridShape()) {
+    throw std::invalid_argument(
+        "DependencyCalculator: the two inputs' instance grids differ — a "
+        "join routes both sides into the SAME keyblocks");
+  }
+}
+
+const sh::ExtractionMap& DependencyCalculator::extractionFor(
+    const mr::InputSplit& split) const {
+  if (split.input == 0) return plan_->extraction();
+  if (split.input == 1 && secondary_ != nullptr) return *secondary_;
+  throw std::invalid_argument(
+      "DependencyCalculator: split " + std::to_string(split.id) +
+      " references input " + std::to_string(split.input) +
+      " but no matching extraction is configured");
+}
+
 std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
     const mr::InputSplit& split) const {
+  const sh::ExtractionMap& ex = extractionFor(split);
   if (split.regions.size() == 1) {
-    return keyblocksForSplit(split.regions.front());
+    return keyblocksForSplitIn(split.regions.front(), ex);
   }
   std::vector<bool> seen(plan_->numReducers(), false);
   for (const nd::Region& region : split.regions) {
-    for (std::uint32_t kb : keyblocksForSplit(region)) seen[kb] = true;
+    for (std::uint32_t kb : keyblocksForSplitIn(region, ex)) seen[kb] = true;
   }
   std::vector<std::uint32_t> out;
   for (std::uint32_t kb = 0; kb < seen.size(); ++kb) {
@@ -26,7 +54,11 @@ std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
 
 std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
     const nd::Region& region) const {
-  const sh::ExtractionMap& ex = plan_->extraction();
+  return keyblocksForSplitIn(region, plan_->extraction());
+}
+
+std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplitIn(
+    const nd::Region& region, const sh::ExtractionMap& ex) const {
   std::vector<std::uint32_t> out;
   auto range = ex.instanceRangeOf(region);
   if (!range) return out;  // split maps to nothing (gap / truncated tail)
@@ -48,7 +80,14 @@ std::vector<std::uint32_t> DependencyCalculator::keyblocksForSplit(
         plan_->keyblockOfGranule(rowStart / plan_->granuleSize());
     std::uint32_t kbLast = plan_->keyblockOfGranule(
         (rowStart + rowLen - 1) / plan_->granuleSize());
-    for (std::uint32_t kb = kbFirst; kb <= kbLast; ++kb) seen[kb] = true;
+    for (std::uint32_t kb = kbFirst; kb <= kbLast; ++kb) {
+      // A refined plan can leave EMPTY keyblocks between two occupied
+      // ones (RefinedPartition::granuleStart duplicates); the interval
+      // walk must not declare the split a dependency of those — an
+      // empty keyblock receives no records from anyone. No-op for the
+      // uniform deal, whose interior blocks are never empty.
+      if (plan_->keyblockSize(kb) > 0) seen[kb] = true;
+    }
   }
   for (std::uint32_t kb = 0; kb < seen.size(); ++kb) {
     if (seen[kb]) out.push_back(kb);
@@ -75,35 +114,40 @@ DependencyInfo DependencyCalculator::computeAll(
 
   // |K_l|: sum of cell volumes over each keyblock's instances. In
   // truncate mode every cell is a full extraction shape; in pad mode
-  // edge cells are clipped, so walk the instances.
-  const sh::ExtractionMap& ex = plan_->extraction();
-  info.expectedRepresents.assign(r, 0);
-  for (std::uint32_t kb = 0; kb < r; ++kb) {
-    auto [first, last] = plan_->instanceRange(kb);
-    std::uint64_t total = 0;
-    for (const nd::Region& box : linearRangeToRegions(
-             first, last, ex.instanceGridShape())) {
-      // Interior boxes are full cells; only boxes touching the grid's
-      // upper edge can contain clipped cells.
-      bool touchesEdge = false;
-      for (std::size_t d = 0; d < box.rank(); ++d) {
-        if (box.corner()[d] + box.shape()[d] == ex.instanceGridShape()[d] &&
-            ex.inputShape()[d] % ex.stride()[d] != 0) {
-          touchesEdge = true;
-          break;
+  // edge cells are clipped, so walk the instances. A two-input job
+  // consumes BOTH sides' cells per instance, so each configured
+  // extraction contributes its own walk.
+  auto addSide = [&](const sh::ExtractionMap& ex) {
+    for (std::uint32_t kb = 0; kb < r; ++kb) {
+      auto [first, last] = plan_->instanceRange(kb);
+      std::uint64_t total = 0;
+      for (const nd::Region& box : linearRangeToRegions(
+               first, last, ex.instanceGridShape())) {
+        // Interior boxes are full cells; only boxes touching the grid's
+        // upper edge can contain clipped cells.
+        bool touchesEdge = false;
+        for (std::size_t d = 0; d < box.rank(); ++d) {
+          if (box.corner()[d] + box.shape()[d] == ex.instanceGridShape()[d] &&
+              ex.inputShape()[d] % ex.stride()[d] != 0) {
+            touchesEdge = true;
+            break;
+          }
+        }
+        if (!touchesEdge) {
+          total += static_cast<std::uint64_t>(box.volume()) *
+                   static_cast<std::uint64_t>(ex.extractionShape().volume());
+        } else {
+          for (nd::RegionCursor g(box); g.valid(); g.next()) {
+            total += static_cast<std::uint64_t>(ex.cellVolume(g.coord()));
+          }
         }
       }
-      if (!touchesEdge) {
-        total += static_cast<std::uint64_t>(box.volume()) *
-                 static_cast<std::uint64_t>(ex.extractionShape().volume());
-      } else {
-        for (nd::RegionCursor g(box); g.valid(); g.next()) {
-          total += static_cast<std::uint64_t>(ex.cellVolume(g.coord()));
-        }
-      }
+      info.expectedRepresents[kb] += total;
     }
-    info.expectedRepresents[kb] = total;
-  }
+  };
+  info.expectedRepresents.assign(r, 0);
+  addSide(plan_->extraction());
+  if (secondary_ != nullptr) addSide(*secondary_);
   return info;
 }
 

@@ -41,10 +41,19 @@ class DependencyCalculator {
  public:
   explicit DependencyCalculator(std::shared_ptr<const PartitionPlus> plan);
 
-  /// Keyblocks that split `region` contributes to (ascending).
+  /// Two-input (join) variant: splits with InputSplit::input == 1 are
+  /// mapped through `secondary` instead of the plan's extraction. Both
+  /// extractions must share an instance grid (they route into the same
+  /// keyblocks), and expectedRepresents sums BOTH sides' cell volumes.
+  DependencyCalculator(std::shared_ptr<const PartitionPlus> plan,
+                       std::shared_ptr<const sh::ExtractionMap> secondary);
+
+  /// Keyblocks that split `region` contributes to (ascending), through
+  /// the PRIMARY extraction.
   std::vector<std::uint32_t> keyblocksForSplit(const nd::Region& region) const;
 
-  /// Union over a (possibly multi-region, e.g. byte-range) split.
+  /// Union over a (possibly multi-region, e.g. byte-range) split, through
+  /// the extraction selected by InputSplit::input.
   std::vector<std::uint32_t> keyblocksForSplit(
       const mr::InputSplit& split) const;
 
@@ -69,7 +78,12 @@ class DependencyCalculator {
       const DependencyInfo& info) const;
 
  private:
+  std::vector<std::uint32_t> keyblocksForSplitIn(
+      const nd::Region& region, const sh::ExtractionMap& ex) const;
+  const sh::ExtractionMap& extractionFor(const mr::InputSplit& split) const;
+
   std::shared_ptr<const PartitionPlus> plan_;
+  std::shared_ptr<const sh::ExtractionMap> secondary_;  ///< null = one input
 };
 
 }  // namespace sidr::core

@@ -1,6 +1,7 @@
 #include "sidr/partition_plus.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace sidr::core {
@@ -59,6 +60,14 @@ PartitionPlus::PartitionPlus(
 std::uint32_t PartitionPlus::keyblockOfGranule(nd::Index granule) const {
   if (granule < 0 || granule >= granuleCount_) {
     throw std::out_of_range("PartitionPlus: granule index out of range");
+  }
+  if (refined_) {
+    // Owning keyblock k satisfies granuleStart[k] <= granule <
+    // granuleStart[k+1]; with equal adjacent starts (empty keyblocks)
+    // the LAST k whose start is <= granule is the non-empty owner.
+    const auto& starts = refined_->granuleStart;
+    auto it = std::upper_bound(starts.begin(), starts.end(), granule);
+    return static_cast<std::uint32_t>((it - starts.begin()) - 1);
   }
   // Blocks holding q+1 granules come LAST: the final granule (possibly
   // ragged, shorter than granuleSize_) then always lands in a q+1 block,
@@ -125,28 +134,110 @@ std::uint32_t PartitionPlus::partitionRun(const nd::Coord& key,
   return kb;
 }
 
+std::pair<nd::Index, nd::Index> PartitionPlus::uniformGranuleRange(
+    std::uint32_t keyblock) const {
+  const nd::Index q = granulesPerBlockFloor_;
+  const auto kb = static_cast<nd::Index>(keyblock);
+  const nd::Index plainBlocks =
+      static_cast<nd::Index>(numReducers_) - blocksWithExtra_;
+  if (kb < plainBlocks) {
+    return {kb * q, kb * q + q};
+  }
+  const nd::Index gFirst = plainBlocks * q + (kb - plainBlocks) * (q + 1);
+  return {gFirst, gFirst + (q + 1)};
+}
+
 std::pair<nd::Index, nd::Index> PartitionPlus::instanceRange(
     std::uint32_t keyblock) const {
   if (keyblock >= numReducers_) {
     throw std::out_of_range("PartitionPlus: keyblock out of range");
   }
-  const nd::Index q = granulesPerBlockFloor_;
-  const auto kb = static_cast<nd::Index>(keyblock);
-  const nd::Index plainBlocks =
-      static_cast<nd::Index>(numReducers_) - blocksWithExtra_;
   nd::Index gFirst;
   nd::Index gLast;
-  if (kb < plainBlocks) {
-    gFirst = kb * q;
-    gLast = gFirst + q;
+  if (refined_) {
+    gFirst = refined_->granuleStart[keyblock];
+    gLast = refined_->granuleStart[keyblock + 1];
   } else {
-    gFirst = plainBlocks * q + (kb - plainBlocks) * (q + 1);
-    gLast = gFirst + (q + 1);
+    std::tie(gFirst, gLast) = uniformGranuleRange(keyblock);
   }
   const nd::Index n = extraction_->instanceCount();
   nd::Index first = std::min(gFirst * granuleSize_, n);
   nd::Index last = std::min(gLast * granuleSize_, n);
   return {first, last};
+}
+
+bool PartitionPlus::refine(std::span<const double> granuleWeights) {
+  if (static_cast<nd::Index>(granuleWeights.size()) != granuleCount_) {
+    throw std::invalid_argument(
+        "PartitionPlus::refine: need one weight per granule");
+  }
+  double total = 0.0;
+  double wmax = 0.0;
+  for (double w : granuleWeights) {
+    if (!std::isfinite(w) || w < 0.0) {
+      throw std::invalid_argument(
+          "PartitionPlus::refine: weights must be finite and >= 0");
+    }
+    total += w;
+    wmax = std::max(wmax, w);
+  }
+  refined_.reset();
+  if (total <= 0.0) return false;  // no signal: keep the uniform deal
+
+  // Prefix sums, then boundary k = first granule where the prefix
+  // reaches k/r of the total. lower_bound keeps the boundaries
+  // monotone (the prefix is non-decreasing), so keyblocks remain
+  // contiguous granule runs; a granule heavier than the per-block
+  // target simply leaves its neighbour blocks empty.
+  std::vector<double> prefix(static_cast<std::size_t>(granuleCount_) + 1, 0.0);
+  for (nd::Index g = 0; g < granuleCount_; ++g) {
+    prefix[static_cast<std::size_t>(g) + 1] =
+        prefix[static_cast<std::size_t>(g)] +
+        granuleWeights[static_cast<std::size_t>(g)];
+  }
+  RefinedPartition r;
+  r.granuleStart.assign(static_cast<std::size_t>(numReducers_) + 1, 0);
+  r.granuleStart.back() = granuleCount_;
+  for (std::uint32_t k = 1; k < numReducers_; ++k) {
+    const double target =
+        total * (static_cast<double>(k) / static_cast<double>(numReducers_));
+    auto it = std::lower_bound(prefix.begin(), prefix.end(), target);
+    r.granuleStart[k] = static_cast<nd::Index>(it - prefix.begin());
+  }
+  r.totalWeight = total;
+  r.maxGranuleWeight = wmax;
+
+  bool matchesUniform = true;
+  for (std::uint32_t kb = 0; kb < numReducers_; ++kb) {
+    auto [uFirst, uLast] = uniformGranuleRange(kb);
+    const nd::Index rFirst = r.granuleStart[kb];
+    const nd::Index rLast = r.granuleStart[kb + 1];
+    if (rFirst != uFirst || rLast != uLast) matchesUniform = false;
+    r.maxLoadBefore =
+        std::max(r.maxLoadBefore,
+                 prefix[static_cast<std::size_t>(
+                     std::min(uLast, granuleCount_))] -
+                     prefix[static_cast<std::size_t>(
+                         std::min(uFirst, granuleCount_))]);
+    r.maxLoadAfter = std::max(
+        r.maxLoadAfter, prefix[static_cast<std::size_t>(rLast)] -
+                            prefix[static_cast<std::size_t>(rFirst)]);
+    const nd::Index uCount = std::min(uLast, granuleCount_) -
+                             std::min(uFirst, granuleCount_);
+    if (rLast - rFirst < uCount) ++r.splitKeyblocks;
+    if (rLast - rFirst > uCount) ++r.coalescedKeyblocks;
+  }
+  // A deal identical to the uniform one routes identically; keeping the
+  // plan officially UNREFINED keeps its map fingerprint equal to the
+  // unrefined plan's, so the two stay segment-cache-compatible.
+  if (matchesUniform) return false;
+  // Near-uniform noisy loads can land boundaries that make the WORST
+  // keyblock up to one granule heavier than the uniform deal's. A
+  // refinement that does not strictly improve the worst load would
+  // perturb routing and the fingerprint for nothing — decline it.
+  if (r.maxLoadAfter >= r.maxLoadBefore) return false;
+  refined_ = std::move(r);
+  return true;
 }
 
 nd::Index PartitionPlus::realizedSkew() const {

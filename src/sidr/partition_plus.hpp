@@ -15,11 +15,43 @@
 #pragma once
 
 #include <memory>
+#include <optional>
+#include <span>
 
 #include "mapreduce/interfaces.hpp"
 #include "scihadoop/extraction.hpp"
 
 namespace sidr::core {
+
+/// A skew-adapted granule deal (DESIGN.md §18): instead of the uniform
+/// q / q+1 granules per keyblock, boundaries are placed so every
+/// keyblock carries an (estimated) equal share of the post-filter load.
+/// Keyblocks stay contiguous runs of granules in linear instance order,
+/// so every downstream consumer of that property — dependency interval
+/// walks, run routing, dense output regions — works unchanged.
+struct RefinedPartition {
+  /// granuleStart[k] = first granule of keyblock k. Size numReducers+1,
+  /// non-decreasing, front() == 0, back() == granuleCount. Equal
+  /// adjacent entries denote an EMPTY keyblock (a single granule heavier
+  /// than the per-block target cannot be split below granule size; its
+  /// neighbours go empty instead).
+  std::vector<nd::Index> granuleStart;
+
+  /// Keyblocks that ended up with FEWER granules than the uniform deal
+  /// gave them (hot regions split across more blocks) / MORE granules
+  /// (cold regions coalesced).
+  std::uint32_t splitKeyblocks = 0;
+  std::uint32_t coalescedKeyblocks = 0;
+
+  /// Load accounting in the caller's weight units. The refinement
+  /// guarantee: maxLoadAfter <= totalWeight / numReducers +
+  /// maxGranuleWeight (one granule of quantization slack, the skew-bound
+  /// analogue of the uniform deal's one-granule key-count slack).
+  double totalWeight = 0.0;
+  double maxGranuleWeight = 0.0;
+  double maxLoadBefore = 0.0;  ///< heaviest keyblock under the uniform deal
+  double maxLoadAfter = 0.0;   ///< heaviest keyblock after refinement
+};
 
 class PartitionPlus final : public mr::Partitioner {
  public:
@@ -61,6 +93,28 @@ class PartitionPlus final : public mr::Partitioner {
   /// Total granules tiling the instance grid.
   nd::Index granuleCount() const noexcept { return granuleCount_; }
 
+  // --- skew-adaptive refinement (DESIGN.md §18) ---
+  /// Re-deals granule boundaries so keyblocks carry equal estimated
+  /// load instead of equal key counts. `granuleWeights` (one finite,
+  /// non-negative weight per granule — e.g. sampled post-filter record
+  /// counts) drives the deal: boundary k lands on the first granule
+  /// where the weight prefix sum reaches k/numReducers of the total.
+  /// Returns false — leaving the uniform deal in place — when the
+  /// weights carry no signal (all zero), reproduce the uniform deal
+  /// exactly, or fail to strictly improve the worst keyblock load (so
+  /// a no-op refinement keeps the unrefined plan's map fingerprint and
+  /// stays cache-compatible with it). Must be called
+  /// before the plan is shared with a running job: refinement changes
+  /// routing.
+  bool refine(std::span<const double> granuleWeights);
+
+  bool refined() const noexcept { return refined_.has_value(); }
+
+  /// The active refinement, or nullptr for the uniform deal.
+  const RefinedPartition* refinement() const noexcept {
+    return refined_ ? &*refined_ : nullptr;
+  }
+
   /// Keyblock of a granule (by linear granule index).
   std::uint32_t keyblockOfGranule(nd::Index granule) const;
 
@@ -76,8 +130,10 @@ class PartitionPlus final : public mr::Partitioner {
     return b - a;
   }
 
-  /// Max keyblock size minus min keyblock size (the realized skew;
-  /// guaranteed <= granuleSize()).
+  /// Max keyblock size minus min keyblock size (the realized KEY-COUNT
+  /// skew; guaranteed <= granuleSize() for the uniform deal — a refined
+  /// plan deliberately trades key-count balance for load balance, so
+  /// there the interesting bound is RefinedPartition::maxLoadAfter).
   nd::Index realizedSkew() const;
 
   /// Decomposes a keyblock's (linearly contiguous) instance range into
@@ -97,6 +153,11 @@ class PartitionPlus final : public mr::Partitioner {
   nd::Index granuleCount_ = 0;
   nd::Index granulesPerBlockFloor_ = 0;  ///< q = floor(M / r)
   nd::Index blocksWithExtra_ = 0;        ///< first (M mod r) blocks get q+1
+  std::optional<RefinedPartition> refined_;
+
+  /// Uniform-deal granule range [first, last) of a keyblock.
+  std::pair<nd::Index, nd::Index> uniformGranuleRange(
+      std::uint32_t keyblock) const;
 };
 
 /// Geometry helper re-exported from ndarray for backwards-compatible

@@ -1,5 +1,7 @@
 #include "sidr/planner.hpp"
 
+#include "sidr/skew_sampler.hpp"
+
 namespace sidr::core {
 
 std::string systemModeName(SystemMode mode) {
@@ -62,8 +64,118 @@ std::optional<Fingerprint128> computeMapFingerprint(
   fb.addCoord(spec.keySpace);
   fb.addU32(static_cast<std::uint32_t>(spec.mode));
   fb.addU32(spec.numReducers);
+
+  // Gated appends below extend the digest WITHOUT disturbing existing
+  // single-input / unrefined digests (those take neither branch, so
+  // their byte streams — and pinned values — are unchanged).
+
+  // Two-input join: the right side's geometry, both survival
+  // thresholds, and which input each split reads all change map bytes.
+  if (query.join) {
+    fb.addString("sidr.mapfp.join.v1");
+    fb.addString(query.join->variable);
+    fb.addCoord(query.join->inputShape);
+    fb.addCoord(query.join->extractionShape);
+    fb.addBool(query.join->stride.has_value());
+    if (query.join->stride) fb.addCoord(*query.join->stride);
+    fb.addDouble(query.join->leftThreshold);
+    fb.addDouble(query.join->rightThreshold);
+    for (const mr::InputSplit& split : spec.splits) {
+      fb.addU32(split.input);
+    }
+  }
+
+  // Skew-adapted partition refinement: refined boundaries re-route keys,
+  // changing per-(map, keyblock) segment content. A no-op refinement
+  // never reaches here (PartitionPlus::refine refuses it), so a
+  // refined-but-identical plan keeps the unrefined digest and stays
+  // cache-compatible.
+  if (const auto* pp =
+          dynamic_cast<const PartitionPlus*>(spec.partitioner.get());
+      pp != nullptr && pp->refined()) {
+    fb.addString("sidr.mapfp.refined.v1");
+    const RefinedPartition& rp = *pp->refinement();
+    fb.addU64(rp.granuleStart.size());
+    for (nd::Index s : rp.granuleStart) {
+      fb.addU64(static_cast<std::uint64_t>(s));
+    }
+  }
   return fb.digest();
 }
+
+namespace {
+
+/// Execution-option plumbing shared by single-input and join assembly:
+/// everything in PlanOptions that forwards verbatim to the JobSpec.
+/// Returns whether the plan spills eagerly (drives transport choices).
+bool fillExecutionOptions(mr::JobSpec& spec, const PlanOptions& options) {
+  spec.numReducers = options.numReducers;
+  spec.mapSlots = options.mapSlots;
+  spec.reduceSlots = options.reduceSlots;
+  spec.numThreads = options.numThreads;
+  spec.recovery = options.recovery;
+  spec.faultPlan = options.faultPlan;
+  spec.recordTrace = options.recordTrace;
+  spec.spillDirectory = options.spillDirectory;
+  spec.spillWriters = options.spillWriters;
+  spec.memoryBudgetBytes = options.memoryBudgetBytes;
+  spec.mergeWindowBytes = options.mergeWindowBytes;
+  spec.compressSpill = options.compressSpill;
+  // Transport selection (DESIGN.md section 17): kFileServed only makes
+  // sense when map output commits to files eagerly — reject the
+  // combination here with the same rule validateJobSpec enforces, so a
+  // planner caller learns at plan time rather than submit time.
+  const bool eagerSpillPlan =
+      !options.spillDirectory.empty() && options.memoryBudgetBytes == 0;
+  if (options.transport == mr::ShuffleTransportKind::kFileServed &&
+      !eagerSpillPlan) {
+    throw std::invalid_argument(
+        "QueryPlanner: the file-served transport requires an eager-spill "
+        "plan (spillDirectory set, memoryBudgetBytes == 0)");
+  }
+  spec.transport = options.transport;
+  spec.transportConnections = options.transportConnections;
+  spec.transportTimeoutMillis = options.transportTimeoutMillis;
+  spec.weight = options.jobWeight;
+  spec.keepSpillOnFailure = options.keepSpillOnFailure;
+  return eagerSpillPlan;
+}
+
+/// Runs the skew sampler over one side's splits and returns smoothed
+/// per-granule weights: estimate + 1% of the mean granule weight, so a
+/// granule the sample happened to miss still counts a sliver (a zero
+/// would let refine() place a boundary mid-hotspot on a sparse sample).
+std::vector<double> smoothedWeights(const SkewEstimate& est) {
+  double total = 0.0;
+  for (double w : est.granuleWeights) total += w;
+  const double smooth =
+      est.granuleWeights.empty()
+          ? 0.0
+          : total / static_cast<double>(est.granuleWeights.size()) * 0.01;
+  std::vector<double> weights = est.granuleWeights;
+  for (double& w : weights) w += smooth;
+  return weights;
+}
+
+SkewSampleOptions sampleOptionsFrom(const PlanOptions& options,
+                                    double keepAbove) {
+  SkewSampleOptions so;
+  so.maxSampleRecords = options.skewSampleMaxRecords;
+  so.sampleFraction = options.skewSampleFraction;
+  so.seed = options.skewSampleSeed;
+  so.keepAbove = keepAbove;
+  return so;
+}
+
+void recordRefinement(mr::JobSpec& spec, const PartitionPlus& pp) {
+  if (const RefinedPartition* rp = pp.refinement()) {
+    spec.skewStats.refined = true;
+    spec.skewStats.splitKeyblocks = rp->splitKeyblocks;
+    spec.skewStats.coalescedKeyblocks = rp->coalescedKeyblocks;
+  }
+}
+
+}  // namespace
 
 QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
                                  const PlanOptions& options) const {
@@ -71,6 +183,10 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
     throw std::invalid_argument(
         "QueryPlanner: Sailfish is a simulator-only baseline (see "
         "sim::buildWorkload)");
+  }
+  if (query_.op == sh::OperatorKind::kJoin) {
+    throw std::invalid_argument(
+        "QueryPlanner: kJoin reads two inputs — use planJoin");
   }
   QueryPlan plan;
   auto extraction =
@@ -102,35 +218,7 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.readerFactory = std::move(readerFactory);
   spec.mapperFactory = sh::makeStructuralMapperFactory(query_, extraction);
   spec.reducerFactory = sh::makeStructuralReducerFactory(query_);
-  spec.numReducers = options.numReducers;
-  spec.mapSlots = options.mapSlots;
-  spec.reduceSlots = options.reduceSlots;
-  spec.numThreads = options.numThreads;
-  spec.recovery = options.recovery;
-  spec.faultPlan = options.faultPlan;
-  spec.recordTrace = options.recordTrace;
-  spec.spillDirectory = options.spillDirectory;
-  spec.spillWriters = options.spillWriters;
-  spec.memoryBudgetBytes = options.memoryBudgetBytes;
-  spec.mergeWindowBytes = options.mergeWindowBytes;
-  spec.compressSpill = options.compressSpill;
-  // Transport selection (DESIGN.md section 17): kFileServed only makes
-  // sense when map output commits to files eagerly — reject the
-  // combination here with the same rule validateJobSpec enforces, so a
-  // planner caller learns at plan time rather than submit time.
-  const bool eagerSpillPlan =
-      !options.spillDirectory.empty() && options.memoryBudgetBytes == 0;
-  if (options.transport == mr::ShuffleTransportKind::kFileServed &&
-      !eagerSpillPlan) {
-    throw std::invalid_argument(
-        "QueryPlanner: the file-served transport requires an eager-spill "
-        "plan (spillDirectory set, memoryBudgetBytes == 0)");
-  }
-  spec.transport = options.transport;
-  spec.transportConnections = options.transportConnections;
-  spec.transportTimeoutMillis = options.transportTimeoutMillis;
-  spec.weight = options.jobWeight;
-  spec.keepSpillOnFailure = options.keepSpillOnFailure;
+  const bool eagerSpillPlan = fillExecutionOptions(spec, options);
   // The extraction map bounds every intermediate key, so every planner
   // job runs the linearized-key fast path (DESIGN.md section 11). This
   // is the same space both partitioners linearize over: ModuloPartitioner
@@ -138,12 +226,30 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
   spec.keySpace = extraction->intermediateSpaceShape();
 
   if (options.system == SystemMode::kSidr) {
-    auto pp = std::make_shared<const PartitionPlus>(
-        extraction, options.numReducers, query_.skewBound);
-    plan.partitionPlus = pp;
-    spec.partitioner = pp;
+    auto pp = std::make_shared<PartitionPlus>(extraction, options.numReducers,
+                                              query_.skewBound);
+    if (options.skewAdapt) {
+      // Sampling pass (DESIGN.md §18): estimate the post-filter key
+      // distribution per granule and re-deal granule boundaries to
+      // balance estimated load. Only kFilter drops records; every other
+      // operator's load is its key count, which the sampler still
+      // measures (non-uniform only under pad-mode clipped cells).
+      const double keepAbove =
+          query_.op == sh::OperatorKind::kFilter
+              ? query_.filterThreshold
+              : -std::numeric_limits<double>::infinity();
+      SkewEstimate est = sampleKeyDistribution(
+          *extraction, *pp, spec.splits, spec.readerFactory,
+          sampleOptionsFrom(options, keepAbove));
+      spec.skewStats.sampledRecords = est.sampledRecords;
+      pp->refine(smoothedWeights(est));
+      recordRefinement(spec, *pp);
+    }
+    std::shared_ptr<const PartitionPlus> frozen = std::move(pp);
+    plan.partitionPlus = frozen;
+    spec.partitioner = frozen;
     spec.mode = mr::ExecutionMode::kSidr;
-    DependencyCalculator calc(pp);
+    DependencyCalculator calc(frozen);
     plan.dependencies = calc.computeAll(spec.splits);
     spec.reduceDeps = plan.dependencies.keyblockToSplits;
     if (options.validateAnnotations) {
@@ -168,6 +274,129 @@ QueryPlan QueryPlanner::assemble(mr::RecordReaderFactory readerFactory,
                                   ? mr::ShuffleTransportKind::kFileServed
                                   : mr::ShuffleTransportKind::kInProcess;
 
+  plan.spec = std::move(spec);
+  return plan;
+}
+
+QueryPlan QueryPlanner::planJoin(const sh::ValueFn& leftFn,
+                                 const sh::ValueFn& rightFn,
+                                 const PlanOptions& options) const {
+  if (options.system == SystemMode::kSailfish) {
+    throw std::invalid_argument(
+        "QueryPlanner: Sailfish is a simulator-only baseline (see "
+        "sim::buildWorkload)");
+  }
+  if (query_.op != sh::OperatorKind::kJoin || !query_.join) {
+    throw std::invalid_argument(
+        "QueryPlanner::planJoin: query must be kJoin with a JoinSpec");
+  }
+  if (query_.keyMode != sh::KeyMode::kRenumber) {
+    throw std::invalid_argument(
+        "QueryPlanner::planJoin: joins key on the shared instance grid "
+        "(KeyMode::kRenumber)");
+  }
+  QueryPlan plan;
+  auto leftEx = std::make_shared<const sh::ExtractionMap>(query_, inputShape_);
+  const sh::StructuralQuery rightQuery = sh::joinRightQuery(query_);
+  auto rightEx = std::make_shared<const sh::ExtractionMap>(
+      rightQuery, query_.join->inputShape);
+  if (leftEx->instanceGridShape() != rightEx->instanceGridShape()) {
+    throw std::invalid_argument(
+        "QueryPlanner::planJoin: the two sides' instance grids differ (" +
+        leftEx->instanceGridShape().toString() + " vs " +
+        rightEx->instanceGridShape().toString() +
+        ") — instance g joins instance g, so the grids must match");
+  }
+  plan.extraction = leftEx;
+
+  mr::JobSpec spec;
+  // Each side is split independently over its own domain; ids stay
+  // globally unique (right ids follow the left block), and
+  // InputSplit::input routes each split to its side's reader/mapper.
+  auto splitsFor = [&](const sh::ExtractionMap& ex) {
+    sh::SplitOptions so;
+    so.targetElements = options.splitTargetElements > 0
+                            ? options.splitTargetElements
+                            : sh::targetElementsForCount(
+                                  ex.domain().shape(), options.desiredSplitCount);
+    so.alignToExtraction = options.alignSplitsToExtraction;
+    auto splits = sh::generateSplits(ex.domain().shape(), ex, so);
+    if (ex.domain().corner() != nd::Coord::zeros(ex.domain().rank())) {
+      for (mr::InputSplit& split : splits) {
+        for (nd::Region& region : split.regions) {
+          region = nd::Region(region.corner().plus(ex.domain().corner()),
+                              region.shape());
+        }
+      }
+    }
+    return splits;
+  };
+  spec.splits = splitsFor(*leftEx);
+  const std::uint32_t numLeft = static_cast<std::uint32_t>(spec.splits.size());
+  std::vector<mr::InputSplit> rightSplits = splitsFor(*rightEx);
+  for (mr::InputSplit& split : rightSplits) {
+    split.id += numLeft;
+    split.input = 1;
+    spec.splits.push_back(std::move(split));
+  }
+
+  spec.readerFactory = sh::makeSyntheticReaderFactory(leftFn);
+  spec.secondaryReaderFactory = sh::makeSyntheticReaderFactory(rightFn);
+  spec.mapperFactory = sh::makeJoinMapperFactory(query_, leftEx, 0);
+  spec.secondaryMapperFactory = sh::makeJoinMapperFactory(query_, rightEx, 1);
+  spec.reducerFactory = sh::makeJoinReducerFactory();
+  const bool eagerSpillPlan = fillExecutionOptions(spec, options);
+  // Both sides renumber into the shared instance grid, so the grid IS
+  // the intermediate key space (checked equal above).
+  spec.keySpace = leftEx->intermediateSpaceShape();
+
+  if (options.system == SystemMode::kSidr) {
+    auto pp = std::make_shared<PartitionPlus>(leftEx, options.numReducers,
+                                              query_.skewBound);
+    if (options.skewAdapt) {
+      // A join instance's reduce cost is |surviving left| * |surviving
+      // right|, so the load estimate is the PRODUCT of the two sides'
+      // smoothed per-granule estimates (smoothing keeps unsampled
+      // granules from zeroing whole products).
+      std::span<const mr::InputSplit> all = spec.splits;
+      SkewEstimate leftEst = sampleKeyDistribution(
+          *leftEx, *pp, all.subspan(0, numLeft), spec.readerFactory,
+          sampleOptionsFrom(options, query_.join->leftThreshold));
+      SkewEstimate rightEst = sampleKeyDistribution(
+          *rightEx, *pp, all.subspan(numLeft), spec.secondaryReaderFactory,
+          sampleOptionsFrom(options, query_.join->rightThreshold));
+      spec.skewStats.sampledRecords =
+          leftEst.sampledRecords + rightEst.sampledRecords;
+      std::vector<double> lw = smoothedWeights(leftEst);
+      std::vector<double> rw = smoothedWeights(rightEst);
+      for (std::size_t g = 0; g < lw.size(); ++g) lw[g] *= rw[g];
+      pp->refine(lw);
+      recordRefinement(spec, *pp);
+    }
+    std::shared_ptr<const PartitionPlus> frozen = std::move(pp);
+    plan.partitionPlus = frozen;
+    spec.partitioner = frozen;
+    spec.mode = mr::ExecutionMode::kSidr;
+    DependencyCalculator calc(frozen, rightEx);
+    plan.dependencies = calc.computeAll(spec.splits);
+    spec.reduceDeps = plan.dependencies.keyblockToSplits;
+    if (options.validateAnnotations) {
+      spec.expectedRepresents = plan.dependencies.expectedRepresents;
+    }
+    spec.reducePriority = options.reducePriority;
+    plan.servicePolicy = mr::SchedulingPolicy::kReduceFirst;
+  } else {
+    spec.partitioner = std::make_shared<const mr::ModuloPartitioner>(
+        leftEx->intermediateSpaceShape());
+    spec.mode = mr::ExecutionMode::kGlobalBarrier;
+    plan.servicePolicy = mr::SchedulingPolicy::kFifo;
+  }
+
+  spec.mapFingerprint =
+      computeMapFingerprint(query_, inputShape_, options.datasetId, spec);
+  plan.recommendedTransport = eagerSpillPlan
+                                  ? mr::ShuffleTransportKind::kFileServed
+                                  : mr::ShuffleTransportKind::kInProcess;
   plan.spec = std::move(spec);
   return plan;
 }

@@ -50,6 +50,22 @@ struct PlanOptions {
   /// Keyblock priority order (SIDR only; empty = keyblock id order).
   std::vector<std::uint32_t> reducePriority;
 
+  /// Skew-adaptive planning (DESIGN.md §18, kSidr only): run a sampling
+  /// pass over the input splits estimating the post-filter key
+  /// distribution per granule, then refine the partition+ granule deal
+  /// so keyblocks carry equal estimated LOAD instead of equal key
+  /// counts (PartitionPlus::refine). Purely a planning-stage change:
+  /// keyblocks stay contiguous granule runs, dependencies are
+  /// recomputed exactly against the refined boundaries, and every
+  /// gating/early-result property holds unchanged. Results are
+  /// bit-identical to the unrefined plan (pinned by skew_join_test).
+  bool skewAdapt = false;
+  /// Sampling budget: at most this many records total, and at most
+  /// skewSampleFraction of each split's volume (see SkewSampleOptions).
+  std::uint64_t skewSampleMaxRecords = 1ull << 16;
+  double skewSampleFraction = 0.05;
+  std::uint64_t skewSampleSeed = 0x51d25eedULL;
+
   /// Validate reduce-start correctness with count annotations.
   bool validateAnnotations = true;
 
@@ -156,11 +172,24 @@ class QueryPlanner {
   QueryPlanner(sh::StructuralQuery query, nd::Coord inputShape);
 
   /// Builds a plan whose record readers synthesize values from `fn`.
+  /// Rejects kJoin queries (two inputs) — use planJoin.
   QueryPlan plan(const sh::ValueFn& fn, const PlanOptions& options) const;
 
   /// Builds a plan reading from a real SNDF dataset variable.
   QueryPlan plan(std::shared_ptr<sci::Dataset> dataset, std::size_t varIdx,
                  const PlanOptions& options) const;
+
+  /// Builds a two-input plan for an OperatorKind::kJoin query
+  /// (DESIGN.md §18): the left array (the query's own fields) and the
+  /// right array (StructuralQuery::join) are split independently, each
+  /// side's splits run its own JoinSideMapper, and both route into the
+  /// shared instance-grid keyspace where JoinReducer pairs them. The
+  /// query must use KeyMode::kRenumber and the two extraction grids
+  /// must be identical. Under kSidr, dependency sets span both inputs
+  /// and skewAdapt samples BOTH sides (per-granule load estimate =
+  /// product of the sides' estimates, matching the join's output cost).
+  QueryPlan planJoin(const sh::ValueFn& leftFn, const sh::ValueFn& rightFn,
+                     const PlanOptions& options) const;
 
   const sh::StructuralQuery& query() const noexcept { return query_; }
   const nd::Coord& inputShape() const noexcept { return inputShape_; }

@@ -1,0 +1,90 @@
+#include "sidr/skew_sampler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <stdexcept>
+
+namespace sidr::core {
+
+SkewEstimate sampleKeyDistribution(const sh::ExtractionMap& extraction,
+                                   const PartitionPlus& plan,
+                                   std::span<const mr::InputSplit> splits,
+                                   const mr::RecordReaderFactory& readerFactory,
+                                   const SkewSampleOptions& options) {
+  if (!readerFactory) {
+    throw std::invalid_argument("sampleKeyDistribution: missing reader");
+  }
+  if (!(options.sampleFraction > 0.0) || options.sampleFraction > 1.0) {
+    throw std::invalid_argument(
+        "sampleKeyDistribution: sampleFraction must be in (0, 1]");
+  }
+  SkewEstimate est;
+  est.granuleWeights.assign(static_cast<std::size_t>(plan.granuleCount()),
+                            0.0);
+
+  nd::Index totalVolume = 0;
+  for (const mr::InputSplit& split : splits) totalVolume += split.volume();
+  if (totalVolume == 0 || options.maxSampleRecords == 0) return est;
+
+  const nd::Coord& grid = extraction.instanceGridShape();
+  const nd::Coord ones = nd::Coord::ones(grid.rank());
+
+  for (const mr::InputSplit& split : splits) {
+    const nd::Index splitVolume = split.volume();
+    if (splitVolume == 0) continue;
+    // Volume-proportional share of the budget, capped by the per-split
+    // fraction; every non-empty split contributes at least one sample
+    // so no region of the keyspace is entirely unobserved.
+    const auto share = static_cast<nd::Index>(
+        static_cast<double>(options.maxSampleRecords) *
+        (static_cast<double>(splitVolume) /
+         static_cast<double>(totalVolume)));
+    const auto cap = static_cast<nd::Index>(std::ceil(
+        options.sampleFraction * static_cast<double>(splitVolume)));
+    const nd::Index budget =
+        std::max<nd::Index>(1, std::min({share, cap, splitVolume}));
+
+    // Deterministic per-split stream: sampling order or parallelism can
+    // never change the estimate.
+    std::mt19937_64 rng(options.seed ^
+                        (static_cast<std::uint64_t>(split.id) + 1) *
+                            0x9e3779b97f4a7c15ULL);
+
+    const double scale = static_cast<double>(splitVolume) /
+                         static_cast<double>(budget);
+    for (nd::Index i = 0; i < budget; ++i) {
+      // Pick the region by volume, then a uniform offset inside it,
+      // with replacement (cheap, unbiased, deterministic).
+      auto pick = static_cast<nd::Index>(
+          rng() % static_cast<std::uint64_t>(splitVolume));
+      const nd::Region* region = nullptr;
+      for (const nd::Region& r : split.regions) {
+        if (pick < r.volume()) {
+          region = &r;
+          break;
+        }
+        pick -= r.volume();
+      }
+      const nd::Coord coord = region->coordAtOffset(pick);
+
+      // One point read through the REAL reader (synthetic or dataset):
+      // the estimate sees exactly the bytes the map phase would.
+      auto reader = readerFactory(nd::Region(coord, ones));
+      nd::Coord key;
+      double value = 0.0;
+      if (!reader->next(key, value)) continue;
+      ++est.sampledRecords;
+      if (!(value > options.keepAbove)) continue;
+      ++est.survivingRecords;
+
+      auto g = extraction.instanceOf(key);
+      if (!g) continue;  // stride gap / truncated edge: no intermediate key
+      const nd::Index granule = nd::linearize(*g, grid) / plan.granuleSize();
+      est.granuleWeights[static_cast<std::size_t>(granule)] += scale;
+    }
+  }
+  return est;
+}
+
+}  // namespace sidr::core

@@ -1,0 +1,67 @@
+// Key-distribution sampling for skew-adaptive planning (DESIGN.md §18).
+//
+// partition+ balances KEY COUNTS, which is the wrong currency when the
+// per-key load varies — a filter whose survivors cluster spatially
+// (paper Query 2) or a join whose hot cells multiply (SharesSkew) loads
+// a key-balanced deal arbitrarily unevenly. Following Fan et al.'s
+// key-distribution load balancing, a cheap pre-pass samples the REAL
+// record readers at deterministic pseudo-random coordinates, maps each
+// sampled input through the extraction into its granule, and tallies
+// estimated surviving records per granule. The planner feeds the
+// estimate to PartitionPlus::refine, which re-deals granule boundaries
+// by load instead of count.
+#pragma once
+
+#include <limits>
+#include <span>
+
+#include "mapreduce/job.hpp"
+#include "sidr/partition_plus.hpp"
+
+namespace sidr::core {
+
+struct SkewSampleOptions {
+  /// Total sampling budget across all splits, apportioned by split
+  /// volume (every non-empty split gets at least one sample).
+  std::uint64_t maxSampleRecords = 1 << 16;
+
+  /// Per-split cap: never sample more than this fraction of a split's
+  /// elements (budget permitting).
+  double sampleFraction = 0.05;
+
+  /// Seed for the deterministic per-split sample streams: the same
+  /// (seed, splits, readers) always yields the same estimate, so a
+  /// refined plan is reproducible.
+  std::uint64_t seed = 0x51d25eedULL;
+
+  /// Survival predicate: a sampled value counts only when strictly
+  /// greater than this (the planner sets the query's filter threshold
+  /// here). The -infinity default counts every sampled record.
+  double keepAbove = -std::numeric_limits<double>::infinity();
+};
+
+struct SkewEstimate {
+  /// Estimated surviving-record count per granule, scaled to the full
+  /// population (each split's tallies are multiplied by splitVolume /
+  /// samplesTaken). Size == plan.granuleCount().
+  std::vector<double> granuleWeights;
+
+  /// Reader records actually sampled / of those, how many survived the
+  /// keepAbove predicate (raw, unscaled).
+  std::uint64_t sampledRecords = 0;
+  std::uint64_t survivingRecords = 0;
+};
+
+/// Samples `splits` through `readerFactory` and estimates the surviving
+/// key distribution over `plan`'s granules. Only the plan's granule
+/// GEOMETRY (granuleSize) is consulted, never its keyblock deal, so the
+/// same estimate can refine the plan it was measured against. For
+/// two-input jobs call once per side (with that side's extraction,
+/// splits and reader) and combine in the planner.
+SkewEstimate sampleKeyDistribution(const sh::ExtractionMap& extraction,
+                                   const PartitionPlus& plan,
+                                   std::span<const mr::InputSplit> splits,
+                                   const mr::RecordReaderFactory& readerFactory,
+                                   const SkewSampleOptions& options);
+
+}  // namespace sidr::core

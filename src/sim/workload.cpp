@@ -27,13 +27,34 @@ BuiltWorkload buildWorkload(const WorkloadSpec& spec, core::SystemMode system,
   // OBSERVED key set post hoc into balanced runs — volume-wise this is
   // what partition+ computes up front, so we reuse it for routing while
   // keeping Sailfish's strengthened-barrier execution semantics.
+  auto loadOf = [&](const nd::Coord& g) {
+    return spec.instanceLoadFactor ? spec.instanceLoadFactor(g) : 1.0;
+  };
   std::shared_ptr<const mr::Partitioner> partitioner;
   if (system == core::SystemMode::kSidr ||
       system == core::SystemMode::kSailfish) {
-    auto pp = std::make_shared<const core::PartitionPlus>(
-        extraction, numReduces, spec.query.skewBound);
-    if (system == core::SystemMode::kSidr) out.partitionPlus = pp;
-    partitioner = pp;
+    auto pp = std::make_shared<core::PartitionPlus>(extraction, numReduces,
+                                                    spec.query.skewBound);
+    if (spec.skewAdapt && system == core::SystemMode::kSidr) {
+      // The simulator knows the exact per-instance load, so the
+      // refinement pre-pass aggregates it per granule directly — the
+      // perfectly-informed limit of the planner's sampling stage.
+      std::vector<double> weights(
+          static_cast<std::size_t>(pp->granuleCount()), 0.0);
+      const nd::Coord& grid = extraction->instanceGridShape();
+      for (nd::RegionCursor g(nd::Region::wholeSpace(grid)); g.valid();
+           g.next()) {
+        const nd::Index granule =
+            nd::linearize(g.coord(), grid) / pp->granuleSize();
+        weights[static_cast<std::size_t>(granule)] +=
+            static_cast<double>(extraction->cellVolume(g.coord())) *
+            loadOf(g.coord());
+      }
+      pp->refine(weights);
+    }
+    std::shared_ptr<const core::PartitionPlus> frozen = std::move(pp);
+    if (system == core::SystemMode::kSidr) out.partitionPlus = frozen;
+    partitioner = frozen;
   } else {
     partitioner = std::make_shared<const mr::ModuloPartitioner>(
         extraction->intermediateSpaceShape());
@@ -69,7 +90,7 @@ BuiltWorkload buildWorkload(const WorkloadSpec& spec, core::SystemMode system,
             extraction->keyForInstance(g.coord()), numReduces);
         double bytes = static_cast<double>(overlap->volume()) *
                            static_cast<double>(spec.bytesPerElement) *
-                           spec.intermediateFactor +
+                           spec.intermediateFactor * loadOf(g.coord()) +
                        spec.recordOverheadBytes;
         acc[split.id][kb] += bytes;
       }
@@ -98,8 +119,8 @@ BuiltWorkload buildWorkload(const WorkloadSpec& spec, core::SystemMode system,
         c[grid.rank() - 1] = j;
         std::uint32_t kb = partitioner->partition(
             extraction->keyForInstance(c), numReduces);
-        job.reduceOutputBytes[kb] +=
-            static_cast<std::uint64_t>(spec.outputBytesPerInstance);
+        job.reduceOutputBytes[kb] += static_cast<std::uint64_t>(
+            spec.outputBytesPerInstance * loadOf(c));
       }
     }
   }
@@ -179,6 +200,19 @@ WorkloadSpec skewWorkload() {
   w.mapCpuSecondsPerByte = 1.5e-7;
   w.reduceCpuSecondsPerByte = 8.0e-9;
   w.outputBytesPerInstance = 4.0;
+  return w;
+}
+
+WorkloadSpec hotspotFilterWorkload() {
+  WorkloadSpec w = query2Workload();
+  // Survivors cluster in the first 1/8 of the time axis (a storm
+  // front): those instances carry 50x the survivor load of the rest.
+  // Key COUNTS stay perfectly uniform — partition+'s count-balanced
+  // deal is blind to this, which is exactly what skew-adaptive
+  // refinement corrects.
+  w.instanceLoadFactor = [](const nd::Coord& g) {
+    return g[0] < 450 ? 50.0 : 1.0;  // grid[0] = 3600 instances
+  };
   return w;
 }
 

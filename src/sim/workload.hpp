@@ -11,6 +11,8 @@
 // calibrated to the paper's 2013 testbed.
 #pragma once
 
+#include <functional>
+
 #include "sidr/planner.hpp"
 #include "sim/sim_engine.hpp"
 
@@ -54,6 +56,18 @@ struct WorkloadSpec {
   /// Output bytes emitted per extraction instance (one value each for
   /// aggregates; larger for filters that keep lists).
   double outputBytesPerInstance = 4.0;
+
+  /// Per-instance load multiplier (DESIGN.md §18): scales the
+  /// intermediate and output bytes an extraction instance produces, on
+  /// top of intermediateFactor — how value-dependent skew (filter
+  /// survivors clustering spatially) is modeled. Null = uniform load.
+  std::function<double(const nd::Coord&)> instanceLoadFactor;
+
+  /// Mirror of core::PlanOptions::skewAdapt: under kSidr, refine the
+  /// partition+ granule deal against the per-granule load implied by
+  /// instanceLoadFactor (the simulator sees the EXACT distribution, so
+  /// this models a perfectly-informed sampling pass) before routing.
+  bool skewAdapt = false;
 };
 
 /// A built simulator job plus the structural artifacts it was derived
@@ -84,5 +98,11 @@ WorkloadSpec query2Workload();
 /// original (all-even) coordinates, starving odd reducers under modulo
 /// partitioning.
 WorkloadSpec skewWorkload();
+
+/// DESIGN.md §18 workload: the Query-2 filter whose survivors cluster
+/// in the first 1/8 of the time axis (a storm front) — key counts stay
+/// uniform but LOAD is hot, the case skew-adaptive refinement targets.
+/// Toggle skewAdapt per arm to compare.
+WorkloadSpec hotspotFilterWorkload();
 
 }  // namespace sidr::sim

@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <random>
+
 #include "sidr/partition_plus.hpp"
 
 namespace sidr::core {
@@ -255,6 +258,133 @@ INSTANTIATE_TEST_SUITE_P(
                       PPCase{nd::Coord{64, 16, 8}, nd::Coord{4, 4, 2}, 6, 9},
                       PPCase{nd::Coord{30}, nd::Coord{2}, 5, 2},
                       PPCase{nd::Coord{30}, nd::Coord{2}, 16, 1}));
+
+// Refined-partition property sweep (DESIGN.md §18): for every weight
+// family, refine() must preserve every structural invariant of the
+// uniform deal (exact contiguous tiling, routing agreement) while
+// delivering the load guarantee maxLoadAfter <= total/r + maxGranule.
+class RefinedPartitionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RefinedPartitionSweep, TilingRoutingAndLoadBoundHold) {
+  const int seed = GetParam();
+  std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 48271 + 5);
+  const nd::Coord inputs[] = {nd::Coord{56, 20}, nd::Coord{63, 25},
+                              nd::Coord{64, 16, 8}, nd::Coord{30}};
+  const nd::Coord eshapes[] = {nd::Coord{7, 5}, nd::Coord{7, 5},
+                               nd::Coord{4, 4, 2}, nd::Coord{2}};
+  const std::size_t which = static_cast<std::size_t>(seed) % 4;
+  auto ex = makeExtraction(inputs[which], eshapes[which]);
+  const auto reducers = static_cast<std::uint32_t>(2 + rng() % 9);
+  const auto bound = static_cast<nd::Index>(1 + rng() % 8);
+  PartitionPlus pp(ex, reducers, bound);
+  const auto m = static_cast<std::size_t>(pp.granuleCount());
+
+  // Weight family rotates: uniform noise, zipf-ish decay, a hot block,
+  // and sparse (mostly-zero) loads.
+  std::vector<double> w(m, 0.0);
+  switch (seed % 4) {
+    case 0:
+      for (auto& x : w) x = 1.0 + static_cast<double>(rng() % 100) / 100.0;
+      break;
+    case 1:
+      for (std::size_t g = 0; g < m; ++g) {
+        w[g] = 1000.0 / static_cast<double>(1 + g);
+      }
+      break;
+    case 2:
+      for (std::size_t g = 0; g < m; ++g) {
+        w[g] = g < std::max<std::size_t>(1, m / 10) ? 500.0 : 1.0;
+      }
+      break;
+    default:
+      for (auto& x : w) {
+        if (rng() % 4 == 0) x = static_cast<double>(1 + rng() % 50);
+      }
+      break;
+  }
+  const bool refined = pp.refine(w);
+
+  // 1. Exact contiguous tiling, refined or not.
+  nd::Index expectedStart = 0;
+  for (std::uint32_t kb = 0; kb < reducers; ++kb) {
+    auto [a, b] = pp.instanceRange(kb);
+    EXPECT_EQ(a, expectedStart);
+    EXPECT_LE(a, b);
+    expectedStart = b;
+  }
+  EXPECT_EQ(expectedStart, ex->instanceCount());
+
+  // 2. Every instance routes to exactly one keyblock, and partition(),
+  // keyblockOfInstance() and instanceRange() all agree on which.
+  for (nd::RegionCursor g(nd::Region::wholeSpace(ex->instanceGridShape()));
+       g.valid(); g.next()) {
+    std::uint32_t kb = pp.keyblockOfInstance(g.coord());
+    EXPECT_EQ(pp.partition(ex->keyForInstance(g.coord()), reducers), kb);
+    auto [a, b] = pp.instanceRange(kb);
+    nd::Index li = nd::linearize(g.coord(), ex->instanceGridShape());
+    EXPECT_GE(li, a);
+    EXPECT_LT(li, b);
+  }
+
+  if (!refined) {
+    EXPECT_EQ(pp.refinement(), nullptr);
+    return;
+  }
+  const RefinedPartition& rp = *pp.refinement();
+
+  // 3. Boundary vector: monotone cover of [0, granuleCount].
+  ASSERT_EQ(rp.granuleStart.size(), static_cast<std::size_t>(reducers) + 1);
+  EXPECT_EQ(rp.granuleStart.front(), 0);
+  EXPECT_EQ(rp.granuleStart.back(), pp.granuleCount());
+  for (std::size_t k = 1; k < rp.granuleStart.size(); ++k) {
+    EXPECT_LE(rp.granuleStart[k - 1], rp.granuleStart[k]);
+  }
+
+  // 4. Load accounting recomputed from scratch matches, and the
+  // refinement guarantee holds: one granule of quantization slack.
+  double total = 0.0;
+  double maxGranule = 0.0;
+  for (double x : w) {
+    total += x;
+    maxGranule = std::max(maxGranule, x);
+  }
+  EXPECT_DOUBLE_EQ(rp.totalWeight, total);
+  EXPECT_DOUBLE_EQ(rp.maxGranuleWeight, maxGranule);
+  double worst = 0.0;
+  for (std::uint32_t kb = 0; kb < reducers; ++kb) {
+    double load = 0.0;
+    for (nd::Index g = rp.granuleStart[kb]; g < rp.granuleStart[kb + 1];
+         ++g) {
+      load += w[static_cast<std::size_t>(g)];
+      EXPECT_EQ(pp.keyblockOfGranule(g), kb);
+    }
+    worst = std::max(worst, load);
+  }
+  EXPECT_DOUBLE_EQ(rp.maxLoadAfter, worst);
+  EXPECT_LE(rp.maxLoadAfter,
+            total / static_cast<double>(reducers) + maxGranule + 1e-9);
+  EXPECT_LE(rp.maxLoadAfter, rp.maxLoadBefore + 1e-9);
+
+  // 5. Split/coalesce tallies agree with a direct comparison against
+  // the uniform deal's granule counts.
+  const nd::Index q = pp.granuleCount() / reducers;
+  const nd::Index extra = pp.granuleCount() % reducers;
+  std::uint32_t splits = 0;
+  std::uint32_t coalesced = 0;
+  for (std::uint32_t kb = 0; kb < reducers; ++kb) {
+    const nd::Index uniformCount =
+        q + (kb >= reducers - static_cast<std::uint32_t>(extra) ? 1 : 0);
+    const nd::Index refinedCount =
+        rp.granuleStart[kb + 1] - rp.granuleStart[kb];
+    if (refinedCount < uniformCount) ++splits;
+    if (refinedCount > uniformCount) ++coalesced;
+  }
+  EXPECT_EQ(rp.splitKeyblocks, splits);
+  EXPECT_EQ(rp.coalescedKeyblocks, coalesced);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RefinedPartitionSweep,
+                         ::testing::Range(0, 24));
 
 }  // namespace
 }  // namespace sidr::core

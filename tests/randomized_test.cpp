@@ -195,6 +195,10 @@ TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
   opts.numThreads = static_cast<std::uint32_t>(2 + rng() % 5);
   opts.recovery = (rng() % 2 == 0) ? mr::RecoveryModel::kPersistAll
                                    : mr::RecoveryModel::kRecomputeDeps;
+  // Half the SIDR runs plan skew-adapted: faults must recover
+  // identically against refined dependency sets (DESIGN.md §18).
+  opts.skewAdapt = !stock && rng() % 2 == 0;
+  opts.skewSampleFraction = 1.0;
 
   opts.recordTrace = true;
   QueryPlanner planner(q, input);
@@ -272,6 +276,121 @@ TEST_P(RandomizedFaultPlan, EngineMatchesOracleUnderInjectedFaults) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedFaultPlan,
+                         ::testing::Range(0, 16));
+
+// ---- randomized two-input join fault plans ----
+//
+// The same property net over kJoin jobs (DESIGN.md §18): random join
+// geometry, faults drawn against the ACTUAL post-planning split set
+// (which spans BOTH inputs), spill and skew-adapt coin flips — output
+// must equal the nested-loop join oracle exactly, with zero annotation
+// violations and every reduce attempt gated on its committed deps.
+
+class RandomizedJoinFaultPlan : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomizedJoinFaultPlan, JoinMatchesOracleUnderInjectedFaults) {
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 15485863 + 7);
+  auto pick = [&rng](nd::Index lo, nd::Index hi) {
+    return lo + static_cast<nd::Index>(
+                    rng() % static_cast<std::uint64_t>(hi - lo + 1));
+  };
+  const nd::Coord grid{pick(4, 10), pick(3, 8)};
+  sh::StructuralQuery q;
+  q.variable = "left";
+  q.op = sh::OperatorKind::kJoin;
+  q.extractionShape = nd::Coord{pick(1, 3), pick(1, 3)};
+  sh::JoinSpec js;
+  js.variable = "right";
+  js.extractionShape = nd::Coord{pick(1, 3), pick(1, 3)};
+  js.inputShape = nd::Coord{grid[0] * js.extractionShape[0],
+                            grid[1] * js.extractionShape[1]};
+  if (rng() % 2 == 0) js.leftThreshold = 18.0;
+  if (rng() % 3 == 0) js.rightThreshold = 16.0;
+  q.join = js;
+  const nd::Coord input{grid[0] * q.extractionShape[0],
+                        grid[1] * q.extractionShape[1]};
+  sh::ValueFn leftFn = sh::temperatureField(
+      static_cast<std::uint64_t>(GetParam() + 900));
+  sh::ValueFn rightFn = sh::temperatureField(
+      static_cast<std::uint64_t>(GetParam() + 901));
+
+  const bool spill = rng() % 2 == 0;
+  const bool stock = rng() % 4 == 0;
+  PlanOptions opts;
+  opts.system = stock ? SystemMode::kSciHadoop : SystemMode::kSidr;
+  opts.numReducers = static_cast<std::uint32_t>(2 + rng() % 5);
+  opts.desiredSplitCount = 3 + rng() % 6;
+  opts.numThreads = static_cast<std::uint32_t>(2 + rng() % 4);
+  opts.recovery = (rng() % 2 == 0) ? mr::RecoveryModel::kPersistAll
+                                   : mr::RecoveryModel::kRecomputeDeps;
+  opts.skewAdapt = !stock && rng() % 2 == 0;
+  opts.skewSampleFraction = 1.0;
+  opts.recordTrace = true;
+
+  QueryPlanner planner(q, input);
+  QueryPlan plan = planner.planJoin(leftFn, rightFn, opts);
+
+  // Faults over the REAL split set — ids cover both inputs' splits.
+  const auto numMaps = static_cast<std::uint32_t>(plan.spec.splits.size());
+  mr::FaultPlan& fp = plan.spec.faultPlan;
+  std::uint32_t expectReduceFailures = 0;
+  std::uint32_t expectMapFailures = 0;
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 3); i < n;
+       ++i) {
+    std::uint32_t kb = static_cast<std::uint32_t>(rng()) % opts.numReducers;
+    if (fp.shouldFail(mr::TaskKind::kReduce, kb, 1)) continue;
+    fp.failReduce(kb, 1);
+    ++expectReduceFailures;
+  }
+  for (std::uint32_t i = 0, n = static_cast<std::uint32_t>(rng() % 3); i < n;
+       ++i) {
+    std::uint32_t m = static_cast<std::uint32_t>(rng()) % numMaps;
+    if (fp.shouldFail(mr::TaskKind::kMap, m, 1)) continue;
+    fp.failMap(m, 1);
+    ++expectMapFailures;
+  }
+
+  std::string dir;
+  if (spill) {
+    dir = (std::filesystem::temp_directory_path() /
+           ("sidr_randjoinfault_" + std::to_string(GetParam())))
+              .string();
+    plan.spec.spillDirectory = dir;
+  }
+  SCOPED_TRACE("grid " + grid.toString() + " r=" +
+               std::to_string(opts.numReducers) + " maps=" +
+               std::to_string(numMaps) + (spill ? " spill" : " mem") +
+               (stock ? " stock" : " sidr") +
+               (opts.skewAdapt ? " adapt" : "") +
+               " faults=" + std::to_string(fp.faults.size()));
+
+  std::vector<std::vector<std::uint32_t>> deps =
+      stock ? testsupport::barrierDeps(numMaps, opts.numReducers)
+            : plan.spec.reduceDeps;
+
+  mr::JobResult result = mr::Engine(std::move(plan.spec)).run();
+  if (spill) std::filesystem::remove_all(dir);
+
+  EXPECT_EQ(result.annotationViolations, 0u);
+  EXPECT_EQ(result.reduceFailures, expectReduceFailures);
+  EXPECT_EQ(result.mapFailures, expectMapFailures);
+  testsupport::CheckJobTrace(result);
+  testsupport::ExpectCommitGating(result.trace, deps);
+  testsupport::ExpectFetchTalliesMatchCommits(result.trace, deps);
+
+  sh::ExtractionMap leftEx(q, input);
+  sh::ExtractionMap rightEx(sh::joinRightQuery(q), js.inputShape);
+  std::vector<mr::KeyValue> oracle =
+      sh::runJoinOracle(q, leftEx, rightEx, leftFn, rightFn);
+  std::vector<mr::KeyValue> got = result.collectAll();
+  ASSERT_EQ(got.size(), oracle.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].key, oracle[i].key);
+    EXPECT_EQ(got[i].value, oracle[i].value) << "record " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomizedJoinFaultPlan,
                          ::testing::Range(0, 16));
 
 }  // namespace
